@@ -1,0 +1,34 @@
+//! Semantic collective throughput: how fast the buffer-level ring
+//! AllReduce (the numerics used by the real data-parallel trainer)
+//! processes model-sized gradients.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use voltascope_comm::semantic;
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring_all_reduce");
+    for ranks in [2usize, 4, 8] {
+        for len in [61_706usize, 1_000_000] {
+            // LeNet-sized and 1M-element gradients.
+            group.throughput(Throughput::Elements((ranks * len) as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("{ranks}ranks"), len),
+                &(ranks, len),
+                |b, &(ranks, len)| {
+                    let proto: Vec<Vec<f32>> = (0..ranks)
+                        .map(|r| (0..len).map(|i| (r * len + i) as f32).collect())
+                        .collect();
+                    b.iter(|| {
+                        let mut bufs = proto.clone();
+                        semantic::ring_all_reduce(&mut bufs);
+                        bufs[0][0]
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_collectives);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Real-execution throughput of the DNN substrate: LeNet training
+//! steps, a representative convolution, and GoogLeNet's forward pass
+//! at a reduced input (the full ImageNet-scale passes are exercised by
+//! the accounting paths; executing them per-sample on a CPU is not the
+//! point of the reproduction).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use voltascope_dnn::{softmax_cross_entropy, zoo, Conv2d, Layer, Shape, Tensor};
+
+fn bench_dnn(c: &mut Criterion) {
+    c.bench_function("lenet_train_step_batch8", |b| {
+        let model = zoo::lenet();
+        let params = model.init_params(1);
+        let x = Tensor::full(Shape::new([8, 1, 28, 28]), 0.2);
+        let labels = [0usize, 1, 2, 3, 4, 5, 6, 7];
+        b.iter(|| {
+            let acts = model.forward(&params, &x);
+            let (loss, g) = softmax_cross_entropy(model.output(&acts), &labels);
+            let grads = model.backward(&params, &x, &acts, &g);
+            (loss, grads.iter().count())
+        });
+    });
+
+    c.bench_function("conv3x3_64ch_28x28_fwd", |b| {
+        let conv = Conv2d::new(64, 64, 3, 1, 1);
+        let x = Tensor::full(Shape::new([1, 64, 28, 28]), 0.5);
+        let w = Tensor::full(Shape::new([64, 64, 3, 3]), 0.01);
+        let bias = Tensor::zeros(Shape::new([64]));
+        b.iter(|| conv.forward(&[&x], &[&w, &bias]).sum());
+    });
+
+    c.bench_function("alexnet_kernel_profile_batch64", |b| {
+        let model = zoo::alexnet();
+        b.iter(|| model.kernel_profile(64).len());
+    });
+
+    c.bench_function("inception_v3_build_and_account", |b| {
+        b.iter(|| {
+            let m = zoo::inception_v3();
+            (m.param_count(), m.forward_flops(16), m.activation_bytes(16))
+        });
+    });
+}
+
+criterion_group!(benches, bench_dnn);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! End-to-end cost of the reproduction harness: wall time to simulate
+//! one training epoch per configuration (what every cell of the paper's
+//! Fig. 3 grid costs to regenerate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use voltascope::Harness;
+use voltascope_comm::CommMethod;
+use voltascope_dnn::zoo::Workload;
+use voltascope_train::ScalingMode;
+
+fn bench_epochs(c: &mut Criterion) {
+    let harness = Harness::paper();
+    let mut group = c.benchmark_group("simulate_epoch");
+    group.sample_size(10);
+    for workload in [Workload::LeNet, Workload::AlexNet, Workload::InceptionV3] {
+        let model = workload.build();
+        for gpus in [1usize, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(workload.name(), format!("{gpus}gpu")),
+                &gpus,
+                |b, &gpus| {
+                    b.iter(|| {
+                        harness
+                            .epoch(&model, 16, gpus, CommMethod::Nccl, ScalingMode::Strong)
+                            .epoch_time
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_epochs);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Micro-benchmarks of the discrete-event engine: how fast the
+//! simulator itself executes task graphs (this bounds the cost of
+//! regenerating the paper's tables).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use voltascope_sim::{Engine, SimSpan, TaskGraph};
+
+fn chain(n: usize) -> TaskGraph {
+    let mut g = TaskGraph::new();
+    let r = g.add_resource("r", 1);
+    let mut prev = None;
+    for i in 0..n {
+        let mut b = g.task(format!("t{i}")).on(r).lasting(SimSpan::from_nanos(10));
+        if let Some(p) = prev {
+            b = b.after(p);
+        }
+        prev = Some(b.build());
+    }
+    g
+}
+
+fn fan(n: usize, width: usize) -> TaskGraph {
+    let mut g = TaskGraph::new();
+    let resources: Vec<_> = (0..width)
+        .map(|i| g.add_resource(format!("r{i}"), 1))
+        .collect();
+    let root = g.task("root").lasting(SimSpan::from_nanos(1)).build();
+    let mut layer = vec![root];
+    for l in 0..n / width {
+        layer = (0..width)
+            .map(|i| {
+                g.task(format!("t{l}.{i}"))
+                    .on(resources[i])
+                    .lasting(SimSpan::from_nanos(10 + (i as u64 % 5)))
+                    .after_all(layer.iter().copied())
+                    .build()
+            })
+            .collect();
+    }
+    g
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    for n in [1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("serial_chain", n), &n, |b, &n| {
+            let g = chain(n);
+            b.iter(|| Engine::new().run(&g).unwrap().makespan());
+        });
+        group.bench_with_input(BenchmarkId::new("barrier_fan8", n), &n, |b, &n| {
+            let g = fan(n, 8);
+            b.iter(|| Engine::new().run(&g).unwrap().makespan());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Generational extension: rerun the paper's experiment on the
+//! Pascal-era DGX-1 (P100, NVLink 1.0) that Gawande et al. studied
+//! (SS III) — how much of the Volta system's advantage is compute
+//! (tensor cores, more SMs) vs fabric (25 vs 20 GB/s links)?
+use voltascope::Harness;
+use voltascope_comm::CommMethod;
+use voltascope_dnn::zoo::Workload;
+use voltascope_gpu::{GpuSpec, KernelCostModel};
+use voltascope_profile::TextTable;
+use voltascope_topo::dgx1_p100;
+use voltascope_train::ScalingMode;
+
+fn main() {
+    let volta = Harness::paper();
+    let mut pascal = volta.clone();
+    pascal.sys.topo = dgx1_p100();
+    pascal.sys.gpu = GpuSpec::tesla_p100();
+    pascal.sys.kernels = KernelCostModel {
+        max_efficiency: volta.sys.kernels.max_efficiency,
+        knee_flops: volta.sys.kernels.knee_flops,
+        ..KernelCostModel::new(&pascal.sys.gpu)
+    };
+
+    let mut table = TextTable::new([
+        "Workload", "Method", "GPUs", "DGX-1V (s)", "DGX-1P (s)", "Volta speedup",
+    ]);
+    for workload in [Workload::LeNet, Workload::AlexNet, Workload::ResNet] {
+        let model = workload.build();
+        for comm in CommMethod::ALL {
+            for gpus in [1usize, 8] {
+                let v = volta
+                    .epoch(&model, 16, gpus, comm, ScalingMode::Strong)
+                    .epoch_time
+                    .as_secs_f64();
+                let p = pascal
+                    .epoch(&model, 16, gpus, comm, ScalingMode::Strong)
+                    .epoch_time
+                    .as_secs_f64();
+                table.row([
+                    workload.name().to_string(),
+                    comm.name().to_string(),
+                    gpus.to_string(),
+                    format!("{v:.1}"),
+                    format!("{p:.1}"),
+                    format!("{:.2}x", p / v),
+                ]);
+            }
+        }
+    }
+    voltascope_bench::emit("Extension: Volta vs Pascal DGX-1 (batch 16)", &table);
+}

@@ -1,0 +1,30 @@
+//! Extension workload beyond the paper's roster: VGG-16 (138M
+//! parameters, 2.3x AlexNet) pushes the communication-heavy end of the
+//! workload spectrum further — where do the paper's P2P/NCCL
+//! conclusions go as weights keep growing?
+use voltascope::Harness;
+use voltascope_comm::CommMethod;
+use voltascope_dnn::zoo::vgg16;
+use voltascope_profile::TextTable;
+use voltascope_train::ScalingMode;
+
+fn main() {
+    let h = Harness::paper();
+    let model = vgg16();
+    let mut table = TextTable::new(["GPUs", "P2P (s)", "NCCL (s)", "WU share P2P (%)"]);
+    for gpus in [1usize, 2, 4, 8] {
+        let p2p = h.epoch(&model, 16, gpus, CommMethod::P2p, ScalingMode::Strong);
+        let nccl = h.epoch(&model, 16, gpus, CommMethod::Nccl, ScalingMode::Strong);
+        table.row([
+            gpus.to_string(),
+            format!("{:.1}", p2p.epoch_time.as_secs_f64()),
+            format!("{:.1}", nccl.epoch_time.as_secs_f64()),
+            format!(
+                "{:.1}",
+                100.0 * p2p.wu_iter.as_secs_f64() / p2p.iter_time.as_secs_f64()
+            ),
+        ]);
+    }
+    println!("VGG-16 ({:.0}M params), batch 16/GPU, strong scaling:", model.param_count() as f64 / 1e6);
+    voltascope_bench::emit("Extension: VGG-16 training time", &table);
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig. 2: the DGX-1 network topology (connectivity matrix
+//! in `nvidia-smi topo -m` style plus a Graphviz description).
+use voltascope::{experiments::structure, Harness};
+
+fn main() {
+    println!("== Fig. 2: Network topology of the DGX-1 ==");
+    println!("{}", structure::fig2_topology(&Harness::paper()));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig. 4: the breakdown of training time into computation
+//! (FP+BP) and communication (WU) under NCCL.
+use voltascope::{experiments::fig4, Harness};
+
+fn main() {
+    let cells = fig4::grid(&Harness::paper(), &voltascope_bench::workloads());
+    voltascope_bench::emit("Fig. 4: FP+BP vs WU breakdown (NCCL)", &fig4::render(&cells));
+}

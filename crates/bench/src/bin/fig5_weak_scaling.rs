@@ -1,0 +1,8 @@
+//! Regenerates Fig. 5: weak-scaling vs strong-scaling training time
+//! (256K images per GPU under weak scaling).
+use voltascope::{experiments::fig5, Harness};
+
+fn main() {
+    let cells = fig5::grid(&Harness::paper(), &voltascope_bench::workloads());
+    voltascope_bench::emit("Fig. 5: Weak vs strong scaling", &fig5::render(&cells));
+}

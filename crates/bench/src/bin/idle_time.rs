@@ -1,0 +1,16 @@
+//! Per-GPU idle-time analysis (SS V-A: "some of the GPUs become idle
+//! during DNN training" because of the asymmetric interconnect).
+use voltascope::{experiments::idle, Harness};
+use voltascope_comm::CommMethod;
+use voltascope_dnn::zoo::Workload;
+
+fn main() {
+    let h = Harness::paper();
+    for (workload, gpus) in [(Workload::AlexNet, 4usize), (Workload::AlexNet, 8)] {
+        for comm in CommMethod::ALL {
+            let rows = idle::per_gpu_idle(&h, workload, 16, gpus, comm);
+            println!("== {} / {} / {} GPUs ==", workload.name(), comm.name(), gpus);
+            println!("{}", idle::render(&rows).render());
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates the SS V-D capacity result: the largest per-GPU batch
+//! size each workload can train with on a 16 GB V100.
+use voltascope::{experiments::memory, Harness};
+
+fn main() {
+    let rows = memory::max_batch(&Harness::paper(), &voltascope_bench::workloads());
+    voltascope_bench::emit("SS V-D: Maximum trainable batch size per GPU", &memory::render_max_batch(&rows));
+}

@@ -1,0 +1,16 @@
+//! Prints a full simulated-nvprof summary for one configuration
+//! (SS IV-B tooling demonstration): GPU activities and API calls of a
+//! steady-state iteration.
+use voltascope::Harness;
+use voltascope_comm::CommMethod;
+use voltascope_dnn::zoo::Workload;
+use voltascope_profile::ProfileSummary;
+use voltascope_train::ScalingMode;
+
+fn main() {
+    let h = Harness::paper();
+    let model = Workload::AlexNet.build();
+    let report = h.epoch(&model, 16, 4, CommMethod::Nccl, ScalingMode::Strong);
+    println!("AlexNet, batch 16/GPU, 4 GPUs, NCCL - one steady-state iteration");
+    println!("{}", ProfileSummary::from_trace(&report.iter_trace));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table I: description of the five networks.
+use voltascope::experiments::structure;
+
+fn main() {
+    let stats = structure::table1(&voltascope_bench::workloads());
+    voltascope_bench::emit("Table I: Description of the networks", &structure::render_table1(&stats));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table II: NCCL overhead relative to P2P on one GPU.
+use voltascope::{experiments::table2, Harness};
+
+fn main() {
+    let rows = table2::rows(&Harness::paper(), &voltascope_bench::workloads());
+    voltascope_bench::emit("Table II: NCCL overhead vs P2P, single GPU", &table2::render(&rows));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table III: cudaStreamSynchronize time share for LeNet.
+use voltascope::{experiments::table3, Harness};
+
+fn main() {
+    let rows = table3::rows(&Harness::paper());
+    voltascope_bench::emit("Table III: cudaStreamSynchronize share, LeNet", &table3::render(&rows));
+}

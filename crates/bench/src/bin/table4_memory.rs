@@ -1,0 +1,8 @@
+//! Regenerates Table IV: per-GPU memory usage before and during
+//! training (4-GPU parameter-server configuration).
+use voltascope::{experiments::memory, Harness};
+
+fn main() {
+    let rows = memory::table4(&Harness::paper(), &voltascope_bench::workloads());
+    voltascope_bench::emit("Table IV: GPU memory usage (NCCL, 4 GPUs)", &memory::render(&rows));
+}

@@ -1,0 +1,37 @@
+//! # voltascope-bench — paper table/figure regeneration binaries
+//!
+//! One binary per artefact of the paper's evaluation section (see
+//! DESIGN.md §3 for the index). Each binary prints the corresponding
+//! table to stdout; pass `--csv` to emit CSV instead. Criterion
+//! micro-benchmarks of the simulator itself live under `benches/`.
+//!
+//! ```text
+//! cargo run --release -p voltascope-bench --bin table1
+//! cargo run --release -p voltascope-bench --bin fig3_training_time
+//! ...
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use voltascope_profile::TextTable;
+
+/// Prints `table` under `title`, as CSV when `--csv` was passed.
+pub fn emit(title: &str, table: &TextTable) {
+    if std::env::args().any(|a| a == "--csv") {
+        print!("{}", table.to_csv());
+    } else {
+        println!("== {title} ==");
+        println!("{}", table.render());
+    }
+}
+
+/// Restricts a full workload sweep when `--quick` was passed (LeNet
+/// only, for CI-speed smoke runs).
+pub fn workloads() -> Vec<voltascope_dnn::zoo::Workload> {
+    if std::env::args().any(|a| a == "--quick") {
+        vec![voltascope_dnn::zoo::Workload::LeNet]
+    } else {
+        voltascope_dnn::zoo::Workload::ALL.to_vec()
+    }
+}

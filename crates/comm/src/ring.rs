@@ -1,0 +1,230 @@
+//! Topology-aware ring construction for NCCL-style collectives.
+
+use voltascope_topo::{Device, Topology};
+
+/// A communication ring over a set of GPUs, as NCCL builds from the
+/// NVLink topology: a cyclic order in which every consecutive pair has
+/// a direct NVLink connection whenever the wiring permits one.
+///
+/// On the paper's DGX-1, a full 8-GPU NVLink ring exists, which is why
+/// NCCL sustains high bandwidth where P2P's parameter-server pattern
+/// bottlenecks on GPU0's links (§V-A).
+///
+/// # Example
+///
+/// ```
+/// use voltascope_comm::Ring;
+/// use voltascope_topo::dgx1_v100;
+///
+/// let topo = dgx1_v100();
+/// let ring = Ring::build(&topo, 8);
+/// assert_eq!(ring.len(), 8);
+/// assert!(ring.all_nvlink(&topo));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ring {
+    order: Vec<Device>,
+}
+
+impl Ring {
+    /// Builds a ring over the first `gpu_count` GPUs of `topo`,
+    /// preferring orders where every hop is a direct NVLink (found by
+    /// exhaustive search — GPU counts are tiny) and, among those,
+    /// maximising the minimum hop bandwidth. Falls back to index order
+    /// when no NVLink Hamiltonian cycle exists (e.g. PCIe-only boxes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpu_count` is zero or exceeds the topology's GPUs.
+    pub fn build(topo: &Topology, gpu_count: usize) -> Self {
+        assert!(gpu_count > 0, "ring needs at least one GPU");
+        let gpus = topo.gpus();
+        assert!(
+            gpu_count <= gpus.len(),
+            "requested {gpu_count} GPUs from a {}-GPU topology",
+            gpus.len()
+        );
+        let gpus = &gpus[..gpu_count];
+        if gpu_count <= 2 {
+            return Ring {
+                order: gpus.to_vec(),
+            };
+        }
+
+        // Exhaustive DFS over Hamiltonian cycles rooted at gpus[0].
+        let mut best: Option<(f64, Vec<Device>)> = None;
+        let mut path = vec![gpus[0]];
+        let mut used = vec![false; gpu_count];
+        used[0] = true;
+        search(topo, gpus, &mut path, &mut used, &mut best);
+
+        match best {
+            Some((_, order)) => Ring { order },
+            None => Ring {
+                order: gpus.to_vec(),
+            },
+        }
+    }
+
+    /// The devices in ring order.
+    pub fn devices(&self) -> &[Device] {
+        &self.order
+    }
+
+    /// Ring size.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `true` for an empty ring (never produced by [`Ring::build`]).
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Consecutive `(from, to)` pairs including the closing hop. A
+    /// 1-GPU ring has no hops.
+    pub fn hops(&self) -> Vec<(Device, Device)> {
+        if self.order.len() < 2 {
+            return Vec::new();
+        }
+        (0..self.order.len())
+            .map(|i| (self.order[i], self.order[(i + 1) % self.order.len()]))
+            .collect()
+    }
+
+    /// `true` when every hop is a direct NVLink connection.
+    pub fn all_nvlink(&self, topo: &Topology) -> bool {
+        self.hops().iter().all(|&(a, b)| topo.p2p_capable(a, b))
+    }
+
+    /// The lowest direct-link bandwidth along the ring in bytes/s;
+    /// hops without a direct link are scored at the bottleneck of
+    /// their hardware route.
+    pub fn bottleneck_bytes_per_sec(&self, topo: &Topology) -> f64 {
+        self.hops()
+            .iter()
+            .map(|&(a, b)| hop_bandwidth(topo, a, b))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+fn hop_bandwidth(topo: &Topology, a: Device, b: Device) -> f64 {
+    match topo.direct_link(a, b) {
+        Some(l) => l.bandwidth.as_bytes_per_sec(),
+        None => topo
+            .route(a, b)
+            .bottleneck_bandwidth()
+            .map(|bw| bw.as_bytes_per_sec())
+            .unwrap_or(f64::INFINITY),
+    }
+}
+
+fn search(
+    topo: &Topology,
+    gpus: &[Device],
+    path: &mut Vec<Device>,
+    used: &mut Vec<bool>,
+    best: &mut Option<(f64, Vec<Device>)>,
+) {
+    if path.len() == gpus.len() {
+        let last = *path.last().expect("non-empty path");
+        if topo.p2p_capable(last, gpus[0]) {
+            let ring = Ring {
+                order: path.clone(),
+            };
+            let score = ring.bottleneck_bytes_per_sec(topo);
+            if best.as_ref().is_none_or(|(b, _)| score > *b) {
+                *best = Some((score, path.clone()));
+            }
+        }
+        return;
+    }
+    let last = *path.last().expect("non-empty path");
+    for (i, &g) in gpus.iter().enumerate() {
+        if used[i] || !topo.p2p_capable(last, g) {
+            continue;
+        }
+        used[i] = true;
+        path.push(g);
+        search(topo, gpus, path, used, best);
+        path.pop();
+        used[i] = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voltascope_topo::{dgx1_v100, pcie_only};
+
+    #[test]
+    fn dgx1_rings_are_pure_nvlink_for_all_gpu_counts() {
+        let topo = dgx1_v100();
+        for n in [2usize, 4, 8] {
+            let ring = Ring::build(&topo, n);
+            assert_eq!(ring.len(), n);
+            assert!(ring.all_nvlink(&topo), "no NVLink ring for {n} GPUs");
+        }
+    }
+
+    #[test]
+    fn ring_hops_close_the_cycle() {
+        let topo = dgx1_v100();
+        let ring = Ring::build(&topo, 4);
+        let hops = ring.hops();
+        assert_eq!(hops.len(), 4);
+        assert_eq!(hops[0].0, hops[3].1);
+        // Each device appears exactly once as a source.
+        let mut sources: Vec<Device> = hops.iter().map(|h| h.0).collect();
+        sources.sort();
+        sources.dedup();
+        assert_eq!(sources.len(), 4);
+    }
+
+    #[test]
+    fn single_gpu_ring_has_no_hops() {
+        let topo = dgx1_v100();
+        let ring = Ring::build(&topo, 1);
+        assert!(ring.hops().is_empty());
+        assert!(!ring.is_empty());
+    }
+
+    #[test]
+    fn two_gpu_ring_hops_both_ways() {
+        let topo = dgx1_v100();
+        let ring = Ring::build(&topo, 2);
+        let hops = ring.hops();
+        assert_eq!(hops.len(), 2);
+        assert_eq!(hops[0], (Device::gpu(0), Device::gpu(1)));
+        assert_eq!(hops[1], (Device::gpu(1), Device::gpu(0)));
+    }
+
+    #[test]
+    fn pcie_fallback_is_index_order() {
+        let topo = pcie_only(4);
+        let ring = Ring::build(&topo, 4);
+        assert!(!ring.all_nvlink(&topo));
+        assert_eq!(
+            ring.devices(),
+            &[Device::gpu(0), Device::gpu(1), Device::gpu(2), Device::gpu(3)]
+        );
+        assert!(ring.bottleneck_bytes_per_sec(&topo) < 20e9);
+    }
+
+    #[test]
+    fn bottleneck_reflects_single_lane_hops() {
+        let topo = dgx1_v100();
+        let ring8 = Ring::build(&topo, 8);
+        // An 8-GPU NVLink ring must traverse some single-lane links.
+        assert_eq!(ring8.bottleneck_bytes_per_sec(&topo), 25e9);
+        // The 2-GPU "ring" uses the double link both ways.
+        let ring2 = Ring::build(&topo, 2);
+        assert_eq!(ring2.bottleneck_bytes_per_sec(&topo), 50e9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one GPU")]
+    fn zero_gpus_panics() {
+        let _ = Ring::build(&dgx1_v100(), 0);
+    }
+}

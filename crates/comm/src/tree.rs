@@ -1,0 +1,145 @@
+//! The parameter-server reduction/broadcast schedule used by MXNet's
+//! P2P (`device` kvstore) mode.
+
+/// A binary reduction tree over GPU ranks rooted at rank 0, matching
+/// the schedule the paper describes in §II-B: "the gradients calculated
+/// by GPU1 will be moved to GPU0 ... Simultaneously, GPU2 collects the
+/// gradients from GPU3 ... Finally, GPU0 collects the averaged result
+/// from GPU2."
+///
+/// # Example
+///
+/// ```
+/// use voltascope_comm::ReductionTree;
+///
+/// let tree = ReductionTree::new(4);
+/// assert_eq!(tree.reduce_steps(), vec![
+///     vec![(1, 0), (3, 2)], // round 0: pairs reduce in parallel
+///     vec![(2, 0)],         // round 1: half-roots reduce to GPU0
+/// ]);
+/// // Broadcast reverses the flow.
+/// assert_eq!(tree.broadcast_steps(), vec![
+///     vec![(0, 2)],
+///     vec![(0, 1), (2, 3)],
+/// ]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReductionTree {
+    ranks: usize,
+}
+
+impl ReductionTree {
+    /// Creates a tree over `ranks` GPUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ranks` is zero.
+    pub fn new(ranks: usize) -> Self {
+        assert!(ranks > 0, "tree needs at least one rank");
+        ReductionTree { ranks }
+    }
+
+    /// Number of participating ranks.
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    /// Reduction rounds: each round is a list of `(from, to)` transfers
+    /// that may run concurrently; `to` accumulates `from`'s gradients.
+    /// `ceil(log2(ranks))` rounds.
+    pub fn reduce_steps(&self) -> Vec<Vec<(usize, usize)>> {
+        let mut steps = Vec::new();
+        let mut stride = 1;
+        while stride < self.ranks {
+            let mut round = Vec::new();
+            let mut to = 0;
+            while to + stride < self.ranks {
+                round.push((to + stride, to));
+                to += stride * 2;
+            }
+            steps.push(round);
+            stride *= 2;
+        }
+        steps
+    }
+
+    /// Broadcast rounds (updated weights flowing back from rank 0):
+    /// exactly the reduction rounds reversed with each edge flipped.
+    pub fn broadcast_steps(&self) -> Vec<Vec<(usize, usize)>> {
+        self.reduce_steps()
+            .into_iter()
+            .rev()
+            .map(|round| round.into_iter().map(|(from, to)| (to, from)).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_rank_tree() {
+        let t = ReductionTree::new(2);
+        assert_eq!(t.reduce_steps(), vec![vec![(1, 0)]]);
+        assert_eq!(t.broadcast_steps(), vec![vec![(0, 1)]]);
+    }
+
+    #[test]
+    fn eight_rank_tree_has_three_rounds() {
+        let t = ReductionTree::new(8);
+        let steps = t.reduce_steps();
+        assert_eq!(steps.len(), 3);
+        assert_eq!(steps[0], vec![(1, 0), (3, 2), (5, 4), (7, 6)]);
+        assert_eq!(steps[1], vec![(2, 0), (6, 4)]);
+        assert_eq!(steps[2], vec![(4, 0)]);
+    }
+
+    #[test]
+    fn single_rank_tree_is_empty() {
+        assert!(ReductionTree::new(1).reduce_steps().is_empty());
+        assert!(ReductionTree::new(1).broadcast_steps().is_empty());
+    }
+
+    #[test]
+    fn every_nonroot_rank_reduces_exactly_once() {
+        for n in 2..=8 {
+            let t = ReductionTree::new(n);
+            let mut sent = vec![0u32; n];
+            for round in t.reduce_steps() {
+                for (from, to) in round {
+                    assert!(from < n && to < n);
+                    sent[from] += 1;
+                    assert_ne!(from, to);
+                }
+            }
+            assert_eq!(sent[0], 0, "root never sends");
+            assert!(sent[1..].iter().all(|&c| c == 1), "n={n}: {sent:?}");
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_every_rank_once() {
+        for n in 2..=8 {
+            let t = ReductionTree::new(n);
+            let mut received = vec![0u32; n];
+            for round in t.broadcast_steps() {
+                for (_, to) in round {
+                    received[to] += 1;
+                }
+            }
+            assert_eq!(received[0], 0);
+            assert!(received[1..].iter().all(|&c| c == 1), "n={n}");
+        }
+    }
+
+    #[test]
+    fn odd_rank_counts_work() {
+        let t = ReductionTree::new(5);
+        let steps = t.reduce_steps();
+        // 5 ranks: (1,0),(3,2) ; (2,0) ; (4,0)
+        assert_eq!(steps[0], vec![(1, 0), (3, 2)]);
+        assert_eq!(steps[1], vec![(2, 0)]);
+        assert_eq!(steps[2], vec![(4, 0)]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Design-space ablations (DESIGN.md §5): rerun the training-time
+//! experiment on variant platforms to isolate which hardware property
+//! causes which effect the paper observes.
+
+use voltascope_comm::CommMethod;
+use voltascope_dnn::zoo::Workload;
+use voltascope_profile::TextTable;
+use voltascope_topo::{dgx1_v100, full_nvlink_switch, pcie_only, single_lane_dgx1, Topology};
+use voltascope_train::ScalingMode;
+
+use crate::harness::Harness;
+
+/// A platform variant for the ablation study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Platform {
+    /// The paper's DGX-1 (baseline).
+    Dgx1,
+    /// DGX-1 wiring with all NVLink double connections flattened to
+    /// single lanes — isolates the asymmetric-bandwidth effect (§V-A).
+    SingleLane,
+    /// No NVLink at all (Tallent et al.'s PCIe baseline, §III).
+    PcieOnly,
+    /// Idealised all-to-all NVSwitch: every pair one hop.
+    NvSwitch,
+    /// DGX-1 wiring but with GPU routers allowed to forward packets —
+    /// removes the design limitation of §V-A footnote 4.
+    ForwardingGpus,
+}
+
+impl Platform {
+    /// All variants, baseline first.
+    pub const ALL: [Platform; 5] = [
+        Platform::Dgx1,
+        Platform::SingleLane,
+        Platform::PcieOnly,
+        Platform::NvSwitch,
+        Platform::ForwardingGpus,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Platform::Dgx1 => "DGX-1",
+            Platform::SingleLane => "DGX-1 single-lane",
+            Platform::PcieOnly => "PCIe-only",
+            Platform::NvSwitch => "NVSwitch (ideal)",
+            Platform::ForwardingGpus => "DGX-1 + GPU forwarding",
+        }
+    }
+
+    /// Builds the variant topology.
+    pub fn topology(self) -> Topology {
+        match self {
+            Platform::Dgx1 => dgx1_v100(),
+            Platform::SingleLane => single_lane_dgx1(),
+            Platform::PcieOnly => pcie_only(8),
+            Platform::NvSwitch => full_nvlink_switch(8),
+            Platform::ForwardingGpus => {
+                let mut t = dgx1_v100();
+                t.set_gpus_forward(true);
+                t
+            }
+        }
+    }
+}
+
+/// One ablation result.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Platform variant.
+    pub platform: Platform,
+    /// Communication method.
+    pub comm: CommMethod,
+    /// Epoch time in seconds.
+    pub epoch_s: f64,
+}
+
+/// Runs the topology ablation for one workload/batch/GPU-count, under
+/// both communication methods.
+pub fn topology_ablation(
+    h: &Harness,
+    workload: Workload,
+    batch: usize,
+    gpus: usize,
+) -> Vec<AblationRow> {
+    let model = workload.build();
+    let mut rows = Vec::new();
+    for platform in Platform::ALL {
+        let mut sys = h.sys.clone();
+        sys.topo = platform.topology();
+        let variant = Harness {
+            sys,
+            ..h.clone()
+        };
+        for comm in CommMethod::ALL {
+            let r = variant.epoch(&model, batch, gpus, comm, ScalingMode::Strong);
+            rows.push(AblationRow {
+                platform,
+                comm,
+                epoch_s: r.epoch_time.as_secs_f64(),
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the ablation table (slowdown relative to the DGX-1
+/// baseline of the same method).
+pub fn render(rows: &[AblationRow]) -> TextTable {
+    let baseline = |comm: CommMethod| {
+        rows.iter()
+            .find(|r| r.platform == Platform::Dgx1 && r.comm == comm)
+            .map(|r| r.epoch_s)
+            .unwrap_or(f64::NAN)
+    };
+    let mut table = TextTable::new(["Platform", "Method", "Epoch (s)", "vs DGX-1"]);
+    for r in rows {
+        table.row([
+            r.platform.name().to_string(),
+            r.comm.name().to_string(),
+            format!("{:.1}", r.epoch_s),
+            format!("{:.2}x", r.epoch_s / baseline(r.comm)),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pcie_only_is_slowest_for_communication_heavy_training() {
+        let h = Harness::paper();
+        // AlexNet, 61M weights: communication dominates at 4 GPUs.
+        let rows = topology_ablation(&h, Workload::AlexNet, 16, 4);
+        let time = |p: Platform, c: CommMethod| {
+            rows.iter()
+                .find(|r| r.platform == p && r.comm == c)
+                .unwrap()
+                .epoch_s
+        };
+        for comm in CommMethod::ALL {
+            assert!(
+                time(Platform::PcieOnly, comm) > time(Platform::Dgx1, comm),
+                "{comm}: PCIe-only should be slower than NVLink"
+            );
+        }
+    }
+
+    #[test]
+    fn single_lane_never_beats_baseline() {
+        let h = Harness::paper();
+        let rows = topology_ablation(&h, Workload::AlexNet, 16, 2);
+        let time = |p: Platform, c: CommMethod| {
+            rows.iter()
+                .find(|r| r.platform == p && r.comm == c)
+                .unwrap()
+                .epoch_s
+        };
+        for comm in CommMethod::ALL {
+            assert!(time(Platform::SingleLane, comm) >= time(Platform::Dgx1, comm) * 0.999);
+        }
+    }
+
+    #[test]
+    fn ablation_renders_relative_column() {
+        let h = Harness::paper();
+        let rows = topology_ablation(&h, Workload::LeNet, 16, 2);
+        let text = render(&rows).render();
+        assert!(text.contains("1.00x"));
+        assert!(text.contains("PCIe-only"));
+    }
+}

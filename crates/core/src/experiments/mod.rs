@@ -1,0 +1,10 @@
+//! Per-table/figure reproduction functions (see DESIGN.md §3 for the
+//! experiment index).
+
+pub mod ablation;
+pub mod idle;
+pub mod memory;
+pub mod structure;
+pub mod timing;
+
+pub use timing::{fig3, fig4, fig5, table2, table3};

@@ -1,0 +1,93 @@
+//! Structural experiments: Table I (network census), Fig. 1 (training
+//! timeline) and Fig. 2 (topology).
+
+use voltascope_comm::CommMethod;
+use voltascope_dnn::{zoo::Workload, NetworkStats};
+use voltascope_profile::{render_timeline, TextTable};
+use voltascope_train::ScalingMode;
+
+use crate::harness::Harness;
+
+/// Reproduces Table I: the description of the five networks.
+pub fn table1(workloads: &[Workload]) -> Vec<NetworkStats> {
+    workloads
+        .iter()
+        .map(|w| NetworkStats::of(&w.build()))
+        .collect()
+}
+
+/// Renders Table I.
+pub fn render_table1(stats: &[NetworkStats]) -> TextTable {
+    let mut table = TextTable::new([
+        "Network",
+        "Layers",
+        "Conv Layers",
+        "Incep/Res Modules",
+        "FC Layers",
+        "Weights",
+    ]);
+    for s in stats {
+        table.row([
+            s.name.clone(),
+            s.layers.to_string(),
+            s.conv_layers.to_string(),
+            s.inception_modules.to_string(),
+            s.fc_layers.to_string(),
+            s.weights_human(),
+        ]);
+    }
+    table
+}
+
+/// Reproduces Fig. 1: an ASCII timeline of one steady-state training
+/// iteration (per-GPU compute streams, host threads, and links).
+pub fn fig1_timeline(h: &Harness, workload: Workload, gpus: usize, width: usize) -> String {
+    let model = workload.build();
+    let report = h.epoch(&model, 16, gpus, CommMethod::P2p, ScalingMode::Strong);
+    render_timeline(&report.iter_trace, width)
+}
+
+/// Reproduces Fig. 2: the DGX-1 connectivity matrix plus a Graphviz
+/// description.
+pub fn fig2_topology(h: &Harness) -> String {
+    format!(
+        "{}\n{}\n\nGraphviz:\n{}",
+        h.sys.topo.name(),
+        h.sys.topo.connectivity_matrix(),
+        h.sys.topo.to_dot()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_covers_all_networks() {
+        let stats = table1(&Workload::ALL);
+        assert_eq!(stats.len(), 5);
+        let table = render_table1(&stats);
+        let text = table.render();
+        assert!(text.contains("GoogLeNet"));
+        assert!(text.contains("61K")); // LeNet weights
+    }
+
+    #[test]
+    fn fig1_shows_all_four_gpus() {
+        let h = Harness::paper();
+        let art = fig1_timeline(&h, Workload::LeNet, 4, 80);
+        for g in 0..4 {
+            assert!(art.contains(&format!("GPU{g}.compute")), "missing GPU{g}");
+        }
+        // FP, BP and WU activity all visible.
+        assert!(art.contains('F') && art.contains('B') && art.contains('W'));
+    }
+
+    #[test]
+    fn fig2_contains_matrix_and_dot() {
+        let h = Harness::paper();
+        let out = fig2_topology(&h);
+        assert!(out.contains("NV2"));
+        assert!(out.contains("graph \"DGX-1V\""));
+    }
+}

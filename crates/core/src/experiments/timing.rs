@@ -1,0 +1,480 @@
+//! Timing experiments: Fig. 3, Table II, Fig. 4, Table III, Fig. 5.
+
+use voltascope_comm::CommMethod;
+use voltascope_dnn::zoo::Workload;
+use voltascope_profile::TextTable;
+use voltascope_train::ScalingMode;
+
+use crate::harness::{Harness, Measurement};
+
+/// The paper's batch-size sweep.
+pub const BATCHES: [usize; 3] = [16, 32, 64];
+/// The paper's GPU-count sweep.
+pub const GPU_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// One bar of Fig. 3: a (workload, method, batch, GPUs) training time.
+#[derive(Debug, Clone)]
+pub struct TrainingTimeCell {
+    /// Workload.
+    pub workload: Workload,
+    /// Communication method.
+    pub comm: CommMethod,
+    /// Per-GPU batch size.
+    pub batch: usize,
+    /// GPU count.
+    pub gpus: usize,
+    /// Mean +/- stddev epoch time.
+    pub time: Measurement,
+}
+
+/// Reproduces Fig. 3: training time per epoch for every workload,
+/// method, batch size and GPU count (strong scaling, 256K images).
+///
+/// # Example
+///
+/// ```no_run
+/// use voltascope::{experiments::fig3, Harness};
+/// use voltascope_dnn::zoo::Workload;
+///
+/// let cells = fig3::grid(&Harness::paper(), &[Workload::LeNet]);
+/// assert_eq!(cells.len(), 2 * 3 * 4); // methods x batches x gpu counts
+/// ```
+pub mod fig3 {
+    use super::*;
+
+    /// Computes the grid for the given workloads.
+    pub fn grid(h: &Harness, workloads: &[Workload]) -> Vec<TrainingTimeCell> {
+        let mut cells = Vec::new();
+        for &workload in workloads {
+            let model = workload.build();
+            for comm in CommMethod::ALL {
+                for batch in BATCHES {
+                    for gpus in GPU_COUNTS {
+                        let time = h.training_time_of(
+                            &model,
+                            workload,
+                            batch,
+                            gpus,
+                            comm,
+                            ScalingMode::Strong,
+                        );
+                        cells.push(TrainingTimeCell {
+                            workload,
+                            comm,
+                            batch,
+                            gpus,
+                            time,
+                        });
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// Renders the grid as the paper prints it: one row per
+    /// (workload, method, batch), one column per GPU count.
+    pub fn render(cells: &[TrainingTimeCell]) -> TextTable {
+        let mut table = TextTable::new([
+            "Workload",
+            "Method",
+            "Batch",
+            "1 GPU (s)",
+            "2 GPUs (s)",
+            "4 GPUs (s)",
+            "8 GPUs (s)",
+        ]);
+        let mut keys: Vec<(Workload, CommMethod, usize)> = cells
+            .iter()
+            .map(|c| (c.workload, c.comm, c.batch))
+            .collect();
+        keys.dedup();
+        for (workload, comm, batch) in keys {
+            let cell = |gpus: usize| -> String {
+                cells
+                    .iter()
+                    .find(|c| {
+                        c.workload == workload
+                            && c.comm == comm
+                            && c.batch == batch
+                            && c.gpus == gpus
+                    })
+                    .map(|c| format!("{:.1} ± {:.1}", c.time.mean_s, c.time.stddev_s))
+                    .unwrap_or_else(|| "-".into())
+            };
+            table.row([
+                workload.name().to_string(),
+                comm.name().to_string(),
+                batch.to_string(),
+                cell(1),
+                cell(2),
+                cell(4),
+                cell(8),
+            ]);
+        }
+        table
+    }
+}
+
+/// Reproduces Table II: NCCL overhead vs P2P on a single GPU.
+pub mod table2 {
+    use super::*;
+
+    /// One row: workload, batch, overhead percentage.
+    #[derive(Debug, Clone)]
+    pub struct OverheadRow {
+        /// Workload.
+        pub workload: Workload,
+        /// Per-GPU batch size.
+        pub batch: usize,
+        /// `100 * (T_nccl - T_p2p) / T_p2p` on one GPU.
+        pub overhead_percent: f64,
+    }
+
+    /// Computes the overhead rows for the given workloads.
+    pub fn rows(h: &Harness, workloads: &[Workload]) -> Vec<OverheadRow> {
+        let mut rows = Vec::new();
+        for &workload in workloads {
+            let model = workload.build();
+            for batch in BATCHES {
+                let p2p = h
+                    .epoch(&model, batch, 1, CommMethod::P2p, ScalingMode::Strong)
+                    .epoch_time
+                    .as_secs_f64();
+                let nccl = h
+                    .epoch(&model, batch, 1, CommMethod::Nccl, ScalingMode::Strong)
+                    .epoch_time
+                    .as_secs_f64();
+                rows.push(OverheadRow {
+                    workload,
+                    batch,
+                    overhead_percent: 100.0 * (nccl - p2p) / p2p,
+                });
+            }
+        }
+        rows
+    }
+
+    /// Renders Table II.
+    pub fn render(rows: &[OverheadRow]) -> TextTable {
+        let mut table = TextTable::new(["Network", "Batch Size", "NCCL Overhead (%)"]);
+        for r in rows {
+            table.row([
+                r.workload.name().to_string(),
+                r.batch.to_string(),
+                format!("{:.1}", r.overhead_percent),
+            ]);
+        }
+        table
+    }
+}
+
+/// Reproduces Fig. 4: epoch time broken into FP+BP and WU (NCCL).
+pub mod fig4 {
+    use super::*;
+
+    /// One stacked bar.
+    #[derive(Debug, Clone)]
+    pub struct BreakdownCell {
+        /// Workload.
+        pub workload: Workload,
+        /// Per-GPU batch size.
+        pub batch: usize,
+        /// GPU count.
+        pub gpus: usize,
+        /// FP+BP (computation) seconds per epoch.
+        pub fp_bp_s: f64,
+        /// Exposed WU (communication) seconds per epoch.
+        pub wu_s: f64,
+    }
+
+    /// Computes the breakdown grid (NCCL, as in the paper's Fig. 4).
+    pub fn grid(h: &Harness, workloads: &[Workload]) -> Vec<BreakdownCell> {
+        let mut cells = Vec::new();
+        for &workload in workloads {
+            let model = workload.build();
+            for batch in BATCHES {
+                for gpus in GPU_COUNTS {
+                    let r = h.epoch(&model, batch, gpus, CommMethod::Nccl, ScalingMode::Strong);
+                    cells.push(BreakdownCell {
+                        workload,
+                        batch,
+                        gpus,
+                        fp_bp_s: r.fp_bp_epoch().as_secs_f64(),
+                        wu_s: r.wu_epoch().as_secs_f64(),
+                    });
+                }
+            }
+        }
+        cells
+    }
+
+    /// Renders the breakdown table (X-axis = (GPU count, batch size),
+    /// as in the paper).
+    pub fn render(cells: &[BreakdownCell]) -> TextTable {
+        let mut table = TextTable::new([
+            "Workload",
+            "(GPUs, Batch)",
+            "FP+BP (s)",
+            "WU (s)",
+            "WU share (%)",
+        ]);
+        for c in cells {
+            let total = c.fp_bp_s + c.wu_s;
+            table.row([
+                c.workload.name().to_string(),
+                format!("({}, {})", c.gpus, c.batch),
+                format!("{:.1}", c.fp_bp_s),
+                format!("{:.1}", c.wu_s),
+                format!("{:.1}", 100.0 * c.wu_s / total),
+            ]);
+        }
+        table
+    }
+}
+
+/// Reproduces Table III: `cudaStreamSynchronize` time share for LeNet.
+pub mod table3 {
+    use super::*;
+
+    /// One row of Table III.
+    #[derive(Debug, Clone)]
+    pub struct SyncRow {
+        /// Per-GPU batch size.
+        pub batch: usize,
+        /// GPU count.
+        pub gpus: usize,
+        /// Share of total training time spent in (or blocked on)
+        /// `cudaStreamSynchronize`, in percent.
+        pub percent: f64,
+    }
+
+    /// Computes the rows (LeNet with NCCL, matching §V-C).
+    pub fn rows(h: &Harness) -> Vec<SyncRow> {
+        let model = Workload::LeNet.build();
+        let mut rows = Vec::new();
+        for batch in BATCHES {
+            for gpus in GPU_COUNTS {
+                let r = h.epoch(&model, batch, gpus, CommMethod::Nccl, ScalingMode::Strong);
+                rows.push(SyncRow {
+                    batch,
+                    gpus,
+                    percent: r.sync_percent(),
+                });
+            }
+        }
+        rows
+    }
+
+    /// Renders Table III.
+    pub fn render(rows: &[SyncRow]) -> TextTable {
+        let mut table = TextTable::new(["Batch Size", "GPU Count", "Time (%)"]);
+        for r in rows {
+            table.row([
+                r.batch.to_string(),
+                r.gpus.to_string(),
+                format!("{:.1}", r.percent),
+            ]);
+        }
+        table
+    }
+}
+
+/// Reproduces Fig. 5: weak-scaling vs strong-scaling training time.
+pub mod fig5 {
+    use super::*;
+
+    /// One comparison cell: time to process 256K images per GPU-epoch
+    /// under both scaling regimes.
+    #[derive(Debug, Clone)]
+    pub struct WeakScalingCell {
+        /// Workload.
+        pub workload: Workload,
+        /// Communication method.
+        pub comm: CommMethod,
+        /// Per-GPU batch size.
+        pub batch: usize,
+        /// GPU count.
+        pub gpus: usize,
+        /// Strong-scaling epoch time (256K images total).
+        pub strong_s: f64,
+        /// Weak-scaling time normalised to 256K images (epoch time /
+        /// GPU count), the paper's "average time for training with 256K
+        /// images".
+        pub weak_norm_s: f64,
+        /// Weak-scaling raw epoch time (256K x GPUs images).
+        pub weak_total_s: f64,
+    }
+
+    /// Computes the weak-scaling grid.
+    pub fn grid(h: &Harness, workloads: &[Workload]) -> Vec<WeakScalingCell> {
+        let mut cells = Vec::new();
+        for &workload in workloads {
+            let model = workload.build();
+            for comm in CommMethod::ALL {
+                for batch in BATCHES {
+                    for gpus in GPU_COUNTS {
+                        let strong = h
+                            .epoch(&model, batch, gpus, comm, ScalingMode::Strong)
+                            .epoch_time
+                            .as_secs_f64();
+                        let weak = h
+                            .epoch(&model, batch, gpus, comm, ScalingMode::Weak)
+                            .epoch_time
+                            .as_secs_f64();
+                        cells.push(WeakScalingCell {
+                            workload,
+                            comm,
+                            batch,
+                            gpus,
+                            strong_s: strong,
+                            weak_norm_s: weak / gpus as f64,
+                            weak_total_s: weak,
+                        });
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// Renders the comparison table.
+    pub fn render(cells: &[WeakScalingCell]) -> TextTable {
+        let mut table = TextTable::new([
+            "Workload",
+            "Method",
+            "Batch",
+            "GPUs",
+            "Strong (s)",
+            "Weak/GPU (s)",
+            "Weak total (s)",
+        ]);
+        for c in cells {
+            table.row([
+                c.workload.name().to_string(),
+                c.comm.name().to_string(),
+                c.batch.to_string(),
+                c.gpus.to_string(),
+                format!("{:.1}", c.strong_s),
+                format!("{:.1}", c.weak_norm_s),
+                format!("{:.1}", c.weak_total_s),
+            ]);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn harness() -> Harness {
+        Harness::paper()
+    }
+
+    #[test]
+    fn fig3_lenet_shapes() {
+        let h = harness();
+        let cells = fig3::grid(&h, &[Workload::LeNet]);
+        assert_eq!(cells.len(), 24);
+        let t = |comm: CommMethod, batch: usize, gpus: usize| -> f64 {
+            cells
+                .iter()
+                .find(|c| c.comm == comm && c.batch == batch && c.gpus == gpus)
+                .unwrap()
+                .time
+                .mean_s
+        };
+        // More GPUs -> faster, sublinearly (paper: 3.36x at 8 GPUs P2P).
+        let speedup8 = t(CommMethod::P2p, 16, 1) / t(CommMethod::P2p, 16, 8);
+        assert!(
+            (1.5..7.0).contains(&speedup8),
+            "LeNet 8-GPU P2P speedup {speedup8}"
+        );
+        // P2P beats NCCL for LeNet at every GPU count (§V-A).
+        for gpus in GPU_COUNTS {
+            assert!(
+                t(CommMethod::P2p, 16, gpus) < t(CommMethod::Nccl, 16, gpus),
+                "NCCL should lose on LeNet at {gpus} GPUs"
+            );
+        }
+        // Batch scaling is near-linear (paper: 1.92x and 3.67x at 4 GPUs).
+        let b_ratio = t(CommMethod::P2p, 16, 4) / t(CommMethod::P2p, 64, 4);
+        assert!((2.0..4.4).contains(&b_ratio), "batch 16->64 ratio {b_ratio}");
+        let table = fig3::render(&cells);
+        assert_eq!(table.len(), 6);
+    }
+
+    #[test]
+    fn table2_lenet_overhead_near_paper_value() {
+        let h = harness();
+        let rows = table2::rows(&h, &[Workload::LeNet]);
+        let b16 = rows.iter().find(|r| r.batch == 16).unwrap();
+        // §V-B: 21.8% for LeNet at batch 16 on one GPU.
+        assert!(
+            (10.0..40.0).contains(&b16.overhead_percent),
+            "LeNet b16 overhead {}",
+            b16.overhead_percent
+        );
+        // §V-B: overhead grows with batch size for small networks.
+        let b64 = rows.iter().find(|r| r.batch == 64).unwrap();
+        assert!(
+            b64.overhead_percent > b16.overhead_percent,
+            "overhead should grow with batch: {} -> {}",
+            b16.overhead_percent,
+            b64.overhead_percent
+        );
+    }
+
+    #[test]
+    fn table3_sync_share_falls_with_batch() {
+        let h = harness();
+        let rows = table3::rows(&h);
+        let pct = |batch, gpus| {
+            rows.iter()
+                .find(|r| r.batch == batch && r.gpus == gpus)
+                .unwrap()
+                .percent
+        };
+        // §V-C: the share decreases as the batch grows.
+        assert!(pct(16, 1) > pct(64, 1));
+        assert!(pct(16, 4) > pct(64, 4));
+        assert!(!table3::render(&rows).is_empty());
+    }
+
+    #[test]
+    fn fig4_single_gpu_wu_is_negligible() {
+        let h = harness();
+        let cells = fig4::grid(&h, &[Workload::LeNet]);
+        let c1 = cells
+            .iter()
+            .find(|c| c.gpus == 1 && c.batch == 16)
+            .unwrap();
+        assert!(c1.wu_s < c1.fp_bp_s, "1-GPU WU should be small");
+        let c8 = cells
+            .iter()
+            .find(|c| c.gpus == 8 && c.batch == 16)
+            .unwrap();
+        assert!(c8.wu_s / (c8.wu_s + c8.fp_bp_s) > c1.wu_s / (c1.wu_s + c1.fp_bp_s));
+    }
+
+    #[test]
+    fn fig5_weak_scaling_beats_strong_for_lenet() {
+        // §V-E: LeNet's weak-scaling speedup exceeds strong scaling
+        // because fixed per-epoch overheads amortise over more work.
+        let h = harness();
+        let cells = fig5::grid(&h, &[Workload::LeNet]);
+        let cell = cells
+            .iter()
+            .find(|c| {
+                c.comm == CommMethod::Nccl && c.batch == 16 && c.gpus == 8
+            })
+            .unwrap();
+        assert!(
+            cell.weak_norm_s <= cell.strong_s * 1.05,
+            "weak {} vs strong {}",
+            cell.weak_norm_s,
+            cell.strong_s
+        );
+    }
+}

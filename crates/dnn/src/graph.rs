@@ -1,0 +1,735 @@
+//! Network graphs: DAGs of layers with shape inference, real
+//! execution, and the accounting queries the simulator consumes.
+
+use std::collections::BTreeMap;
+
+use crate::layer::Layer;
+use crate::tensor::{Shape, Tensor};
+
+/// Identifies a node within one [`Model`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Dense index of the node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Where a node reads its input from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// The model's external input tensor.
+    Input,
+    /// Another node's output.
+    Node(NodeId),
+}
+
+struct Node {
+    name: String,
+    layer: Box<dyn Layer>,
+    inputs: Vec<Source>,
+    out_shape: Shape, // at batch 1
+    module: Option<String>,
+}
+
+impl std::fmt::Debug for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Node")
+            .field("name", &self.name)
+            .field("kind", &self.layer.kind())
+            .field("out_shape", &self.out_shape)
+            .finish()
+    }
+}
+
+/// Which training stage a kernel belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Forward propagation.
+    Forward,
+    /// Backward propagation.
+    Backward,
+}
+
+/// One GPU kernel the simulator must schedule for a layer.
+#[derive(Debug, Clone)]
+pub struct KernelDesc {
+    /// Label, e.g. `"fp.conv1"`.
+    pub name: String,
+    /// FP or BP.
+    pub stage: Stage,
+    /// Arithmetic work.
+    pub flops: u64,
+    /// Device memory traffic (inputs + outputs, at f32).
+    pub bytes: u64,
+    /// Whether the kernel runs on tensor cores.
+    pub tensor_cores: bool,
+}
+
+/// A layer's parameter block, used as the granularity of gradient
+/// communication (MXNet transfers gradients layer by layer, which is
+/// what NCCL pipelines across, §V-A).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GradientBucket {
+    /// Owning node's name.
+    pub name: String,
+    /// Bytes of gradient (= bytes of weights) in this bucket.
+    pub bytes: u64,
+}
+
+/// A feed-forward DAG of layers.
+///
+/// Build with [`ModelBuilder`]; the five paper workloads are available
+/// in [`crate::zoo`].
+///
+/// # Example
+///
+/// ```
+/// use voltascope_dnn::{Conv2d, Dense, ModelBuilder, Relu, Shape, Source};
+///
+/// let mut b = ModelBuilder::new("tiny", Shape::new([1, 1, 8, 8]));
+/// let c = b.add("conv1", Conv2d::new(1, 4, 3, 1, 1), &[Source::Input]);
+/// let r = b.add("relu1", Relu, &[Source::Node(c)]);
+/// let f = b.add("fc", Dense::new(4 * 8 * 8, 10), &[Source::Node(r)]);
+/// let model = b.finish(f);
+/// assert_eq!(model.output_shape(1).dims(), &[1, 10]);
+/// assert_eq!(model.param_count(), (4 * 9 + 4) + (4 * 64 * 10 + 10));
+/// ```
+#[derive(Debug)]
+pub struct Model {
+    name: String,
+    input_shape: Shape, // batch dim = 1
+    nodes: Vec<Node>,
+    output: NodeId,
+}
+
+/// Incremental [`Model`] constructor with eager shape inference.
+#[derive(Debug)]
+pub struct ModelBuilder {
+    name: String,
+    input_shape: Shape,
+    nodes: Vec<Node>,
+    current_module: Option<String>,
+}
+
+impl ModelBuilder {
+    /// Starts a model taking inputs of `input_shape` (batch dimension
+    /// must be 1; executions rescale it).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `input_shape` has batch dimension 1.
+    pub fn new(name: impl Into<String>, input_shape: Shape) -> Self {
+        assert_eq!(input_shape.dim(0), 1, "canonical input shape uses batch 1");
+        ModelBuilder {
+            name: name.into(),
+            input_shape,
+            nodes: Vec::new(),
+            current_module: None,
+        }
+    }
+
+    /// Marks subsequent nodes as belonging to the named module (e.g. an
+    /// inception module); used for the Table I census.
+    pub fn begin_module(&mut self, name: impl Into<String>) {
+        self.current_module = Some(name.into());
+    }
+
+    /// Ends the current module grouping.
+    pub fn end_module(&mut self) {
+        self.current_module = None;
+    }
+
+    /// Adds a layer reading from `inputs`; returns the new node's id.
+    /// Output shape is inferred immediately, so an ill-formed graph
+    /// panics here rather than at execution time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an input id is out of range or shapes are incompatible.
+    pub fn add(
+        &mut self,
+        name: impl Into<String>,
+        layer: impl Layer + 'static,
+        inputs: &[Source],
+    ) -> NodeId {
+        let in_shapes: Vec<Shape> = inputs
+            .iter()
+            .map(|s| match s {
+                Source::Input => self.input_shape.clone(),
+                Source::Node(id) => {
+                    assert!(id.index() < self.nodes.len(), "unknown input {id:?}");
+                    self.nodes[id.index()].out_shape.clone()
+                }
+            })
+            .collect();
+        let out_shape = layer.output_shape(&in_shapes);
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            name: name.into(),
+            layer: Box::new(layer),
+            inputs: inputs.to_vec(),
+            out_shape,
+            module: self.current_module.clone(),
+        });
+        id
+    }
+
+    /// Finalises the model with `output` as its head.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output` is not a node of this builder.
+    pub fn finish(self, output: NodeId) -> Model {
+        assert!(output.index() < self.nodes.len(), "unknown output node");
+        Model {
+            name: self.name,
+            input_shape: self.input_shape,
+            nodes: self.nodes,
+            output,
+        }
+    }
+}
+
+impl Model {
+    /// The model's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Canonical input shape (batch 1).
+    pub fn input_shape(&self) -> &Shape {
+        &self.input_shape
+    }
+
+    /// Number of nodes (layers).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Output shape for a batch of `n`.
+    pub fn output_shape(&self, n: usize) -> Shape {
+        self.nodes[self.output.index()].out_shape.with_batch(n)
+    }
+
+    /// Total learnable parameter count.
+    pub fn param_count(&self) -> u64 {
+        self.nodes.iter().map(|n| n.layer.param_count()).sum()
+    }
+
+    /// Bytes of parameters at f32 — also the bytes of gradients one GPU
+    /// must communicate per weight update (paper §II-B: gradient data
+    /// size ≈ model size).
+    pub fn param_bytes(&self) -> u64 {
+        self.param_count() * 4
+    }
+
+    /// Per-kind layer counts (`"conv" -> 57`, ...).
+    pub fn layer_census(&self) -> BTreeMap<&'static str, usize> {
+        let mut census = BTreeMap::new();
+        for n in &self.nodes {
+            *census.entry(n.layer.kind()).or_insert(0) += 1;
+        }
+        census
+    }
+
+    /// Number of distinct named modules (inception blocks, residual
+    /// blocks) tagged during construction.
+    pub fn module_count(&self) -> usize {
+        let mut names: Vec<&str> = self
+            .nodes
+            .iter()
+            .filter_map(|n| n.module.as_deref())
+            .collect();
+        names.sort();
+        names.dedup();
+        names.len()
+    }
+
+    /// Forward FLOPs for one mini-batch of `batch` samples.
+    pub fn forward_flops(&self, batch: usize) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| n.layer.forward_flops(&self.node_input_shapes(n, batch)))
+            .sum()
+    }
+
+    /// Backward FLOPs for one mini-batch of `batch` samples.
+    pub fn backward_flops(&self, batch: usize) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| n.layer.backward_flops(&self.node_input_shapes(n, batch)))
+            .sum()
+    }
+
+    /// Bytes of activations (all layer outputs) for a mini-batch —
+    /// training keeps these alive for the backward pass, which is the
+    /// memory term that grows with batch size in Table IV.
+    pub fn activation_bytes(&self, batch: usize) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| n.out_shape.with_batch(batch).bytes())
+            .sum()
+    }
+
+    /// The kernels of one training iteration, in execution order:
+    /// forward kernels first, then backward kernels in reverse layer
+    /// order (as cuDNN issues them).
+    pub fn kernel_profile(&self, batch: usize) -> Vec<KernelDesc> {
+        let mut kernels = Vec::with_capacity(self.nodes.len() * 2);
+        for n in &self.nodes {
+            let shapes = self.node_input_shapes(n, batch);
+            let in_bytes: u64 = shapes.iter().map(|s| s.bytes()).sum();
+            let out_bytes = n.out_shape.with_batch(batch).bytes();
+            kernels.push(KernelDesc {
+                name: format!("fp.{}", n.name),
+                stage: Stage::Forward,
+                flops: n.layer.forward_flops(&shapes),
+                bytes: in_bytes + out_bytes,
+                tensor_cores: n.layer.uses_tensor_cores(),
+            });
+        }
+        for n in self.nodes.iter().rev() {
+            let shapes = self.node_input_shapes(n, batch);
+            let in_bytes: u64 = shapes.iter().map(|s| s.bytes()).sum();
+            let out_bytes = n.out_shape.with_batch(batch).bytes();
+            kernels.push(KernelDesc {
+                name: format!("bp.{}", n.name),
+                stage: Stage::Backward,
+                flops: n.layer.backward_flops(&shapes),
+                bytes: 2 * (in_bytes + out_bytes),
+                tensor_cores: n.layer.uses_tensor_cores(),
+            });
+        }
+        kernels
+    }
+
+    /// Gradient buckets in backward-completion order (last layer
+    /// first): the order in which gradients become available for
+    /// communication, enabling BP/WU overlap.
+    pub fn gradient_buckets(&self) -> Vec<GradientBucket> {
+        self.nodes
+            .iter()
+            .rev()
+            .filter(|n| n.layer.param_count() > 0)
+            .map(|n| GradientBucket {
+                name: n.name.clone(),
+                bytes: n.layer.param_count() * 4,
+            })
+            .collect()
+    }
+
+    /// A Keras-style per-layer summary: name, kind, output shape (at
+    /// batch 1) and parameter count, followed by totals.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let summary = voltascope_dnn::zoo::lenet().summary();
+    /// assert!(summary.contains("conv1"));
+    /// assert!(summary.contains("Total params"));
+    /// ```
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        writeln!(out, "Model: {}  (input {})", self.name, self.input_shape).unwrap();
+        writeln!(out, "{:<24} {:<10} {:<16} {:>12}", "Layer", "Kind", "Output", "Params").unwrap();
+        writeln!(out, "{}", "-".repeat(66)).unwrap();
+        for n in &self.nodes {
+            writeln!(
+                out,
+                "{:<24} {:<10} {:<16} {:>12}",
+                n.name,
+                n.layer.kind(),
+                n.out_shape.to_string(),
+                n.layer.param_count()
+            )
+            .unwrap();
+        }
+        writeln!(out, "{}", "-".repeat(66)).unwrap();
+        writeln!(out, "Total params: {}", self.param_count()).unwrap();
+        writeln!(
+            out,
+            "Forward FLOPs (batch 1): {:.2} G",
+            self.forward_flops(1) as f64 / 1e9
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "Activations (batch 1): {:.1} MB",
+            self.activation_bytes(1) as f64 / 1e6
+        )
+        .unwrap();
+        out
+    }
+
+    fn node_input_shapes(&self, node: &Node, batch: usize) -> Vec<Shape> {
+        node.inputs
+            .iter()
+            .map(|s| match s {
+                Source::Input => self.input_shape.with_batch(batch),
+                Source::Node(id) => self.nodes[id.index()].out_shape.with_batch(batch),
+            })
+            .collect()
+    }
+
+    /// Initialises all parameters with deterministic He-style scaling
+    /// from `seed`.
+    pub fn init_params(&self, seed: u64) -> Params {
+        let mut tensors = Vec::with_capacity(self.nodes.len());
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f32 / (1u64 << 53) as f32
+        };
+        for n in &self.nodes {
+            let shapes = n.layer.param_shapes();
+            let mut params = Vec::with_capacity(shapes.len());
+            for (i, s) in shapes.iter().enumerate() {
+                let fan_in: usize = s.dims().iter().skip(1).product::<usize>().max(1);
+                let scale = (2.0 / fan_in as f32).sqrt();
+                let mut t = Tensor::zeros(s.clone());
+                if i % 2 == 0 && s.rank() > 1 {
+                    for v in t.data_mut() {
+                        *v = (next() * 2.0 - 1.0) * scale;
+                    }
+                } else if n.layer.kind() == "batchnorm" && i == 0 {
+                    for v in t.data_mut() {
+                        *v = 1.0;
+                    }
+                }
+                params.push(t);
+            }
+            tensors.push(params);
+        }
+        Params { tensors }
+    }
+
+    /// Runs the real forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input`'s non-batch dims differ from the model's input
+    /// shape or `params` came from a different model.
+    pub fn forward(&self, params: &Params, input: &Tensor) -> Activations {
+        assert_eq!(
+            input.shape().dims()[1..],
+            self.input_shape.dims()[1..],
+            "input shape mismatch"
+        );
+        assert_eq!(params.tensors.len(), self.nodes.len(), "foreign params");
+        let mut outputs: Vec<Tensor> = Vec::with_capacity(self.nodes.len());
+        for (i, n) in self.nodes.iter().enumerate() {
+            let ins: Vec<&Tensor> = n
+                .inputs
+                .iter()
+                .map(|s| match s {
+                    Source::Input => input,
+                    Source::Node(id) => &outputs[id.index()],
+                })
+                .collect();
+            let ps: Vec<&Tensor> = params.tensors[i].iter().collect();
+            outputs.push(n.layer.forward(&ins, &ps));
+        }
+        Activations { outputs }
+    }
+
+    /// Runs the real backward pass given `grad_output` at the model
+    /// head; returns parameter gradients for every node.
+    pub fn backward(
+        &self,
+        params: &Params,
+        input: &Tensor,
+        acts: &Activations,
+        grad_output: &Tensor,
+    ) -> Gradients {
+        let mut grad_at: Vec<Option<Tensor>> = (0..self.nodes.len()).map(|_| None).collect();
+        grad_at[self.output.index()] = Some(grad_output.clone());
+        let mut grad_params: Vec<Vec<Tensor>> = self
+            .nodes
+            .iter()
+            .map(|n| {
+                n.layer
+                    .param_shapes()
+                    .into_iter()
+                    .map(Tensor::zeros)
+                    .collect()
+            })
+            .collect();
+
+        for i in (0..self.nodes.len()).rev() {
+            let Some(gout) = grad_at[i].take() else {
+                continue; // node not on a path to the output
+            };
+            let n = &self.nodes[i];
+            let ins: Vec<&Tensor> = n
+                .inputs
+                .iter()
+                .map(|s| match s {
+                    Source::Input => input,
+                    Source::Node(id) => &acts.outputs[id.index()],
+                })
+                .collect();
+            let ps: Vec<&Tensor> = params.tensors[i].iter().collect();
+            let bwd = n.layer.backward(&ins, &ps, &acts.outputs[i], &gout);
+            for (g, slot) in bwd.grad_params.into_iter().zip(&mut grad_params[i]) {
+                *slot = g;
+            }
+            for (src, gin) in n.inputs.iter().zip(bwd.grad_inputs) {
+                if let Source::Node(id) = src {
+                    match &mut grad_at[id.index()] {
+                        Some(existing) => existing.add_assign(&gin),
+                        slot @ None => *slot = Some(gin),
+                    }
+                }
+            }
+        }
+        Gradients {
+            tensors: grad_params,
+        }
+    }
+
+    /// The model output from a finished forward pass.
+    pub fn output<'a>(&self, acts: &'a Activations) -> &'a Tensor {
+        &acts.outputs[self.output.index()]
+    }
+}
+
+/// Learnable parameters for a model (one tensor list per node).
+#[derive(Debug, Clone)]
+pub struct Params {
+    pub(crate) tensors: Vec<Vec<Tensor>>,
+}
+
+impl Params {
+    /// Iterates over all parameter tensors, flattened in node order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tensor> {
+        self.tensors.iter().flatten()
+    }
+
+    /// Iterates mutably over all parameter tensors in node order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Tensor> {
+        self.tensors.iter_mut().flatten()
+    }
+
+    /// Total scalar count.
+    pub fn count(&self) -> u64 {
+        self.iter().map(|t| t.numel() as u64).sum()
+    }
+}
+
+/// Parameter gradients, mirroring [`Params`]' structure.
+#[derive(Debug, Clone)]
+pub struct Gradients {
+    pub(crate) tensors: Vec<Vec<Tensor>>,
+}
+
+impl Gradients {
+    /// Iterates over all gradient tensors in node order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tensor> {
+        self.tensors.iter().flatten()
+    }
+
+    /// Iterates mutably over all gradient tensors in node order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Tensor> {
+        self.tensors.iter_mut().flatten()
+    }
+
+    /// Elementwise accumulation of another replica's gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the structures differ.
+    pub fn accumulate(&mut self, other: &Gradients) {
+        assert_eq!(self.tensors.len(), other.tensors.len());
+        for (mine, theirs) in self.iter_mut().zip(other.iter()) {
+            mine.add_assign(theirs);
+        }
+    }
+
+    /// Scales every gradient by `s` (averaging across replicas).
+    pub fn scale(&mut self, s: f32) {
+        for g in self.iter_mut() {
+            g.scale(s);
+        }
+    }
+}
+
+/// All layer outputs from one forward pass.
+#[derive(Debug, Clone)]
+pub struct Activations {
+    outputs: Vec<Tensor>,
+}
+
+impl Activations {
+    /// Output of node `id`.
+    pub fn of(&self, id: NodeId) -> &Tensor {
+        &self.outputs[id.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Add, Conv2d, Dense, Relu};
+
+    fn tiny() -> Model {
+        let mut b = ModelBuilder::new("tiny", Shape::new([1, 1, 4, 4]));
+        let c = b.add("conv1", Conv2d::new(1, 2, 3, 1, 1), &[Source::Input]);
+        let r = b.add("relu1", Relu, &[Source::Node(c)]);
+        let f = b.add("fc", Dense::new(2 * 4 * 4, 3), &[Source::Node(r)]);
+        b.finish(f)
+    }
+
+    #[test]
+    fn shape_inference_runs_at_build_time() {
+        let m = tiny();
+        assert_eq!(m.output_shape(5).dims(), &[5, 3]);
+        assert_eq!(m.node_count(), 3);
+    }
+
+    #[test]
+    fn param_accounting() {
+        let m = tiny();
+        let conv = 2 * 9 + 2; // 2 filters x (1 in-ch x 3x3) + biases
+        let fc = 3 * 32 + 3;
+        assert_eq!(m.param_count(), (conv + fc) as u64);
+        assert_eq!(m.param_bytes(), m.param_count() * 4);
+        let p = m.init_params(1);
+        assert_eq!(p.count(), m.param_count());
+    }
+
+    #[test]
+    fn census_counts_kinds() {
+        let m = tiny();
+        let c = m.layer_census();
+        assert_eq!(c["conv"], 1);
+        assert_eq!(c["relu"], 1);
+        assert_eq!(c["fc"], 1);
+    }
+
+    #[test]
+    fn flops_scale_with_batch() {
+        let m = tiny();
+        assert_eq!(m.forward_flops(4), 4 * m.forward_flops(1));
+        assert!(m.backward_flops(1) > m.forward_flops(1));
+    }
+
+    #[test]
+    fn activation_bytes_scale_with_batch() {
+        let m = tiny();
+        assert_eq!(m.activation_bytes(8), 8 * m.activation_bytes(1));
+    }
+
+    #[test]
+    fn kernel_profile_orders_fp_then_reversed_bp() {
+        let m = tiny();
+        let ks = m.kernel_profile(2);
+        assert_eq!(ks.len(), 6);
+        assert_eq!(ks[0].name, "fp.conv1");
+        assert_eq!(ks[2].name, "fp.fc");
+        assert_eq!(ks[3].name, "bp.fc");
+        assert_eq!(ks[5].name, "bp.conv1");
+        assert!(ks.iter().take(3).all(|k| k.stage == Stage::Forward));
+        assert!(ks.iter().skip(3).all(|k| k.stage == Stage::Backward));
+    }
+
+    #[test]
+    fn gradient_buckets_come_last_layer_first() {
+        let m = tiny();
+        let buckets = m.gradient_buckets();
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].name, "fc");
+        assert_eq!(buckets[1].name, "conv1");
+        assert_eq!(
+            buckets.iter().map(|b| b.bytes).sum::<u64>(),
+            m.param_bytes()
+        );
+    }
+
+    #[test]
+    fn forward_and_backward_execute() {
+        let m = tiny();
+        let p = m.init_params(7);
+        let x = Tensor::full(Shape::new([2, 1, 4, 4]), 0.5);
+        let acts = m.forward(&p, &x);
+        let out = m.output(&acts);
+        assert_eq!(out.shape().dims(), &[2, 3]);
+        let g = Tensor::full(Shape::new([2, 3]), 1.0);
+        let grads = m.backward(&p, &x, &acts, &g);
+        // Every parameterised node received some gradient signal.
+        let total: f32 = grads.iter().map(|t| t.max_abs()).sum();
+        assert!(total > 0.0);
+    }
+
+    #[test]
+    fn residual_fanout_accumulates_gradients() {
+        // x -> conv -> relu -> add(relu, conv) ; conv output feeds both
+        // relu and add, so its gradient must be a sum of two paths.
+        let mut b = ModelBuilder::new("res", Shape::new([1, 1, 3, 3]));
+        let c = b.add("conv", Conv2d::new(1, 1, 1, 1, 0), &[Source::Input]);
+        let r = b.add("relu", Relu, &[Source::Node(c)]);
+        let a = b.add("add", Add, &[Source::Node(r), Source::Node(c)]);
+        let m = b.finish(a);
+        let mut p = m.init_params(3);
+        // Force conv weight positive so relu passes gradient through.
+        p.tensors[0][0].data_mut()[0] = 1.0;
+        let x = Tensor::full(Shape::new([1, 1, 3, 3]), 2.0);
+        let acts = m.forward(&p, &x);
+        let g = Tensor::full(Shape::new([1, 1, 3, 3]), 1.0);
+        let grads = m.backward(&p, &x, &acts, &g);
+        // dL/dw for the 1x1 conv: both paths contribute, so gradient is
+        // sum over 9 positions * x * 2 paths = 36.
+        assert_eq!(grads.tensors[0][0].data()[0], 36.0);
+    }
+
+    #[test]
+    fn gradients_accumulate_and_scale() {
+        let m = tiny();
+        let p = m.init_params(1);
+        let x = Tensor::full(Shape::new([1, 1, 4, 4]), 1.0);
+        let acts = m.forward(&p, &x);
+        let g = Tensor::full(Shape::new([1, 3]), 1.0);
+        let g1 = m.backward(&p, &x, &acts, &g);
+        let mut g2 = g1.clone();
+        g2.accumulate(&g1);
+        g2.scale(0.5);
+        for (a, b) in g1.iter().zip(g2.iter()) {
+            for (x, y) in a.data().iter().zip(b.data()) {
+                assert!((x - y).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn modules_are_counted() {
+        let mut b = ModelBuilder::new("mods", Shape::new([1, 1, 4, 4]));
+        b.begin_module("m1");
+        let c = b.add("c1", Conv2d::new(1, 1, 1, 1, 0), &[Source::Input]);
+        b.end_module();
+        b.begin_module("m2");
+        let c2 = b.add("c2", Conv2d::new(1, 1, 1, 1, 0), &[Source::Node(c)]);
+        b.end_module();
+        let m = b.finish(c2);
+        assert_eq!(m.module_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch 1")]
+    fn builder_rejects_batched_canonical_shape() {
+        let _ = ModelBuilder::new("bad", Shape::new([2, 1, 4, 4]));
+    }
+
+    #[test]
+    #[should_panic(expected = "input shape mismatch")]
+    fn forward_rejects_wrong_input() {
+        let m = tiny();
+        let p = m.init_params(1);
+        let x = Tensor::zeros(Shape::new([1, 2, 4, 4]));
+        let _ = m.forward(&p, &x);
+    }
+}

@@ -1,0 +1,106 @@
+//! Activation functions.
+
+use crate::layer::{Backward, Layer};
+use crate::tensor::{Shape, Tensor};
+
+/// Rectified linear unit, `y = max(x, 0)` — the activation used by all
+/// five paper workloads.
+///
+/// # Example
+///
+/// ```
+/// use voltascope_dnn::{Layer, Relu, Shape, Tensor};
+///
+/// let relu = Relu;
+/// let x = Tensor::from_vec(Shape::new([4]), vec![-1.0, 0.0, 2.0, -3.0]);
+/// let y = relu.forward(&[&x], &[]);
+/// assert_eq!(y.data(), &[0.0, 0.0, 2.0, 0.0]);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Relu;
+
+impl Layer for Relu {
+    fn kind(&self) -> &'static str {
+        "relu"
+    }
+
+    fn output_shape(&self, inputs: &[Shape]) -> Shape {
+        assert_eq!(inputs.len(), 1, "relu takes one input");
+        inputs[0].clone()
+    }
+
+    fn forward(&self, inputs: &[&Tensor], _params: &[&Tensor]) -> Tensor {
+        let mut out = inputs[0].clone();
+        for v in out.data_mut() {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+        out
+    }
+
+    fn backward(
+        &self,
+        inputs: &[&Tensor],
+        _params: &[&Tensor],
+        _output: &Tensor,
+        grad_output: &Tensor,
+    ) -> Backward {
+        let mut gx = grad_output.clone();
+        for (g, &x) in gx.data_mut().iter_mut().zip(inputs[0].data()) {
+            if x <= 0.0 {
+                *g = 0.0;
+            }
+        }
+        Backward {
+            grad_inputs: vec![gx],
+            grad_params: vec![],
+        }
+    }
+
+    fn forward_flops(&self, inputs: &[Shape]) -> u64 {
+        inputs[0].numel() as u64
+    }
+
+    fn backward_flops(&self, inputs: &[Shape]) -> u64 {
+        inputs[0].numel() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::gradcheck;
+
+    #[test]
+    fn clamps_negatives_only() {
+        let x = Tensor::from_vec(Shape::new([3]), vec![-0.5, 0.5, 1.5]);
+        let y = Relu.forward(&[&x], &[]);
+        assert_eq!(y.data(), &[0.0, 0.5, 1.5]);
+    }
+
+    #[test]
+    fn gradient_masks_negative_inputs() {
+        let x = Tensor::from_vec(Shape::new([3]), vec![-1.0, 2.0, 3.0]);
+        let y = Relu.forward(std::slice::from_ref(&&x), &[]);
+        let g = Tensor::from_vec(Shape::new([3]), vec![5.0, 5.0, 5.0]);
+        let bwd = Relu.backward(std::slice::from_ref(&&x), &[], &y, &g);
+        assert_eq!(bwd.grad_inputs[0].data(), &[0.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        // Fixture values keep away from the kink at exactly 0.
+        let x = gradcheck::fixture(Shape::new([2, 3]), 42);
+        gradcheck::check(&Relu, &[x], &[], 2e-2);
+    }
+
+    #[test]
+    fn shape_preserved_and_paramless() {
+        let s = Shape::new([2, 3, 4, 4]);
+        assert_eq!(Relu.output_shape(std::slice::from_ref(&s)), s);
+        assert_eq!(Relu.param_count(), 0);
+        assert_eq!(Relu.forward_flops(std::slice::from_ref(&s)), 96);
+        assert_eq!(Relu.backward_flops(&[s]), 96);
+    }
+}

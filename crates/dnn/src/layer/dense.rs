@@ -1,0 +1,187 @@
+//! Fully-connected (dense) layers.
+
+use crate::layer::{Backward, Layer};
+use crate::tensor::{Shape, Tensor};
+
+/// A fully-connected layer `y = x W^T + b`, flattening any rank-4 NCHW
+/// input to `[N, C*H*W]` first (as frameworks do before their
+/// classifier heads).
+///
+/// Parameters: weight `[out_features, in_features]`, bias
+/// `[out_features]`.
+///
+/// # Example
+///
+/// ```
+/// use voltascope_dnn::{Dense, Layer, Shape};
+///
+/// let fc = Dense::new(256 * 6 * 6, 4096); // AlexNet's fc6
+/// let out = fc.output_shape(&[Shape::new([32, 256, 6, 6])]);
+/// assert_eq!(out.dims(), &[32, 4096]);
+/// assert_eq!(fc.param_count(), 256 * 6 * 6 * 4096 + 4096);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dense {
+    in_features: usize,
+    out_features: usize,
+}
+
+impl Dense {
+    /// Creates a dense layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either feature count is zero.
+    pub fn new(in_features: usize, out_features: usize) -> Self {
+        assert!(in_features > 0 && out_features > 0);
+        Dense {
+            in_features,
+            out_features,
+        }
+    }
+
+    fn check_features(&self, s: &Shape) -> usize {
+        let features: usize = s.dims()[1..].iter().product();
+        assert_eq!(
+            features, self.in_features,
+            "dense expected {} input features, got {features} from {s}",
+            self.in_features
+        );
+        s.dim(0)
+    }
+}
+
+impl Layer for Dense {
+    fn kind(&self) -> &'static str {
+        "fc"
+    }
+
+    fn output_shape(&self, inputs: &[Shape]) -> Shape {
+        assert_eq!(inputs.len(), 1, "dense takes one input");
+        let n = self.check_features(&inputs[0]);
+        Shape::new([n, self.out_features])
+    }
+
+    fn param_shapes(&self) -> Vec<Shape> {
+        vec![
+            Shape::new([self.out_features, self.in_features]),
+            Shape::new([self.out_features]),
+        ]
+    }
+
+    fn forward(&self, inputs: &[&Tensor], params: &[&Tensor]) -> Tensor {
+        let x = inputs[0];
+        let (weight, bias) = (params[0], params[1]);
+        let n = self.check_features(x.shape());
+        let mut out = Tensor::zeros(Shape::new([n, self.out_features]));
+        let xd = x.data();
+        for b in 0..n {
+            let row = &xd[b * self.in_features..(b + 1) * self.in_features];
+            for o in 0..self.out_features {
+                let wrow = &weight.data()[o * self.in_features..(o + 1) * self.in_features];
+                let mut acc = bias[o];
+                for (xv, wv) in row.iter().zip(wrow) {
+                    acc += xv * wv;
+                }
+                *out.at2_mut(b, o) = acc;
+            }
+        }
+        out
+    }
+
+    fn backward(
+        &self,
+        inputs: &[&Tensor],
+        params: &[&Tensor],
+        _output: &Tensor,
+        grad_output: &Tensor,
+    ) -> Backward {
+        let x = inputs[0];
+        let weight = params[0];
+        let n = self.check_features(x.shape());
+        let mut gx = Tensor::zeros(x.shape().clone());
+        let mut gw = Tensor::zeros(weight.shape().clone());
+        let mut gb = Tensor::zeros(Shape::new([self.out_features]));
+        for b in 0..n {
+            let xrow = &x.data()[b * self.in_features..(b + 1) * self.in_features];
+            for o in 0..self.out_features {
+                let g = grad_output.at2(b, o);
+                if g == 0.0 {
+                    continue;
+                }
+                gb[o] += g;
+                let wrow = &weight.data()[o * self.in_features..(o + 1) * self.in_features];
+                let gwrow = &mut gw.data_mut()[o * self.in_features..(o + 1) * self.in_features];
+                for i in 0..self.in_features {
+                    gwrow[i] += g * xrow[i];
+                }
+                let gxrow = &mut gx.data_mut()[b * self.in_features..(b + 1) * self.in_features];
+                for (gxv, wv) in gxrow.iter_mut().zip(wrow) {
+                    *gxv += g * wv;
+                }
+            }
+        }
+        Backward {
+            grad_inputs: vec![gx],
+            grad_params: vec![gw, gb],
+        }
+    }
+
+    fn forward_flops(&self, inputs: &[Shape]) -> u64 {
+        let n = inputs[0].dim(0) as u64;
+        2 * n * self.in_features as u64 * self.out_features as u64
+    }
+
+    fn uses_tensor_cores(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::gradcheck;
+
+    #[test]
+    fn known_projection() {
+        let fc = Dense::new(3, 2);
+        let x = Tensor::from_vec(Shape::new([1, 3]), vec![1.0, 2.0, 3.0]);
+        let w = Tensor::from_vec(Shape::new([2, 3]), vec![1., 0., 0., 0., 1., 1.]);
+        let b = Tensor::from_vec(Shape::new([2]), vec![10.0, 20.0]);
+        let y = fc.forward(&[&x], &[&w, &b]);
+        assert_eq!(y.data(), &[11.0, 25.0]);
+    }
+
+    #[test]
+    fn rank4_input_is_flattened() {
+        let fc = Dense::new(8, 4);
+        let x = gradcheck::fixture(Shape::new([2, 2, 2, 2]), 3);
+        let w = gradcheck::fixture(Shape::new([4, 8]), 4);
+        let b = gradcheck::fixture(Shape::new([4]), 5);
+        let y = fc.forward(&[&x], &[&w, &b]);
+        assert_eq!(y.shape().dims(), &[2, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "input features")]
+    fn feature_mismatch_panics() {
+        let fc = Dense::new(10, 4);
+        let _ = fc.output_shape(&[Shape::new([2, 3, 2, 2])]);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let fc = Dense::new(6, 3);
+        let x = gradcheck::fixture(Shape::new([2, 6]), 7);
+        let w = gradcheck::fixture(Shape::new([3, 6]), 8);
+        let b = gradcheck::fixture(Shape::new([3]), 9);
+        gradcheck::check(&fc, &[x], &[w, b], 2e-2);
+    }
+
+    #[test]
+    fn flops_formula() {
+        let fc = Dense::new(100, 10);
+        assert_eq!(fc.forward_flops(&[Shape::new([4, 100])]), 2 * 4 * 100 * 10);
+        assert!(fc.uses_tensor_cores());
+    }
+}

@@ -1,0 +1,235 @@
+//! Multi-input merge layers: channel concatenation (inception modules)
+//! and elementwise addition (residual blocks).
+
+use crate::layer::{Backward, Layer};
+use crate::tensor::{Shape, Tensor};
+
+/// Channel-axis concatenation of NCHW tensors — the join at the end of
+/// every GoogLeNet/Inception-v3 inception module.
+///
+/// # Example
+///
+/// ```
+/// use voltascope_dnn::{Concat, Layer, Shape};
+///
+/// let cat = Concat;
+/// let out = cat.output_shape(&[
+///     Shape::new([2, 64, 28, 28]),
+///     Shape::new([2, 128, 28, 28]),
+///     Shape::new([2, 32, 28, 28]),
+/// ]);
+/// assert_eq!(out.dims(), &[2, 224, 28, 28]);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Concat;
+
+impl Layer for Concat {
+    fn kind(&self) -> &'static str {
+        "concat"
+    }
+
+    fn output_shape(&self, inputs: &[Shape]) -> Shape {
+        assert!(!inputs.is_empty(), "concat needs at least one input");
+        let first = &inputs[0];
+        assert_eq!(first.rank(), 4, "concat input must be NCHW");
+        let mut channels = 0;
+        for s in inputs {
+            assert_eq!(s.dim(0), first.dim(0), "concat batch mismatch");
+            assert_eq!(s.dim(2), first.dim(2), "concat height mismatch");
+            assert_eq!(s.dim(3), first.dim(3), "concat width mismatch");
+            channels += s.dim(1);
+        }
+        Shape::new([first.dim(0), channels, first.dim(2), first.dim(3)])
+    }
+
+    fn forward(&self, inputs: &[&Tensor], _params: &[&Tensor]) -> Tensor {
+        let shapes: Vec<Shape> = inputs.iter().map(|t| t.shape().clone()).collect();
+        let out_shape = self.output_shape(&shapes);
+        let (n, h, w) = (out_shape.dim(0), out_shape.dim(2), out_shape.dim(3));
+        let mut out = Tensor::zeros(out_shape);
+        for b in 0..n {
+            let mut co = 0;
+            for x in inputs {
+                let ci = x.shape().dim(1);
+                for c in 0..ci {
+                    for y in 0..h {
+                        for xo in 0..w {
+                            *out.at4_mut(b, co + c, y, xo) = x.at4(b, c, y, xo);
+                        }
+                    }
+                }
+                co += ci;
+            }
+        }
+        out
+    }
+
+    fn backward(
+        &self,
+        inputs: &[&Tensor],
+        _params: &[&Tensor],
+        _output: &Tensor,
+        grad_output: &Tensor,
+    ) -> Backward {
+        let (n, h, w) = (
+            grad_output.shape().dim(0),
+            grad_output.shape().dim(2),
+            grad_output.shape().dim(3),
+        );
+        let mut grads = Vec::with_capacity(inputs.len());
+        let mut co = 0;
+        for x in inputs {
+            let ci = x.shape().dim(1);
+            let mut g = Tensor::zeros(x.shape().clone());
+            for b in 0..n {
+                for c in 0..ci {
+                    for y in 0..h {
+                        for xo in 0..w {
+                            *g.at4_mut(b, c, y, xo) = grad_output.at4(b, co + c, y, xo);
+                        }
+                    }
+                }
+            }
+            grads.push(g);
+            co += ci;
+        }
+        Backward {
+            grad_inputs: grads,
+            grad_params: vec![],
+        }
+    }
+
+    fn forward_flops(&self, inputs: &[Shape]) -> u64 {
+        // Pure data movement; count one op per copied element.
+        inputs.iter().map(|s| s.numel() as u64).sum()
+    }
+
+    fn backward_flops(&self, inputs: &[Shape]) -> u64 {
+        self.forward_flops(inputs)
+    }
+}
+
+/// Elementwise addition of equal-shaped tensors — the shortcut join of
+/// ResNet residual blocks.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Add;
+
+impl Layer for Add {
+    fn kind(&self) -> &'static str {
+        "add"
+    }
+
+    fn output_shape(&self, inputs: &[Shape]) -> Shape {
+        assert!(inputs.len() >= 2, "add needs at least two inputs");
+        for s in &inputs[1..] {
+            assert_eq!(*s, inputs[0], "add shape mismatch");
+        }
+        inputs[0].clone()
+    }
+
+    fn forward(&self, inputs: &[&Tensor], _params: &[&Tensor]) -> Tensor {
+        let mut out = inputs[0].clone();
+        for x in &inputs[1..] {
+            out.add_assign(x);
+        }
+        out
+    }
+
+    fn backward(
+        &self,
+        inputs: &[&Tensor],
+        _params: &[&Tensor],
+        _output: &Tensor,
+        grad_output: &Tensor,
+    ) -> Backward {
+        Backward {
+            grad_inputs: vec![grad_output.clone(); inputs.len()],
+            grad_params: vec![],
+        }
+    }
+
+    fn forward_flops(&self, inputs: &[Shape]) -> u64 {
+        (inputs.len() as u64 - 1) * inputs[0].numel() as u64
+    }
+
+    fn backward_flops(&self, inputs: &[Shape]) -> u64 {
+        inputs[0].numel() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::gradcheck;
+
+    #[test]
+    fn concat_stacks_channels_in_order() {
+        let a = Tensor::full(Shape::new([1, 1, 2, 2]), 1.0);
+        let b = Tensor::full(Shape::new([1, 2, 2, 2]), 2.0);
+        let y = Concat.forward(&[&a, &b], &[]);
+        assert_eq!(y.shape().dims(), &[1, 3, 2, 2]);
+        assert_eq!(y.at4(0, 0, 0, 0), 1.0);
+        assert_eq!(y.at4(0, 1, 1, 1), 2.0);
+        assert_eq!(y.at4(0, 2, 0, 1), 2.0);
+    }
+
+    #[test]
+    fn concat_backward_splits_gradient() {
+        let a = Tensor::zeros(Shape::new([1, 1, 1, 1]));
+        let b = Tensor::zeros(Shape::new([1, 1, 1, 1]));
+        let y = Concat.forward(&[&a, &b], &[]);
+        let g = Tensor::from_vec(Shape::new([1, 2, 1, 1]), vec![3.0, 7.0]);
+        let bwd = Concat.backward(&[&a, &b], &[], &y, &g);
+        assert_eq!(bwd.grad_inputs[0].data(), &[3.0]);
+        assert_eq!(bwd.grad_inputs[1].data(), &[7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "height mismatch")]
+    fn concat_rejects_spatial_mismatch() {
+        let _ = Concat.output_shape(&[
+            Shape::new([1, 1, 2, 2]),
+            Shape::new([1, 1, 3, 2]),
+        ]);
+    }
+
+    #[test]
+    fn add_sums_elementwise() {
+        let a = Tensor::full(Shape::new([2, 2]), 1.5);
+        let b = Tensor::full(Shape::new([2, 2]), 2.5);
+        let y = Add.forward(&[&a, &b], &[]);
+        assert_eq!(y.data(), &[4.0; 4]);
+    }
+
+    #[test]
+    fn add_backward_fans_out() {
+        let a = Tensor::zeros(Shape::new([2]));
+        let b = Tensor::zeros(Shape::new([2]));
+        let y = Add.forward(&[&a, &b], &[]);
+        let g = Tensor::from_vec(Shape::new([2]), vec![1.0, 2.0]);
+        let bwd = Add.backward(&[&a, &b], &[], &y, &g);
+        assert_eq!(bwd.grad_inputs.len(), 2);
+        assert_eq!(bwd.grad_inputs[0].data(), g.data());
+        assert_eq!(bwd.grad_inputs[1].data(), g.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn add_rejects_mismatch() {
+        let _ = Add.output_shape(&[Shape::new([2, 2]), Shape::new([2, 3])]);
+    }
+
+    #[test]
+    fn concat_gradcheck() {
+        let a = gradcheck::fixture(Shape::new([1, 1, 2, 2]), 1);
+        let b = gradcheck::fixture(Shape::new([1, 2, 2, 2]), 2);
+        gradcheck::check(&Concat, &[a, b], &[], 2e-2);
+    }
+
+    #[test]
+    fn add_gradcheck() {
+        let a = gradcheck::fixture(Shape::new([1, 2, 2, 2]), 3);
+        let b = gradcheck::fixture(Shape::new([1, 2, 2, 2]), 4);
+        gradcheck::check(&Add, &[a, b], &[], 2e-2);
+    }
+}

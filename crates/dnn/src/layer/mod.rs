@@ -1,0 +1,188 @@
+//! Layer implementations with real forward and backward passes.
+//!
+//! Every layer is stateless: parameters and activations live outside
+//! (owned by [`Model`](crate::Model) executions), so the same layer
+//! object can describe replicas on many simulated GPUs.
+//!
+//! Omissions relative to the original papers, none of which change the
+//! computation/communication profile this study measures: dropout and
+//! local response normalisation are identity at profiling granularity
+//! and are not modelled; auxiliary classifier heads of GoogLeNet /
+//! Inception-v3 are excluded (as is common in framework re-implementations).
+
+mod activation;
+mod conv;
+mod dense;
+mod merge;
+mod norm;
+mod pool;
+
+pub use activation::Relu;
+pub use conv::Conv2d;
+pub use dense::Dense;
+pub use merge::{Add, Concat};
+pub use norm::BatchNorm2d;
+pub use pool::{AvgPool2d, MaxPool2d};
+
+use std::fmt;
+
+use crate::tensor::{Shape, Tensor};
+
+/// Gradients produced by a layer's backward pass.
+#[derive(Debug, Clone)]
+pub struct Backward {
+    /// Gradient with respect to each input, in input order.
+    pub grad_inputs: Vec<Tensor>,
+    /// Gradient with respect to each parameter, in parameter order.
+    pub grad_params: Vec<Tensor>,
+}
+
+/// A differentiable network layer.
+///
+/// The contract mirrors cuDNN's stateless descriptor style: `forward`
+/// and `backward` receive everything they need and return fresh
+/// tensors. `backward` receives the forward inputs, the parameters, the
+/// forward output, and the gradient flowing back from downstream.
+pub trait Layer: fmt::Debug {
+    /// Short kind tag used in kernel labels: `"conv"`, `"fc"`, ...
+    fn kind(&self) -> &'static str;
+
+    /// Output shape given the input shapes.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic on arity or shape mismatches; shape
+    /// inference runs at model build time so misconfigurations fail
+    /// before any simulation starts.
+    fn output_shape(&self, inputs: &[Shape]) -> Shape;
+
+    /// Shapes of the layer's learnable parameters (empty by default).
+    fn param_shapes(&self) -> Vec<Shape> {
+        Vec::new()
+    }
+
+    /// Computes the layer output.
+    fn forward(&self, inputs: &[&Tensor], params: &[&Tensor]) -> Tensor;
+
+    /// Computes input and parameter gradients.
+    fn backward(
+        &self,
+        inputs: &[&Tensor],
+        params: &[&Tensor],
+        output: &Tensor,
+        grad_output: &Tensor,
+    ) -> Backward;
+
+    /// Forward-pass FLOPs (multiply-accumulate counted as 2).
+    fn forward_flops(&self, inputs: &[Shape]) -> u64;
+
+    /// Backward-pass FLOPs; defaults to the standard 2x-forward
+    /// estimate (data gradient + weight gradient each cost roughly one
+    /// forward).
+    fn backward_flops(&self, inputs: &[Shape]) -> u64 {
+        2 * self.forward_flops(inputs)
+    }
+
+    /// Whether the layer's kernels run on tensor cores (matrix-multiply
+    /// shaped work: convolutions and fully-connected layers).
+    fn uses_tensor_cores(&self) -> bool {
+        false
+    }
+
+    /// Number of learnable scalars.
+    fn param_count(&self) -> u64 {
+        self.param_shapes().iter().map(|s| s.numel() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod gradcheck {
+    //! Finite-difference gradient checking shared by layer tests.
+
+    use super::*;
+
+    /// Verifies `layer`'s analytic gradients against central finite
+    /// differences on the given inputs/params, using the scalar loss
+    /// `sum(output * seed)` for a fixed pseudo-random seed tensor.
+    pub fn check(layer: &dyn Layer, inputs: &[Tensor], params: &[Tensor], tol: f32) {
+        let input_refs: Vec<&Tensor> = inputs.iter().collect();
+        let param_refs: Vec<&Tensor> = params.iter().collect();
+        let output = layer.forward(&input_refs, &param_refs);
+
+        // Loss = sum(output * seed); dL/doutput = seed.
+        let mut seed = Tensor::zeros(output.shape().clone());
+        for (i, v) in seed.data_mut().iter_mut().enumerate() {
+            *v = ((i * 2654435761) % 17) as f32 / 17.0 - 0.5;
+        }
+        let loss = |out: &Tensor| -> f64 {
+            out.data()
+                .iter()
+                .zip(seed.data())
+                .map(|(&o, &s)| o as f64 * s as f64)
+                .sum()
+        };
+
+        let bwd = layer.backward(&input_refs, &param_refs, &output, &seed);
+        assert_eq!(bwd.grad_inputs.len(), inputs.len());
+        assert_eq!(bwd.grad_params.len(), params.len());
+
+        let eps = 1e-2f32;
+        let check_slot = |analytic: &Tensor, which: Slot| {
+            for idx in 0..analytic.numel() {
+                let mut inputs_p = inputs.to_vec();
+                let mut params_p = params.to_vec();
+                let mut inputs_m = inputs.to_vec();
+                let mut params_m = params.to_vec();
+                match which {
+                    Slot::Input(s) => {
+                        inputs_p[s][idx] += eps;
+                        inputs_m[s][idx] -= eps;
+                    }
+                    Slot::Param(s) => {
+                        params_p[s][idx] += eps;
+                        params_m[s][idx] -= eps;
+                    }
+                }
+                let out_p = layer.forward(
+                    &inputs_p.iter().collect::<Vec<_>>(),
+                    &params_p.iter().collect::<Vec<_>>(),
+                );
+                let out_m = layer.forward(
+                    &inputs_m.iter().collect::<Vec<_>>(),
+                    &params_m.iter().collect::<Vec<_>>(),
+                );
+                let numeric = ((loss(&out_p) - loss(&out_m)) / (2.0 * eps as f64)) as f32;
+                let got = analytic[idx];
+                let scale = numeric.abs().max(got.abs()).max(1.0);
+                assert!(
+                    (numeric - got).abs() / scale < tol,
+                    "{} gradient mismatch at {idx}: numeric {numeric}, analytic {got}",
+                    layer.kind(),
+                );
+            }
+        };
+
+        #[derive(Clone, Copy)]
+        enum Slot {
+            Input(usize),
+            Param(usize),
+        }
+
+        for (s, g) in bwd.grad_inputs.iter().enumerate() {
+            check_slot(g, Slot::Input(s));
+        }
+        for (s, g) in bwd.grad_params.iter().enumerate() {
+            check_slot(g, Slot::Param(s));
+        }
+    }
+
+    /// A small deterministic pseudo-random tensor for test fixtures.
+    pub fn fixture(shape: Shape, salt: u64) -> Tensor {
+        let mut t = Tensor::zeros(shape);
+        for (i, v) in t.data_mut().iter_mut().enumerate() {
+            let x = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(salt);
+            *v = ((x >> 33) % 1000) as f32 / 500.0 - 1.0;
+        }
+        t
+    }
+}

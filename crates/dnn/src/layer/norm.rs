@@ -1,0 +1,238 @@
+//! Batch normalisation.
+
+use crate::layer::{Backward, Layer};
+use crate::tensor::{Shape, Tensor};
+
+/// 2-D batch normalisation in training mode: per-channel statistics
+/// over the `(N, H, W)` axes, then a learned affine transform.
+///
+/// `y = gamma * (x - mean) / sqrt(var + eps) + beta`
+///
+/// Parameters: `gamma [C]`, `beta [C]`. Used by Inception-v3 and
+/// ResNet, whose per-layer weight counts (and therefore gradient
+/// transfer sizes) include these affine parameters.
+#[derive(Debug, Clone)]
+pub struct BatchNorm2d {
+    channels: usize,
+    eps: f32,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer over `channels` channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero.
+    pub fn new(channels: usize) -> Self {
+        assert!(channels > 0);
+        BatchNorm2d {
+            channels,
+            eps: 1e-5,
+        }
+    }
+
+    #[allow(clippy::needless_range_loop)]
+    fn stats(&self, x: &Tensor) -> (Vec<f32>, Vec<f32>) {
+        let (n, c, h, w) = (
+            x.shape().dim(0),
+            x.shape().dim(1),
+            x.shape().dim(2),
+            x.shape().dim(3),
+        );
+        let m = (n * h * w) as f32;
+        let mut mean = vec![0.0f32; c];
+        let mut var = vec![0.0f32; c];
+        for b in 0..n {
+            for ch in 0..c {
+                for y in 0..h {
+                    for xo in 0..w {
+                        mean[ch] += x.at4(b, ch, y, xo);
+                    }
+                }
+            }
+        }
+        for v in &mut mean {
+            *v /= m;
+        }
+        for b in 0..n {
+            for ch in 0..c {
+                for y in 0..h {
+                    for xo in 0..w {
+                        let d = x.at4(b, ch, y, xo) - mean[ch];
+                        var[ch] += d * d;
+                    }
+                }
+            }
+        }
+        for v in &mut var {
+            *v /= m;
+        }
+        (mean, var)
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn kind(&self) -> &'static str {
+        "batchnorm"
+    }
+
+    fn output_shape(&self, inputs: &[Shape]) -> Shape {
+        assert_eq!(inputs.len(), 1, "batchnorm takes one input");
+        let s = &inputs[0];
+        assert_eq!(s.rank(), 4, "batchnorm input must be NCHW");
+        assert_eq!(s.dim(1), self.channels, "batchnorm channel mismatch");
+        s.clone()
+    }
+
+    fn param_shapes(&self) -> Vec<Shape> {
+        vec![Shape::new([self.channels]), Shape::new([self.channels])]
+    }
+
+    fn forward(&self, inputs: &[&Tensor], params: &[&Tensor]) -> Tensor {
+        let x = inputs[0];
+        let (gamma, beta) = (params[0], params[1]);
+        let (mean, var) = self.stats(x);
+        let (n, c, h, w) = (
+            x.shape().dim(0),
+            x.shape().dim(1),
+            x.shape().dim(2),
+            x.shape().dim(3),
+        );
+        let mut out = Tensor::zeros(x.shape().clone());
+        for b in 0..n {
+            for ch in 0..c {
+                let inv = 1.0 / (var[ch] + self.eps).sqrt();
+                for y in 0..h {
+                    for xo in 0..w {
+                        let xhat = (x.at4(b, ch, y, xo) - mean[ch]) * inv;
+                        *out.at4_mut(b, ch, y, xo) = gamma[ch] * xhat + beta[ch];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(
+        &self,
+        inputs: &[&Tensor],
+        params: &[&Tensor],
+        _output: &Tensor,
+        grad_output: &Tensor,
+    ) -> Backward {
+        let x = inputs[0];
+        let gamma = params[0];
+        let (mean, var) = self.stats(x);
+        let (n, c, h, w) = (
+            x.shape().dim(0),
+            x.shape().dim(1),
+            x.shape().dim(2),
+            x.shape().dim(3),
+        );
+        let m = (n * h * w) as f32;
+        let mut gx = Tensor::zeros(x.shape().clone());
+        let mut ggamma = Tensor::zeros(Shape::new([c]));
+        let mut gbeta = Tensor::zeros(Shape::new([c]));
+        for ch in 0..c {
+            let inv = 1.0 / (var[ch] + self.eps).sqrt();
+            // Accumulate sum(dy) and sum(dy * xhat) for the channel.
+            let mut sum_dy = 0.0f32;
+            let mut sum_dy_xhat = 0.0f32;
+            for b in 0..n {
+                for y in 0..h {
+                    for xo in 0..w {
+                        let dy = grad_output.at4(b, ch, y, xo);
+                        let xhat = (x.at4(b, ch, y, xo) - mean[ch]) * inv;
+                        sum_dy += dy;
+                        sum_dy_xhat += dy * xhat;
+                    }
+                }
+            }
+            ggamma[ch] = sum_dy_xhat;
+            gbeta[ch] = sum_dy;
+            // dx = (gamma * inv / m) * (m*dy - sum_dy - xhat * sum_dy_xhat)
+            for b in 0..n {
+                for y in 0..h {
+                    for xo in 0..w {
+                        let dy = grad_output.at4(b, ch, y, xo);
+                        let xhat = (x.at4(b, ch, y, xo) - mean[ch]) * inv;
+                        *gx.at4_mut(b, ch, y, xo) =
+                            gamma[ch] * inv / m * (m * dy - sum_dy - xhat * sum_dy_xhat);
+                    }
+                }
+            }
+        }
+        Backward {
+            grad_inputs: vec![gx],
+            grad_params: vec![ggamma, gbeta],
+        }
+    }
+
+    fn forward_flops(&self, inputs: &[Shape]) -> u64 {
+        // Two reduction passes plus the normalisation: ~10 ops/element.
+        10 * inputs[0].numel() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::gradcheck;
+
+    #[test]
+    fn normalises_to_zero_mean_unit_var() {
+        let bn = BatchNorm2d::new(2);
+        let x = gradcheck::fixture(Shape::new([3, 2, 4, 4]), 17);
+        let gamma = Tensor::full(Shape::new([2]), 1.0);
+        let beta = Tensor::zeros(Shape::new([2]));
+        let y = bn.forward(&[&x], &[&gamma, &beta]);
+        // Per-channel mean ~0, var ~1.
+        for ch in 0..2 {
+            let mut vals = Vec::new();
+            for b in 0..3 {
+                for h in 0..4 {
+                    for w in 0..4 {
+                        vals.push(y.at4(b, ch, h, w));
+                    }
+                }
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-5, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "var {var}");
+        }
+    }
+
+    #[test]
+    fn affine_transform_applies() {
+        let bn = BatchNorm2d::new(1);
+        let x = gradcheck::fixture(Shape::new([2, 1, 3, 3]), 9);
+        let gamma = Tensor::full(Shape::new([1]), 2.0);
+        let beta = Tensor::full(Shape::new([1]), 5.0);
+        let y = bn.forward(&[&x], &[&gamma, &beta]);
+        let mean: f32 = y.data().iter().sum::<f32>() / y.numel() as f32;
+        assert!((mean - 5.0).abs() < 1e-4, "mean {mean}");
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let bn = BatchNorm2d::new(2);
+        let x = gradcheck::fixture(Shape::new([2, 2, 3, 3]), 23);
+        let gamma = Tensor::full(Shape::new([2]), 1.5);
+        let beta = Tensor::full(Shape::new([2]), -0.5);
+        gradcheck::check(&bn, &[x], &[gamma, beta], 5e-2);
+    }
+
+    #[test]
+    fn param_count_is_two_per_channel() {
+        assert_eq!(BatchNorm2d::new(64).param_count(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn wrong_channels_panic() {
+        let bn = BatchNorm2d::new(3);
+        let _ = bn.output_shape(&[Shape::new([1, 4, 2, 2])]);
+    }
+}

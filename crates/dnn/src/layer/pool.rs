@@ -1,0 +1,384 @@
+//! Max and average pooling.
+
+use crate::layer::{Backward, Layer};
+use crate::tensor::{Shape, Tensor};
+
+fn pooled_hw(h: usize, w: usize, k: usize, stride: usize, pad: usize) -> (usize, usize) {
+    let oh = (h + 2 * pad).checked_sub(k).map(|v| v / stride + 1);
+    let ow = (w + 2 * pad).checked_sub(k).map(|v| v / stride + 1);
+    match (oh, ow) {
+        (Some(oh), Some(ow)) if oh > 0 && ow > 0 => (oh, ow),
+        _ => panic!("pool window {k}x{k} (pad {pad}) larger than input {h}x{w}"),
+    }
+}
+
+/// Max pooling over square windows.
+///
+/// # Example
+///
+/// ```
+/// use voltascope_dnn::{Layer, MaxPool2d, Shape};
+///
+/// let pool = MaxPool2d::new(2, 2, 0);
+/// let out = pool.output_shape(&[Shape::new([1, 8, 28, 28])]);
+/// assert_eq!(out.dims(), &[1, 8, 14, 14]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    k: usize,
+    stride: usize,
+    pad: usize,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer with window `k`, the given stride and
+    /// zero padding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` or `stride` is zero.
+    pub fn new(k: usize, stride: usize, pad: usize) -> Self {
+        assert!(k > 0 && stride > 0);
+        MaxPool2d { k, stride, pad }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn kind(&self) -> &'static str {
+        "maxpool"
+    }
+
+    fn output_shape(&self, inputs: &[Shape]) -> Shape {
+        assert_eq!(inputs.len(), 1, "maxpool takes one input");
+        let s = &inputs[0];
+        assert_eq!(s.rank(), 4, "maxpool input must be NCHW");
+        let (oh, ow) = pooled_hw(s.dim(2), s.dim(3), self.k, self.stride, self.pad);
+        Shape::new([s.dim(0), s.dim(1), oh, ow])
+    }
+
+    fn forward(&self, inputs: &[&Tensor], _params: &[&Tensor]) -> Tensor {
+        let x = inputs[0];
+        let out_shape = self.output_shape(&[x.shape().clone()]);
+        let (n, c, oh, ow) = (
+            out_shape.dim(0),
+            out_shape.dim(1),
+            out_shape.dim(2),
+            out_shape.dim(3),
+        );
+        let (ih, iw) = (x.shape().dim(2), x.shape().dim(3));
+        let mut out = Tensor::zeros(out_shape);
+        for b in 0..n {
+            for ch in 0..c {
+                for y in 0..oh {
+                    for xo in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        for ky in 0..self.k {
+                            let sy = y * self.stride + ky;
+                            if sy < self.pad || sy - self.pad >= ih {
+                                continue;
+                            }
+                            for kx in 0..self.k {
+                                let sx = xo * self.stride + kx;
+                                if sx < self.pad || sx - self.pad >= iw {
+                                    continue;
+                                }
+                                best = best.max(x.at4(b, ch, sy - self.pad, sx - self.pad));
+                            }
+                        }
+                        // Fully-padded windows see only implicit zeros.
+                        *out.at4_mut(b, ch, y, xo) =
+                            if best == f32::NEG_INFINITY { 0.0 } else { best };
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(
+        &self,
+        inputs: &[&Tensor],
+        _params: &[&Tensor],
+        output: &Tensor,
+        grad_output: &Tensor,
+    ) -> Backward {
+        let x = inputs[0];
+        let (n, c, oh, ow) = (
+            output.shape().dim(0),
+            output.shape().dim(1),
+            output.shape().dim(2),
+            output.shape().dim(3),
+        );
+        let (ih, iw) = (x.shape().dim(2), x.shape().dim(3));
+        let mut gx = Tensor::zeros(x.shape().clone());
+        for b in 0..n {
+            for ch in 0..c {
+                for y in 0..oh {
+                    for xo in 0..ow {
+                        let target = output.at4(b, ch, y, xo);
+                        let g = grad_output.at4(b, ch, y, xo);
+                        if g == 0.0 {
+                            continue;
+                        }
+                        // Route the gradient to the first max element
+                        // (cuDNN picks one winner as well).
+                        'scan: for ky in 0..self.k {
+                            let sy = y * self.stride + ky;
+                            if sy < self.pad || sy - self.pad >= ih {
+                                continue;
+                            }
+                            for kx in 0..self.k {
+                                let sx = xo * self.stride + kx;
+                                if sx < self.pad || sx - self.pad >= iw {
+                                    continue;
+                                }
+                                if x.at4(b, ch, sy - self.pad, sx - self.pad) == target {
+                                    *gx.at4_mut(b, ch, sy - self.pad, sx - self.pad) += g;
+                                    break 'scan;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Backward {
+            grad_inputs: vec![gx],
+            grad_params: vec![],
+        }
+    }
+
+    fn forward_flops(&self, inputs: &[Shape]) -> u64 {
+        let out = self.output_shape(inputs);
+        out.numel() as u64 * (self.k * self.k) as u64
+    }
+
+    fn backward_flops(&self, inputs: &[Shape]) -> u64 {
+        self.forward_flops(inputs)
+    }
+}
+
+/// Average pooling over square windows with optional zero padding
+/// (padded positions count toward the divisor, matching cuDNN's
+/// include-padding mode used by the inception pool branches). Use a
+/// window equal to the feature-map size for the global average pooling
+/// that closes GoogLeNet, Inception-v3 and ResNet.
+#[derive(Debug, Clone)]
+pub struct AvgPool2d {
+    k: usize,
+    stride: usize,
+    pad: usize,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pool layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` or `stride` is zero.
+    pub fn new(k: usize, stride: usize, pad: usize) -> Self {
+        assert!(k > 0 && stride > 0);
+        AvgPool2d { k, stride, pad }
+    }
+
+    /// Global average pooling for an `hw x hw` feature map.
+    pub fn global(hw: usize) -> Self {
+        AvgPool2d::new(hw, hw, 0)
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn kind(&self) -> &'static str {
+        "avgpool"
+    }
+
+    fn output_shape(&self, inputs: &[Shape]) -> Shape {
+        assert_eq!(inputs.len(), 1, "avgpool takes one input");
+        let s = &inputs[0];
+        assert_eq!(s.rank(), 4, "avgpool input must be NCHW");
+        let (oh, ow) = pooled_hw(s.dim(2), s.dim(3), self.k, self.stride, self.pad);
+        Shape::new([s.dim(0), s.dim(1), oh, ow])
+    }
+
+    fn forward(&self, inputs: &[&Tensor], _params: &[&Tensor]) -> Tensor {
+        let x = inputs[0];
+        let out_shape = self.output_shape(&[x.shape().clone()]);
+        let (n, c, oh, ow) = (
+            out_shape.dim(0),
+            out_shape.dim(1),
+            out_shape.dim(2),
+            out_shape.dim(3),
+        );
+        let (ih, iw) = (x.shape().dim(2), x.shape().dim(3));
+        let norm = 1.0 / (self.k * self.k) as f32;
+        let mut out = Tensor::zeros(out_shape);
+        for b in 0..n {
+            for ch in 0..c {
+                for y in 0..oh {
+                    for xo in 0..ow {
+                        let mut acc = 0.0;
+                        for ky in 0..self.k {
+                            let sy = y * self.stride + ky;
+                            if sy < self.pad || sy - self.pad >= ih {
+                                continue;
+                            }
+                            for kx in 0..self.k {
+                                let sx = xo * self.stride + kx;
+                                if sx < self.pad || sx - self.pad >= iw {
+                                    continue;
+                                }
+                                acc += x.at4(b, ch, sy - self.pad, sx - self.pad);
+                            }
+                        }
+                        *out.at4_mut(b, ch, y, xo) = acc * norm;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(
+        &self,
+        inputs: &[&Tensor],
+        _params: &[&Tensor],
+        _output: &Tensor,
+        grad_output: &Tensor,
+    ) -> Backward {
+        let x = inputs[0];
+        let (n, c, oh, ow) = (
+            grad_output.shape().dim(0),
+            grad_output.shape().dim(1),
+            grad_output.shape().dim(2),
+            grad_output.shape().dim(3),
+        );
+        let (ih, iw) = (x.shape().dim(2), x.shape().dim(3));
+        let norm = 1.0 / (self.k * self.k) as f32;
+        let mut gx = Tensor::zeros(x.shape().clone());
+        for b in 0..n {
+            for ch in 0..c {
+                for y in 0..oh {
+                    for xo in 0..ow {
+                        let g = grad_output.at4(b, ch, y, xo) * norm;
+                        for ky in 0..self.k {
+                            let sy = y * self.stride + ky;
+                            if sy < self.pad || sy - self.pad >= ih {
+                                continue;
+                            }
+                            for kx in 0..self.k {
+                                let sx = xo * self.stride + kx;
+                                if sx < self.pad || sx - self.pad >= iw {
+                                    continue;
+                                }
+                                *gx.at4_mut(b, ch, sy - self.pad, sx - self.pad) += g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Backward {
+            grad_inputs: vec![gx],
+            grad_params: vec![],
+        }
+    }
+
+    fn forward_flops(&self, inputs: &[Shape]) -> u64 {
+        let out = self.output_shape(inputs);
+        out.numel() as u64 * (self.k * self.k) as u64
+    }
+
+    fn backward_flops(&self, inputs: &[Shape]) -> u64 {
+        self.forward_flops(inputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::gradcheck;
+
+    #[test]
+    fn maxpool_known_values() {
+        let pool = MaxPool2d::new(2, 2, 0);
+        let x = Tensor::from_vec(
+            Shape::new([1, 1, 2, 4]),
+            vec![1., 5., 2., 0., 3., 4., 8., -1.],
+        );
+        let y = pool.forward(&[&x], &[]);
+        assert_eq!(y.shape().dims(), &[1, 1, 1, 2]);
+        assert_eq!(y.data(), &[5.0, 8.0]);
+    }
+
+    #[test]
+    fn maxpool_padding_is_coordinate_extension_only() {
+        // Padding extends coordinates, but only in-bounds elements
+        // compete for the max (cuDNN -inf padding semantics).
+        let pool = MaxPool2d::new(3, 2, 1);
+        let x = Tensor::from_vec(Shape::new([1, 1, 2, 2]), vec![-4., -3., -2., -1.]);
+        let y = pool.forward(&[&x], &[]);
+        assert_eq!(y.shape().dims(), &[1, 1, 1, 1]);
+        assert_eq!(y.data(), &[-1.0]);
+    }
+
+    #[test]
+    fn avgpool_known_values() {
+        let pool = AvgPool2d::new(2, 2, 0);
+        let x = Tensor::from_vec(Shape::new([1, 1, 2, 2]), vec![1.0, 3.0, 5.0, 7.0]);
+        let y = pool.forward(&[&x], &[]);
+        assert_eq!(y.data(), &[4.0]);
+    }
+
+    #[test]
+    fn avgpool_padding_counts_zeros() {
+        // 3x3 window, pad 1, on a single pixel of value 9: the window
+        // sees one real element and eight zeros; include-padding mode
+        // divides by 9.
+        let pool = AvgPool2d::new(3, 1, 1);
+        let x = Tensor::from_vec(Shape::new([1, 1, 1, 1]), vec![9.0]);
+        let y = pool.forward(&[&x], &[]);
+        assert_eq!(y.data(), &[1.0]);
+    }
+
+    #[test]
+    fn global_avgpool_reduces_to_1x1() {
+        let pool = AvgPool2d::global(7);
+        let out = pool.output_shape(&[Shape::new([2, 512, 7, 7])]);
+        assert_eq!(out.dims(), &[2, 512, 1, 1]);
+    }
+
+    #[test]
+    fn maxpool_gradients() {
+        let pool = MaxPool2d::new(2, 2, 0);
+        let x = gradcheck::fixture(Shape::new([1, 2, 4, 4]), 5);
+        gradcheck::check(&pool, &[x], &[], 2e-2);
+    }
+
+    #[test]
+    fn avgpool_gradients() {
+        let pool = AvgPool2d::new(2, 2, 0);
+        let x = gradcheck::fixture(Shape::new([1, 2, 4, 4]), 6);
+        gradcheck::check(&pool, &[x], &[], 2e-2);
+    }
+
+    #[test]
+    fn padded_avgpool_gradients() {
+        let pool = AvgPool2d::new(3, 1, 1);
+        let x = gradcheck::fixture(Shape::new([1, 2, 3, 3]), 7);
+        gradcheck::check(&pool, &[x], &[], 2e-2);
+    }
+
+    #[test]
+    fn pools_have_no_params_and_no_tensor_cores() {
+        let pool = MaxPool2d::new(2, 2, 0);
+        assert_eq!(pool.param_count(), 0);
+        assert!(!pool.uses_tensor_cores());
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than input")]
+    fn oversized_window_panics() {
+        let pool = MaxPool2d::new(5, 1, 0);
+        let _ = pool.output_shape(&[Shape::new([1, 1, 3, 3])]);
+    }
+}

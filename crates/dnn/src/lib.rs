@@ -1,0 +1,53 @@
+//! # voltascope-dnn — a miniature DNN framework with real numerics
+//!
+//! The substrate standing in for MXNet + cuDNN in the paper
+//! reproduction: dense `f32` tensors, differentiable layers with
+//! hand-written forward/backward passes, a DAG [`Model`] with eager
+//! shape inference, and the five-network zoo the paper trains
+//! ([`zoo::lenet`], [`zoo::alexnet`], [`zoo::googlenet`],
+//! [`zoo::inception_v3`], [`zoo::resnet50`]).
+//!
+//! Two audiences use this crate:
+//!
+//! * **The simulator** consumes the *accounting* API — parameter
+//!   counts, per-layer FLOPs ([`Model::kernel_profile`]), activation
+//!   footprints, gradient buckets — to schedule kernels and transfers
+//!   with realistic sizes.
+//! * **Tests and the correctness story** use the *execution* API —
+//!   [`Model::forward`], [`Model::backward`],
+//!   [`softmax_cross_entropy`] — so data-parallel training in
+//!   `voltascope-train` computes real gradients whose collective
+//!   reduction can be checked bit-for-bit.
+//!
+//! # Example
+//!
+//! ```
+//! use voltascope_dnn::{zoo, NetworkStats};
+//!
+//! let lenet = zoo::lenet();
+//! let stats = NetworkStats::of(&lenet);
+//! assert_eq!(stats.conv_layers, 2);
+//! // Classic LeNet-5 has ~61.7K parameters (paper Table I: "K" scale).
+//! assert!((60_000..64_000).contains(&stats.weights));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod graph;
+mod layer;
+mod loss;
+mod stats;
+mod tensor;
+pub mod zoo;
+
+pub use graph::{
+    Activations, GradientBucket, Gradients, KernelDesc, Model, ModelBuilder, NodeId, Params,
+    Source, Stage,
+};
+pub use layer::{
+    Add, AvgPool2d, Backward, BatchNorm2d, Concat, Conv2d, Dense, Layer, MaxPool2d, Relu,
+};
+pub use loss::{accuracy, softmax_cross_entropy};
+pub use stats::NetworkStats;
+pub use tensor::{Shape, Tensor};

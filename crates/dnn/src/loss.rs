@@ -1,0 +1,147 @@
+//! Softmax cross-entropy loss.
+
+use crate::tensor::Tensor;
+
+#[cfg(test)]
+use crate::tensor::Shape;
+
+/// Softmax cross-entropy over logits.
+///
+/// Takes logits of shape `[N, K]` (a rank-4 `[N, K, 1, 1]` head is
+/// accepted and flattened) and one class label per sample; returns the
+/// mean loss and the gradient with respect to the logits.
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the batch size or any label is
+/// out of range.
+///
+/// # Example
+///
+/// ```
+/// use voltascope_dnn::{softmax_cross_entropy, Shape, Tensor};
+///
+/// // Perfectly confident, correct prediction: loss near zero.
+/// let logits = Tensor::from_vec(Shape::new([1, 3]), vec![20.0, 0.0, 0.0]);
+/// let (loss, grad) = softmax_cross_entropy(&logits, &[0]);
+/// assert!(loss < 1e-6);
+/// assert!(grad.max_abs() < 1e-6);
+/// ```
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    let (n, k) = match logits.shape().rank() {
+        2 => (logits.shape().dim(0), logits.shape().dim(1)),
+        4 => {
+            assert_eq!(logits.shape().dim(2) * logits.shape().dim(3), 1);
+            (logits.shape().dim(0), logits.shape().dim(1))
+        }
+        r => panic!("softmax_cross_entropy expects rank 2 or 4 logits, got rank {r}"),
+    };
+    assert_eq!(labels.len(), n, "one label per sample required");
+
+    let mut grad = Tensor::zeros(logits.shape().clone());
+    let mut total_loss = 0.0f64;
+    for (b, &label) in labels.iter().enumerate() {
+        assert!(label < k, "label {label} out of range for {k} classes");
+        let row = &logits.data()[b * k..(b + 1) * k];
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let exp: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+        let denom: f32 = exp.iter().sum();
+        let log_denom = denom.ln();
+        total_loss += (log_denom - (row[label] - max)) as f64;
+        let grow = &mut grad.data_mut()[b * k..(b + 1) * k];
+        for (j, g) in grow.iter_mut().enumerate() {
+            let p = exp[j] / denom;
+            *g = (p - if j == label { 1.0 } else { 0.0 }) / n as f32;
+        }
+    }
+    ((total_loss / n as f64) as f32, grad)
+}
+
+/// Fraction of samples whose arg-max logit matches the label.
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the batch size.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
+    let n = logits.shape().dim(0);
+    let k: usize = logits.shape().dims()[1..].iter().product();
+    assert_eq!(labels.len(), n, "one label per sample required");
+    let mut correct = 0usize;
+    for (b, &label) in labels.iter().enumerate() {
+        let row = &logits.data()[b * k..(b + 1) * k];
+        let argmax = row
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite logits"))
+            .map(|(i, _)| i)
+            .expect("non-empty row");
+        if argmax == label {
+            correct += 1;
+        }
+    }
+    correct as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_k() {
+        let logits = Tensor::zeros(Shape::new([2, 4]));
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0, 3]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-6);
+        // Gradient sums to zero per row.
+        for b in 0..2 {
+            let s: f32 = grad.data()[b * 4..(b + 1) * 4].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec(Shape::new([2, 3]), vec![0.5, -1.0, 2.0, 0.0, 1.0, -0.5]);
+        let labels = [2usize, 1];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3f32;
+        for i in 0..logits.numel() {
+            let mut p = logits.clone();
+            let mut m = logits.clone();
+            p[i] += eps;
+            m[i] -= eps;
+            let (lp, _) = softmax_cross_entropy(&p, &labels);
+            let (lm, _) = softmax_cross_entropy(&m, &labels);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - grad[i]).abs() < 1e-3,
+                "at {i}: numeric {numeric}, analytic {}",
+                grad[i]
+            );
+        }
+    }
+
+    #[test]
+    fn rank4_head_accepted() {
+        let logits = Tensor::zeros(Shape::new([2, 5, 1, 1]));
+        let (loss, grad) = softmax_cross_entropy(&logits, &[1, 4]);
+        assert!(loss > 0.0);
+        assert_eq!(grad.shape().dims(), &[2, 5, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_label_panics() {
+        let logits = Tensor::zeros(Shape::new([1, 3]));
+        let _ = softmax_cross_entropy(&logits, &[3]);
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_hits() {
+        let logits = Tensor::from_vec(
+            Shape::new([2, 3]),
+            vec![1.0, 5.0, 2.0, 9.0, 0.0, 1.0],
+        );
+        assert_eq!(accuracy(&logits, &[1, 0]), 1.0);
+        assert_eq!(accuracy(&logits, &[0, 0]), 0.5);
+    }
+}

@@ -1,0 +1,85 @@
+//! Network census for the paper's Table I.
+
+use crate::graph::Model;
+
+/// The Table I row for one network: layer mix and weight count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Network name.
+    pub name: String,
+    /// Total graph nodes (layers including activations/merges).
+    pub layers: usize,
+    /// Convolution layers.
+    pub conv_layers: usize,
+    /// Inception modules.
+    pub inception_modules: usize,
+    /// Fully-connected layers.
+    pub fc_layers: usize,
+    /// Learnable parameter count.
+    pub weights: u64,
+}
+
+impl NetworkStats {
+    /// Computes the census of `model`.
+    pub fn of(model: &Model) -> Self {
+        let census = model.layer_census();
+        NetworkStats {
+            name: model.name().to_string(),
+            layers: model.node_count(),
+            conv_layers: census.get("conv").copied().unwrap_or(0),
+            inception_modules: model.module_count(),
+            fc_layers: census.get("fc").copied().unwrap_or(0),
+            weights: model.param_count(),
+        }
+    }
+
+    /// Human-readable weight count like `"61.0M"` or `"62K"`.
+    pub fn weights_human(&self) -> String {
+        if self.weights >= 1_000_000 {
+            format!("{:.1}M", self.weights as f64 / 1e6)
+        } else if self.weights >= 1_000 {
+            format!("{}K", self.weights / 1_000)
+        } else {
+            self.weights.to_string()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{ModelBuilder, Source};
+    use crate::layer::{Conv2d, Dense};
+    use crate::tensor::Shape;
+
+    #[test]
+    fn census_of_small_model() {
+        let mut b = ModelBuilder::new("t", Shape::new([1, 1, 8, 8]));
+        let c = b.add("c", Conv2d::new(1, 2, 3, 1, 1), &[Source::Input]);
+        let f = b.add("f", Dense::new(2 * 64, 4), &[Source::Node(c)]);
+        let m = b.finish(f);
+        let s = NetworkStats::of(&m);
+        assert_eq!(s.layers, 2);
+        assert_eq!(s.conv_layers, 1);
+        assert_eq!(s.fc_layers, 1);
+        assert_eq!(s.inception_modules, 0);
+        assert_eq!(s.weights, m.param_count());
+    }
+
+    #[test]
+    fn weight_formatting() {
+        let mut s = NetworkStats {
+            name: "x".into(),
+            layers: 0,
+            conv_layers: 0,
+            inception_modules: 0,
+            fc_layers: 0,
+            weights: 61_100_000,
+        };
+        assert_eq!(s.weights_human(), "61.1M");
+        s.weights = 61_700;
+        assert_eq!(s.weights_human(), "61K");
+        s.weights = 950;
+        assert_eq!(s.weights_human(), "950");
+    }
+}

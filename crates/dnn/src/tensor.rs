@@ -1,0 +1,399 @@
+//! Dense `f32` tensors with NCHW conventions.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A tensor shape: the extent of each dimension.
+///
+/// # Example
+///
+/// ```
+/// use voltascope_dnn::Shape;
+///
+/// let s = Shape::new([2, 3, 4, 4]); // NCHW: batch 2, 3 channels, 4x4
+/// assert_eq!(s.numel(), 96);
+/// assert_eq!(s.rank(), 4);
+/// assert_eq!(s.dim(1), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from dimension extents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        let dims = dims.into();
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "zero-sized dimension in {dims:?}"
+        );
+        Shape(dims)
+    }
+
+    /// The dimension extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Extent of dimension `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rank`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Size in bytes at `f32` precision.
+    pub fn bytes(&self) -> u64 {
+        self.numel() as u64 * 4
+    }
+
+    /// This shape with the batch dimension (dim 0) replaced by `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank-0 shapes.
+    pub fn with_batch(&self, n: usize) -> Shape {
+        let mut dims = self.0.clone();
+        dims[0] = n;
+        Shape::new(dims)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+/// A dense row-major `f32` tensor.
+///
+/// 4-D tensors follow the NCHW layout used by cuDNN: index
+/// `(n, c, h, w)` maps to `((n * C + c) * H + h) * W + w`.
+///
+/// # Example
+///
+/// ```
+/// use voltascope_dnn::{Shape, Tensor};
+///
+/// let mut t = Tensor::zeros(Shape::new([1, 2, 2, 2]));
+/// *t.at4_mut(0, 1, 0, 1) = 3.5;
+/// assert_eq!(t.at4(0, 1, 0, 1), 3.5);
+/// assert_eq!(t.data().iter().filter(|&&v| v != 0.0).count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// An all-zero tensor of the given shape.
+    pub fn zeros(shape: Shape) -> Self {
+        let numel = shape.numel();
+        Tensor {
+            shape,
+            data: vec![0.0; numel],
+        }
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(shape: Shape, value: f32) -> Self {
+        let numel = shape.numel();
+        Tensor {
+            shape,
+            data: vec![value; numel],
+        }
+    }
+
+    /// Wraps existing data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the shape's element count.
+    pub fn from_vec(shape: Shape, data: Vec<f32>) -> Self {
+        assert_eq!(
+            shape.numel(),
+            data.len(),
+            "shape {shape} does not match {} elements",
+            data.len()
+        );
+        Tensor { shape, data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Flat read-only view of the elements.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Flat mutable view of the elements.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Total element count.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Reinterprets the tensor under a new shape with the same element
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(self, shape: Shape) -> Tensor {
+        assert_eq!(self.numel(), shape.numel(), "reshape changes element count");
+        Tensor {
+            shape,
+            data: self.data,
+        }
+    }
+
+    #[inline]
+    fn idx4(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        debug_assert_eq!(self.shape.rank(), 4);
+        let (cc, hh, ww) = (self.shape.dim(1), self.shape.dim(2), self.shape.dim(3));
+        debug_assert!(n < self.shape.dim(0) && c < cc && h < hh && w < ww);
+        ((n * cc + c) * hh + h) * ww + w
+    }
+
+    /// Element at NCHW position.
+    #[inline]
+    pub fn at4(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        self.data[self.idx4(n, c, h, w)]
+    }
+
+    /// Mutable element at NCHW position.
+    #[inline]
+    pub fn at4_mut(&mut self, n: usize, c: usize, h: usize, w: usize) -> &mut f32 {
+        let i = self.idx4(n, c, h, w);
+        &mut self.data[i]
+    }
+
+    /// Element of a 2-D tensor at `(r, c)`.
+    #[inline]
+    pub fn at2(&self, r: usize, c: usize) -> f32 {
+        debug_assert_eq!(self.shape.rank(), 2);
+        self.data[r * self.shape.dim(1) + c]
+    }
+
+    /// Mutable element of a 2-D tensor at `(r, c)`.
+    #[inline]
+    pub fn at2_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        debug_assert_eq!(self.shape.rank(), 2);
+        let i = r * self.shape.dim(1) + c;
+        &mut self.data[i]
+    }
+
+    /// Elementwise `self += other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Elementwise `self *= s`.
+    pub fn scale(&mut self, s: f32) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Matrix product of two 2-D tensors: `(m x k) * (k x n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both are rank 2 with matching inner dimension.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape.rank(), 2, "matmul lhs must be 2-D");
+        assert_eq!(rhs.shape.rank(), 2, "matmul rhs must be 2-D");
+        let (m, k) = (self.shape.dim(0), self.shape.dim(1));
+        let (k2, n) = (rhs.shape.dim(0), rhs.shape.dim(1));
+        assert_eq!(k, k2, "matmul inner dimensions differ: {k} vs {k2}");
+        let mut out = Tensor::zeros(Shape::new([m, n]));
+        for i in 0..m {
+            for p in 0..k {
+                let a = self.data[i * k + p];
+                if a == 0.0 {
+                    continue;
+                }
+                let row = &rhs.data[p * n..(p + 1) * n];
+                let orow = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in orow.iter_mut().zip(row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Largest absolute element (0.0 for any empty view).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, v| m.max(v.abs()))
+    }
+}
+
+impl Index<usize> for Tensor {
+    type Output = f32;
+    fn index(&self, i: usize) -> &f32 {
+        &self.data[i]
+    }
+}
+
+impl IndexMut<usize> for Tensor {
+    fn index_mut(&mut self, i: usize) -> &mut f32 {
+        &mut self.data[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn shape_accessors() {
+        let s = Shape::new([2, 3, 5]);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.numel(), 30);
+        assert_eq!(s.bytes(), 120);
+        assert_eq!(s.with_batch(7).dims(), &[7, 3, 5]);
+        assert_eq!(s.to_string(), "[2x3x5]");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-sized dimension")]
+    fn zero_dim_rejected() {
+        let _ = Shape::new([2, 0, 3]);
+    }
+
+    #[test]
+    fn nchw_indexing_is_row_major() {
+        let mut t = Tensor::zeros(Shape::new([2, 3, 4, 5]));
+        *t.at4_mut(1, 2, 3, 4) = 9.0;
+        // ((1*3+2)*4+3)*5+4 = 119
+        assert_eq!(t.data()[119], 9.0);
+        assert_eq!(t.at4(1, 2, 3, 4), 9.0);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Tensor::from_vec(Shape::new([2, 3]), vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(Shape::new([3, 2]), vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape().dims(), &[2, 2]);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ")]
+    fn matmul_rejects_mismatch() {
+        let a = Tensor::zeros(Shape::new([2, 3]));
+        let b = Tensor::zeros(Shape::new([4, 2]));
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(Shape::new([2, 2]), vec![1., 2., 3., 4.]);
+        let r = t.clone().reshape(Shape::new([4]));
+        assert_eq!(r.data(), t.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "reshape changes element count")]
+    fn reshape_rejects_size_change() {
+        let t = Tensor::zeros(Shape::new([2, 2]));
+        let _ = t.reshape(Shape::new([5]));
+    }
+
+    #[test]
+    fn add_assign_and_scale() {
+        let mut a = Tensor::full(Shape::new([3]), 1.0);
+        let b = Tensor::full(Shape::new([3]), 2.0);
+        a.add_assign(&b);
+        a.scale(0.5);
+        assert_eq!(a.data(), &[1.5, 1.5, 1.5]);
+        assert_eq!(a.sum(), 4.5);
+    }
+
+    #[test]
+    fn max_abs_handles_negatives() {
+        let t = Tensor::from_vec(Shape::new([3]), vec![-5.0, 2.0, 4.0]);
+        assert_eq!(t.max_abs(), 5.0);
+    }
+
+    proptest! {
+        /// (A * B) * C == A * (B * C) within float tolerance.
+        #[test]
+        fn matmul_associativity(
+            a in proptest::collection::vec(-2.0f32..2.0, 6),
+            b in proptest::collection::vec(-2.0f32..2.0, 6),
+            c in proptest::collection::vec(-2.0f32..2.0, 4),
+        ) {
+            let ta = Tensor::from_vec(Shape::new([2, 3]), a);
+            let tb = Tensor::from_vec(Shape::new([3, 2]), b);
+            let tc = Tensor::from_vec(Shape::new([2, 2]), c);
+            let left = ta.matmul(&tb).matmul(&tc);
+            let right = ta.matmul(&tb.matmul(&tc));
+            for (l, r) in left.data().iter().zip(right.data()) {
+                prop_assert!((l - r).abs() < 1e-3, "{l} vs {r}");
+            }
+        }
+
+        /// Matmul with the identity is a no-op.
+        #[test]
+        fn matmul_identity(a in proptest::collection::vec(-10.0f32..10.0, 9)) {
+            let ta = Tensor::from_vec(Shape::new([3, 3]), a);
+            let mut id = Tensor::zeros(Shape::new([3, 3]));
+            for i in 0..3 {
+                *id.at2_mut(i, i) = 1.0;
+            }
+            let out = ta.matmul(&id);
+            prop_assert_eq!(out.data(), ta.data());
+        }
+    }
+}

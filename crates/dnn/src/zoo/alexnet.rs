@@ -1,0 +1,78 @@
+//! AlexNet.
+
+use crate::graph::{Model, ModelBuilder, Source};
+use crate::layer::{Conv2d, Dense, MaxPool2d, Relu};
+use crate::tensor::Shape;
+
+/// AlexNet for 3x224x224 inputs: five convolutions and three
+/// fully-connected layers, ~61.1M parameters — the communication-heavy
+/// extreme of the paper's workload spectrum ("only 5 convolution
+/// layers and a large number of weights (~60M)", §V-A).
+///
+/// # Example
+///
+/// ```
+/// use voltascope_dnn::zoo::alexnet;
+///
+/// let model = alexnet();
+/// assert_eq!(model.output_shape(1).dims(), &[1, 1000]);
+/// // The three FC layers hold almost all the weights.
+/// assert!(model.param_count() > 58_000_000);
+/// ```
+pub fn alexnet() -> Model {
+    let mut b = ModelBuilder::new("AlexNet", Shape::new([1, 3, 224, 224]));
+    let c1 = b.add("conv1", Conv2d::new(3, 64, 11, 4, 2), &[Source::Input]);
+    let r1 = b.add("relu1", Relu, &[Source::Node(c1)]);
+    let p1 = b.add("pool1", MaxPool2d::new(3, 2, 0), &[Source::Node(r1)]);
+    let c2 = b.add("conv2", Conv2d::new(64, 192, 5, 1, 2), &[Source::Node(p1)]);
+    let r2 = b.add("relu2", Relu, &[Source::Node(c2)]);
+    let p2 = b.add("pool2", MaxPool2d::new(3, 2, 0), &[Source::Node(r2)]);
+    let c3 = b.add("conv3", Conv2d::new(192, 384, 3, 1, 1), &[Source::Node(p2)]);
+    let r3 = b.add("relu3", Relu, &[Source::Node(c3)]);
+    let c4 = b.add("conv4", Conv2d::new(384, 256, 3, 1, 1), &[Source::Node(r3)]);
+    let r4 = b.add("relu4", Relu, &[Source::Node(c4)]);
+    let c5 = b.add("conv5", Conv2d::new(256, 256, 3, 1, 1), &[Source::Node(r4)]);
+    let r5 = b.add("relu5", Relu, &[Source::Node(c5)]);
+    let p5 = b.add("pool5", MaxPool2d::new(3, 2, 0), &[Source::Node(r5)]);
+    let f6 = b.add("fc6", Dense::new(256 * 6 * 6, 4096), &[Source::Node(p5)]);
+    let r6 = b.add("relu6", Relu, &[Source::Node(f6)]);
+    let f7 = b.add("fc7", Dense::new(4096, 4096), &[Source::Node(r6)]);
+    let r7 = b.add("relu7", Relu, &[Source::Node(f7)]);
+    let f8 = b.add("fc8", Dense::new(4096, 1000), &[Source::Node(r7)]);
+    b.finish(f8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::NetworkStats;
+
+    #[test]
+    fn torchvision_parameter_count() {
+        // torchvision alexnet: 61,100,840 parameters.
+        assert_eq!(alexnet().param_count(), 61_100_840);
+    }
+
+    #[test]
+    fn table1_census() {
+        let s = NetworkStats::of(&alexnet());
+        assert_eq!(s.conv_layers, 5);
+        assert_eq!(s.fc_layers, 3);
+        assert_eq!(s.inception_modules, 0);
+    }
+
+    #[test]
+    fn spatial_pipeline_reaches_6x6() {
+        let m = alexnet();
+        // fc6 expects 256*6*6 = 9216 features, so shape inference
+        // passing at build time already proves the 224 -> 6 pipeline.
+        assert_eq!(m.output_shape(3).dims(), &[3, 1000]);
+    }
+
+    #[test]
+    fn fc_layers_dominate_weights() {
+        let m = alexnet();
+        let fc_weights: u64 = (9216 * 4096 + 4096) + (4096 * 4096 + 4096) + (4096 * 1000 + 1000);
+        assert!(fc_weights as f64 / m.param_count() as f64 > 0.9);
+    }
+}

@@ -1,0 +1,148 @@
+//! GoogLeNet (Inception v1).
+
+use crate::graph::{ModelBuilder, Model, NodeId, Source};
+use crate::layer::{AvgPool2d, Concat, Conv2d, Dense, MaxPool2d, Relu};
+use crate::tensor::Shape;
+
+/// Adds `conv + relu` and returns the relu node.
+fn conv_relu(
+    b: &mut ModelBuilder,
+    name: &str,
+    conv: Conv2d,
+    input: Source,
+) -> NodeId {
+    let c = b.add(name, conv, &[input]);
+    b.add(format!("{name}.relu"), Relu, &[Source::Node(c)])
+}
+
+/// One inception module: four parallel branches (1x1, 1x1->3x3,
+/// 1x1->5x5, maxpool->1x1) concatenated on the channel axis.
+#[allow(clippy::too_many_arguments)]
+fn inception(
+    b: &mut ModelBuilder,
+    name: &str,
+    input: NodeId,
+    in_ch: usize,
+    c1: usize,
+    c3r: usize,
+    c3: usize,
+    c5r: usize,
+    c5: usize,
+    pool_proj: usize,
+) -> NodeId {
+    b.begin_module(name.to_string());
+    let src = Source::Node(input);
+    let b1 = conv_relu(b, &format!("{name}.1x1"), Conv2d::new(in_ch, c1, 1, 1, 0), src);
+    let b3r = conv_relu(b, &format!("{name}.3x3r"), Conv2d::new(in_ch, c3r, 1, 1, 0), src);
+    let b3 = conv_relu(
+        b,
+        &format!("{name}.3x3"),
+        Conv2d::new(c3r, c3, 3, 1, 1),
+        Source::Node(b3r),
+    );
+    let b5r = conv_relu(b, &format!("{name}.5x5r"), Conv2d::new(in_ch, c5r, 1, 1, 0), src);
+    let b5 = conv_relu(
+        b,
+        &format!("{name}.5x5"),
+        Conv2d::new(c5r, c5, 5, 1, 2),
+        Source::Node(b5r),
+    );
+    let pool = b.add(format!("{name}.pool"), MaxPool2d::new(3, 1, 1), &[src]);
+    let bp = conv_relu(
+        b,
+        &format!("{name}.poolproj"),
+        Conv2d::new(in_ch, pool_proj, 1, 1, 0),
+        Source::Node(pool),
+    );
+    let cat = b.add(
+        format!("{name}.concat"),
+        Concat,
+        &[
+            Source::Node(b1),
+            Source::Node(b3),
+            Source::Node(b5),
+            Source::Node(bp),
+        ],
+    );
+    b.end_module();
+    cat
+}
+
+/// GoogLeNet (Inception v1) for 3x224x224 inputs: a convolutional stem
+/// followed by nine inception modules and a single small classifier FC,
+/// ~7.0M parameters — the paper's example of inception layers slashing
+/// the parameter count relative to AlexNet (§IV-C).
+///
+/// # Example
+///
+/// ```
+/// use voltascope_dnn::{zoo::googlenet, NetworkStats};
+///
+/// let stats = NetworkStats::of(&googlenet());
+/// assert_eq!(stats.inception_modules, 9);
+/// assert_eq!(stats.fc_layers, 1);
+/// ```
+pub fn googlenet() -> Model {
+    let mut b = ModelBuilder::new("GoogLeNet", Shape::new([1, 3, 224, 224]));
+    let c1 = conv_relu(&mut b, "conv1", Conv2d::new(3, 64, 7, 2, 3), Source::Input);
+    let p1 = b.add("pool1", MaxPool2d::new(3, 2, 1), &[Source::Node(c1)]);
+    let c2 = conv_relu(&mut b, "conv2", Conv2d::new(64, 64, 1, 1, 0), Source::Node(p1));
+    let c3 = conv_relu(&mut b, "conv3", Conv2d::new(64, 192, 3, 1, 1), Source::Node(c2));
+    let p2 = b.add("pool2", MaxPool2d::new(3, 2, 1), &[Source::Node(c3)]);
+
+    let i3a = inception(&mut b, "inc3a", p2, 192, 64, 96, 128, 16, 32, 32); // 256
+    let i3b = inception(&mut b, "inc3b", i3a, 256, 128, 128, 192, 32, 96, 64); // 480
+    let p3 = b.add("pool3", MaxPool2d::new(3, 2, 1), &[Source::Node(i3b)]);
+
+    let i4a = inception(&mut b, "inc4a", p3, 480, 192, 96, 208, 16, 48, 64); // 512
+    let i4b = inception(&mut b, "inc4b", i4a, 512, 160, 112, 224, 24, 64, 64); // 512
+    let i4c = inception(&mut b, "inc4c", i4b, 512, 128, 128, 256, 24, 64, 64); // 512
+    let i4d = inception(&mut b, "inc4d", i4c, 512, 112, 144, 288, 32, 64, 64); // 528
+    let i4e = inception(&mut b, "inc4e", i4d, 528, 256, 160, 320, 32, 128, 128); // 832
+    let p4 = b.add("pool4", MaxPool2d::new(3, 2, 1), &[Source::Node(i4e)]);
+
+    let i5a = inception(&mut b, "inc5a", p4, 832, 256, 160, 320, 32, 128, 128); // 832
+    let i5b = inception(&mut b, "inc5b", i5a, 832, 384, 192, 384, 48, 128, 128); // 1024
+    let gap = b.add("avgpool", AvgPool2d::global(7), &[Source::Node(i5b)]);
+    let fc = b.add("fc", Dense::new(1024, 1000), &[Source::Node(gap)]);
+    b.finish(fc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::NetworkStats;
+
+    #[test]
+    fn parameter_count_near_published() {
+        // GoogLeNet v1 without aux heads: ~6.6M (torchvision: 6,624,904).
+        let n = googlenet().param_count();
+        assert!(
+            (6_500_000..7_200_000).contains(&n),
+            "GoogLeNet params {n}"
+        );
+    }
+
+    #[test]
+    fn table1_census() {
+        let s = NetworkStats::of(&googlenet());
+        assert_eq!(s.inception_modules, 9);
+        assert_eq!(s.fc_layers, 1);
+        // Stem (3) + 9 modules x 6 convs = 57.
+        assert_eq!(s.conv_layers, 57);
+    }
+
+    #[test]
+    fn head_shapes() {
+        let m = googlenet();
+        assert_eq!(m.output_shape(2).dims(), &[2, 1000]);
+    }
+
+    #[test]
+    fn channel_arithmetic_of_all_modules_holds() {
+        // Shape inference at build time validates every concat; this
+        // test exists to fail loudly if the module configs drift.
+        let m = googlenet();
+        assert!(m.node_count() > 100);
+    }
+}

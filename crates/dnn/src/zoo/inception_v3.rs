@@ -1,0 +1,207 @@
+//! Inception-v3.
+
+use crate::graph::{Model, ModelBuilder, NodeId, Source};
+use crate::layer::{AvgPool2d, BatchNorm2d, Concat, Conv2d, Dense, MaxPool2d, Relu};
+use crate::tensor::Shape;
+
+/// `conv -> batchnorm -> relu`, the basic unit of Inception-v3.
+fn basic(b: &mut ModelBuilder, name: &str, conv: Conv2d, input: Source) -> NodeId {
+    let out_ch = conv.out_channels();
+    let c = b.add(name, conv, &[input]);
+    let n = b.add(format!("{name}.bn"), BatchNorm2d::new(out_ch), &[Source::Node(c)]);
+    b.add(format!("{name}.relu"), Relu, &[Source::Node(n)])
+}
+
+/// 35x35 module: 1x1 / 5x5 / double-3x3 / pool branches.
+fn inception_a(b: &mut ModelBuilder, name: &str, input: NodeId, in_ch: usize, pool: usize) -> NodeId {
+    b.begin_module(name.to_string());
+    let src = Source::Node(input);
+    let b1 = basic(b, &format!("{name}.1x1"), Conv2d::new(in_ch, 64, 1, 1, 0), src);
+    let b5r = basic(b, &format!("{name}.5x5r"), Conv2d::new(in_ch, 48, 1, 1, 0), src);
+    let b5 = basic(b, &format!("{name}.5x5"), Conv2d::new(48, 64, 5, 1, 2), Source::Node(b5r));
+    let d1 = basic(b, &format!("{name}.d3x3r"), Conv2d::new(in_ch, 64, 1, 1, 0), src);
+    let d2 = basic(b, &format!("{name}.d3x3a"), Conv2d::new(64, 96, 3, 1, 1), Source::Node(d1));
+    let d3 = basic(b, &format!("{name}.d3x3b"), Conv2d::new(96, 96, 3, 1, 1), Source::Node(d2));
+    let ap = b.add(format!("{name}.pool"), AvgPool2d::new(3, 1, 1), &[src]);
+    let bp = basic(b, &format!("{name}.poolproj"), Conv2d::new(in_ch, pool, 1, 1, 0), Source::Node(ap));
+    let cat = b.add(
+        format!("{name}.concat"),
+        Concat,
+        &[Source::Node(b1), Source::Node(b5), Source::Node(d3), Source::Node(bp)],
+    );
+    b.end_module();
+    cat
+}
+
+/// 35 -> 17 grid reduction.
+fn reduction_a(b: &mut ModelBuilder, name: &str, input: NodeId, in_ch: usize) -> NodeId {
+    b.begin_module(name.to_string());
+    let src = Source::Node(input);
+    let b3 = basic(b, &format!("{name}.3x3"), Conv2d::new(in_ch, 384, 3, 2, 0), src);
+    let d1 = basic(b, &format!("{name}.d3x3r"), Conv2d::new(in_ch, 64, 1, 1, 0), src);
+    let d2 = basic(b, &format!("{name}.d3x3a"), Conv2d::new(64, 96, 3, 1, 1), Source::Node(d1));
+    let d3 = basic(b, &format!("{name}.d3x3b"), Conv2d::new(96, 96, 3, 2, 0), Source::Node(d2));
+    let mp = b.add(format!("{name}.pool"), MaxPool2d::new(3, 2, 0), &[src]);
+    let cat = b.add(
+        format!("{name}.concat"),
+        Concat,
+        &[Source::Node(b3), Source::Node(d3), Source::Node(mp)],
+    );
+    b.end_module();
+    cat
+}
+
+/// 17x17 module with factorised 7x7 convolutions of width `c7`.
+fn inception_b(b: &mut ModelBuilder, name: &str, input: NodeId, c7: usize) -> NodeId {
+    b.begin_module(name.to_string());
+    let src = Source::Node(input);
+    let in_ch = 768;
+    let b1 = basic(b, &format!("{name}.1x1"), Conv2d::new(in_ch, 192, 1, 1, 0), src);
+    let s1 = basic(b, &format!("{name}.7x7r"), Conv2d::new(in_ch, c7, 1, 1, 0), src);
+    let s2 = basic(b, &format!("{name}.1x7"), Conv2d::rect(c7, c7, (1, 7), (1, 1), (0, 3)), Source::Node(s1));
+    let s3 = basic(b, &format!("{name}.7x1"), Conv2d::rect(c7, 192, (7, 1), (1, 1), (3, 0)), Source::Node(s2));
+    let d1 = basic(b, &format!("{name}.d7x7r"), Conv2d::new(in_ch, c7, 1, 1, 0), src);
+    let d2 = basic(b, &format!("{name}.d7x1a"), Conv2d::rect(c7, c7, (7, 1), (1, 1), (3, 0)), Source::Node(d1));
+    let d3 = basic(b, &format!("{name}.d1x7a"), Conv2d::rect(c7, c7, (1, 7), (1, 1), (0, 3)), Source::Node(d2));
+    let d4 = basic(b, &format!("{name}.d7x1b"), Conv2d::rect(c7, c7, (7, 1), (1, 1), (3, 0)), Source::Node(d3));
+    let d5 = basic(b, &format!("{name}.d1x7b"), Conv2d::rect(c7, 192, (1, 7), (1, 1), (0, 3)), Source::Node(d4));
+    let ap = b.add(format!("{name}.pool"), AvgPool2d::new(3, 1, 1), &[src]);
+    let bp = basic(b, &format!("{name}.poolproj"), Conv2d::new(in_ch, 192, 1, 1, 0), Source::Node(ap));
+    let cat = b.add(
+        format!("{name}.concat"),
+        Concat,
+        &[Source::Node(b1), Source::Node(s3), Source::Node(d5), Source::Node(bp)],
+    );
+    b.end_module();
+    cat
+}
+
+/// 17 -> 8 grid reduction.
+fn reduction_b(b: &mut ModelBuilder, name: &str, input: NodeId) -> NodeId {
+    b.begin_module(name.to_string());
+    let src = Source::Node(input);
+    let in_ch = 768;
+    let t1 = basic(b, &format!("{name}.3x3r"), Conv2d::new(in_ch, 192, 1, 1, 0), src);
+    let t2 = basic(b, &format!("{name}.3x3"), Conv2d::new(192, 320, 3, 2, 0), Source::Node(t1));
+    let s1 = basic(b, &format!("{name}.7x7r"), Conv2d::new(in_ch, 192, 1, 1, 0), src);
+    let s2 = basic(b, &format!("{name}.1x7"), Conv2d::rect(192, 192, (1, 7), (1, 1), (0, 3)), Source::Node(s1));
+    let s3 = basic(b, &format!("{name}.7x1"), Conv2d::rect(192, 192, (7, 1), (1, 1), (3, 0)), Source::Node(s2));
+    let s4 = basic(b, &format!("{name}.3x3b"), Conv2d::new(192, 192, 3, 2, 0), Source::Node(s3));
+    let mp = b.add(format!("{name}.pool"), MaxPool2d::new(3, 2, 0), &[src]);
+    let cat = b.add(
+        format!("{name}.concat"),
+        Concat,
+        &[Source::Node(t2), Source::Node(s4), Source::Node(mp)],
+    );
+    b.end_module();
+    cat
+}
+
+/// 8x8 module with split 3x3 branches.
+fn inception_c(b: &mut ModelBuilder, name: &str, input: NodeId, in_ch: usize) -> NodeId {
+    b.begin_module(name.to_string());
+    let src = Source::Node(input);
+    let b1 = basic(b, &format!("{name}.1x1"), Conv2d::new(in_ch, 320, 1, 1, 0), src);
+    let s1 = basic(b, &format!("{name}.3x3r"), Conv2d::new(in_ch, 384, 1, 1, 0), src);
+    let s2a = basic(b, &format!("{name}.1x3"), Conv2d::rect(384, 384, (1, 3), (1, 1), (0, 1)), Source::Node(s1));
+    let s2b = basic(b, &format!("{name}.3x1"), Conv2d::rect(384, 384, (3, 1), (1, 1), (1, 0)), Source::Node(s1));
+    let d1 = basic(b, &format!("{name}.d3x3r"), Conv2d::new(in_ch, 448, 1, 1, 0), src);
+    let d2 = basic(b, &format!("{name}.d3x3"), Conv2d::new(448, 384, 3, 1, 1), Source::Node(d1));
+    let d3a = basic(b, &format!("{name}.d1x3"), Conv2d::rect(384, 384, (1, 3), (1, 1), (0, 1)), Source::Node(d2));
+    let d3b = basic(b, &format!("{name}.d3x1"), Conv2d::rect(384, 384, (3, 1), (1, 1), (1, 0)), Source::Node(d2));
+    let ap = b.add(format!("{name}.pool"), AvgPool2d::new(3, 1, 1), &[src]);
+    let bp = basic(b, &format!("{name}.poolproj"), Conv2d::new(in_ch, 192, 1, 1, 0), Source::Node(ap));
+    let cat = b.add(
+        format!("{name}.concat"),
+        Concat,
+        &[
+            Source::Node(b1),
+            Source::Node(s2a),
+            Source::Node(s2b),
+            Source::Node(d3a),
+            Source::Node(d3b),
+            Source::Node(bp),
+        ],
+    );
+    b.end_module();
+    cat
+}
+
+/// Inception-v3 for 3x299x299 inputs: a deeper inception network with
+/// factorised convolutions and batch normalisation, ~24M parameters —
+/// the most computation-intensive workload of the paper, the one whose
+/// FP+BP stage scales closest to linearly with GPU count (§V-C).
+///
+/// # Example
+///
+/// ```
+/// use voltascope_dnn::zoo::inception_v3;
+///
+/// let model = inception_v3();
+/// assert_eq!(model.input_shape().dims(), &[1, 3, 299, 299]);
+/// assert_eq!(model.output_shape(1).dims(), &[1, 1000]);
+/// ```
+pub fn inception_v3() -> Model {
+    let mut b = ModelBuilder::new("Inception-v3", Shape::new([1, 3, 299, 299]));
+    let c1 = basic(&mut b, "stem1", Conv2d::new(3, 32, 3, 2, 0), Source::Input); // 149
+    let c2 = basic(&mut b, "stem2", Conv2d::new(32, 32, 3, 1, 0), Source::Node(c1)); // 147
+    let c3 = basic(&mut b, "stem3", Conv2d::new(32, 64, 3, 1, 1), Source::Node(c2)); // 147
+    let p1 = b.add("stem.pool1", MaxPool2d::new(3, 2, 0), &[Source::Node(c3)]); // 73
+    let c4 = basic(&mut b, "stem4", Conv2d::new(64, 80, 1, 1, 0), Source::Node(p1)); // 73
+    let c5 = basic(&mut b, "stem5", Conv2d::new(80, 192, 3, 1, 0), Source::Node(c4)); // 71
+    let p2 = b.add("stem.pool2", MaxPool2d::new(3, 2, 0), &[Source::Node(c5)]); // 35
+
+    let a1 = inception_a(&mut b, "mixed5b", p2, 192, 32); // 256
+    let a2 = inception_a(&mut b, "mixed5c", a1, 256, 64); // 288
+    let a3 = inception_a(&mut b, "mixed5d", a2, 288, 64); // 288
+    let ra = reduction_a(&mut b, "mixed6a", a3, 288); // 768 @ 17
+
+    let b1 = inception_b(&mut b, "mixed6b", ra, 128);
+    let b2 = inception_b(&mut b, "mixed6c", b1, 160);
+    let b3 = inception_b(&mut b, "mixed6d", b2, 160);
+    let b4 = inception_b(&mut b, "mixed6e", b3, 192);
+    let rb = reduction_b(&mut b, "mixed7a", b4); // 1280 @ 8
+
+    let c1m = inception_c(&mut b, "mixed7b", rb, 1280); // 2048
+    let c2m = inception_c(&mut b, "mixed7c", c1m, 2048); // 2048
+    let gap = b.add("avgpool", AvgPool2d::global(8), &[Source::Node(c2m)]);
+    let fc = b.add("fc", Dense::new(2048, 1000), &[Source::Node(gap)]);
+    b.finish(fc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::NetworkStats;
+
+    #[test]
+    fn parameter_count_near_published() {
+        // torchvision inception_v3 without aux head: ~23.8M.
+        let n = inception_v3().param_count();
+        assert!(
+            (23_000_000..25_000_000).contains(&n),
+            "Inception-v3 params {n}"
+        );
+    }
+
+    #[test]
+    fn table1_census() {
+        let s = NetworkStats::of(&inception_v3());
+        assert_eq!(s.conv_layers, 94);
+        assert_eq!(s.fc_layers, 1);
+        assert_eq!(s.inception_modules, 11);
+    }
+
+    #[test]
+    fn grid_sizes_resolve() {
+        // Shape inference at build time validates the 299 -> 35 -> 17
+        // -> 8 grid pipeline; the head confirms 2048 features.
+        let m = inception_v3();
+        assert_eq!(m.output_shape(2).dims(), &[2, 1000]);
+    }
+
+    #[test]
+    fn has_more_params_than_googlenet() {
+        assert!(inception_v3().param_count() > crate::zoo::googlenet().param_count() * 3);
+    }
+}

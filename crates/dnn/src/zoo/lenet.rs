@@ -1,0 +1,72 @@
+//! LeNet-5.
+
+use crate::graph::{Model, ModelBuilder, Source};
+use crate::layer::{Conv2d, Dense, MaxPool2d, Relu};
+use crate::tensor::Shape;
+
+/// Classic LeNet-5 for 28x28 grey-scale inputs: two 5x5 convolutions
+/// and three fully-connected layers, ~61.7K parameters.
+///
+/// The paper uses LeNet as its smallest workload, demonstrating that a
+/// network with too little computation cannot hide multi-GPU
+/// communication latency (§V-A).
+///
+/// # Example
+///
+/// ```
+/// use voltascope_dnn::zoo::lenet;
+///
+/// let model = lenet();
+/// assert_eq!(model.output_shape(1).dims(), &[1, 10]);
+/// ```
+pub fn lenet() -> Model {
+    let mut b = ModelBuilder::new("LeNet", Shape::new([1, 1, 28, 28]));
+    // conv1: 1 -> 6 channels, 5x5, same-pad to keep 28x28.
+    let c1 = b.add("conv1", Conv2d::new(1, 6, 5, 1, 2), &[Source::Input]);
+    let r1 = b.add("relu1", Relu, &[Source::Node(c1)]);
+    let p1 = b.add("pool1", MaxPool2d::new(2, 2, 0), &[Source::Node(r1)]);
+    // conv2: 6 -> 16 channels, 5x5, valid: 14 -> 10.
+    let c2 = b.add("conv2", Conv2d::new(6, 16, 5, 1, 0), &[Source::Node(p1)]);
+    let r2 = b.add("relu2", Relu, &[Source::Node(c2)]);
+    let p2 = b.add("pool2", MaxPool2d::new(2, 2, 0), &[Source::Node(r2)]);
+    // 16 x 5 x 5 = 400 features.
+    let f1 = b.add("fc1", Dense::new(400, 120), &[Source::Node(p2)]);
+    let fr1 = b.add("relu3", Relu, &[Source::Node(f1)]);
+    let f2 = b.add("fc2", Dense::new(120, 84), &[Source::Node(fr1)]);
+    let fr2 = b.add("relu4", Relu, &[Source::Node(f2)]);
+    let f3 = b.add("fc3", Dense::new(84, 10), &[Source::Node(fr2)]);
+    b.finish(f3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::NetworkStats;
+
+    #[test]
+    fn classic_parameter_count() {
+        let m = lenet();
+        // conv1: 6*(1*25)+6=156; conv2: 16*(6*25)+16=2416;
+        // fc1: 120*400+120=48120; fc2: 84*120+84=10164; fc3: 10*84+10=850.
+        assert_eq!(m.param_count(), 156 + 2416 + 48_120 + 10_164 + 850);
+    }
+
+    #[test]
+    fn table1_census() {
+        let s = NetworkStats::of(&lenet());
+        assert_eq!(s.conv_layers, 2);
+        assert_eq!(s.fc_layers, 3);
+        assert_eq!(s.inception_modules, 0);
+        assert_eq!(s.weights_human(), "61K");
+    }
+
+    #[test]
+    fn forward_executes() {
+        use crate::tensor::{Shape, Tensor};
+        let m = lenet();
+        let p = m.init_params(1);
+        let x = Tensor::full(Shape::new([2, 1, 28, 28]), 0.1);
+        let acts = m.forward(&p, &x);
+        assert_eq!(m.output(&acts).shape().dims(), &[2, 10]);
+    }
+}

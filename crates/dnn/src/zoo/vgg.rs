@@ -1,0 +1,71 @@
+//! VGG-16 — an *extension* workload beyond the paper's five.
+
+use crate::graph::{Model, ModelBuilder, NodeId, Source};
+use crate::layer::{Conv2d, Dense, MaxPool2d, Relu};
+use crate::tensor::Shape;
+
+fn block(b: &mut ModelBuilder, name: &str, input: Source, in_ch: usize, out_ch: usize, convs: usize) -> NodeId {
+    let mut src = input;
+    let mut ch = in_ch;
+    let mut last = None;
+    for i in 0..convs {
+        let c = b.add(format!("{name}.conv{}", i + 1), Conv2d::new(ch, out_ch, 3, 1, 1), &[src]);
+        let r = b.add(format!("{name}.relu{}", i + 1), Relu, &[Source::Node(c)]);
+        src = Source::Node(r);
+        ch = out_ch;
+        last = Some(r);
+    }
+    b.add(format!("{name}.pool"), MaxPool2d::new(2, 2, 0), &[Source::Node(last.expect("block has convs"))])
+}
+
+/// VGG-16 for 3x224x224 inputs: 13 convolutions, 3 FC layers, ~138M
+/// parameters — an extension workload sitting even further along the
+/// communication-heavy axis than AlexNet (2.3x its weights), useful for
+/// stressing the WU-stage models beyond the paper's roster.
+///
+/// # Example
+///
+/// ```
+/// use voltascope_dnn::zoo::vgg16;
+///
+/// let model = vgg16();
+/// assert_eq!(model.output_shape(1).dims(), &[1, 1000]);
+/// ```
+pub fn vgg16() -> Model {
+    let mut b = ModelBuilder::new("VGG-16", Shape::new([1, 3, 224, 224]));
+    let b1 = block(&mut b, "block1", Source::Input, 3, 64, 2); // 112
+    let b2 = block(&mut b, "block2", Source::Node(b1), 64, 128, 2); // 56
+    let b3 = block(&mut b, "block3", Source::Node(b2), 128, 256, 3); // 28
+    let b4 = block(&mut b, "block4", Source::Node(b3), 256, 512, 3); // 14
+    let b5 = block(&mut b, "block5", Source::Node(b4), 512, 512, 3); // 7
+    let f1 = b.add("fc6", Dense::new(512 * 7 * 7, 4096), &[Source::Node(b5)]);
+    let r1 = b.add("relu6", Relu, &[Source::Node(f1)]);
+    let f2 = b.add("fc7", Dense::new(4096, 4096), &[Source::Node(r1)]);
+    let r2 = b.add("relu7", Relu, &[Source::Node(f2)]);
+    let f3 = b.add("fc8", Dense::new(4096, 1000), &[Source::Node(r2)]);
+    b.finish(f3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::NetworkStats;
+
+    #[test]
+    fn torchvision_parameter_count() {
+        // torchvision vgg16: 138,357,544 parameters.
+        assert_eq!(vgg16().param_count(), 138_357_544);
+    }
+
+    #[test]
+    fn census() {
+        let s = NetworkStats::of(&vgg16());
+        assert_eq!(s.conv_layers, 13);
+        assert_eq!(s.fc_layers, 3);
+    }
+
+    #[test]
+    fn heavier_than_alexnet() {
+        assert!(vgg16().param_count() > 2 * crate::zoo::alexnet().param_count());
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests over random layer configurations: gradients of
+//! randomly-shaped convolutions and pools must always match finite
+//! differences, and shape inference must agree with real execution.
+
+use proptest::prelude::*;
+use voltascope_dnn::{AvgPool2d, Conv2d, Dense, Layer, MaxPool2d, Shape, Tensor};
+
+fn fixture(shape: Shape, salt: u64) -> Tensor {
+    let mut t = Tensor::zeros(shape);
+    for (i, v) in t.data_mut().iter_mut().enumerate() {
+        let x = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(salt);
+        *v = ((x >> 33) % 1000) as f32 / 500.0 - 1.0;
+    }
+    t
+}
+
+/// Numeric-vs-analytic gradient check using loss = sum(output * seed).
+fn gradcheck(layer: &dyn Layer, inputs: &[Tensor], params: &[Tensor]) -> Result<(), String> {
+    let irefs: Vec<&Tensor> = inputs.iter().collect();
+    let prefs: Vec<&Tensor> = params.iter().collect();
+    let out = layer.forward(&irefs, &prefs);
+    let mut seed = Tensor::zeros(out.shape().clone());
+    for (i, v) in seed.data_mut().iter_mut().enumerate() {
+        *v = ((i * 2654435761) % 13) as f32 / 13.0 - 0.5;
+    }
+    let loss = |o: &Tensor| -> f64 {
+        o.data().iter().zip(seed.data()).map(|(&a, &b)| a as f64 * b as f64).sum()
+    };
+    let bwd = layer.backward(&irefs, &prefs, &out, &seed);
+    let eps = 1e-2f32;
+    // Spot-check a deterministic sample of coordinates per tensor.
+    for (slot, analytic) in bwd.grad_inputs.iter().enumerate() {
+        for idx in (0..analytic.numel()).step_by(analytic.numel() / 8 + 1) {
+            let mut p = inputs.to_vec();
+            let mut m = inputs.to_vec();
+            p[slot][idx] += eps;
+            m[slot][idx] -= eps;
+            let op = layer.forward(&p.iter().collect::<Vec<_>>(), &prefs);
+            let om = layer.forward(&m.iter().collect::<Vec<_>>(), &prefs);
+            let numeric = ((loss(&op) - loss(&om)) / (2.0 * eps as f64)) as f32;
+            let got = analytic[idx];
+            let scale = numeric.abs().max(got.abs()).max(1.0);
+            if (numeric - got).abs() / scale > 3e-2 {
+                return Err(format!(
+                    "{} d-input[{slot}][{idx}]: numeric {numeric} vs analytic {got}",
+                    layer.kind()
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random convolution configurations: shape inference matches the
+    /// executed output shape, FLOPs are positive, gradients check out.
+    #[test]
+    fn conv_shapes_and_gradients(
+        in_ch in 1usize..3,
+        out_ch in 1usize..3,
+        k in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..2,
+        hw in 3usize..7,
+    ) {
+        prop_assume!(hw + 2 * pad >= k);
+        let conv = Conv2d::new(in_ch, out_ch, k, stride, pad);
+        let in_shape = Shape::new([1, in_ch, hw, hw]);
+        let expect = conv.output_shape(std::slice::from_ref(&in_shape));
+        let x = fixture(in_shape.clone(), 1);
+        let w = fixture(Shape::new([out_ch, in_ch, k, k]), 2);
+        let b = fixture(Shape::new([out_ch]), 3);
+        let y = conv.forward(&[&x], &[&w, &b]);
+        prop_assert_eq!(y.shape(), &expect);
+        prop_assert!(conv.forward_flops(std::slice::from_ref(&in_shape)) > 0);
+        gradcheck(&conv, &[x], &[w, b]).map_err(TestCaseError::fail)?;
+    }
+
+    /// Random pooling configurations: executed shape == inferred shape,
+    /// and max-pool output is bounded by the input extremes.
+    #[test]
+    fn pool_shapes_and_bounds(
+        k in 1usize..4,
+        stride in 1usize..3,
+        hw in 3usize..8,
+        avg in proptest::bool::ANY,
+    ) {
+        prop_assume!(hw >= k);
+        let in_shape = Shape::new([2, 2, hw, hw]);
+        let x = fixture(in_shape.clone(), 7);
+        let layer: Box<dyn Layer> = if avg {
+            Box::new(AvgPool2d::new(k, stride, 0))
+        } else {
+            Box::new(MaxPool2d::new(k, stride, 0))
+        };
+        let expect = layer.output_shape(std::slice::from_ref(&in_shape));
+        let y = layer.forward(&[&x], &[]);
+        prop_assert_eq!(y.shape(), &expect);
+        let lo = x.data().iter().cloned().fold(f32::INFINITY, f32::min);
+        let hi = x.data().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        for &v in y.data() {
+            prop_assert!(v >= lo - 1e-6 && v <= hi + 1e-6);
+        }
+    }
+
+    /// Dense layers: linearity in the input.
+    #[test]
+    fn dense_is_linear(in_f in 1usize..8, out_f in 1usize..6, scale in 1u32..5) {
+        let fc = Dense::new(in_f, out_f);
+        let x = fixture(Shape::new([2, in_f]), 4);
+        let w = fixture(Shape::new([out_f, in_f]), 5);
+        let b = Tensor::zeros(Shape::new([out_f]));
+        let y1 = fc.forward(&[&x], &[&w, &b]);
+        let mut xs = x.clone();
+        xs.scale(scale as f32);
+        let y2 = fc.forward(&[&xs], &[&w, &b]);
+        for (a, c) in y1.data().iter().zip(y2.data()) {
+            prop_assert!((a * scale as f32 - c).abs() < 1e-3 * c.abs().max(1.0));
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! # voltascope-gpu — analytic Volta GPU and CUDA runtime model
+//!
+//! Models the compute side of the DGX-1: Tesla V100 GPUs with their SM
+//! array, FP32 and tensor-core peak throughput, HBM2 capacity, and the
+//! CUDA host runtime whose per-call overheads the paper quantifies
+//! (Table III is entirely about `cudaStreamSynchronize` time share).
+//!
+//! Three ingredients matter for reproducing the paper:
+//!
+//! 1. **A kernel cost model** ([`KernelCostModel`]) that converts a
+//!    layer's FLOP count into execution time through a *saturating
+//!    efficiency curve*: small kernels (LeNet at batch 16) achieve a
+//!    small fraction of peak, so training time does not scale down
+//!    linearly with GPU count; large kernels (Inception-v3) approach
+//!    the cuDNN-typical fraction of peak.
+//! 2. **A host API cost model** ([`ApiCostModel`]) with fixed per-call
+//!    CPU time for kernel launches, async memcpy issues, and stream
+//!    synchronisation; the amortisation of these costs with batch size
+//!    is what Table III and the weak-scaling discussion measure.
+//! 3. **A device memory model** ([`MemoryPool`]) with pool semantics
+//!    like the framework allocators `nvidia-smi` observes: memory is
+//!    cached after free, so reported usage is the high-water mark plus
+//!    the CUDA context (Table IV).
+//!
+//! # Example
+//!
+//! ```
+//! use voltascope_gpu::{GpuSpec, KernelCostModel};
+//!
+//! let v100 = GpuSpec::tesla_v100();
+//! let model = KernelCostModel::new(&v100);
+//! // A 2 GFLOP kernel (large conv) runs near peak; a 2 MFLOP kernel
+//! // (tiny conv) is launch-bound and far from peak.
+//! let big = model.kernel_time(2e9, true);
+//! let small = model.kernel_time(2e6, true);
+//! assert!(big.as_secs_f64() / 1000.0 < small.as_secs_f64() * 10.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod api;
+mod compute;
+mod memory;
+mod spec;
+
+pub use api::{ApiCall, ApiCostModel};
+pub use compute::KernelCostModel;
+pub use memory::{Allocation, MemoryPool, OomError};
+pub use spec::GpuSpec;

@@ -1,0 +1,102 @@
+//! GPU hardware specifications.
+
+use voltascope_sim::SimSpan;
+
+/// Static description of a GPU model.
+///
+/// The default constructor of interest is [`GpuSpec::tesla_v100`],
+/// matching the DGX-1 of the paper (§IV-A).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuSpec {
+    /// Marketing name, e.g. `"Tesla V100-SXM2-16GB"`.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub sm_count: u32,
+    /// Peak single-precision throughput in FLOP/s.
+    pub fp32_flops: f64,
+    /// Peak tensor-core throughput in FLOP/s (mixed-precision matrix
+    /// ops; the paper notes cuDNN uses these for the DNN workloads).
+    pub tensor_flops: f64,
+    /// Device memory capacity in bytes.
+    pub memory_bytes: u64,
+    /// Device memory bandwidth in bytes/s (HBM2).
+    pub memory_bandwidth: f64,
+    /// Minimum duration of any kernel on the device (ramp-up, tail
+    /// effects); small kernels cannot go faster than this.
+    pub min_kernel_time: SimSpan,
+    /// Bytes reserved per process by the CUDA context, cuDNN/cuBLAS
+    /// handles and NCCL communicators. `nvidia-smi` reports this on top
+    /// of framework allocations.
+    pub context_bytes: u64,
+}
+
+impl GpuSpec {
+    /// The Tesla V100-SXM2-16GB of the paper's DGX-1: 80 SMs, 15.7
+    /// TFLOPS FP32, 125 TFLOPS tensor (§IV-A — the paper quotes the "7x
+    /// faster with tensor cores" figure), 16 GB HBM2 at 900 GB/s.
+    pub fn tesla_v100() -> Self {
+        GpuSpec {
+            name: "Tesla V100-SXM2-16GB".to_string(),
+            sm_count: 80,
+            fp32_flops: 15.7e12,
+            tensor_flops: 125e12,
+            memory_bytes: 16 * 1024 * 1024 * 1024,
+            memory_bandwidth: 900e9,
+            min_kernel_time: SimSpan::from_micros(4),
+            // CUDA context + cuDNN workspace handles; ~0.45 GB matches
+            // the observed baseline of framework memory reports.
+            context_bytes: 450 * 1024 * 1024,
+        }
+    }
+
+    /// The Tesla P100-SXM2-16GB of the Pascal-generation DGX-1 (the
+    /// platform of the Gawande et al. comparison the paper cites in
+    /// §III): 56 SMs, 10.6 TFLOPS FP32, no tensor cores, 16 GB HBM2 at
+    /// 732 GB/s, NVLink 1.0.
+    pub fn tesla_p100() -> Self {
+        GpuSpec {
+            name: "Tesla P100-SXM2-16GB".to_string(),
+            sm_count: 56,
+            fp32_flops: 10.6e12,
+            // No tensor cores: matrix kernels run at the FP32 peak.
+            tensor_flops: 10.6e12,
+            memory_bytes: 16 * 1024 * 1024 * 1024,
+            memory_bandwidth: 732e9,
+            min_kernel_time: SimSpan::from_micros(4),
+            context_bytes: 450 * 1024 * 1024,
+        }
+    }
+
+    /// Usable memory after the CUDA context is resident.
+    pub fn usable_memory(&self) -> u64 {
+        self.memory_bytes.saturating_sub(self.context_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v100_figures() {
+        let v = GpuSpec::tesla_v100();
+        assert_eq!(v.sm_count, 80);
+        assert_eq!(v.memory_bytes, 16 * 1024 * 1024 * 1024);
+        // Tensor cores are ~8x FP32 peak (paper says "7x faster").
+        let ratio = v.tensor_flops / v.fp32_flops;
+        assert!((7.0..9.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn p100_has_no_tensor_advantage() {
+        let p = GpuSpec::tesla_p100();
+        assert_eq!(p.fp32_flops, p.tensor_flops);
+        assert!(p.fp32_flops < GpuSpec::tesla_v100().fp32_flops);
+    }
+
+    #[test]
+    fn usable_memory_subtracts_context() {
+        let v = GpuSpec::tesla_v100();
+        assert_eq!(v.usable_memory(), v.memory_bytes - v.context_bytes);
+    }
+}

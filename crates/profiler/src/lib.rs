@@ -1,0 +1,40 @@
+//! # voltascope-profile — the measurement surface of the reproduction
+//!
+//! Stand-in for `nvprof` and `nvidia-smi` (paper §IV-B): turns the
+//! simulator's execution traces into the reports the paper's tables
+//! are built from.
+//!
+//! * [`ProfileSummary`] — nvprof-style "GPU activities" / "API calls"
+//!   aggregation with time shares, call counts, and averages (the
+//!   source of Table III's `cudaStreamSynchronize` shares).
+//! * [`render_timeline`] — an ASCII Gantt chart of one iteration per
+//!   resource (regenerates the paper's Fig. 1 timeline).
+//! * [`chrome_trace`] — Chrome trace-event JSON export for interactive
+//!   inspection in `chrome://tracing` / Perfetto.
+//! * [`TextTable`] — the plain-text table builder all reproduction
+//!   binaries print through, with CSV export.
+//!
+//! # Example
+//!
+//! ```
+//! use voltascope_profile::TextTable;
+//!
+//! let mut table = TextTable::new(["Network", "Batch", "Overhead (%)"]);
+//! table.row(["LeNet", "16", "21.8"]);
+//! let text = table.render();
+//! assert!(text.contains("LeNet"));
+//! assert!(text.contains("Overhead"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chrome;
+mod summary;
+mod table;
+mod timeline;
+
+pub use chrome::chrome_trace;
+pub use summary::{ProfileLine, ProfileSummary};
+pub use table::TextTable;
+pub use timeline::render_timeline;

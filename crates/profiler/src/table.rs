@@ -1,0 +1,158 @@
+//! Plain-text table rendering with CSV export.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table; the output format of every
+/// reproduction binary.
+///
+/// # Example
+///
+/// ```
+/// use voltascope_profile::TextTable;
+///
+/// let mut t = TextTable::new(["GPUs", "Time (s)"]);
+/// t.row(["1", "12.3"]);
+/// t.row(["8", "2.1"]);
+/// let out = t.render();
+/// assert_eq!(out.lines().count(), 4); // header + rule + 2 rows
+/// assert!(t.to_csv().starts_with("GPUs,Time (s)\n"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no columns are given.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        let header: Vec<String> = header.into_iter().map(Into::into).collect();
+        assert!(!header.is_empty(), "table needs at least one column");
+        TextTable {
+            header,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width {} != table width {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when there are no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the aligned text table (header, rule, rows).
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for (c, h) in self.header.iter().enumerate() {
+            let sep = if c + 1 == cols { "\n" } else { "  " };
+            write!(out, "{:<width$}{sep}", h, width = widths[c]).unwrap();
+        }
+        let rule_len = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(rule_len));
+        out.push('\n');
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                let sep = if c + 1 == cols { "\n" } else { "  " };
+                write!(out, "{:<width$}{sep}", cell, width = widths[c]).unwrap();
+            }
+        }
+        out
+    }
+
+    /// Renders CSV (header + rows); cells containing commas or quotes
+    /// are quoted.
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_pads_to_widest_cell() {
+        let mut t = TextTable::new(["A", "BB"]);
+        t.row(["wide-cell", "x"]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("A        "));
+        assert!(lines[2].starts_with("wide-cell"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = TextTable::new(["A", "B"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn csv_escapes_special_cells() {
+        let mut t = TextTable::new(["name", "value"]);
+        t.row(["a,b", "say \"hi\""]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "name,value\n\"a,b\",\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = TextTable::new(["X"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.render().lines().count(), 2);
+    }
+}

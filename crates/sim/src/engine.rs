@@ -1,0 +1,560 @@
+//! The discrete-event engine that executes a [`TaskGraph`].
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::error::SimError;
+use crate::graph::{ResourceId, TaskGraph, TaskId};
+use crate::time::{SimSpan, SimTime};
+use crate::trace::{Trace, TraceEvent};
+
+/// Executes task graphs. `Engine` is stateless between runs; it exists
+/// as a type so future scheduling policies can hang configuration off
+/// it without breaking the call sites.
+///
+/// # Example
+///
+/// ```
+/// use voltascope_sim::{Engine, SimSpan, TaskGraph};
+///
+/// let mut graph = TaskGraph::new();
+/// let r = graph.add_resource("gpu", 1);
+/// let a = graph.task("a").on(r).lasting(SimSpan::from_nanos(10)).build();
+/// let b = graph.task("b").on(r).lasting(SimSpan::from_nanos(10)).build();
+/// let schedule = Engine::new().run(&graph)?;
+/// // Exclusive resource: b waits for a.
+/// assert_eq!(schedule.start_time(b), schedule.finish_time(a));
+/// # Ok::<(), voltascope_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Engine {
+    _private: (),
+}
+
+/// Occupancy statistics for one resource over a finished run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceStats {
+    /// Resource name copied from the graph.
+    pub name: String,
+    /// Sum of service time over all tasks the resource served.
+    pub busy: SimSpan,
+    /// Number of tasks served.
+    pub served: u64,
+    /// Total time tasks spent waiting in this resource's queue.
+    pub queue_wait: SimSpan,
+}
+
+impl ResourceStats {
+    /// Fraction of the makespan this resource was busy, accounting for
+    /// capacity (a capacity-2 resource busy on both slots the whole run
+    /// reports 1.0).
+    pub fn utilization(&self, makespan: SimSpan, capacity: u32) -> f64 {
+        if makespan.is_zero() {
+            0.0
+        } else {
+            self.busy.ratio(makespan) / capacity as f64
+        }
+    }
+}
+
+/// The result of executing a [`TaskGraph`]: start/finish instants for
+/// every task, per-resource statistics, and a flat [`Trace`].
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    start: Vec<SimTime>,
+    finish: Vec<SimTime>,
+    blocked_by: Vec<Option<TaskId>>,
+    resource_stats: Vec<ResourceStats>,
+    makespan: SimSpan,
+    trace: Trace,
+}
+
+impl Schedule {
+    /// When the task started executing.
+    pub fn start_time(&self, task: TaskId) -> SimTime {
+        self.start[task.index()]
+    }
+
+    /// When the task finished executing.
+    pub fn finish_time(&self, task: TaskId) -> SimTime {
+        self.finish[task.index()]
+    }
+
+    /// Finish instant of the last task; the total simulated run time.
+    pub fn makespan(&self) -> SimSpan {
+        self.makespan
+    }
+
+    /// Per-resource statistics, indexed by [`ResourceId`].
+    pub fn resource_stats(&self, resource: ResourceId) -> &ResourceStats {
+        &self.resource_stats[resource.index()]
+    }
+
+    /// Iterates over all resource statistics in id order.
+    pub fn all_resource_stats(&self) -> impl Iterator<Item = (ResourceId, &ResourceStats)> {
+        self.resource_stats
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (ResourceId(i as u32), s))
+    }
+
+    /// The flat event trace, ordered by start time.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Consumes the schedule, returning its trace.
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+
+    /// The task (dependency or resource predecessor) that determined
+    /// this task's start instant, if any. Walking this chain from the
+    /// last-finishing task yields the schedule's critical chain.
+    pub fn blocked_by(&self, task: TaskId) -> Option<TaskId> {
+        self.blocked_by[task.index()]
+    }
+
+    /// The critical chain: the sequence of tasks, earliest first, whose
+    /// back-to-back execution determined the makespan.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use voltascope_sim::{Engine, SimSpan, TaskGraph};
+    ///
+    /// let mut g = TaskGraph::new();
+    /// let a = g.task("a").lasting(SimSpan::from_nanos(10)).build();
+    /// let b = g.task("b").lasting(SimSpan::from_nanos(20)).after(a).build();
+    /// let schedule = Engine::new().run(&g)?;
+    /// assert_eq!(schedule.critical_chain(), vec![a, b]);
+    /// # Ok::<(), voltascope_sim::SimError>(())
+    /// ```
+    pub fn critical_chain(&self) -> Vec<TaskId> {
+        let Some(last) = (0..self.finish.len())
+            .map(|i| TaskId(i as u32))
+            .max_by_key(|t| (self.finish[t.index()], Reverse(t.index())))
+        else {
+            return Vec::new();
+        };
+        let mut chain = vec![last];
+        let mut cur = last;
+        while let Some(prev) = self.blocked_by[cur.index()] {
+            chain.push(prev);
+            cur = prev;
+        }
+        chain.reverse();
+        chain
+    }
+}
+
+/// Internal event kinds, ordered by (time, seq) for determinism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Event {
+    /// A task's release time arrived and its dependencies are met.
+    Ready(TaskId),
+    /// A task finished service.
+    Finish(TaskId),
+}
+
+impl Engine {
+    /// Creates an engine with the default (FIFO, deterministic) policy.
+    pub fn new() -> Self {
+        Engine::default()
+    }
+
+    /// Executes `graph` and returns the resulting [`Schedule`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Deadlock`] if the graph contains a dependency
+    /// cycle (some tasks never become ready).
+    pub fn run(&self, graph: &TaskGraph) -> Result<Schedule, SimError> {
+        let n = graph.tasks.len();
+        let mut indegree = vec![0u32; n];
+        let mut dependents: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+        for (id, task) in graph.tasks() {
+            indegree[id.index()] = task.deps.len() as u32;
+            for &dep in &task.deps {
+                dependents[dep.index()].push(id);
+            }
+        }
+
+        let mut start = vec![SimTime::ZERO; n];
+        let mut finish = vec![SimTime::ZERO; n];
+        let mut blocked_by: Vec<Option<TaskId>> = vec![None; n];
+        // For tasks not yet started: the dep whose finish made them ready.
+        let mut ready_cause: Vec<Option<TaskId>> = vec![None; n];
+        let mut ready_at: Vec<SimTime> = vec![SimTime::ZERO; n];
+        let mut completed = vec![false; n];
+        let mut completed_count = 0usize;
+
+        struct ResState {
+            in_service: u32,
+            queue: VecDeque<TaskId>,
+            busy: SimSpan,
+            served: u64,
+            queue_wait: SimSpan,
+        }
+        let mut res: Vec<ResState> = graph
+            .resources
+            .iter()
+            .map(|_| ResState {
+                in_service: 0,
+                queue: VecDeque::new(),
+                busy: SimSpan::ZERO,
+                served: 0,
+                queue_wait: SimSpan::ZERO,
+            })
+            .collect();
+
+        let mut seq = 0u64;
+        let mut events: BinaryHeap<Reverse<(SimTime, u64, Event)>> = BinaryHeap::new();
+        let push = |events: &mut BinaryHeap<_>, seq: &mut u64, at: SimTime, ev: Event| {
+            events.push(Reverse((at, *seq, ev)));
+            *seq += 1;
+        };
+
+        for (id, task) in graph.tasks() {
+            if task.deps.is_empty() {
+                push(&mut events, &mut seq, task.release, Event::Ready(id));
+            }
+        }
+
+        // Starts `task` at `now`; returns its finish event.
+        let mut makespan = SimTime::ZERO;
+        while let Some(Reverse((now, _, event))) = events.pop() {
+            match event {
+                Event::Ready(id) => {
+                    ready_at[id.index()] = now;
+                    let task = &graph.tasks[id.index()];
+                    match task.resource {
+                        None => {
+                            start[id.index()] = now;
+                            blocked_by[id.index()] = ready_cause[id.index()];
+                            push(
+                                &mut events,
+                                &mut seq,
+                                now + task.duration,
+                                Event::Finish(id),
+                            );
+                        }
+                        Some(rid) => {
+                            let state = &mut res[rid.index()];
+                            if state.in_service < graph.resources[rid.index()].capacity {
+                                state.in_service += 1;
+                                start[id.index()] = now;
+                                blocked_by[id.index()] = ready_cause[id.index()];
+                                push(
+                                    &mut events,
+                                    &mut seq,
+                                    now + task.duration,
+                                    Event::Finish(id),
+                                );
+                            } else {
+                                state.queue.push_back(id);
+                            }
+                        }
+                    }
+                }
+                Event::Finish(id) => {
+                    finish[id.index()] = now;
+                    completed[id.index()] = true;
+                    completed_count += 1;
+                    makespan = makespan.max(now);
+                    let task = &graph.tasks[id.index()];
+                    if let Some(rid) = task.resource {
+                        let state = &mut res[rid.index()];
+                        state.busy += task.duration;
+                        state.served += 1;
+                        state.in_service -= 1;
+                        if let Some(next) = state.queue.pop_front() {
+                            state.in_service += 1;
+                            state.queue_wait += now - ready_at[next.index()];
+                            start[next.index()] = now;
+                            // Queue wait dominated: the slot-freeing task
+                            // is what unblocked `next`.
+                            blocked_by[next.index()] = Some(id);
+                            push(
+                                &mut events,
+                                &mut seq,
+                                now + graph.tasks[next.index()].duration,
+                                Event::Finish(next),
+                            );
+                        }
+                    }
+                    for &dep_id in &dependents[id.index()] {
+                        let d = dep_id.index();
+                        indegree[d] -= 1;
+                        if indegree[d] == 0 {
+                            // `id` finished last among deps, so it is the
+                            // readiness cause unless the release time or
+                            // resource queueing dominates later.
+                            ready_cause[d] = Some(id);
+                            let at = graph.tasks[d].release.max(now);
+                            if at > now {
+                                ready_cause[d] = None; // release-gated
+                            }
+                            push(&mut events, &mut seq, at, Event::Ready(dep_id));
+                        }
+                    }
+                }
+            }
+        }
+
+        if completed_count != n {
+            let stuck = graph
+                .tasks()
+                .filter(|(id, _)| !completed[id.index()])
+                .map(|(_, t)| t.label.clone())
+                .collect();
+            return Err(SimError::Deadlock { stuck });
+        }
+
+        let resource_stats = graph
+            .resources
+            .iter()
+            .zip(&res)
+            .map(|(r, s)| ResourceStats {
+                name: r.name.clone(),
+                busy: s.busy,
+                served: s.served,
+                queue_wait: s.queue_wait,
+            })
+            .collect();
+
+        let mut events: Vec<TraceEvent> = graph
+            .tasks()
+            .map(|(id, task)| TraceEvent {
+                task: id,
+                label: task.label.clone(),
+                category: task.category.clone(),
+                resource: task.resource.map(|r| graph[r].name.clone()),
+                start: start[id.index()],
+                end: finish[id.index()],
+            })
+            .collect();
+        events.sort_by_key(|e| (e.start, e.task));
+
+        Ok(Schedule {
+            start,
+            finish,
+            blocked_by,
+            resource_stats,
+            makespan: makespan - SimTime::ZERO,
+            trace: Trace::new(events),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TaskGraph;
+
+    fn span(ns: u64) -> SimSpan {
+        SimSpan::from_nanos(ns)
+    }
+
+    #[test]
+    fn empty_graph_runs() {
+        let schedule = Engine::new().run(&TaskGraph::new()).unwrap();
+        assert_eq!(schedule.makespan(), SimSpan::ZERO);
+        assert!(schedule.critical_chain().is_empty());
+    }
+
+    #[test]
+    fn independent_tasks_overlap_on_distinct_resources() {
+        let mut g = TaskGraph::new();
+        let r0 = g.add_resource("r0", 1);
+        let r1 = g.add_resource("r1", 1);
+        let a = g.task("a").on(r0).lasting(span(10)).build();
+        let b = g.task("b").on(r1).lasting(span(8)).build();
+        let s = Engine::new().run(&g).unwrap();
+        assert_eq!(s.start_time(a), SimTime::ZERO);
+        assert_eq!(s.start_time(b), SimTime::ZERO);
+        assert_eq!(s.makespan(), span(10));
+    }
+
+    #[test]
+    fn exclusive_resource_serialises_fifo() {
+        let mut g = TaskGraph::new();
+        let r = g.add_resource("r", 1);
+        let a = g.task("a").on(r).lasting(span(5)).build();
+        let b = g.task("b").on(r).lasting(span(5)).build();
+        let c = g.task("c").on(r).lasting(span(5)).build();
+        let s = Engine::new().run(&g).unwrap();
+        assert_eq!(s.finish_time(a).as_nanos(), 5);
+        assert_eq!(s.finish_time(b).as_nanos(), 10);
+        assert_eq!(s.finish_time(c).as_nanos(), 15);
+        assert_eq!(s.resource_stats(r).served, 3);
+        assert_eq!(s.resource_stats(r).busy, span(15));
+        assert_eq!(s.resource_stats(r).queue_wait, span(5 + 10));
+    }
+
+    #[test]
+    fn capacity_two_runs_pairs() {
+        let mut g = TaskGraph::new();
+        let r = g.add_resource("r", 2);
+        for i in 0..4 {
+            g.task(format!("t{i}")).on(r).lasting(span(10)).build();
+        }
+        let s = Engine::new().run(&g).unwrap();
+        assert_eq!(s.makespan(), span(20));
+        assert!((s.resource_stats(r).utilization(span(20), 2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dependencies_are_honoured() {
+        let mut g = TaskGraph::new();
+        let a = g.task("a").lasting(span(10)).build();
+        let b = g.task("b").lasting(span(1)).after(a).build();
+        let s = Engine::new().run(&g).unwrap();
+        assert_eq!(s.start_time(b), s.finish_time(a));
+    }
+
+    #[test]
+    fn diamond_joins_on_slowest_branch() {
+        let mut g = TaskGraph::new();
+        let a = g.task("a").lasting(span(1)).build();
+        let b = g.task("b").lasting(span(10)).after(a).build();
+        let c = g.task("c").lasting(span(3)).after(a).build();
+        let d = g.task("d").lasting(span(1)).after(b).after(c).build();
+        let s = Engine::new().run(&g).unwrap();
+        assert_eq!(s.start_time(d).as_nanos(), 11);
+        assert_eq!(s.critical_chain(), vec![a, b, d]);
+    }
+
+    #[test]
+    fn release_time_gates_start() {
+        let mut g = TaskGraph::new();
+        let a = g
+            .task("a")
+            .lasting(span(1))
+            .not_before(SimTime::from_nanos(100))
+            .build();
+        let s = Engine::new().run(&g).unwrap();
+        assert_eq!(s.start_time(a), SimTime::from_nanos(100));
+        assert_eq!(s.makespan(), span(101));
+    }
+
+    #[test]
+    fn release_time_applies_after_deps() {
+        let mut g = TaskGraph::new();
+        let a = g.task("a").lasting(span(5)).build();
+        let b = g
+            .task("b")
+            .lasting(span(1))
+            .after(a)
+            .not_before(SimTime::from_nanos(50))
+            .build();
+        let s = Engine::new().run(&g).unwrap();
+        assert_eq!(s.start_time(b), SimTime::from_nanos(50));
+    }
+
+    #[test]
+    fn cycle_is_reported_as_deadlock() {
+        let mut g = TaskGraph::new();
+        let a = g.task("a").lasting(span(1)).build();
+        let b = g.task("b").lasting(span(1)).after(a).build();
+        g.add_dep(b, a); // creates the cycle a -> b -> a
+        let err = Engine::new().run(&g).unwrap_err();
+        match err {
+            SimError::Deadlock { stuck } => {
+                assert_eq!(stuck, vec!["a".to_string(), "b".to_string()]);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_duration_tasks_act_as_barriers() {
+        let mut g = TaskGraph::new();
+        let a = g.task("a").lasting(span(4)).build();
+        let b = g.task("b").lasting(span(6)).build();
+        let barrier = g.task("join").after(a).after(b).build();
+        let c = g.task("c").lasting(span(1)).after(barrier).build();
+        let s = Engine::new().run(&g).unwrap();
+        assert_eq!(s.start_time(c).as_nanos(), 6);
+    }
+
+    #[test]
+    fn fifo_tie_break_is_insertion_order() {
+        // Both become ready at t=0; the first-inserted must start first.
+        let mut g = TaskGraph::new();
+        let r = g.add_resource("r", 1);
+        let a = g.task("a").on(r).lasting(span(3)).build();
+        let b = g.task("b").on(r).lasting(span(3)).build();
+        let s = Engine::new().run(&g).unwrap();
+        assert!(s.start_time(a) < s.start_time(b));
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let build = || {
+            let mut g = TaskGraph::new();
+            let r = g.add_resource("r", 2);
+            let mut prev = None;
+            for i in 0..50 {
+                let mut builder = g.task(format!("t{i}")).on(r).lasting(span(1 + i % 7));
+                if let Some(p) = prev {
+                    if i % 3 == 0 {
+                        builder = builder.after(p);
+                    }
+                }
+                prev = Some(builder.build());
+            }
+            g
+        };
+        let s1 = Engine::new().run(&build()).unwrap();
+        let s2 = Engine::new().run(&build()).unwrap();
+        for i in 0..50 {
+            let id = TaskId(i as u32);
+            assert_eq!(s1.start_time(id), s2.start_time(id));
+            assert_eq!(s1.finish_time(id), s2.finish_time(id));
+        }
+    }
+
+    #[test]
+    fn blocked_by_tracks_resource_predecessor() {
+        let mut g = TaskGraph::new();
+        let r = g.add_resource("r", 1);
+        let a = g.task("a").on(r).lasting(span(10)).build();
+        let b = g.task("b").on(r).lasting(span(10)).build();
+        let s = Engine::new().run(&g).unwrap();
+        assert_eq!(s.blocked_by(b), Some(a));
+        assert_eq!(s.blocked_by(a), None);
+        assert_eq!(s.critical_chain(), vec![a, b]);
+    }
+
+    #[test]
+    fn trace_is_sorted_by_start() {
+        let mut g = TaskGraph::new();
+        let r = g.add_resource("r", 1);
+        g.task("late").on(r).lasting(span(5)).not_before(SimTime::from_nanos(10)).build();
+        g.task("early").on(r).lasting(span(5)).build();
+        let s = Engine::new().run(&g).unwrap();
+        let starts: Vec<_> = s.trace().events().iter().map(|e| e.start).collect();
+        let mut sorted = starts.clone();
+        sorted.sort();
+        assert_eq!(starts, sorted);
+        assert_eq!(s.trace().events()[0].label, "early");
+    }
+
+    #[test]
+    fn makespan_matches_last_finish() {
+        let mut g = TaskGraph::new();
+        let r = g.add_resource("r", 1);
+        let mut last = g.task("t0").on(r).lasting(span(2)).build();
+        for i in 1..10 {
+            last = g
+                .task(format!("t{i}"))
+                .on(r)
+                .lasting(span(2))
+                .after(last)
+                .build();
+        }
+        let s = Engine::new().run(&g).unwrap();
+        assert_eq!(s.makespan(), span(20));
+        assert_eq!(s.finish_time(last).as_nanos(), 20);
+    }
+}

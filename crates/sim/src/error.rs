@@ -1,0 +1,47 @@
+//! Error type for the simulator.
+
+use std::fmt;
+
+/// Errors reported by [`Engine::run`](crate::Engine::run).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The task graph contains a dependency cycle: after the event queue
+    /// drained, the named tasks had still not run.
+    Deadlock {
+        /// Labels of the tasks that never became ready.
+        stuck: Vec<String>,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { stuck } => {
+                write!(
+                    f,
+                    "task graph deadlocked: {} task(s) never became ready (cycle?): {}",
+                    stuck.len(),
+                    stuck.join(", ")
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_lists_stuck_tasks() {
+        let err = SimError::Deadlock {
+            stuck: vec!["a".into(), "b".into()],
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("2 task(s)"));
+        assert!(msg.contains("a, b"));
+    }
+}

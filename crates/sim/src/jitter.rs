@@ -1,0 +1,145 @@
+//! Deterministic run-to-run jitter.
+//!
+//! The paper reports each training-time bar as the mean of five
+//! repetitions with a standard-deviation whisker. A simulated system is
+//! perfectly repeatable, so to reproduce that measurement protocol we
+//! inject small, *seeded* multiplicative noise per repetition. The
+//! generator is a self-contained xorshift64\* so the simulator core has
+//! zero dependencies and identical output on every platform.
+
+/// A deterministic noise source for per-repetition timing jitter.
+///
+/// # Example
+///
+/// ```
+/// use voltascope_sim::Jitter;
+///
+/// let mut jitter = Jitter::new(42, 0.02); // ±~2% relative noise
+/// let a = jitter.perturb(100.0);
+/// assert!((a - 100.0).abs() < 10.0);
+/// // Same seed, same sequence:
+/// let mut again = Jitter::new(42, 0.02);
+/// assert_eq!(again.perturb(100.0), a);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Jitter {
+    state: u64,
+    relative_sigma: f64,
+}
+
+impl Jitter {
+    /// Creates a jitter source. `relative_sigma` is the approximate
+    /// relative standard deviation of the multiplicative noise (e.g.
+    /// `0.02` for ±2%).
+    pub fn new(seed: u64, relative_sigma: f64) -> Self {
+        Jitter {
+            // xorshift must not start at 0.
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+            relative_sigma: relative_sigma.abs(),
+        }
+    }
+
+    /// Next raw uniform sample in `[0, 1)`.
+    pub fn next_uniform(&mut self) -> f64 {
+        // xorshift64*
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        let r = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        (r >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Next approximately-normal sample (mean 0, stddev 1), from the
+    /// sum of twelve uniforms (Irwin–Hall); plenty for ±2% whiskers.
+    pub fn next_normal(&mut self) -> f64 {
+        let sum: f64 = (0..12).map(|_| self.next_uniform()).sum();
+        sum - 6.0
+    }
+
+    /// Applies multiplicative noise to `value`: returns
+    /// `value * (1 + sigma * N(0,1))`, clamped to stay positive.
+    pub fn perturb(&mut self, value: f64) -> f64 {
+        let factor = (1.0 + self.relative_sigma * self.next_normal()).max(0.01);
+        value * factor
+    }
+}
+
+/// Mean and sample standard deviation of a slice — the statistics the
+/// paper prints on every Fig. 3 bar.
+///
+/// Returns `(0.0, 0.0)` for an empty slice and stddev `0.0` for a
+/// single-element slice.
+///
+/// # Example
+///
+/// ```
+/// let (mean, sd) = voltascope_sim::mean_stddev(&[1.0, 2.0, 3.0]);
+/// assert_eq!(mean, 2.0);
+/// assert!((sd - 1.0).abs() < 1e-12);
+/// ```
+pub fn mean_stddev(samples: &[f64]) -> (f64, f64) {
+    if samples.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    if samples.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_in_unit_interval() {
+        let mut j = Jitter::new(1, 0.0);
+        for _ in 0..1000 {
+            let u = j.next_uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn seeds_change_the_sequence() {
+        let mut a = Jitter::new(1, 0.02);
+        let mut b = Jitter::new(2, 0.02);
+        let xs: Vec<f64> = (0..8).map(|_| a.next_uniform()).collect();
+        let ys: Vec<f64> = (0..8).map(|_| b.next_uniform()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn normal_has_roughly_unit_moments() {
+        let mut j = Jitter::new(7, 0.0);
+        let samples: Vec<f64> = (0..20_000).map(|_| j.next_normal()).collect();
+        let (mean, sd) = mean_stddev(&samples);
+        assert!(mean.abs() < 0.03, "mean was {mean}");
+        assert!((sd - 1.0).abs() < 0.03, "stddev was {sd}");
+    }
+
+    #[test]
+    fn perturb_stays_positive_even_with_huge_sigma() {
+        let mut j = Jitter::new(3, 100.0);
+        for _ in 0..100 {
+            assert!(j.perturb(5.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn perturb_with_zero_sigma_is_identity() {
+        let mut j = Jitter::new(3, 0.0);
+        assert_eq!(j.perturb(123.0), 123.0);
+    }
+
+    #[test]
+    fn mean_stddev_edge_cases() {
+        assert_eq!(mean_stddev(&[]), (0.0, 0.0));
+        assert_eq!(mean_stddev(&[5.0]), (5.0, 0.0));
+    }
+}

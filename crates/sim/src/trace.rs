@@ -1,0 +1,315 @@
+//! Flat execution traces and interval arithmetic.
+//!
+//! A [`Trace`] is the simulator's analogue of an `nvprof` timeline
+//! export: one [`TraceEvent`] per executed task, with its resource,
+//! category, and start/end instants. The profiler crate builds its
+//! reports from these.
+
+use std::collections::BTreeMap;
+
+use crate::graph::TaskId;
+use crate::time::{SimSpan, SimTime};
+
+/// A half-open time interval `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Interval {
+    /// Inclusive start.
+    pub start: SimTime,
+    /// Exclusive end.
+    pub end: SimTime,
+}
+
+impl Interval {
+    /// Creates an interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    pub fn new(start: SimTime, end: SimTime) -> Self {
+        assert!(end >= start, "interval end before start");
+        Interval { start, end }
+    }
+
+    /// The interval's length.
+    pub fn len(&self) -> SimSpan {
+        self.end - self.start
+    }
+
+    /// `true` if the interval has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// `true` if `self` and `other` overlap or touch.
+    pub fn touches(&self, other: &Interval) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// Total length of the union of `intervals` (overlaps counted once).
+    ///
+    /// This is how "time where *any* FP/BP kernel was running" is
+    /// computed for the stage-breakdown figures: summing durations would
+    /// double-count concurrent kernels on different GPUs.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use voltascope_sim::{Interval, SimTime, SimSpan};
+    ///
+    /// let t = SimTime::from_nanos;
+    /// let union = Interval::union_len(&mut [
+    ///     Interval::new(t(0), t(10)),
+    ///     Interval::new(t(5), t(15)),
+    ///     Interval::new(t(30), t(40)),
+    /// ]);
+    /// assert_eq!(union, SimSpan::from_nanos(25));
+    /// ```
+    pub fn union_len(intervals: &mut [Interval]) -> SimSpan {
+        intervals.sort();
+        let mut total = SimSpan::ZERO;
+        let mut current: Option<Interval> = None;
+        for iv in intervals.iter() {
+            match &mut current {
+                None => current = Some(*iv),
+                Some(cur) => {
+                    if iv.start <= cur.end {
+                        cur.end = cur.end.max(iv.end);
+                    } else {
+                        total += cur.len();
+                        current = Some(*iv);
+                    }
+                }
+            }
+        }
+        if let Some(cur) = current {
+            total += cur.len();
+        }
+        total
+    }
+}
+
+/// One executed task in a finished schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The task's id in its graph.
+    pub task: TaskId,
+    /// Task label (e.g. `"gpu2/bp.conv4"`).
+    pub label: String,
+    /// Aggregation category (e.g. `"fp"`, `"wu.comm"`, `"api.sync"`).
+    pub category: String,
+    /// Name of the resource the task ran on, if any.
+    pub resource: Option<String>,
+    /// Start instant.
+    pub start: SimTime,
+    /// End instant.
+    pub end: SimTime,
+}
+
+impl TraceEvent {
+    /// The event's duration.
+    pub fn duration(&self) -> SimSpan {
+        self.end - self.start
+    }
+
+    /// The event's time interval.
+    pub fn interval(&self) -> Interval {
+        Interval::new(self.start, self.end)
+    }
+}
+
+/// An ordered collection of [`TraceEvent`]s from one run.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Wraps a list of events (callers should pre-sort by start time;
+    /// [`Engine::run`](crate::Engine::run) already does).
+    pub fn new(events: Vec<TraceEvent>) -> Self {
+        Trace { events }
+    }
+
+    /// All events, ordered by start time.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when the trace holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events whose category satisfies `pred`.
+    pub fn filter<'a>(
+        &'a self,
+        mut pred: impl FnMut(&TraceEvent) -> bool + 'a,
+    ) -> impl Iterator<Item = &'a TraceEvent> {
+        self.events.iter().filter(move |e| pred(e))
+    }
+
+    /// Sum of event durations per category (double-counts overlap; this
+    /// is nvprof's "GPU activities" style accounting).
+    pub fn busy_by_category(&self) -> BTreeMap<String, SimSpan> {
+        let mut map = BTreeMap::new();
+        for e in &self.events {
+            *map.entry(e.category.clone()).or_insert(SimSpan::ZERO) += e.duration();
+        }
+        map
+    }
+
+    /// Wall-clock span during which at least one event whose category
+    /// starts with `prefix` was running (union of intervals).
+    pub fn wall_span_of(&self, prefix: &str) -> SimSpan {
+        let mut intervals: Vec<Interval> = self
+            .events
+            .iter()
+            .filter(|e| e.category.starts_with(prefix))
+            .map(|e| e.interval())
+            .collect();
+        Interval::union_len(&mut intervals)
+    }
+
+    /// Sum of durations of events whose category starts with `prefix`.
+    pub fn total_of(&self, prefix: &str) -> SimSpan {
+        self.events
+            .iter()
+            .filter(|e| e.category.starts_with(prefix))
+            .map(|e| e.duration())
+            .sum()
+    }
+
+    /// The end instant of the last event, or `SimTime::ZERO` if empty.
+    pub fn end_time(&self) -> SimTime {
+        self.events
+            .iter()
+            .map(|e| e.end)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Appends all events of `other`, shifted forward by `offset`, onto
+    /// this trace (used to stitch per-iteration traces into an epoch).
+    pub fn append_shifted(&mut self, other: &Trace, offset: SimSpan) {
+        for e in &other.events {
+            self.events.push(TraceEvent {
+                task: e.task,
+                label: e.label.clone(),
+                category: e.category.clone(),
+                resource: e.resource.clone(),
+                start: e.start + offset,
+                end: e.end + offset,
+            });
+        }
+        self.events.sort_by_key(|e| e.start);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(label: &str, cat: &str, start: u64, end: u64) -> TraceEvent {
+        TraceEvent {
+            task: TaskId(0),
+            label: label.into(),
+            category: cat.into(),
+            resource: None,
+            start: SimTime::from_nanos(start),
+            end: SimTime::from_nanos(end),
+        }
+    }
+
+    #[test]
+    fn interval_union_merges_overlaps() {
+        let t = SimTime::from_nanos;
+        let mut ivs = vec![
+            Interval::new(t(0), t(4)),
+            Interval::new(t(2), t(6)),
+            Interval::new(t(6), t(8)), // touching counts as merged
+            Interval::new(t(20), t(21)),
+        ];
+        assert_eq!(Interval::union_len(&mut ivs), SimSpan::from_nanos(9));
+    }
+
+    #[test]
+    fn interval_union_of_empty_is_zero() {
+        assert_eq!(Interval::union_len(&mut []), SimSpan::ZERO);
+    }
+
+    #[test]
+    fn interval_basics() {
+        let t = SimTime::from_nanos;
+        let a = Interval::new(t(0), t(5));
+        let b = Interval::new(t(5), t(9));
+        let c = Interval::new(t(6), t(9));
+        assert!(a.touches(&b));
+        assert!(!a.touches(&c));
+        assert_eq!(a.len(), SimSpan::from_nanos(5));
+        assert!(Interval::new(t(3), t(3)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "interval end before start")]
+    fn reversed_interval_panics() {
+        let t = SimTime::from_nanos;
+        let _ = Interval::new(t(5), t(1));
+    }
+
+    #[test]
+    fn busy_by_category_sums_durations() {
+        let trace = Trace::new(vec![
+            ev("k1", "fp", 0, 10),
+            ev("k2", "fp", 5, 15),
+            ev("x", "wu", 0, 3),
+        ]);
+        let busy = trace.busy_by_category();
+        assert_eq!(busy["fp"], SimSpan::from_nanos(20)); // overlap double-counted
+        assert_eq!(busy["wu"], SimSpan::from_nanos(3));
+    }
+
+    #[test]
+    fn wall_span_unions_overlap() {
+        let trace = Trace::new(vec![
+            ev("k1", "fp", 0, 10),
+            ev("k2", "fp", 5, 15),
+            ev("k3", "fp.conv", 30, 35),
+        ]);
+        // [0,10] ∪ [5,15] merges to 15ns, plus the disjoint [30,35).
+        assert_eq!(trace.wall_span_of("fp"), SimSpan::from_nanos(20));
+        assert_eq!(trace.total_of("fp"), SimSpan::from_nanos(25));
+    }
+
+    #[test]
+    fn prefix_matching_selects_subcategories() {
+        let trace = Trace::new(vec![
+            ev("a", "wu.comm", 0, 4),
+            ev("b", "wu.update", 4, 6),
+            ev("c", "fp", 0, 1),
+        ]);
+        assert_eq!(trace.total_of("wu"), SimSpan::from_nanos(6));
+        assert_eq!(trace.total_of("wu.update"), SimSpan::from_nanos(2));
+    }
+
+    #[test]
+    fn append_shifted_offsets_and_reorders() {
+        let mut a = Trace::new(vec![ev("a", "fp", 0, 10)]);
+        let b = Trace::new(vec![ev("b", "fp", 0, 5)]);
+        a.append_shifted(&b, SimSpan::from_nanos(3));
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.events()[1].label, "b");
+        assert_eq!(a.events()[1].start, SimTime::from_nanos(3));
+        assert_eq!(a.end_time(), SimTime::from_nanos(10));
+    }
+
+    #[test]
+    fn end_time_of_empty_trace_is_zero() {
+        assert_eq!(Trace::default().end_time(), SimTime::ZERO);
+        assert!(Trace::default().is_empty());
+    }
+}

@@ -1,0 +1,134 @@
+//! Bandwidth as a strong type.
+
+use std::fmt;
+use std::ops::{Add, Mul};
+
+use voltascope_sim::SimSpan;
+
+/// Unidirectional link bandwidth.
+///
+/// Stored internally as bytes per second. The main operation is
+/// [`Bandwidth::transfer_time`], which converts a payload size into a
+/// [`SimSpan`] for the simulator.
+///
+/// # Example
+///
+/// ```
+/// use voltascope_topo::Bandwidth;
+///
+/// let nvlink = Bandwidth::gigabytes_per_sec_of(25.0);
+/// // 25 MB over a 25 GB/s lane takes 1 ms.
+/// assert_eq!(nvlink.transfer_time(25_000_000).as_micros(), 1_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Bandwidth(f64);
+
+impl Bandwidth {
+    /// Creates a bandwidth of `bps` bytes per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bps` is not strictly positive and finite — a
+    /// zero-bandwidth link would produce infinite transfer times and is
+    /// always a configuration bug.
+    pub fn bytes_per_sec(bps: f64) -> Self {
+        assert!(
+            bps.is_finite() && bps > 0.0,
+            "bandwidth must be positive and finite, got {bps}"
+        );
+        Bandwidth(bps)
+    }
+
+    /// Creates a bandwidth of `gbps` gigabytes (1e9 bytes) per second.
+    pub fn gigabytes_per_sec_of(gbps: f64) -> Self {
+        Bandwidth::bytes_per_sec(gbps * 1e9)
+    }
+
+    /// This bandwidth in bytes per second.
+    pub fn as_bytes_per_sec(self) -> f64 {
+        self.0
+    }
+
+    /// This bandwidth in gigabytes per second.
+    pub fn gigabytes_per_sec(self) -> f64 {
+        self.0 / 1e9
+    }
+
+    /// Serialisation time for a payload of `bytes`, excluding latency.
+    pub fn transfer_time(self, bytes: u64) -> SimSpan {
+        SimSpan::from_secs_f64(bytes as f64 / self.0)
+    }
+
+    /// The smaller of two bandwidths (the bottleneck along a path).
+    pub fn min(self, other: Bandwidth) -> Bandwidth {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for Bandwidth {
+    type Output = Bandwidth;
+    /// Aggregates parallel lanes (e.g. a double NVLink connection).
+    fn add(self, rhs: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0 + rhs.0)
+    }
+}
+
+impl Mul<u32> for Bandwidth {
+    type Output = Bandwidth;
+    /// `n` parallel lanes of this bandwidth.
+    fn mul(self, lanes: u32) -> Bandwidth {
+        assert!(lanes > 0, "a link needs at least one lane");
+        Bandwidth(self.0 * lanes as f64)
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} GB/s", self.gigabytes_per_sec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_scales_linearly() {
+        let bw = Bandwidth::gigabytes_per_sec_of(1.0);
+        assert_eq!(bw.transfer_time(1_000_000_000).as_millis(), 1_000);
+        assert_eq!(bw.transfer_time(0), SimSpan::ZERO);
+    }
+
+    #[test]
+    fn lanes_aggregate() {
+        let lane = Bandwidth::gigabytes_per_sec_of(25.0);
+        assert_eq!((lane * 2).gigabytes_per_sec(), 50.0);
+        assert_eq!((lane + lane).gigabytes_per_sec(), 50.0);
+    }
+
+    #[test]
+    fn min_picks_bottleneck() {
+        let a = Bandwidth::gigabytes_per_sec_of(16.0);
+        let b = Bandwidth::gigabytes_per_sec_of(25.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!(b.min(a), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = Bandwidth::bytes_per_sec(0.0);
+    }
+
+    #[test]
+    fn display_uses_gigabytes() {
+        assert_eq!(
+            Bandwidth::gigabytes_per_sec_of(25.0).to_string(),
+            "25.0 GB/s"
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Devices: the vertices of a topology graph.
+
+use std::fmt;
+
+/// What kind of hardware a [`Device`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DeviceKind {
+    /// A GPU. NVLink endpoints; cannot forward traffic for third parties
+    /// under the DGX-1 hardware routing rules.
+    Gpu,
+    /// A CPU socket. PCIe root; forwards traffic between its PCIe
+    /// devices and, over QPI, to the other socket.
+    Cpu,
+}
+
+/// A device in a topology: kind plus an index within that kind
+/// (`gpu(3)`, `cpu(1)`).
+///
+/// # Example
+///
+/// ```
+/// use voltascope_topo::Device;
+///
+/// let d = Device::gpu(3);
+/// assert!(d.is_gpu());
+/// assert_eq!(d.to_string(), "GPU3");
+/// assert_eq!(Device::cpu(1).to_string(), "CPU1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Device {
+    kind: DeviceKind,
+    index: u8,
+}
+
+impl Device {
+    /// GPU number `index`.
+    pub const fn gpu(index: u8) -> Self {
+        Device {
+            kind: DeviceKind::Gpu,
+            index,
+        }
+    }
+
+    /// CPU socket number `index`.
+    pub const fn cpu(index: u8) -> Self {
+        Device {
+            kind: DeviceKind::Cpu,
+            index,
+        }
+    }
+
+    /// The device's kind.
+    pub fn kind(self) -> DeviceKind {
+        self.kind
+    }
+
+    /// The device's index within its kind.
+    pub fn index(self) -> u8 {
+        self.index
+    }
+
+    /// `true` for GPUs.
+    pub fn is_gpu(self) -> bool {
+        self.kind == DeviceKind::Gpu
+    }
+
+    /// `true` for CPUs.
+    pub fn is_cpu(self) -> bool {
+        self.kind == DeviceKind::Cpu
+    }
+}
+
+impl fmt::Display for Device {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            DeviceKind::Gpu => write!(f, "GPU{}", self.index),
+            DeviceKind::Cpu => write!(f, "CPU{}", self.index),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let g = Device::gpu(7);
+        assert_eq!(g.kind(), DeviceKind::Gpu);
+        assert_eq!(g.index(), 7);
+        assert!(g.is_gpu());
+        assert!(!g.is_cpu());
+        assert!(Device::cpu(0).is_cpu());
+    }
+
+    #[test]
+    fn ordering_groups_by_kind_then_index() {
+        let mut v = vec![Device::cpu(0), Device::gpu(1), Device::gpu(0)];
+        v.sort();
+        assert_eq!(v, vec![Device::gpu(0), Device::gpu(1), Device::cpu(0)]);
+    }
+}

@@ -1,0 +1,54 @@
+//! # voltascope-topo — multi-GPU system interconnect topologies
+//!
+//! Models the device graph of a multi-GPU node: GPUs and CPUs as
+//! vertices, NVLink / PCIe / QPI links as edges with per-direction
+//! bandwidth and latency, plus the hardware routing rules that shape the
+//! communication behaviour the paper measures:
+//!
+//! * **NVLink is point-to-point.** A GPU's NVLink router cannot forward
+//!   a packet to a third device (paper §V-A footnote 4), so a hardware
+//!   route between GPUs without a direct link falls back to PCIe through
+//!   the CPUs (device-to-host + host-to-device).
+//! * **Links aggregate.** GPU pairs wired with two NVLink lanes get a
+//!   single virtual 50 GB/s connection (paper §IV-A).
+//! * **Software relaying is possible.** MXNet stages transfers through
+//!   an intermediate GPU that has direct links to both ends; the
+//!   [`Topology::relay_candidates`] query supports that scheme (the
+//!   actual two-stage copy is built by `voltascope-comm`).
+//!
+//! The exact Volta DGX-1 wiring of the paper's Fig. 2 ships as
+//! [`dgx1_v100`], along with ablation topologies (PCIe-only,
+//! single-lane NVLink, an idealised all-to-all switch).
+//!
+//! # Example
+//!
+//! ```
+//! use voltascope_topo::{dgx1_v100, Device};
+//!
+//! let topo = dgx1_v100();
+//! // GPU0-GPU1 are wired with an aggregated double NVLink: 50 GB/s.
+//! let link = topo.direct_link(Device::gpu(0), Device::gpu(1)).unwrap();
+//! assert_eq!(link.bandwidth.gigabytes_per_sec(), 50.0);
+//! // GPU3 and GPU4 have no direct link: the hardware route goes
+//! // through both CPUs.
+//! let route = topo.route(Device::gpu(3), Device::gpu(4));
+//! assert!(route.hop_count() > 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bandwidth;
+mod device;
+mod link;
+mod presets;
+pub mod render;
+mod route;
+mod topology;
+
+pub use bandwidth::Bandwidth;
+pub use device::{Device, DeviceKind};
+pub use link::{Link, LinkId, LinkKind};
+pub use presets::{dgx1_p100, dgx1_v100, full_nvlink_switch, pcie_only, single_lane_dgx1};
+pub use route::Route;
+pub use topology::Topology;

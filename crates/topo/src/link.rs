@@ -1,0 +1,189 @@
+//! Links: the edges of a topology graph.
+
+use std::fmt;
+
+use voltascope_sim::SimSpan;
+
+use crate::bandwidth::Bandwidth;
+use crate::device::Device;
+
+/// Identifies a link within one [`Topology`](crate::Topology).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub(crate) u32);
+
+impl LinkId {
+    /// The dense index of this link inside its topology.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a link id from its dense index (the position in
+    /// [`Topology::links`](crate::Topology::links)).
+    pub fn from_index(index: usize) -> Self {
+        LinkId(index as u32)
+    }
+}
+
+/// The physical technology of a link. Determines default bandwidth and
+/// latency; both can be overridden per link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkKind {
+    /// NVLink 2.0 with `lanes` aggregated bricks (25 GB/s per lane per
+    /// direction; a double connection behaves as one 50 GB/s link,
+    /// paper §IV-A).
+    NvLink {
+        /// Number of aggregated NVLink bricks on this connection.
+        lanes: u32,
+    },
+    /// PCIe 3.0 ×16 host link (~16 GB/s raw, ~12 GB/s effective).
+    Pcie,
+    /// Intel QuickPath between the two CPU sockets.
+    Qpi,
+}
+
+impl LinkKind {
+    /// Default unidirectional bandwidth for this technology.
+    pub fn default_bandwidth(self) -> Bandwidth {
+        match self {
+            // Paper §IV-A: "Each NVLink connection delivers 25 GB/s ...
+            // NVLink can aggregate the connections and provide a 50 GB/s
+            // virtual connection."
+            LinkKind::NvLink { lanes } => Bandwidth::gigabytes_per_sec_of(25.0) * lanes,
+            // PCIe 3.0 x16 sustains ~12 GB/s for large DMA transfers.
+            LinkKind::Pcie => Bandwidth::gigabytes_per_sec_of(12.0),
+            // QPI 9.6 GT/s ~ 19.2 GB/s per direction.
+            LinkKind::Qpi => Bandwidth::gigabytes_per_sec_of(19.2),
+        }
+    }
+
+    /// Default per-message latency for this technology.
+    pub fn default_latency(self) -> SimSpan {
+        match self {
+            LinkKind::NvLink { .. } => SimSpan::from_nanos(1_300), // ~1.3 us
+            LinkKind::Pcie => SimSpan::from_nanos(5_000),          // ~5 us
+            LinkKind::Qpi => SimSpan::from_nanos(500),
+        }
+    }
+
+    /// `true` for NVLink connections of any width.
+    pub fn is_nvlink(self) -> bool {
+        matches!(self, LinkKind::NvLink { .. })
+    }
+}
+
+impl fmt::Display for LinkKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkKind::NvLink { lanes } => write!(f, "NVLink x{lanes}"),
+            LinkKind::Pcie => write!(f, "PCIe"),
+            LinkKind::Qpi => write!(f, "QPI"),
+        }
+    }
+}
+
+/// A bidirectional link between two devices, with symmetric
+/// per-direction bandwidth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Link {
+    /// One endpoint.
+    pub a: Device,
+    /// The other endpoint.
+    pub b: Device,
+    /// Physical technology.
+    pub kind: LinkKind,
+    /// Unidirectional bandwidth.
+    pub bandwidth: Bandwidth,
+    /// Per-message latency.
+    pub latency: SimSpan,
+}
+
+impl Link {
+    /// Given one endpoint, returns the other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is not an endpoint of this link.
+    pub fn other_end(&self, device: Device) -> Device {
+        if device == self.a {
+            self.b
+        } else if device == self.b {
+            self.a
+        } else {
+            panic!("{device} is not an endpoint of {self}")
+        }
+    }
+
+    /// `true` if `device` is one of the endpoints.
+    pub fn connects(&self, device: Device) -> bool {
+        self.a == device || self.b == device
+    }
+
+    /// Latency-plus-serialisation time for a payload of `bytes` crossing
+    /// this link alone.
+    pub fn transfer_time(&self, bytes: u64) -> SimSpan {
+        self.latency + self.bandwidth.transfer_time(bytes)
+    }
+}
+
+impl fmt::Display for Link {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}--{} ({}, {})", self.a, self.b, self.kind, self.bandwidth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> Link {
+        Link {
+            a: Device::gpu(0),
+            b: Device::gpu(1),
+            kind: LinkKind::NvLink { lanes: 2 },
+            bandwidth: LinkKind::NvLink { lanes: 2 }.default_bandwidth(),
+            latency: SimSpan::from_nanos(1_300),
+        }
+    }
+
+    #[test]
+    fn nvlink_lanes_aggregate_bandwidth() {
+        assert_eq!(
+            LinkKind::NvLink { lanes: 1 }.default_bandwidth().gigabytes_per_sec(),
+            25.0
+        );
+        assert_eq!(
+            LinkKind::NvLink { lanes: 2 }.default_bandwidth().gigabytes_per_sec(),
+            50.0
+        );
+    }
+
+    #[test]
+    fn other_end_flips() {
+        let l = link();
+        assert_eq!(l.other_end(Device::gpu(0)), Device::gpu(1));
+        assert_eq!(l.other_end(Device::gpu(1)), Device::gpu(0));
+        assert!(l.connects(Device::gpu(0)));
+        assert!(!l.connects(Device::gpu(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn other_end_rejects_stranger() {
+        let _ = link().other_end(Device::gpu(9));
+    }
+
+    #[test]
+    fn transfer_time_includes_latency() {
+        let l = link();
+        let t = l.transfer_time(50_000_000); // 50 MB at 50 GB/s = 1 ms
+        assert_eq!(t, SimSpan::from_millis(1) + SimSpan::from_nanos(1_300));
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(LinkKind::NvLink { lanes: 2 }.to_string(), "NVLink x2");
+        assert_eq!(LinkKind::Pcie.to_string(), "PCIe");
+        assert!(LinkKind::NvLink { lanes: 1 }.is_nvlink());
+        assert!(!LinkKind::Qpi.is_nvlink());
+    }
+}

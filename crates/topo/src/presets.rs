@@ -1,0 +1,319 @@
+//! Ready-made topologies: the paper's DGX-1 and ablation variants.
+
+use crate::device::Device;
+use crate::link::LinkKind;
+use crate::topology::Topology;
+
+/// Intra-quad and cross-quad NVLink wiring of the Volta DGX-1 as drawn
+/// in the paper's Fig. 2, satisfying every connectivity statement made
+/// in the text:
+///
+/// * GPU0 links directly to GPU1, GPU2, GPU3 and GPU6 (§V-A);
+/// * GPU0–GPU1 and GPU0–GPU2 have double connections, GPU0–GPU3 a
+///   single one (§V-A: "BW ... between GPU0 and GPU1, and GPU0 and
+///   GPU2, is twice the BW rate between GPU0 and GPU3");
+/// * GPU2–GPU3 has a single connection, GPU3–GPU4 none (§IV-A);
+/// * GPU1 links directly to GPU7 (§V-A).
+///
+/// Each entry is `(a, b, lanes)`.
+const DGX1_NVLINKS: &[(u8, u8, u32)] = &[
+    // Quad A: GPUs 0-3.
+    (0, 1, 2),
+    (0, 2, 2),
+    (0, 3, 1),
+    (1, 2, 1),
+    (1, 3, 2),
+    (2, 3, 1),
+    // Quad B: GPUs 4-7, mirroring quad A.
+    (4, 5, 2),
+    (4, 6, 2),
+    (4, 7, 1),
+    (5, 6, 1),
+    (5, 7, 2),
+    (6, 7, 1),
+    // Cross-quad single links (hybrid cube-mesh).
+    (0, 6, 1),
+    (1, 7, 1),
+    (2, 4, 1),
+    (3, 5, 1),
+];
+
+/// Builds the Volta-based DGX-1 of the paper's Fig. 2: 8 Tesla V100
+/// GPUs on an NVLink hybrid cube-mesh, two Xeon sockets joined by QPI,
+/// GPUs 0–3 on CPU0's PCIe tree and GPUs 4–7 on CPU1's.
+///
+/// # Example
+///
+/// ```
+/// use voltascope_topo::{dgx1_v100, Device};
+///
+/// let topo = dgx1_v100();
+/// assert_eq!(topo.gpu_count(), 8);
+/// // Any GPU pair is at most one intermediate node apart (paper §IV-A)
+/// // when relaying in software through a common NVLink neighbour.
+/// for a in 0..8u8 {
+///     for b in 0..8u8 {
+///         if a != b && !topo.p2p_capable(Device::gpu(a), Device::gpu(b)) {
+///             assert!(!topo.relay_candidates(Device::gpu(a), Device::gpu(b)).is_empty());
+///         }
+///     }
+/// }
+/// ```
+pub fn dgx1_v100() -> Topology {
+    let mut topo = Topology::new("DGX-1V");
+    topo.add_device(Device::cpu(0));
+    topo.add_device(Device::cpu(1));
+    for g in 0..8 {
+        topo.add_device(Device::gpu(g));
+    }
+    // PCIe trees: CPUs each own four GPUs (paper Fig. 2).
+    for g in 0..4 {
+        topo.connect(Device::gpu(g), Device::cpu(0), LinkKind::Pcie);
+    }
+    for g in 4..8 {
+        topo.connect(Device::gpu(g), Device::cpu(1), LinkKind::Pcie);
+    }
+    topo.connect(Device::cpu(0), Device::cpu(1), LinkKind::Qpi);
+    for &(a, b, lanes) in DGX1_NVLINKS {
+        topo.connect(Device::gpu(a), Device::gpu(b), LinkKind::NvLink { lanes });
+    }
+    topo
+}
+
+/// The Pascal-generation DGX-1 (DGX-1P): identical hybrid cube-mesh
+/// wiring, but NVLink 1.0 bricks at 20 GB/s per direction instead of
+/// Volta's 25 GB/s — the platform of the Gawande et al. comparison the
+/// paper cites (§III).
+pub fn dgx1_p100() -> Topology {
+    let volta = dgx1_v100();
+    let mut pascal = Topology::new("DGX-1P");
+    for &d in volta.devices() {
+        pascal.add_device(d);
+    }
+    for link in volta.links() {
+        match link.kind {
+            LinkKind::NvLink { lanes } => {
+                pascal.connect_custom(crate::Link {
+                    a: link.a,
+                    b: link.b,
+                    kind: link.kind,
+                    bandwidth: crate::Bandwidth::gigabytes_per_sec_of(20.0) * lanes,
+                    latency: link.latency,
+                });
+            }
+            _ => {
+                pascal.connect(link.a, link.b, link.kind);
+            }
+        }
+    }
+    pascal
+}
+
+/// The DGX-1 wiring with every NVLink connection reduced to a single
+/// lane: the ablation that isolates the effect of the asymmetric
+/// double-vs-single link bandwidth the paper blames for GPU idling
+/// during weight broadcast (§V-A).
+pub fn single_lane_dgx1() -> Topology {
+    let mut topo = dgx1_v100();
+    // Rebuild with all lanes forced to 1.
+    let mut flat = Topology::new("DGX-1V-single-lane");
+    for &d in topo.devices() {
+        flat.add_device(d);
+    }
+    for link in topo.links() {
+        let kind = match link.kind {
+            LinkKind::NvLink { .. } => LinkKind::NvLink { lanes: 1 },
+            other => other,
+        };
+        flat.connect(link.a, link.b, kind);
+    }
+    topo = flat;
+    topo
+}
+
+/// A PCIe-only box with `gpu_count` GPUs split across two sockets and
+/// no NVLink at all — the baseline platform of the Tallent et al.
+/// comparison the paper cites in §III.
+///
+/// # Panics
+///
+/// Panics if `gpu_count` is zero.
+pub fn pcie_only(gpu_count: u8) -> Topology {
+    assert!(gpu_count > 0, "need at least one GPU");
+    let mut topo = Topology::new(format!("PCIe-only-{gpu_count}"));
+    topo.add_device(Device::cpu(0));
+    topo.add_device(Device::cpu(1));
+    topo.connect(Device::cpu(0), Device::cpu(1), LinkKind::Qpi);
+    let half = gpu_count.div_ceil(2);
+    for g in 0..gpu_count {
+        topo.add_device(Device::gpu(g));
+        let cpu = if g < half { Device::cpu(0) } else { Device::cpu(1) };
+        topo.connect(Device::gpu(g), cpu, LinkKind::Pcie);
+    }
+    topo
+}
+
+/// An idealised all-to-all NVLink switch (DGX-2-style NVSwitch): every
+/// GPU pair gets a dedicated single-lane NVLink. Used to quantify how
+/// much of the 8-GPU P2P penalty comes from missing direct connectivity
+/// rather than from the algorithm.
+///
+/// # Panics
+///
+/// Panics if `gpu_count` is zero.
+pub fn full_nvlink_switch(gpu_count: u8) -> Topology {
+    assert!(gpu_count > 0, "need at least one GPU");
+    let mut topo = Topology::new(format!("NVSwitch-{gpu_count}"));
+    topo.add_device(Device::cpu(0));
+    for g in 0..gpu_count {
+        topo.add_device(Device::gpu(g));
+        topo.connect(Device::gpu(g), Device::cpu(0), LinkKind::Pcie);
+    }
+    for a in 0..gpu_count {
+        for b in (a + 1)..gpu_count {
+            topo.connect(Device::gpu(a), Device::gpu(b), LinkKind::NvLink { lanes: 1 });
+        }
+    }
+    topo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkKind;
+
+    #[test]
+    fn dgx1_matches_every_paper_claim() {
+        let t = dgx1_v100();
+        let g = Device::gpu;
+        // §V-A: GPU0's direct NVLink neighbours are exactly 1, 2, 3, 6.
+        for n in [1, 2, 3, 6] {
+            assert!(t.p2p_capable(g(0), g(n)), "GPU0-GPU{n} should be P2P");
+        }
+        for n in [4, 5, 7] {
+            assert!(!t.p2p_capable(g(0), g(n)), "GPU0-GPU{n} should not be P2P");
+        }
+        // §V-A: BW(0-1) = BW(0-2) = 2 x BW(0-3).
+        let bw = |a: u8, b: u8| t.direct_link(g(a), g(b)).unwrap().bandwidth;
+        assert_eq!(bw(0, 1).gigabytes_per_sec(), 50.0);
+        assert_eq!(bw(0, 2).gigabytes_per_sec(), 50.0);
+        assert_eq!(bw(0, 3).gigabytes_per_sec(), 25.0);
+        // §IV-A: GPU2-GPU3 single, GPU3-GPU4 absent.
+        assert_eq!(bw(2, 3).gigabytes_per_sec(), 25.0);
+        assert!(t.direct_link(g(3), g(4)).is_none());
+        // §V-A: GPU1 has a direct NVLink connection with GPU7.
+        assert!(t.p2p_capable(g(1), g(7)));
+    }
+
+    #[test]
+    fn dgx1_nvlink_budget_respected() {
+        // A V100 has 6 NVLink bricks; no GPU may exceed that.
+        let t = dgx1_v100();
+        for gpu in t.gpus() {
+            let lanes: u32 = t
+                .links()
+                .iter()
+                .filter(|l| l.connects(gpu))
+                .map(|l| match l.kind {
+                    LinkKind::NvLink { lanes } => lanes,
+                    _ => 0,
+                })
+                .sum();
+            assert!(lanes <= 6, "{gpu} uses {lanes} NVLink bricks");
+        }
+    }
+
+    #[test]
+    fn dgx1_two_hop_software_relay_guarantee() {
+        // Paper §IV-A: "A maximum of one intermediate node (two hops) is
+        // required to connect any pair of GPUs."
+        let t = dgx1_v100();
+        for a in 0..8 {
+            for b in 0..8 {
+                if a == b {
+                    continue;
+                }
+                let (a, b) = (Device::gpu(a), Device::gpu(b));
+                assert!(
+                    t.p2p_capable(a, b) || !t.relay_candidates(a, b).is_empty(),
+                    "{a}->{b} needs more than one relay"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dgx1_non_neighbor_hardware_route_bounces_via_host() {
+        let t = dgx1_v100();
+        let r = t.route(Device::gpu(0), Device::gpu(4));
+        assert!(r.through_host());
+        // g0 -> cpu0 -> cpu1 -> g4.
+        assert_eq!(r.hop_count(), 3);
+    }
+
+    #[test]
+    fn dgx1_home_cpus_split_four_four() {
+        let t = dgx1_v100();
+        for g in 0..4 {
+            assert_eq!(t.home_cpu(Device::gpu(g)), Device::cpu(0));
+        }
+        for g in 4..8 {
+            assert_eq!(t.home_cpu(Device::gpu(g)), Device::cpu(1));
+        }
+    }
+
+    #[test]
+    fn pascal_variant_keeps_wiring_but_slows_links() {
+        let p = dgx1_p100();
+        let v = dgx1_v100();
+        assert_eq!(p.links().len(), v.links().len());
+        let bw = p
+            .direct_link(Device::gpu(0), Device::gpu(1))
+            .unwrap()
+            .bandwidth;
+        assert_eq!(bw.gigabytes_per_sec(), 40.0); // 2 lanes x 20 GB/s
+        assert!(p.p2p_capable(Device::gpu(0), Device::gpu(6)));
+    }
+
+    #[test]
+    fn single_lane_variant_flattens_doubles() {
+        let t = single_lane_dgx1();
+        let bw = t
+            .direct_link(Device::gpu(0), Device::gpu(1))
+            .unwrap()
+            .bandwidth;
+        assert_eq!(bw.gigabytes_per_sec(), 25.0);
+        assert_eq!(t.gpu_count(), 8);
+    }
+
+    #[test]
+    fn pcie_only_has_no_nvlink() {
+        let t = pcie_only(8);
+        assert!(t.links().iter().all(|l| !l.kind.is_nvlink()));
+        assert!(!t.p2p_capable(Device::gpu(0), Device::gpu(1)));
+        assert_eq!(t.gpu_count(), 8);
+        // GPUs on different sockets route over QPI.
+        let r = t.route(Device::gpu(0), Device::gpu(7));
+        assert_eq!(r.hop_count(), 3);
+    }
+
+    #[test]
+    fn nvswitch_is_fully_connected() {
+        let t = full_nvlink_switch(8);
+        for a in 0..8 {
+            for b in 0..8 {
+                if a != b {
+                    assert!(t.p2p_capable(Device::gpu(a), Device::gpu(b)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn odd_gpu_counts_split_pcie_trees() {
+        let t = pcie_only(3);
+        assert_eq!(t.home_cpu(Device::gpu(0)), Device::cpu(0));
+        assert_eq!(t.home_cpu(Device::gpu(1)), Device::cpu(0));
+        assert_eq!(t.home_cpu(Device::gpu(2)), Device::cpu(1));
+    }
+}

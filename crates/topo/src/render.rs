@@ -1,0 +1,145 @@
+//! Human-readable renderings of a topology: a connectivity matrix in
+//! the style of `nvidia-smi topo -m`, and Graphviz DOT export
+//! (regenerates the paper's Fig. 2).
+
+use std::fmt::Write as _;
+
+use crate::device::Device;
+use crate::link::LinkKind;
+use crate::topology::Topology;
+
+impl Topology {
+    /// Renders a GPU-to-GPU connectivity matrix like `nvidia-smi topo
+    /// -m`: `NV1`/`NV2` for single/double NVLink, `SYS` for routes that
+    /// traverse the host, `X` on the diagonal.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use voltascope_topo::dgx1_v100;
+    ///
+    /// let matrix = dgx1_v100().connectivity_matrix();
+    /// assert!(matrix.contains("NV2"));
+    /// assert!(matrix.contains("SYS"));
+    /// ```
+    pub fn connectivity_matrix(&self) -> String {
+        let gpus = self.gpus();
+        let mut out = String::new();
+        write!(out, "{:6}", "").unwrap();
+        for g in &gpus {
+            write!(out, "{:>6}", g.to_string()).unwrap();
+        }
+        out.push('\n');
+        for &a in &gpus {
+            write!(out, "{:6}", a.to_string()).unwrap();
+            for &b in &gpus {
+                let cell = if a == b {
+                    "X".to_string()
+                } else {
+                    match self.direct_link(a, b).map(|l| l.kind) {
+                        Some(LinkKind::NvLink { lanes }) => format!("NV{lanes}"),
+                        Some(LinkKind::Pcie) => "PIX".to_string(),
+                        Some(LinkKind::Qpi) => "SYS".to_string(),
+                        None => "SYS".to_string(),
+                    }
+                };
+                write!(out, "{cell:>6}").unwrap();
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Exports the topology as a Graphviz DOT graph. NVLink edges are
+    /// drawn bold (double connections with `penwidth=2`), PCIe dashed,
+    /// and QPI dotted — mirroring the legend of the paper's Fig. 2.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "graph \"{}\" {{", self.name()).unwrap();
+        writeln!(out, "  layout=neato; overlap=false;").unwrap();
+        for d in self.devices() {
+            let shape = if d.is_gpu() { "box" } else { "ellipse" };
+            writeln!(out, "  \"{d}\" [shape={shape}];").unwrap();
+        }
+        for link in self.links() {
+            let style = match link.kind {
+                LinkKind::NvLink { lanes } => format!("penwidth={lanes}"),
+                LinkKind::Pcie => "style=dashed".to_string(),
+                LinkKind::Qpi => "style=dotted".to_string(),
+            };
+            writeln!(
+                out,
+                "  \"{}\" -- \"{}\" [{} label=\"{}\"];",
+                link.a, link.b, style, link.kind
+            )
+            .unwrap();
+        }
+        writeln!(out, "}}").unwrap();
+        out
+    }
+
+    /// One line per link: `GPU0--GPU1 (NVLink x2, 50.0 GB/s)`.
+    pub fn describe_links(&self) -> String {
+        let mut out = String::new();
+        for link in self.links() {
+            writeln!(out, "{link}").unwrap();
+        }
+        out
+    }
+}
+
+/// Formats a device pair key like `GPU0-GPU3` (used in report rows).
+pub fn pair_label(a: Device, b: Device) -> String {
+    format!("{a}-{b}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::dgx1_v100;
+
+    #[test]
+    fn matrix_has_one_row_per_gpu_plus_header() {
+        let m = dgx1_v100().connectivity_matrix();
+        assert_eq!(m.lines().count(), 9);
+        // Diagonal is X.
+        let row0: Vec<&str> = m.lines().nth(1).unwrap().split_whitespace().collect();
+        assert_eq!(row0[0], "GPU0");
+        assert_eq!(row0[1], "X");
+    }
+
+    #[test]
+    fn matrix_encodes_lane_counts() {
+        let m = dgx1_v100().connectivity_matrix();
+        let row0 = m.lines().nth(1).unwrap();
+        // GPU0 row: X, NV2 (g1), NV2 (g2), NV1 (g3), SYS, SYS, NV1 (g6), SYS.
+        let cells: Vec<&str> = row0.split_whitespace().skip(1).collect();
+        assert_eq!(cells, vec!["X", "NV2", "NV2", "NV1", "SYS", "SYS", "NV1", "SYS"]);
+    }
+
+    #[test]
+    fn dot_lists_all_devices_and_links() {
+        let t = dgx1_v100();
+        let dot = t.to_dot();
+        assert!(dot.starts_with("graph \"DGX-1V\""));
+        for d in t.devices() {
+            assert!(dot.contains(&format!("\"{d}\"")), "missing {d}");
+        }
+        assert_eq!(
+            dot.matches(" -- ").count(),
+            t.links().len(),
+            "one edge per link"
+        );
+    }
+
+    #[test]
+    fn describe_links_is_line_per_link() {
+        let t = dgx1_v100();
+        assert_eq!(t.describe_links().lines().count(), t.links().len());
+    }
+
+    #[test]
+    fn pair_label_formats() {
+        assert_eq!(pair_label(Device::gpu(0), Device::gpu(3)), "GPU0-GPU3");
+    }
+}

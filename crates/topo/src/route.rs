@@ -1,0 +1,225 @@
+//! Hardware routes between devices.
+
+use std::fmt;
+
+use voltascope_sim::SimSpan;
+
+use crate::bandwidth::Bandwidth;
+use crate::device::Device;
+use crate::link::{LinkId, LinkKind};
+
+/// One link crossing within a [`Route`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hop {
+    /// Source device of this hop.
+    pub from: Device,
+    /// Destination device of this hop.
+    pub to: Device,
+    /// The link crossed.
+    pub link: LinkId,
+    /// The link's technology.
+    pub kind: LinkKind,
+    /// Unidirectional bandwidth of the link.
+    pub bandwidth: Bandwidth,
+    /// Per-message latency of the link.
+    pub latency: SimSpan,
+}
+
+/// A hardware path between two devices: the sequence of links a DMA
+/// transfer crosses.
+///
+/// Multi-hop routes on the DGX-1 are *store-and-forward at the CPU*: a
+/// GPU3→GPU4 copy is realised as a device-to-host copy followed by a
+/// host-to-device copy (paper §V-A), so the total time is the sum of
+/// per-hop times, not a pipelined cut-through.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Route {
+    /// Origin device.
+    pub src: Device,
+    /// Destination device.
+    pub dst: Device,
+    hops: Vec<Hop>,
+}
+
+impl Route {
+    /// Assembles a route from its hops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hops do not form a contiguous path from `src` to
+    /// `dst`, or if `src == dst` and hops are non-empty.
+    pub fn new(src: Device, dst: Device, hops: Vec<Hop>) -> Self {
+        let mut at = src;
+        for hop in &hops {
+            assert_eq!(hop.from, at, "route hops are not contiguous");
+            at = hop.to;
+        }
+        assert_eq!(at, dst, "route does not end at its destination");
+        Route { src, dst, hops }
+    }
+
+    /// The hops in order.
+    pub fn hops(&self) -> &[Hop] {
+        &self.hops
+    }
+
+    /// Number of links crossed. Zero for a self-route.
+    pub fn hop_count(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// `true` when the route is a single direct NVLink connection — the
+    /// condition for CUDA peer-to-peer transfers and access.
+    pub fn is_direct_nvlink(&self) -> bool {
+        self.hops.len() == 1 && self.hops[0].kind.is_nvlink()
+    }
+
+    /// `true` when the route bounces through at least one CPU (the slow
+    /// DtoH + HtoD fallback the paper describes for 8-GPU P2P training).
+    pub fn through_host(&self) -> bool {
+        self.hops.iter().any(|h| h.to.is_cpu())
+    }
+
+    /// The lowest bandwidth along the route, or `None` for a self-route.
+    pub fn bottleneck_bandwidth(&self) -> Option<Bandwidth> {
+        self.hops
+            .iter()
+            .map(|h| h.bandwidth)
+            .reduce(Bandwidth::min)
+    }
+
+    /// Total latency along the route.
+    pub fn total_latency(&self) -> SimSpan {
+        self.hops.iter().map(|h| h.latency).sum()
+    }
+
+    /// Store-and-forward end-to-end time for a payload of `bytes`: the
+    /// sum of per-hop latency and serialisation.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use voltascope_topo::{dgx1_v100, Device};
+    ///
+    /// let topo = dgx1_v100();
+    /// let direct = topo.route(Device::gpu(0), Device::gpu(1));
+    /// let hosted = topo.route(Device::gpu(3), Device::gpu(4));
+    /// // Same payload: host-bounced transfers are much slower.
+    /// let payload = 10_000_000;
+    /// assert!(hosted.transfer_time(payload) > direct.transfer_time(payload) * 4);
+    /// ```
+    pub fn transfer_time(&self, bytes: u64) -> SimSpan {
+        self.hops
+            .iter()
+            .map(|h| h.latency + h.bandwidth.transfer_time(bytes))
+            .sum()
+    }
+}
+
+impl fmt::Display for Route {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.src)?;
+        for hop in &self.hops {
+            write!(f, " -[{}]-> {}", hop.kind, hop.to)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hop(from: Device, to: Device, kind: LinkKind, id: u32) -> Hop {
+        Hop {
+            from,
+            to,
+            link: LinkId(id),
+            kind,
+            bandwidth: kind.default_bandwidth(),
+            latency: kind.default_latency(),
+        }
+    }
+
+    #[test]
+    fn self_route_has_no_hops() {
+        let r = Route::new(Device::gpu(0), Device::gpu(0), vec![]);
+        assert_eq!(r.hop_count(), 0);
+        assert_eq!(r.transfer_time(1 << 30), SimSpan::ZERO);
+        assert_eq!(r.bottleneck_bandwidth(), None);
+        assert!(!r.is_direct_nvlink());
+    }
+
+    #[test]
+    fn direct_nvlink_detected() {
+        let r = Route::new(
+            Device::gpu(0),
+            Device::gpu(1),
+            vec![hop(Device::gpu(0), Device::gpu(1), LinkKind::NvLink { lanes: 2 }, 0)],
+        );
+        assert!(r.is_direct_nvlink());
+        assert!(!r.through_host());
+    }
+
+    #[test]
+    fn host_route_detected_and_bottlenecked() {
+        let r = Route::new(
+            Device::gpu(3),
+            Device::gpu(4),
+            vec![
+                hop(Device::gpu(3), Device::cpu(0), LinkKind::Pcie, 0),
+                hop(Device::cpu(0), Device::cpu(1), LinkKind::Qpi, 1),
+                hop(Device::cpu(1), Device::gpu(4), LinkKind::Pcie, 2),
+            ],
+        );
+        assert!(r.through_host());
+        assert!(!r.is_direct_nvlink());
+        assert_eq!(
+            r.bottleneck_bandwidth().unwrap(),
+            LinkKind::Pcie.default_bandwidth()
+        );
+        assert_eq!(
+            r.total_latency(),
+            LinkKind::Pcie.default_latency() * 2 + LinkKind::Qpi.default_latency()
+        );
+    }
+
+    #[test]
+    fn transfer_time_sums_hops() {
+        let kind = LinkKind::NvLink { lanes: 1 };
+        let r = Route::new(
+            Device::gpu(0),
+            Device::gpu(2),
+            vec![
+                hop(Device::gpu(0), Device::gpu(1), kind, 0),
+                hop(Device::gpu(1), Device::gpu(2), kind, 1),
+            ],
+        );
+        let one = kind.default_latency() + kind.default_bandwidth().transfer_time(1_000_000);
+        assert_eq!(r.transfer_time(1_000_000), one * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not contiguous")]
+    fn discontiguous_hops_panic() {
+        let kind = LinkKind::NvLink { lanes: 1 };
+        let _ = Route::new(
+            Device::gpu(0),
+            Device::gpu(3),
+            vec![
+                hop(Device::gpu(0), Device::gpu(1), kind, 0),
+                hop(Device::gpu(2), Device::gpu(3), kind, 1),
+            ],
+        );
+    }
+
+    #[test]
+    fn display_shows_path() {
+        let r = Route::new(
+            Device::gpu(0),
+            Device::gpu(1),
+            vec![hop(Device::gpu(0), Device::gpu(1), LinkKind::NvLink { lanes: 2 }, 0)],
+        );
+        assert_eq!(r.to_string(), "GPU0 -[NVLink x2]-> GPU1");
+    }
+}

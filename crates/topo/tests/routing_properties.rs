@@ -1,0 +1,115 @@
+//! Property-based tests of routing over randomly generated topologies.
+
+use proptest::prelude::*;
+use voltascope_topo::{Device, LinkKind, Topology};
+
+/// Builds a random but always-connected topology: one CPU as PCIe root
+/// for every GPU, plus random NVLink edges.
+fn arb_topology() -> impl Strategy<Value = (u8, Vec<(u8, u8, u8)>)> {
+    (2u8..8).prop_flat_map(|gpus| {
+        (
+            Just(gpus),
+            proptest::collection::vec((0u8..gpus, 0u8..gpus, 1u8..3), 0..16),
+        )
+    })
+}
+
+fn build(gpus: u8, edges: &[(u8, u8, u8)]) -> Topology {
+    let mut t = Topology::new("fuzz");
+    t.add_device(Device::cpu(0));
+    for g in 0..gpus {
+        t.add_device(Device::gpu(g));
+        t.connect(Device::gpu(g), Device::cpu(0), LinkKind::Pcie);
+    }
+    for &(a, b, lanes) in edges {
+        if a != b {
+            t.connect(
+                Device::gpu(a),
+                Device::gpu(b),
+                LinkKind::NvLink { lanes: lanes as u32 },
+            );
+        }
+    }
+    t
+}
+
+proptest! {
+    /// Routes always exist (the PCIe tree guarantees connectivity),
+    /// start and end at the right devices, and cross only CPU relays.
+    #[test]
+    fn routes_are_valid((gpus, edges) in arb_topology()) {
+        let t = build(gpus, &edges);
+        for a in 0..gpus {
+            for b in 0..gpus {
+                let (src, dst) = (Device::gpu(a), Device::gpu(b));
+                let route = t.route(src, dst);
+                prop_assert_eq!(route.src, src);
+                prop_assert_eq!(route.dst, dst);
+                if a == b {
+                    prop_assert_eq!(route.hop_count(), 0);
+                    continue;
+                }
+                // Intermediate devices must be CPUs (GPUs don't forward).
+                for hop in &route.hops()[..route.hop_count().saturating_sub(1)] {
+                    prop_assert!(
+                        hop.to.is_cpu() || hop.to == dst,
+                        "GPU relay in hardware route: {}",
+                        route
+                    );
+                }
+                // A direct NVLink always wins over the host bounce.
+                if t.p2p_capable(src, dst) {
+                    prop_assert!(route.is_direct_nvlink());
+                }
+            }
+        }
+    }
+
+    /// Relay candidates really do neighbour both endpoints over NVLink.
+    #[test]
+    fn relay_candidates_are_common_neighbors((gpus, edges) in arb_topology()) {
+        let t = build(gpus, &edges);
+        for a in 0..gpus {
+            for b in 0..gpus {
+                if a == b {
+                    continue;
+                }
+                for relay in t.relay_candidates(Device::gpu(a), Device::gpu(b)) {
+                    prop_assert!(t.p2p_capable(Device::gpu(a), relay));
+                    prop_assert!(t.p2p_capable(relay, Device::gpu(b)));
+                    prop_assert!(relay != Device::gpu(a) && relay != Device::gpu(b));
+                }
+            }
+        }
+    }
+
+    /// Transfer time over any route is monotone in payload size and at
+    /// least the bottleneck-bandwidth bound.
+    #[test]
+    fn transfer_time_monotone_and_bounded((gpus, edges) in arb_topology()) {
+        let t = build(gpus, &edges);
+        let route = t.route(Device::gpu(0), Device::gpu(gpus - 1));
+        if route.hop_count() == 0 {
+            return Ok(());
+        }
+        let small = route.transfer_time(1 << 10);
+        let large = route.transfer_time(1 << 24);
+        prop_assert!(large > small);
+        let bound = route
+            .bottleneck_bandwidth()
+            .unwrap()
+            .transfer_time(1 << 24);
+        prop_assert!(large >= bound);
+    }
+
+    /// Rings built over random fabrics visit each GPU exactly once.
+    #[test]
+    fn rings_are_permutations((gpus, edges) in arb_topology()) {
+        let t = build(gpus, &edges);
+        let ring = voltascope_comm::Ring::build(&t, gpus as usize);
+        let mut seen: Vec<Device> = ring.devices().to_vec();
+        seen.sort();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), gpus as usize);
+    }
+}

@@ -1,0 +1,201 @@
+//! Asynchronous SGD — the alternative scheme the paper discusses in
+//! §II-B, implemented as an extension so the delayed-gradient effect it
+//! warns about is demonstrable.
+
+use voltascope_dnn::{softmax_cross_entropy, Model, Params, Tensor};
+
+use crate::optimizer::{Sgd, SgdState};
+use crate::parallel::{flatten, unflatten};
+
+/// An asynchronous parameter-server trainer: workers compute gradients
+/// against whatever weights they last pulled, and the server applies
+/// each gradient as it arrives. Faster per step (no synchronisation
+/// barrier) but suffers the *delayed gradient problem*: a gradient may
+/// be applied `staleness` updates after the weights it was computed on.
+///
+/// # Example
+///
+/// ```
+/// use voltascope_dnn::{zoo, Shape, Tensor};
+/// use voltascope_train::{AsyncParameterServer, Sgd};
+///
+/// let model = zoo::lenet();
+/// let mut ps = AsyncParameterServer::new(&model, 2, Sgd::new(0.01), 7);
+/// let x = Tensor::full(Shape::new([2, 1, 28, 28]), 0.1);
+/// ps.worker_step(0, &x, &[1, 2]);
+/// assert_eq!(ps.max_staleness(), 0); // first update is never stale
+/// ```
+#[derive(Debug)]
+pub struct AsyncParameterServer<'m> {
+    model: &'m Model,
+    server: Params,
+    state: SgdState,
+    sgd: Sgd,
+    /// Server update counter.
+    version: u64,
+    /// Per-worker: version of the weights it last pulled.
+    worker_versions: Vec<u64>,
+    max_staleness: u64,
+    total_staleness: u64,
+    updates: u64,
+}
+
+impl<'m> AsyncParameterServer<'m> {
+    /// Creates a server with `workers` asynchronous workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn new(model: &'m Model, workers: usize, sgd: Sgd, seed: u64) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        AsyncParameterServer {
+            model,
+            server: model.init_params(seed),
+            state: SgdState::default(),
+            sgd,
+            version: 0,
+            worker_versions: vec![0; workers],
+            max_staleness: 0,
+            total_staleness: 0,
+            updates: 0,
+        }
+    }
+
+    /// Worker `w` pulls the current weights, computes a gradient on its
+    /// batch, and pushes it; the server applies it immediately. Returns
+    /// the worker's loss.
+    ///
+    /// In a real deployment the pull and push are separated in time —
+    /// call [`AsyncParameterServer::worker_pull`] and
+    /// [`AsyncParameterServer::worker_push`] directly to model that gap
+    /// (and grow staleness).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is out of range or labels mismatch the batch.
+    pub fn worker_step(&mut self, w: usize, batch: &Tensor, labels: &[usize]) -> f32 {
+        let params = self.worker_pull(w);
+        self.worker_push(w, &params, batch, labels)
+    }
+
+    /// Worker `w` snapshots the current server weights.
+    pub fn worker_pull(&mut self, w: usize) -> Params {
+        self.worker_versions[w] = self.version;
+        self.server.clone()
+    }
+
+    /// Worker `w` computes a gradient on `pulled` weights and pushes it
+    /// to the server, which applies it to (possibly newer) weights —
+    /// the delayed-gradient mechanic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is out of range or labels mismatch the batch.
+    pub fn worker_push(
+        &mut self,
+        w: usize,
+        pulled: &Params,
+        batch: &Tensor,
+        labels: &[usize],
+    ) -> f32 {
+        let acts = self.model.forward(pulled, batch);
+        let (loss, grad_out) = softmax_cross_entropy(self.model.output(&acts), labels);
+        let grads = self.model.backward(pulled, batch, &acts, &grad_out);
+
+        let staleness = self.version - self.worker_versions[w];
+        self.max_staleness = self.max_staleness.max(staleness);
+        self.total_staleness += staleness;
+        self.updates += 1;
+
+        // Apply to the *current* server weights (not the pulled ones).
+        let flat = flatten(&grads);
+        let mut server_grads = grads;
+        unflatten(&mut server_grads, &flat);
+        self.sgd
+            .step(&mut self.server, &server_grads, &mut self.state);
+        self.version += 1;
+        loss
+    }
+
+    /// Largest staleness (in server updates) any applied gradient had.
+    pub fn max_staleness(&self) -> u64 {
+        self.max_staleness
+    }
+
+    /// Mean staleness over all applied gradients.
+    pub fn mean_staleness(&self) -> f64 {
+        if self.updates == 0 {
+            0.0
+        } else {
+            self.total_staleness as f64 / self.updates as f64
+        }
+    }
+
+    /// The current server weights.
+    pub fn server_params(&self) -> &Params {
+        &self.server
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::SyntheticDataset;
+    use voltascope_dnn::Shape;
+
+    fn tiny_model() -> Model {
+        use voltascope_dnn::{Dense, ModelBuilder, Relu, Source};
+        let mut b = ModelBuilder::new("t", Shape::new([1, 1, 4, 4]));
+        let f1 = b.add("f1", Dense::new(16, 8), &[Source::Input]);
+        let r = b.add("r", Relu, &[Source::Node(f1)]);
+        let f2 = b.add("f2", Dense::new(8, 3), &[Source::Node(r)]);
+        b.finish(f2)
+    }
+
+    #[test]
+    fn immediate_push_has_zero_staleness() {
+        let model = tiny_model();
+        let data = SyntheticDataset::new(Shape::new([1, 1, 4, 4]), 3, 12, 1);
+        let mut ps = AsyncParameterServer::new(&model, 2, Sgd::new(0.05), 1);
+        for step in 0..4 {
+            let (x, l) = data.batch(step * 3, 3);
+            ps.worker_step(step % 2, &x, &l);
+        }
+        assert_eq!(ps.max_staleness(), 0);
+        assert_eq!(ps.mean_staleness(), 0.0);
+    }
+
+    #[test]
+    fn overlapping_workers_accumulate_staleness() {
+        let model = tiny_model();
+        let data = SyntheticDataset::new(Shape::new([1, 1, 4, 4]), 3, 12, 2);
+        let mut ps = AsyncParameterServer::new(&model, 2, Sgd::new(0.05), 2);
+        // Both workers pull the same version, then push sequentially:
+        // the second push lands on weights one update newer.
+        let p0 = ps.worker_pull(0);
+        let p1 = ps.worker_pull(1);
+        let (x, l) = data.batch(0, 3);
+        ps.worker_push(0, &p0, &x, &l);
+        ps.worker_push(1, &p1, &x, &l);
+        assert_eq!(ps.max_staleness(), 1);
+        assert_eq!(ps.mean_staleness(), 0.5);
+    }
+
+    #[test]
+    fn async_training_still_learns() {
+        let model = tiny_model();
+        let data = SyntheticDataset::new(Shape::new([1, 1, 4, 4]), 3, 60, 3);
+        let mut ps = AsyncParameterServer::new(&model, 3, Sgd::new(0.1), 3);
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for step in 0..40 {
+            let (x, l) = data.batch(step * 6, 6);
+            let loss = ps.worker_step(step % 3, &x, &l);
+            if step == 0 {
+                first = loss;
+            }
+            last = loss;
+        }
+        assert!(last < first, "loss did not fall: {first} -> {last}");
+    }
+}

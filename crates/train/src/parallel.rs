@@ -1,0 +1,273 @@
+//! Numerically-real data-parallel training over simulated GPU replicas.
+//!
+//! This module executes the *mathematics* of the paper's training
+//! pipeline (Fig. 1): every replica runs FP and BP on its own
+//! mini-batch shard, gradients are averaged with a real collective
+//! (`voltascope-comm`'s semantic layer), and the synchronised update is
+//! applied everywhere. The key testable property: an N-replica step on
+//! N shards produces the same weights as a 1-replica step on the
+//! concatenated batch.
+
+use voltascope_comm::semantic;
+use voltascope_dnn::{softmax_cross_entropy, Gradients, Model, Params, Tensor};
+
+use crate::optimizer::{Sgd, SgdState};
+
+/// A synchronous data-parallel trainer: one model definition, `n`
+/// parameter replicas (one per simulated GPU), real gradient averaging.
+///
+/// # Example
+///
+/// ```
+/// use voltascope_dnn::zoo;
+/// use voltascope_train::{DataParallel, Sgd, SyntheticDataset};
+/// use voltascope_dnn::Shape;
+///
+/// let model = zoo::lenet();
+/// let data = SyntheticDataset::new(Shape::new([1, 1, 28, 28]), 10, 64, 1);
+/// let mut trainer = DataParallel::new(&model, 2, Sgd::new(0.05), 42);
+/// let (x, labels) = data.batch(0, 8); // 4 samples per replica
+/// let loss = trainer.step(&x, &labels);
+/// assert!(loss.is_finite());
+/// assert!(trainer.replicas_in_sync());
+/// ```
+#[derive(Debug)]
+pub struct DataParallel<'m> {
+    model: &'m Model,
+    replicas: Vec<Params>,
+    states: Vec<SgdState>,
+    sgd: Sgd,
+}
+
+impl<'m> DataParallel<'m> {
+    /// Creates a trainer with `replicas` synchronised copies of the
+    /// model initialised from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is zero.
+    pub fn new(model: &'m Model, replicas: usize, sgd: Sgd, seed: u64) -> Self {
+        assert!(replicas > 0, "need at least one replica");
+        let params = model.init_params(seed);
+        DataParallel {
+            model,
+            replicas: vec![params; replicas],
+            states: (0..replicas).map(|_| SgdState::default()).collect(),
+            sgd,
+        }
+    }
+
+    /// Number of replicas (simulated GPUs).
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Read access to a replica's parameters.
+    pub fn params(&self, replica: usize) -> &Params {
+        &self.replicas[replica]
+    }
+
+    /// One synchronous training step (paper Fig. 1): shards `batch`
+    /// evenly across replicas, runs FP+BP per replica, ring-AllReduces
+    /// the gradients (averaged), and applies the same SGD update on
+    /// every replica. Returns the mean loss over the whole batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch size is not divisible by the replica count
+    /// or `labels` doesn't match the batch.
+    pub fn step(&mut self, batch: &Tensor, labels: &[usize]) -> f32 {
+        let n = self.replicas.len();
+        let total = batch.shape().dim(0);
+        assert_eq!(
+            total % n,
+            0,
+            "batch of {total} not divisible across {n} replicas"
+        );
+        assert_eq!(labels.len(), total, "one label per sample");
+        let shard = total / n;
+        let per_image = batch.numel() / total;
+
+        // FP + BP per replica on its shard (real math).
+        let mut losses = Vec::with_capacity(n);
+        let mut grads: Vec<Gradients> = Vec::with_capacity(n);
+        for (r, params) in self.replicas.iter().enumerate() {
+            let lo = r * shard;
+            let shard_data = batch.data()[lo * per_image..(lo + shard) * per_image].to_vec();
+            let x = Tensor::from_vec(
+                batch.shape().with_batch(shard),
+                shard_data,
+            );
+            let acts = self.model.forward(params, &x);
+            let (loss, grad_out) =
+                softmax_cross_entropy(self.model.output(&acts), &labels[lo..lo + shard]);
+            losses.push(loss);
+            grads.push(self.model.backward(params, &x, &acts, &grad_out));
+        }
+
+        // WU stage: real ring AllReduce of flattened gradients, averaged.
+        let mut buffers: Vec<Vec<f32>> = grads.iter().map(flatten).collect();
+        semantic::all_reduce_average(&mut buffers);
+        for (g, buf) in grads.iter_mut().zip(&buffers) {
+            unflatten(g, buf);
+        }
+
+        // Identical update on every replica keeps them in sync.
+        for ((params, state), grad) in self
+            .replicas
+            .iter_mut()
+            .zip(&mut self.states)
+            .zip(&grads)
+        {
+            self.sgd.step(params, grad, state);
+        }
+        losses.iter().sum::<f32>() / n as f32
+    }
+
+    /// `true` when every replica holds bit-identical parameters — the
+    /// invariant synchronous SGD must maintain after every step.
+    pub fn replicas_in_sync(&self) -> bool {
+        let first = &self.replicas[0];
+        self.replicas[1..].iter().all(|r| {
+            r.iter()
+                .zip(first.iter())
+                .all(|(a, b)| a.data() == b.data())
+        })
+    }
+}
+
+/// Flattens a gradient set into one contiguous buffer (the layout the
+/// collectives operate on).
+pub fn flatten(grads: &Gradients) -> Vec<f32> {
+    let mut out = Vec::new();
+    for t in grads.iter() {
+        out.extend_from_slice(t.data());
+    }
+    out
+}
+
+/// Writes a flat buffer back into a gradient set.
+///
+/// # Panics
+///
+/// Panics if `buf` does not match the gradients' total element count.
+pub fn unflatten(grads: &mut Gradients, buf: &[f32]) {
+    let mut at = 0;
+    for t in grads.iter_mut() {
+        let n = t.numel();
+        t.data_mut().copy_from_slice(&buf[at..at + n]);
+        at += n;
+    }
+    assert_eq!(at, buf.len(), "buffer length mismatch");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::SyntheticDataset;
+    use voltascope_dnn::{zoo, Shape};
+
+    fn tiny_model() -> Model {
+        use voltascope_dnn::{Conv2d, Dense, ModelBuilder, Relu, Source};
+        let mut b = ModelBuilder::new("tiny", Shape::new([1, 1, 6, 6]));
+        let c = b.add("c", Conv2d::new(1, 3, 3, 1, 1), &[Source::Input]);
+        let r = b.add("r", Relu, &[Source::Node(c)]);
+        let f = b.add("f", Dense::new(3 * 36, 4), &[Source::Node(r)]);
+        b.finish(f)
+    }
+
+    #[test]
+    fn replicas_stay_in_sync_over_steps() {
+        let model = tiny_model();
+        let data = SyntheticDataset::new(Shape::new([1, 1, 6, 6]), 4, 32, 5);
+        let mut t = DataParallel::new(&model, 4, Sgd::new(0.05).momentum(0.9), 9);
+        for step in 0..5 {
+            let (x, l) = data.batch(step * 8, 8);
+            t.step(&x, &l);
+            assert!(t.replicas_in_sync(), "desync at step {step}");
+        }
+    }
+
+    #[test]
+    fn multi_gpu_step_equals_single_gpu_step() {
+        // The fundamental data-parallel identity: averaging gradients
+        // over shards == gradient of the full batch (losses are means).
+        let model = tiny_model();
+        let data = SyntheticDataset::new(Shape::new([1, 1, 6, 6]), 4, 32, 5);
+        let (x, l) = data.batch(0, 8);
+
+        let mut single = DataParallel::new(&model, 1, Sgd::new(0.1), 77);
+        let mut multi = DataParallel::new(&model, 4, Sgd::new(0.1), 77);
+        let loss1 = single.step(&x, &l);
+        let loss4 = multi.step(&x, &l);
+        assert!((loss1 - loss4).abs() < 1e-5, "{loss1} vs {loss4}");
+        for (a, b) in single.params(0).iter().zip(multi.params(0).iter()) {
+            for (u, v) in a.data().iter().zip(b.data()) {
+                assert!((u - v).abs() < 1e-5, "weights diverged: {u} vs {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss_on_learnable_data() {
+        let model = tiny_model();
+        let data = SyntheticDataset::new(Shape::new([1, 1, 6, 6]), 4, 64, 3);
+        let mut t = DataParallel::new(&model, 2, Sgd::new(0.1).momentum(0.9), 1);
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for step in 0..30 {
+            let (x, l) = data.batch(step * 16, 16);
+            let loss = t.step(&x, &l);
+            if step == 0 {
+                first = loss;
+            }
+            last = loss;
+        }
+        assert!(
+            last < first * 0.7,
+            "loss did not fall: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn lenet_trains_end_to_end() {
+        // Smoke: real LeNet on 28x28 synthetic data, 2 replicas.
+        let model = zoo::lenet();
+        let data = SyntheticDataset::new(Shape::new([1, 1, 28, 28]), 4, 16, 2);
+        let mut t = DataParallel::new(&model, 2, Sgd::new(0.05), 4);
+        let mut losses = Vec::new();
+        for step in 0..6 {
+            let (x, l) = data.batch(step * 4, 4);
+            losses.push(t.step(&x, &l));
+        }
+        assert!(losses.last().unwrap() < losses.first().unwrap());
+        assert!(t.replicas_in_sync());
+    }
+
+    #[test]
+    fn flatten_unflatten_roundtrip() {
+        let model = tiny_model();
+        let p = model.init_params(1);
+        let x = Tensor::full(Shape::new([1, 1, 6, 6]), 0.3);
+        let acts = model.forward(&p, &x);
+        let (_, g) = softmax_cross_entropy(model.output(&acts), &[1]);
+        let mut grads = model.backward(&p, &x, &acts, &g);
+        let flat = flatten(&grads);
+        assert_eq!(flat.len() as u64, model.param_count());
+        let mut doubled = flat.clone();
+        for v in &mut doubled {
+            *v *= 2.0;
+        }
+        unflatten(&mut grads, &doubled);
+        assert_eq!(flatten(&grads), doubled);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn indivisible_batch_panics() {
+        let model = tiny_model();
+        let mut t = DataParallel::new(&model, 3, Sgd::new(0.1), 1);
+        let x = Tensor::zeros(Shape::new([4, 1, 6, 6]));
+        let _ = t.step(&x, &[0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,119 @@
+//! Learning-rate schedules.
+
+use crate::optimizer::Sgd;
+
+/// A learning-rate schedule: maps an epoch index to a learning rate.
+/// The paper trains at fixed hyper-parameters (accuracy is out of
+/// scope), but any real adoption of this trainer needs the standard
+/// schedules, so they ship with the framework.
+#[derive(Debug, Clone)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant(f32),
+    /// Multiply by `factor` every `every` epochs (classic ImageNet
+    /// step decay, e.g. x0.1 every 30 epochs).
+    StepDecay {
+        /// Initial learning rate.
+        base: f32,
+        /// Decay factor applied at each step.
+        factor: f32,
+        /// Epochs between decays.
+        every: u32,
+    },
+    /// Linear warmup from `base/warmup_epochs`-scaled values up to
+    /// `base`, then constant (the large-batch training recipe of Goyal
+    /// et al., directly relevant to the paper's batch-size scaling).
+    LinearWarmup {
+        /// Target learning rate after warmup.
+        base: f32,
+        /// Number of warmup epochs.
+        warmup_epochs: u32,
+    },
+}
+
+impl LrSchedule {
+    /// The learning rate for `epoch` (0-based).
+    pub fn at(&self, epoch: u32) -> f32 {
+        match *self {
+            LrSchedule::Constant(lr) => lr,
+            LrSchedule::StepDecay { base, factor, every } => {
+                base * factor.powi((epoch / every.max(1)) as i32)
+            }
+            LrSchedule::LinearWarmup {
+                base,
+                warmup_epochs,
+            } => {
+                if warmup_epochs == 0 || epoch >= warmup_epochs {
+                    base
+                } else {
+                    base * (epoch + 1) as f32 / warmup_epochs as f32
+                }
+            }
+        }
+    }
+
+    /// An [`Sgd`] configured for `epoch`, carrying over `momentum` and
+    /// `weight_decay`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule produces a non-positive rate.
+    pub fn sgd_at(&self, epoch: u32, momentum: f32, weight_decay: f32) -> Sgd {
+        Sgd::new(self.at(epoch))
+            .momentum(momentum)
+            .weight_decay(weight_decay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant(0.1);
+        assert_eq!(s.at(0), 0.1);
+        assert_eq!(s.at(100), 0.1);
+    }
+
+    #[test]
+    fn step_decay_steps() {
+        let s = LrSchedule::StepDecay {
+            base: 0.1,
+            factor: 0.1,
+            every: 30,
+        };
+        assert_eq!(s.at(0), 0.1);
+        assert_eq!(s.at(29), 0.1);
+        assert!((s.at(30) - 0.01).abs() < 1e-9);
+        assert!((s.at(60) - 0.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warmup_ramps_linearly_then_holds() {
+        let s = LrSchedule::LinearWarmup {
+            base: 0.4,
+            warmup_epochs: 4,
+        };
+        assert!((s.at(0) - 0.1).abs() < 1e-6);
+        assert!((s.at(1) - 0.2).abs() < 1e-6);
+        assert!((s.at(3) - 0.4).abs() < 1e-6);
+        assert_eq!(s.at(10), 0.4);
+    }
+
+    #[test]
+    fn sgd_at_carries_hyperparameters() {
+        let s = LrSchedule::Constant(0.05);
+        let sgd = s.sgd_at(3, 0.9, 1e-4);
+        assert_eq!(sgd.learning_rate(), 0.05);
+    }
+
+    #[test]
+    fn zero_warmup_is_constant() {
+        let s = LrSchedule::LinearWarmup {
+            base: 0.2,
+            warmup_epochs: 0,
+        };
+        assert_eq!(s.at(0), 0.2);
+    }
+}

@@ -1,0 +1,58 @@
+//! Explore the DGX-1 interconnect and its ablation variants: the
+//! connectivity matrix, hardware routes, software relays, and the
+//! NVLink rings NCCL would build (SS IV-A and DESIGN.md SS5).
+//!
+//! ```text
+//! cargo run --release --example topology_explorer
+//! ```
+
+use dgx1_repro::comm::Ring;
+use dgx1_repro::topo::{dgx1_v100, full_nvlink_switch, pcie_only, Device};
+
+fn main() {
+    let topo = dgx1_v100();
+    println!("== {} ==", topo.name());
+    println!("{}", topo.connectivity_matrix());
+
+    println!("Hardware routes (GPUs cannot forward NVLink traffic):");
+    for (a, b) in [(0u8, 1u8), (0, 3), (3, 4), (0, 7)] {
+        let route = topo.route(Device::gpu(a), Device::gpu(b));
+        println!("  {route}   [{} for 100 MB]", route.transfer_time(100_000_000));
+    }
+
+    println!();
+    println!("Software relay candidates (MXNet multi-stage transfers):");
+    for (a, b) in [(0u8, 7u8), (3, 4), (0, 5)] {
+        let relays: Vec<String> = topo
+            .relay_candidates(Device::gpu(a), Device::gpu(b))
+            .iter()
+            .map(|d| d.to_string())
+            .collect();
+        println!("  GPU{a}->GPU{b}: via [{}]", relays.join(", "));
+    }
+
+    println!();
+    println!("NCCL-style rings over the NVLink fabric:");
+    for n in [2usize, 4, 8] {
+        let ring = Ring::build(&topo, n);
+        let order: Vec<String> = ring.devices().iter().map(|d| d.to_string()).collect();
+        println!(
+            "  {n} GPUs: {} (all NVLink: {}, bottleneck {:.0} GB/s)",
+            order.join(" -> "),
+            ring.all_nvlink(&topo),
+            ring.bottleneck_bytes_per_sec(&topo) / 1e9
+        );
+    }
+
+    println!();
+    println!("Ablation fabrics:");
+    for t in [pcie_only(8), full_nvlink_switch(8)] {
+        let ring = Ring::build(&t, 8);
+        println!(
+            "  {:<12} NVLink ring: {}, links: {}",
+            t.name(),
+            ring.all_nvlink(&t),
+            t.links().len()
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Determinism and stability: the whole stack must produce identical
+//! results across runs — the property that makes the reproduction
+//! tables trustworthy.
+
+use dgx1_repro::prelude::*;
+
+#[test]
+fn epoch_simulation_is_bit_deterministic() {
+    let h = Harness::paper();
+    let model = Workload::GoogLeNet.build();
+    let a = h.epoch(&model, 16, 4, CommMethod::Nccl, ScalingMode::Strong);
+    let b = h.epoch(&model, 16, 4, CommMethod::Nccl, ScalingMode::Strong);
+    assert_eq!(a.epoch_time, b.epoch_time);
+    assert_eq!(a.iter_time, b.iter_time);
+    assert_eq!(a.fp_bp_iter, b.fp_bp_iter);
+    assert_eq!(a.wu_iter, b.wu_iter);
+    assert_eq!(a.sync_wall_iter, b.sync_wall_iter);
+    assert_eq!(a.iter_trace.len(), b.iter_trace.len());
+}
+
+#[test]
+fn measurement_protocol_reproduces_exactly() {
+    let h = Harness::paper();
+    let m1 = h.training_time(Workload::LeNet, 16, 2, CommMethod::P2p, ScalingMode::Strong);
+    let m2 = h.training_time(Workload::LeNet, 16, 2, CommMethod::P2p, ScalingMode::Strong);
+    assert_eq!(m1, m2);
+    assert!(m1.stddev_s > 0.0, "repetition jitter should be visible");
+    assert!(m1.stddev_s < 0.1 * m1.mean_s, "jitter should stay small");
+}
+
+#[test]
+fn model_construction_and_init_are_deterministic() {
+    let a = Workload::ResNet.build();
+    let b = Workload::ResNet.build();
+    assert_eq!(a.param_count(), b.param_count());
+    let pa = a.init_params(77);
+    let pb = b.init_params(77);
+    for (x, y) in pa.iter().zip(pb.iter()) {
+        assert_eq!(x.data(), y.data());
+    }
+    // Different seeds give different weights.
+    let pc = a.init_params(78);
+    let same = pa
+        .iter()
+        .zip(pc.iter())
+        .all(|(x, y)| x.data() == y.data());
+    assert!(!same);
+}
+
+#[test]
+fn traces_are_identical_across_runs() {
+    let h = Harness::paper();
+    let model = Workload::LeNet.build();
+    let a = h.epoch(&model, 16, 2, CommMethod::P2p, ScalingMode::Strong);
+    let b = h.epoch(&model, 16, 2, CommMethod::P2p, ScalingMode::Strong);
+    for (x, y) in a.iter_trace.events().iter().zip(b.iter_trace.events()) {
+        assert_eq!(x.label, y.label);
+        assert_eq!(x.start, y.start);
+        assert_eq!(x.end, y.end);
+    }
+}

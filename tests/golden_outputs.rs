@@ -1,0 +1,65 @@
+//! Golden snapshot tests: the reproduction binaries' structural
+//! outputs are pinned exactly, so an accidental change to the zoo, the
+//! topology, or the renderers cannot slip through unnoticed.
+
+use dgx1_repro::prelude::*;
+
+#[test]
+fn table1_renders_exactly() {
+    let stats = experiments::structure::table1(&Workload::ALL);
+    let rendered = experiments::structure::render_table1(&stats).render();
+    let expected = "\
+Network       Layers  Conv Layers  Incep/Res Modules  FC Layers  Weights
+------------------------------------------------------------------------
+LeNet         11      2            0                  3          61K    
+AlexNet       18      5            0                  3          61.1M  
+GoogLeNet     138     57           9                  1          7.0M   
+ResNet        174     53           16                 1          25.6M  
+Inception-v3  308     94           11                 1          23.9M  
+";
+    assert_eq!(rendered, expected);
+}
+
+#[test]
+fn connectivity_matrix_renders_exactly() {
+    let h = Harness::paper();
+    let matrix = h.sys.topo.connectivity_matrix();
+    let expected = "        GPU0  GPU1  GPU2  GPU3  GPU4  GPU5  GPU6  GPU7
+GPU0       X   NV2   NV2   NV1   SYS   SYS   NV1   SYS
+GPU1     NV2     X   NV1   NV2   SYS   SYS   SYS   NV1
+GPU2     NV2   NV1     X   NV1   NV1   SYS   SYS   SYS
+GPU3     NV1   NV2   NV1     X   SYS   NV1   SYS   SYS
+GPU4     SYS   SYS   NV1   SYS     X   NV2   NV2   NV1
+GPU5     SYS   SYS   SYS   NV1   NV2     X   NV1   NV2
+GPU6     NV1   SYS   SYS   SYS   NV2   NV1     X   NV1
+GPU7     SYS   NV1   SYS   SYS   NV1   NV2   NV1     X
+";
+    assert_eq!(matrix, expected);
+}
+
+#[test]
+fn gradient_bucket_inventory_is_stable() {
+    // The bucket counts drive the whole communication model; pin them.
+    let counts: Vec<(String, usize)> = Workload::ALL
+        .iter()
+        .map(|w| (w.name().to_string(), w.build().gradient_buckets().len()))
+        .collect();
+    assert_eq!(
+        counts,
+        vec![
+            ("LeNet".to_string(), 5),
+            ("AlexNet".to_string(), 8),
+            ("GoogLeNet".to_string(), 58),
+            ("ResNet".to_string(), 107),
+            ("Inception-v3".to_string(), 189),
+        ]
+    );
+}
+
+#[test]
+fn model_summary_renders() {
+    let summary = zoo::lenet().summary();
+    assert!(summary.starts_with("Model: LeNet"));
+    assert!(summary.contains("Total params: 61706"));
+    assert!(summary.lines().count() > 14);
+}

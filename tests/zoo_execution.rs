@@ -1,0 +1,73 @@
+//! Heavy real-execution tests of the ImageNet-scale zoo models. These
+//! run full forward passes with the hand-written CPU kernels at native
+//! input resolution, so they are `#[ignore]`d by default; run with
+//! `cargo test --release --test zoo_execution -- --ignored`.
+
+use dgx1_repro::prelude::*;
+
+fn forward_smoke(model: &Model, classes: usize) {
+    let params = model.init_params(11);
+    let input = Tensor::full(model.input_shape().clone(), 0.1);
+    let acts = model.forward(&params, &input);
+    let out = model.output(&acts);
+    assert_eq!(out.shape().dims()[1..].iter().product::<usize>(), classes);
+    assert!(
+        out.data().iter().all(|v| v.is_finite()),
+        "{}: non-finite logits",
+        model.name()
+    );
+    // He-initialised networks should not collapse to a constant output.
+    let spread = out.max_abs();
+    assert!(spread > 0.0, "{}: zero output", model.name());
+}
+
+#[test]
+#[ignore = "full-resolution CPU forward pass; run with --ignored in release mode"]
+fn alexnet_full_resolution_forward() {
+    forward_smoke(&zoo::alexnet(), 1000);
+}
+
+#[test]
+#[ignore = "full-resolution CPU forward pass; run with --ignored in release mode"]
+fn googlenet_full_resolution_forward() {
+    forward_smoke(&zoo::googlenet(), 1000);
+}
+
+#[test]
+#[ignore = "full-resolution CPU forward pass; run with --ignored in release mode"]
+fn resnet50_full_resolution_forward() {
+    forward_smoke(&zoo::resnet50(), 1000);
+}
+
+#[test]
+#[ignore = "full-resolution CPU forward pass; run with --ignored in release mode"]
+fn inception_v3_full_resolution_forward() {
+    forward_smoke(&zoo::inception_v3(), 1000);
+}
+
+#[test]
+#[ignore = "full-resolution CPU forward pass; run with --ignored in release mode"]
+fn vgg16_full_resolution_forward() {
+    forward_smoke(&zoo::vgg16(), 1000);
+}
+
+#[test]
+#[ignore = "full-resolution CPU forward+backward; run with --ignored in release mode"]
+fn resnet50_full_train_step() {
+    // One complete forward + backward + SGD update of ResNet-50 at
+    // native resolution with real numerics.
+    use dgx1_repro::dnn::softmax_cross_entropy;
+    use dgx1_repro::train::SgdState;
+    let model = zoo::resnet50();
+    let mut params = model.init_params(3);
+    let x = Tensor::full(Shape::new([1, 3, 224, 224]), 0.1);
+    let acts = model.forward(&params, &x);
+    let (loss, grad) = softmax_cross_entropy(model.output(&acts), &[7]);
+    assert!(loss.is_finite());
+    let grads = model.backward(&params, &x, &acts, &grad);
+    let energy: f32 = grads.iter().map(|t| t.max_abs()).sum();
+    assert!(energy > 0.0);
+    let sgd = Sgd::new(0.01);
+    let mut state = SgdState::default();
+    sgd.step(&mut params, &grads, &mut state);
+}
