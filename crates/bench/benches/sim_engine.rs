@@ -10,7 +10,10 @@ fn chain(n: usize) -> TaskGraph {
     let r = g.add_resource("r", 1);
     let mut prev = None;
     for i in 0..n {
-        let mut b = g.task(format!("t{i}")).on(r).lasting(SimSpan::from_nanos(10));
+        let mut b = g
+            .task(format!("t{i}"))
+            .on(r)
+            .lasting(SimSpan::from_nanos(10));
         if let Some(p) = prev {
             b = b.after(p);
         }

@@ -11,7 +11,12 @@ use voltascope_train::{DatasetSpec, ScalingMode, TrainConfig};
 fn main() {
     let h = Harness::paper();
     let mut table = TextTable::new([
-        "Workload", "Method", "Fusion", "Buckets", "WU/iter", "Epoch (s)",
+        "Workload",
+        "Method",
+        "Fusion",
+        "Buckets",
+        "WU/iter",
+        "Epoch (s)",
     ]);
     for workload in [Workload::ResNet, Workload::AlexNet] {
         let model = workload.build();
@@ -56,5 +61,8 @@ fn main() {
             }
         }
     }
-    voltascope_bench::emit("Ablation: gradient-bucket fusion (batch 16, 8 GPUs)", &table);
+    voltascope_bench::emit(
+        "Ablation: gradient-bucket fusion (batch 16, 8 GPUs)",
+        &table,
+    );
 }

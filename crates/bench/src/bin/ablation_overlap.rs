@@ -9,13 +9,26 @@ fn main() {
     let base = Harness::paper();
     let mut overlapped = base.clone();
     overlapped.sys.bp_wu_overlap = true;
-    let mut table = TextTable::new(["Workload", "Method", "GPUs", "No overlap (s)", "Full overlap (s)", "Hidden (%)"]);
+    let mut table = TextTable::new([
+        "Workload",
+        "Method",
+        "GPUs",
+        "No overlap (s)",
+        "Full overlap (s)",
+        "Hidden (%)",
+    ]);
     for wl in voltascope_bench::workloads() {
         let model = wl.build();
         for comm in CommMethod::ALL {
             for gpus in [2usize, 4, 8] {
-                let a = base.epoch(&model, 16, gpus, comm, ScalingMode::Strong).epoch_time.as_secs_f64();
-                let b = overlapped.epoch(&model, 16, gpus, comm, ScalingMode::Strong).epoch_time.as_secs_f64();
+                let a = base
+                    .epoch(&model, 16, gpus, comm, ScalingMode::Strong)
+                    .epoch_time
+                    .as_secs_f64();
+                let b = overlapped
+                    .epoch(&model, 16, gpus, comm, ScalingMode::Strong)
+                    .epoch_time
+                    .as_secs_f64();
                 table.row([
                     wl.name().to_string(),
                     comm.name().to_string(),

@@ -6,5 +6,8 @@ use voltascope_dnn::zoo::Workload;
 
 fn main() {
     let rows = ablation::topology_ablation(&Harness::paper(), Workload::AlexNet, 16, 4);
-    voltascope_bench::emit("Ablation: interconnect topology (AlexNet, batch 16, 4 GPUs)", &ablation::render(&rows));
+    voltascope_bench::emit(
+        "Ablation: interconnect topology (AlexNet, batch 16, 4 GPUs)",
+        &ablation::render(&rows),
+    );
 }

@@ -29,8 +29,7 @@ fn main() {
         let pulls: Vec<_> = (0..workers).map(|w| ps.worker_pull(w)).collect();
         let mut mean = 0.0f32;
         for (w, pulled) in pulls.iter().enumerate() {
-            let (x, labels) =
-                data.batch(round * workers * per_worker + w * per_worker, per_worker);
+            let (x, labels) = data.batch(round * workers * per_worker + w * per_worker, per_worker);
             mean += ps.worker_push(w, pulled, &x, &labels);
         }
         async_losses.push(mean / workers as f32);

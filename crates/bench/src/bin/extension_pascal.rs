@@ -22,7 +22,12 @@ fn main() {
     };
 
     let mut table = TextTable::new([
-        "Workload", "Method", "GPUs", "DGX-1V (s)", "DGX-1P (s)", "Volta speedup",
+        "Workload",
+        "Method",
+        "GPUs",
+        "DGX-1V (s)",
+        "DGX-1P (s)",
+        "Volta speedup",
     ]);
     for workload in [Workload::LeNet, Workload::AlexNet, Workload::ResNet] {
         let model = workload.build();

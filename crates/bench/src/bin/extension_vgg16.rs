@@ -25,6 +25,9 @@ fn main() {
             ),
         ]);
     }
-    println!("VGG-16 ({:.0}M params), batch 16/GPU, strong scaling:", model.param_count() as f64 / 1e6);
+    println!(
+        "VGG-16 ({:.0}M params), batch 16/GPU, strong scaling:",
+        model.param_count() as f64 / 1e6
+    );
     voltascope_bench::emit("Extension: VGG-16 training time", &table);
 }

@@ -4,5 +4,8 @@ use voltascope::{experiments::fig4, Harness};
 
 fn main() {
     let cells = fig4::grid(&Harness::paper(), &voltascope_bench::workloads());
-    voltascope_bench::emit("Fig. 4: FP+BP vs WU breakdown (NCCL)", &fig4::render(&cells));
+    voltascope_bench::emit(
+        "Fig. 4: FP+BP vs WU breakdown (NCCL)",
+        &fig4::render(&cells),
+    );
 }

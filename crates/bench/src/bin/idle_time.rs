@@ -1,16 +1,39 @@
 //! Per-GPU idle-time analysis (SS V-A: "some of the GPUs become idle
 //! during DNN training" because of the asymmetric interconnect).
+use voltascope::grid::{Cell, GridSpec};
 use voltascope::{experiments::idle, Harness};
 use voltascope_comm::CommMethod;
 use voltascope_dnn::zoo::Workload;
+use voltascope_train::ScalingMode;
 
 fn main() {
     let h = Harness::paper();
+    // One grid over every section, computed in parallel up front...
+    let spec = GridSpec::paper()
+        .workloads([Workload::AlexNet])
+        .batches([16])
+        .gpu_counts([4, 8]);
+    let out = idle::grid(&h, &spec);
+    let index = out.index();
+    // ...then printed in the report's (gpus, comm) section order.
     for (workload, gpus) in [(Workload::AlexNet, 4usize), (Workload::AlexNet, 8)] {
         for comm in CommMethod::ALL {
-            let rows = idle::per_gpu_idle(&h, workload, 16, gpus, comm);
-            println!("== {} / {} / {} GPUs ==", workload.name(), comm.name(), gpus);
-            println!("{}", idle::render(&rows).render());
+            let cell = Cell {
+                workload,
+                comm,
+                batch: 16,
+                gpus,
+                scaling: ScalingMode::Strong,
+                platform: voltascope::grid::Platform::Dgx1,
+            };
+            let rows = index[&cell];
+            println!(
+                "== {} / {} / {} GPUs ==",
+                workload.name(),
+                comm.name(),
+                gpus
+            );
+            println!("{}", idle::render(rows).render());
         }
     }
 }

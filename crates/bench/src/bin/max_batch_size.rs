@@ -4,5 +4,8 @@ use voltascope::{experiments::memory, Harness};
 
 fn main() {
     let rows = memory::max_batch(&Harness::paper(), &voltascope_bench::workloads());
-    voltascope_bench::emit("SS V-D: Maximum trainable batch size per GPU", &memory::render_max_batch(&rows));
+    voltascope_bench::emit(
+        "SS V-D: Maximum trainable batch size per GPU",
+        &memory::render_max_batch(&rows),
+    );
 }

@@ -3,5 +3,8 @@ use voltascope::experiments::structure;
 
 fn main() {
     let stats = structure::table1(&voltascope_bench::workloads());
-    voltascope_bench::emit("Table I: Description of the networks", &structure::render_table1(&stats));
+    voltascope_bench::emit(
+        "Table I: Description of the networks",
+        &structure::render_table1(&stats),
+    );
 }

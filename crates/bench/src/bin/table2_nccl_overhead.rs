@@ -3,5 +3,8 @@ use voltascope::{experiments::table2, Harness};
 
 fn main() {
     let rows = table2::rows(&Harness::paper(), &voltascope_bench::workloads());
-    voltascope_bench::emit("Table II: NCCL overhead vs P2P, single GPU", &table2::render(&rows));
+    voltascope_bench::emit(
+        "Table II: NCCL overhead vs P2P, single GPU",
+        &table2::render(&rows),
+    );
 }

@@ -3,5 +3,8 @@ use voltascope::{experiments::table3, Harness};
 
 fn main() {
     let rows = table3::rows(&Harness::paper());
-    voltascope_bench::emit("Table III: cudaStreamSynchronize share, LeNet", &table3::render(&rows));
+    voltascope_bench::emit(
+        "Table III: cudaStreamSynchronize share, LeNet",
+        &table3::render(&rows),
+    );
 }

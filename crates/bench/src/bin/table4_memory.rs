@@ -4,5 +4,8 @@ use voltascope::{experiments::memory, Harness};
 
 fn main() {
     let rows = memory::table4(&Harness::paper(), &voltascope_bench::workloads());
-    voltascope_bench::emit("Table IV: GPU memory usage (NCCL, 4 GPUs)", &memory::render(&rows));
+    voltascope_bench::emit(
+        "Table IV: GPU memory usage (NCCL, 4 GPUs)",
+        &memory::render(&rows),
+    );
 }

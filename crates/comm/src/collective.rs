@@ -85,7 +85,17 @@ pub fn all_reduce(
     label: &str,
 ) -> PerGpuDone {
     ring_collective(
-        graph, net, topo, ring, bytes, ready, compute, costs, label, "ReduceKernel", 2,
+        graph,
+        net,
+        topo,
+        ring,
+        bytes,
+        ready,
+        compute,
+        costs,
+        label,
+        "ReduceKernel",
+        2,
     )
 }
 
@@ -110,7 +120,17 @@ pub fn broadcast(
     label: &str,
 ) -> PerGpuDone {
     ring_collective(
-        graph, net, topo, ring, bytes, ready, compute, costs, label, "BroadcastKernel", 1,
+        graph,
+        net,
+        topo,
+        ring,
+        bytes,
+        ready,
+        compute,
+        costs,
+        label,
+        "BroadcastKernel",
+        1,
     )
 }
 
@@ -171,8 +191,7 @@ fn ring_collective(
             Some(l) => l.latency,
             None => topo.route(from, to).total_latency(),
         } + costs.step_overhead;
-        let effective_bytes =
-            (per_link_bytes as f64 / costs.bandwidth_efficiency.max(0.01)) as u64;
+        let effective_bytes = (per_link_bytes as f64 / costs.bandwidth_efficiency.max(0.01)) as u64;
         let serialisation = match topo.direct_link(from, to) {
             Some(l) => l.bandwidth.transfer_time(effective_bytes),
             None => {
@@ -272,7 +291,15 @@ mod tests {
         let mut f = fixture(gpus);
         let ring = Ring::build(&f.topo, gpus);
         let done = all_reduce(
-            &mut f.graph, &f.net, &f.topo, &ring, bytes, &f.ready, &f.compute, costs, "ar",
+            &mut f.graph,
+            &f.net,
+            &f.topo,
+            &ring,
+            bytes,
+            &f.ready,
+            &f.compute,
+            costs,
+            "ar",
         );
         assert_eq!(done.len(), gpus);
         Engine::new().run(&f.graph).unwrap().makespan()
@@ -331,10 +358,26 @@ mod tests {
         let mut f = fixture(4);
         let ring = Ring::build(&f.topo, 4);
         let ar = all_reduce(
-            &mut f.graph, &f.net, &f.topo, &ring, 80_000_000, &f.ready, &f.compute, &costs, "ar",
+            &mut f.graph,
+            &f.net,
+            &f.topo,
+            &ring,
+            80_000_000,
+            &f.ready,
+            &f.compute,
+            &costs,
+            "ar",
         );
         let bc = broadcast(
-            &mut f.graph, &f.net, &f.topo, &ring, 80_000_000, &ar, &f.compute, &costs, "bc",
+            &mut f.graph,
+            &f.net,
+            &f.topo,
+            &ring,
+            80_000_000,
+            &ar,
+            &f.compute,
+            &costs,
+            "bc",
         );
         let s = Engine::new().run(&f.graph).unwrap();
         let t_ar = s.finish_time(ar[&Device::gpu(0)]).as_secs_f64();
@@ -351,7 +394,15 @@ mod tests {
         let mut f = fixture(2);
         let ring = Ring::build(&f.topo, 2);
         let _ = all_reduce(
-            &mut f.graph, &f.net, &f.topo, &ring, 1 << 20, &f.ready, &f.compute, &costs, "ar",
+            &mut f.graph,
+            &f.net,
+            &f.topo,
+            &ring,
+            1 << 20,
+            &f.ready,
+            &f.compute,
+            &costs,
+            "ar",
         );
         let s = Engine::new().run(&f.graph).unwrap();
         for &res in f.compute.values() {
@@ -366,7 +417,15 @@ mod tests {
         let ring = Ring::build(&f.topo, 2); // ring covers GPU1, fixture doesn't
         let costs = NcclCosts::default();
         let _ = all_reduce(
-            &mut f.graph, &f.net, &f.topo, &ring, 1, &f.ready, &f.compute, &costs, "ar",
+            &mut f.graph,
+            &f.net,
+            &f.topo,
+            &ring,
+            1,
+            &f.ready,
+            &f.compute,
+            &costs,
+            "ar",
         );
     }
 }
@@ -490,7 +549,16 @@ mod tree_tests {
     use voltascope_sim::Engine;
     use voltascope_topo::dgx1_v100;
 
-    fn fixture(gpus: usize) -> (Topology, TaskGraph, LinkNetwork, BTreeMap<Device, ResourceId>, PerGpuDone, Vec<Device>) {
+    fn fixture(
+        gpus: usize,
+    ) -> (
+        Topology,
+        TaskGraph,
+        LinkNetwork,
+        BTreeMap<Device, ResourceId>,
+        PerGpuDone,
+        Vec<Device>,
+    ) {
         let topo = dgx1_v100();
         let mut graph = TaskGraph::new();
         let net = LinkNetwork::register(&mut graph, &topo);
@@ -512,8 +580,15 @@ mod tree_tests {
         for gpus in [1usize, 2, 4, 8] {
             let (topo, mut graph, net, compute, ready, devs) = fixture(gpus);
             let done = tree_all_reduce(
-                &mut graph, &net, &topo, &devs, 1 << 20, &ready, &compute,
-                &NcclCosts::default(), "tar",
+                &mut graph,
+                &net,
+                &topo,
+                &devs,
+                1 << 20,
+                &ready,
+                &compute,
+                &NcclCosts::default(),
+                "tar",
             );
             assert_eq!(done.len(), gpus);
             let s = Engine::new().run(&graph).unwrap();
@@ -529,11 +604,15 @@ mod tree_tests {
 
         let (topo, mut g1, net1, c1, r1, devs) = fixture(8);
         let ring = Ring::build(&topo, 8);
-        let _ = all_reduce(&mut g1, &net1, &topo, &ring, small, &r1, &c1, &costs, "ring");
+        let _ = all_reduce(
+            &mut g1, &net1, &topo, &ring, small, &r1, &c1, &costs, "ring",
+        );
         let t_ring = Engine::new().run(&g1).unwrap().makespan();
 
         let (topo2, mut g2, net2, c2, r2, devs2) = fixture(8);
-        let _ = tree_all_reduce(&mut g2, &net2, &topo2, &devs2, small, &r2, &c2, &costs, "tree");
+        let _ = tree_all_reduce(
+            &mut g2, &net2, &topo2, &devs2, small, &r2, &c2, &costs, "tree",
+        );
         let t_tree = Engine::new().run(&g2).unwrap().makespan();
 
         assert!(
@@ -556,7 +635,9 @@ mod tree_tests {
         let t_ring = Engine::new().run(&g1).unwrap().makespan();
 
         let (topo2, mut g2, net2, c2, r2, devs2) = fixture(8);
-        let _ = tree_all_reduce(&mut g2, &net2, &topo2, &devs2, big, &r2, &c2, &costs, "tree");
+        let _ = tree_all_reduce(
+            &mut g2, &net2, &topo2, &devs2, big, &r2, &c2, &costs, "tree",
+        );
         let t_tree = Engine::new().run(&g2).unwrap().makespan();
 
         assert!(

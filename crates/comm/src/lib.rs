@@ -73,3 +73,13 @@ impl std::fmt::Display for CommMethod {
         f.write_str(self.name())
     }
 }
+
+// Compile-time guarantee for the parallel experiment grid: the
+// communication cost models cross sweep worker threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CommMethod>();
+    assert_send_sync::<collective::NcclCosts>();
+    assert_send_sync::<ReductionTree>();
+    assert_send_sync::<Ring>();
+};

@@ -73,12 +73,7 @@ impl LinkNetwork {
     /// The directed resource of the widest direct link from `from` to
     /// `to`, if one exists (used by the ring collectives to occupy a
     /// link for a pipelined collective's full duration).
-    pub fn direct_resource(
-        &self,
-        topo: &Topology,
-        from: Device,
-        to: Device,
-    ) -> Option<ResourceId> {
+    pub fn direct_resource(&self, topo: &Topology, from: Device, to: Device) -> Option<ResourceId> {
         let (idx, _) = topo
             .links()
             .iter()
@@ -257,7 +252,16 @@ mod tests {
         let mut g = TaskGraph::new();
         let net = LinkNetwork::register(&mut g, &topo);
         let before = g.task_count();
-        net.transfer(&mut g, &topo, Device::gpu(0), Device::gpu(1), 1 << 20, &[], "c", "x");
+        net.transfer(
+            &mut g,
+            &topo,
+            Device::gpu(0),
+            Device::gpu(1),
+            1 << 20,
+            &[],
+            "c",
+            "x",
+        );
         assert_eq!(g.task_count() - before, 1);
     }
 
@@ -268,7 +272,16 @@ mod tests {
         let net = LinkNetwork::register(&mut g, &topo);
         let before = g.task_count();
         // GPU0 -> GPU7: no direct link, but GPU1 neighbours both.
-        net.transfer(&mut g, &topo, Device::gpu(0), Device::gpu(7), 1 << 20, &[], "c", "x");
+        net.transfer(
+            &mut g,
+            &topo,
+            Device::gpu(0),
+            Device::gpu(7),
+            1 << 20,
+            &[],
+            "c",
+            "x",
+        );
         assert_eq!(g.task_count() - before, 2);
     }
 
@@ -278,10 +291,26 @@ mod tests {
         let mut g = TaskGraph::new();
         let net = LinkNetwork::register(&mut g, &topo);
         let bytes = 100_000_000;
-        let fast =
-            net.transfer(&mut g, &topo, Device::gpu(0), Device::gpu(1), bytes, &[], "c", "a");
-        let slow =
-            net.transfer(&mut g, &topo, Device::gpu(0), Device::gpu(3), bytes, &[], "c", "b");
+        let fast = net.transfer(
+            &mut g,
+            &topo,
+            Device::gpu(0),
+            Device::gpu(1),
+            bytes,
+            &[],
+            "c",
+            "a",
+        );
+        let slow = net.transfer(
+            &mut g,
+            &topo,
+            Device::gpu(0),
+            Device::gpu(3),
+            bytes,
+            &[],
+            "c",
+            "b",
+        );
         let s = Engine::new().run(&g).unwrap();
         let tf = s.finish_time(fast).as_nanos() as f64;
         let ts = s.finish_time(slow).as_nanos() as f64;
@@ -294,8 +323,26 @@ mod tests {
         let mut g = TaskGraph::new();
         let net = LinkNetwork::register(&mut g, &topo);
         let bytes = 50_000_000; // 1 ms on the double link
-        let a = net.transfer(&mut g, &topo, Device::gpu(0), Device::gpu(1), bytes, &[], "c", "a");
-        let b = net.transfer(&mut g, &topo, Device::gpu(0), Device::gpu(1), bytes, &[], "c", "b");
+        let a = net.transfer(
+            &mut g,
+            &topo,
+            Device::gpu(0),
+            Device::gpu(1),
+            bytes,
+            &[],
+            "c",
+            "a",
+        );
+        let b = net.transfer(
+            &mut g,
+            &topo,
+            Device::gpu(0),
+            Device::gpu(1),
+            bytes,
+            &[],
+            "c",
+            "b",
+        );
         let s = Engine::new().run(&g).unwrap();
         assert_eq!(s.start_time(b), s.finish_time(a));
     }
@@ -306,8 +353,26 @@ mod tests {
         let mut g = TaskGraph::new();
         let net = LinkNetwork::register(&mut g, &topo);
         let bytes = 50_000_000;
-        let a = net.transfer(&mut g, &topo, Device::gpu(0), Device::gpu(1), bytes, &[], "c", "a");
-        let b = net.transfer(&mut g, &topo, Device::gpu(1), Device::gpu(0), bytes, &[], "c", "b");
+        let a = net.transfer(
+            &mut g,
+            &topo,
+            Device::gpu(0),
+            Device::gpu(1),
+            bytes,
+            &[],
+            "c",
+            "a",
+        );
+        let b = net.transfer(
+            &mut g,
+            &topo,
+            Device::gpu(1),
+            Device::gpu(0),
+            bytes,
+            &[],
+            "c",
+            "b",
+        );
         let s = Engine::new().run(&g).unwrap();
         assert_eq!(s.start_time(a), s.start_time(b));
     }
@@ -317,7 +382,16 @@ mod tests {
         let topo = dgx1_v100();
         let mut g = TaskGraph::new();
         let net = LinkNetwork::register(&mut g, &topo);
-        let t = net.transfer(&mut g, &topo, Device::cpu(0), Device::gpu(2), 12_000_000, &[], "h2d", "batch");
+        let t = net.transfer(
+            &mut g,
+            &topo,
+            Device::cpu(0),
+            Device::gpu(2),
+            12_000_000,
+            &[],
+            "h2d",
+            "batch",
+        );
         let s = Engine::new().run(&g).unwrap();
         // 12 MB at 12 GB/s = 1 ms (+5 us latency).
         assert_eq!(s.finish_time(t).as_micros(), 1005);
@@ -330,7 +404,16 @@ mod tests {
         let net = LinkNetwork::register(&mut g, &topo);
         let before = g.task_count();
         // CPU0 -> GPU4 crosses QPI then PCIe.
-        net.transfer(&mut g, &topo, Device::cpu(0), Device::gpu(4), 1 << 20, &[], "h2d", "x");
+        net.transfer(
+            &mut g,
+            &topo,
+            Device::cpu(0),
+            Device::gpu(4),
+            1 << 20,
+            &[],
+            "h2d",
+            "x",
+        );
         assert_eq!(g.task_count() - before, 2);
     }
 
@@ -340,6 +423,15 @@ mod tests {
         let topo = dgx1_v100();
         let mut g = TaskGraph::new();
         let net = LinkNetwork::register(&mut g, &topo);
-        net.transfer(&mut g, &topo, Device::gpu(0), Device::gpu(0), 1, &[], "c", "x");
+        net.transfer(
+            &mut g,
+            &topo,
+            Device::gpu(0),
+            Device::gpu(0),
+            1,
+            &[],
+            "c",
+            "x",
+        );
     }
 }

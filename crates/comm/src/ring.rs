@@ -206,7 +206,12 @@ mod tests {
         assert!(!ring.all_nvlink(&topo));
         assert_eq!(
             ring.devices(),
-            &[Device::gpu(0), Device::gpu(1), Device::gpu(2), Device::gpu(3)]
+            &[
+                Device::gpu(0),
+                Device::gpu(1),
+                Device::gpu(2),
+                Device::gpu(3)
+            ]
         );
         assert!(ring.bottleneck_bytes_per_sec(&topo) < 20e9);
     }

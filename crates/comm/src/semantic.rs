@@ -130,9 +130,7 @@ pub fn reduce_scatter(buffers: &mut [Vec<f32>]) -> Vec<(usize, usize)> {
     check(buffers);
     let n = buffers.len();
     let len = buffers[0].len();
-    let bounds: Vec<(usize, usize)> = (0..n)
-        .map(|c| (c * len / n, (c + 1) * len / n))
-        .collect();
+    let bounds: Vec<(usize, usize)> = (0..n).map(|c| (c * len / n, (c + 1) * len / n)).collect();
     if n == 1 {
         return bounds;
     }

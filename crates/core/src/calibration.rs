@@ -125,7 +125,10 @@ mod tests {
         let u_len = sys.kernels.achieved_utilization(biggest(&lenet), true);
         // Inception-v3's kernels sit at the efficiency ceiling; LeNet's
         // largest kernel reaches less than half of it.
-        assert!(u_inc > 0.9 * sys.kernels.max_efficiency, "inception {u_inc}");
+        assert!(
+            u_inc > 0.9 * sys.kernels.max_efficiency,
+            "inception {u_inc}"
+        );
         assert!(u_len < 0.5 * sys.kernels.max_efficiency, "lenet {u_len}");
     }
 }

@@ -1,68 +1,21 @@
 //! Design-space ablations (DESIGN.md §5): rerun the training-time
 //! experiment on variant platforms to isolate which hardware property
 //! causes which effect the paper observes.
+//!
+//! The platform variants themselves live on the grid engine's platform
+//! axis ([`crate::grid::Platform`], re-exported here); the ablation is
+//! just a grid sweep with a non-trivial platform axis.
+
+use std::collections::HashMap;
 
 use voltascope_comm::CommMethod;
 use voltascope_dnn::zoo::Workload;
 use voltascope_profile::TextTable;
-use voltascope_topo::{dgx1_v100, full_nvlink_switch, pcie_only, single_lane_dgx1, Topology};
-use voltascope_train::ScalingMode;
 
+pub use crate::grid::Platform;
+
+use crate::grid::{run_grid, Executor, GridSpec};
 use crate::harness::Harness;
-
-/// A platform variant for the ablation study.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Platform {
-    /// The paper's DGX-1 (baseline).
-    Dgx1,
-    /// DGX-1 wiring with all NVLink double connections flattened to
-    /// single lanes — isolates the asymmetric-bandwidth effect (§V-A).
-    SingleLane,
-    /// No NVLink at all (Tallent et al.'s PCIe baseline, §III).
-    PcieOnly,
-    /// Idealised all-to-all NVSwitch: every pair one hop.
-    NvSwitch,
-    /// DGX-1 wiring but with GPU routers allowed to forward packets —
-    /// removes the design limitation of §V-A footnote 4.
-    ForwardingGpus,
-}
-
-impl Platform {
-    /// All variants, baseline first.
-    pub const ALL: [Platform; 5] = [
-        Platform::Dgx1,
-        Platform::SingleLane,
-        Platform::PcieOnly,
-        Platform::NvSwitch,
-        Platform::ForwardingGpus,
-    ];
-
-    /// Display name.
-    pub fn name(self) -> &'static str {
-        match self {
-            Platform::Dgx1 => "DGX-1",
-            Platform::SingleLane => "DGX-1 single-lane",
-            Platform::PcieOnly => "PCIe-only",
-            Platform::NvSwitch => "NVSwitch (ideal)",
-            Platform::ForwardingGpus => "DGX-1 + GPU forwarding",
-        }
-    }
-
-    /// Builds the variant topology.
-    pub fn topology(self) -> Topology {
-        match self {
-            Platform::Dgx1 => dgx1_v100(),
-            Platform::SingleLane => single_lane_dgx1(),
-            Platform::PcieOnly => pcie_only(8),
-            Platform::NvSwitch => full_nvlink_switch(8),
-            Platform::ForwardingGpus => {
-                let mut t = dgx1_v100();
-                t.set_gpus_forward(true);
-                t
-            }
-        }
-    }
-}
 
 /// One ablation result.
 #[derive(Debug, Clone)]
@@ -75,51 +28,68 @@ pub struct AblationRow {
     pub epoch_s: f64,
 }
 
+/// The declarative ablation sweep: every platform variant × both
+/// communication methods, at one workload/batch/GPU-count point.
+pub fn spec(workload: Workload, batch: usize, gpus: usize) -> GridSpec {
+    GridSpec::paper()
+        .workloads([workload])
+        .batches([batch])
+        .gpu_counts([gpus])
+        .platforms(Platform::ALL)
+}
+
 /// Runs the topology ablation for one workload/batch/GPU-count, under
-/// both communication methods.
+/// both communication methods, honouring the `VOLTASCOPE_THREADS`
+/// executor override.
 pub fn topology_ablation(
     h: &Harness,
     workload: Workload,
     batch: usize,
     gpus: usize,
 ) -> Vec<AblationRow> {
-    let model = workload.build();
-    let mut rows = Vec::new();
-    for platform in Platform::ALL {
-        let mut sys = h.sys.clone();
-        sys.topo = platform.topology();
-        let variant = Harness {
-            sys,
-            ..h.clone()
-        };
-        for comm in CommMethod::ALL {
-            let r = variant.epoch(&model, batch, gpus, comm, ScalingMode::Strong);
-            rows.push(AblationRow {
-                platform,
-                comm,
-                epoch_s: r.epoch_time.as_secs_f64(),
-            });
+    topology_ablation_with(h, workload, batch, gpus, Executor::from_env())
+}
+
+/// Runs the topology ablation under an explicit executor.
+pub fn topology_ablation_with(
+    h: &Harness,
+    workload: Workload,
+    batch: usize,
+    gpus: usize,
+    exec: Executor,
+) -> Vec<AblationRow> {
+    run_grid(h, &spec(workload, batch, gpus), exec, |ctx| {
+        let c = ctx.cell;
+        let r = ctx
+            .harness
+            .epoch(ctx.model, c.batch, c.gpus, c.comm, c.scaling);
+        AblationRow {
+            platform: c.platform,
+            comm: c.comm,
+            epoch_s: r.epoch_time.as_secs_f64(),
         }
-    }
-    rows
+    })
+    .into_pairs()
+    .map(|(_, row)| row)
+    .collect()
 }
 
 /// Renders the ablation table (slowdown relative to the DGX-1
 /// baseline of the same method).
 pub fn render(rows: &[AblationRow]) -> TextTable {
-    let baseline = |comm: CommMethod| {
-        rows.iter()
-            .find(|r| r.platform == Platform::Dgx1 && r.comm == comm)
-            .map(|r| r.epoch_s)
-            .unwrap_or(f64::NAN)
-    };
+    let baselines: HashMap<CommMethod, f64> = rows
+        .iter()
+        .filter(|r| r.platform == Platform::Dgx1)
+        .map(|r| (r.comm, r.epoch_s))
+        .collect();
     let mut table = TextTable::new(["Platform", "Method", "Epoch (s)", "vs DGX-1"]);
     for r in rows {
+        let baseline = baselines.get(&r.comm).copied().unwrap_or(f64::NAN);
         table.row([
             r.platform.name().to_string(),
             r.comm.name().to_string(),
             format!("{:.1}", r.epoch_s),
-            format!("{:.2}x", r.epoch_s / baseline(r.comm)),
+            format!("{:.2}x", r.epoch_s / baseline),
         ]);
     }
     table

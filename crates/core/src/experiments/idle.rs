@@ -6,8 +6,8 @@ use voltascope_comm::CommMethod;
 use voltascope_dnn::zoo::Workload;
 use voltascope_profile::TextTable;
 use voltascope_sim::SimSpan;
-use voltascope_train::ScalingMode;
 
+use crate::grid::{run_grid, Executor, GridOut, GridSpec};
 use crate::harness::Harness;
 
 /// One GPU's activity within a steady-state iteration.
@@ -23,6 +23,43 @@ pub struct IdleRow {
     pub idle_percent: f64,
 }
 
+/// Computes the per-GPU idle table for every cell of `spec`, honouring
+/// the `VOLTASCOPE_THREADS` executor override. The result is indexable
+/// by [`crate::grid::Cell`], so callers can print sections in any
+/// order regardless of enumeration order.
+pub fn grid(h: &Harness, spec: &GridSpec) -> GridOut<Vec<IdleRow>> {
+    grid_with(h, spec, Executor::from_env())
+}
+
+/// Computes the per-GPU idle grid under an explicit executor.
+pub fn grid_with(h: &Harness, spec: &GridSpec, exec: Executor) -> GridOut<Vec<IdleRow>> {
+    run_grid(h, spec, exec, |ctx| {
+        let c = ctx.cell;
+        let report = ctx
+            .harness
+            .epoch(ctx.model, c.batch, c.gpus, c.comm, c.scaling);
+        (0..c.gpus)
+            .map(|g| {
+                let resource = format!("GPU{g}.compute");
+                let busy: SimSpan = report
+                    .iter_trace
+                    .events()
+                    .iter()
+                    .filter(|e| e.resource.as_deref() == Some(&resource))
+                    .map(|e| e.duration())
+                    .sum();
+                let idle = report.iter_time.saturating_sub(busy);
+                IdleRow {
+                    gpu: g,
+                    busy,
+                    idle,
+                    idle_percent: 100.0 * idle.ratio(report.iter_time),
+                }
+            })
+            .collect()
+    })
+}
+
 /// Measures per-GPU compute idle time for one configuration.
 pub fn per_gpu_idle(
     h: &Harness,
@@ -31,27 +68,16 @@ pub fn per_gpu_idle(
     gpus: usize,
     comm: CommMethod,
 ) -> Vec<IdleRow> {
-    let model = workload.build();
-    let report = h.epoch(&model, batch, gpus, comm, ScalingMode::Strong);
-    (0..gpus)
-        .map(|g| {
-            let resource = format!("GPU{g}.compute");
-            let busy: SimSpan = report
-                .iter_trace
-                .events()
-                .iter()
-                .filter(|e| e.resource.as_deref() == Some(&resource))
-                .map(|e| e.duration())
-                .sum();
-            let idle = report.iter_time.saturating_sub(busy);
-            IdleRow {
-                gpu: g,
-                busy,
-                idle,
-                idle_percent: 100.0 * idle.ratio(report.iter_time),
-            }
-        })
-        .collect()
+    let spec = GridSpec::paper()
+        .workloads([workload])
+        .comms([comm])
+        .batches([batch])
+        .gpu_counts([gpus]);
+    grid_with(h, &spec, Executor::Serial)
+        .into_pairs()
+        .next()
+        .expect("one-cell grid")
+        .1
 }
 
 /// Renders the idle table.
@@ -105,9 +131,24 @@ mod tests {
         let h = Harness::paper();
         let one = per_gpu_idle(&h, Workload::LeNet, 16, 1, CommMethod::P2p);
         let eight = per_gpu_idle(&h, Workload::LeNet, 16, 8, CommMethod::P2p);
-        let mean8: f64 =
-            eight.iter().map(|r| r.idle_percent).sum::<f64>() / eight.len() as f64;
+        let mean8: f64 = eight.iter().map(|r| r.idle_percent).sum::<f64>() / eight.len() as f64;
         assert!(mean8 > one[0].idle_percent);
+    }
+
+    #[test]
+    fn grid_matches_single_cell_entry_point() {
+        let h = Harness::paper();
+        let spec = GridSpec::paper()
+            .workloads([Workload::AlexNet])
+            .batches([16])
+            .gpu_counts([4, 8]);
+        let out = grid_with(&h, &spec, Executor::Serial);
+        assert_eq!(out.len(), 4); // 2 comms x 2 gpu counts
+        for (cell, rows) in out.iter() {
+            assert_eq!(rows.len(), cell.gpus);
+            let single = per_gpu_idle(&h, cell.workload, cell.batch, cell.gpus, cell.comm);
+            assert_eq!(render(rows).render(), render(&single).render());
+        }
     }
 
     #[test]

@@ -1,9 +1,15 @@
 //! Memory experiments: Table IV and the §V-D batch-size caps.
+//!
+//! Both sweeps run on the [`crate::grid`] engine; as everywhere, the
+//! plain entry points honour the `VOLTASCOPE_THREADS` override and the
+//! `*_with` variants take an explicit [`Executor`].
 
+use voltascope_comm::CommMethod;
 use voltascope_dnn::zoo::Workload;
 use voltascope_profile::TextTable;
+use voltascope_train::GpuRole;
 
-use crate::experiments::timing::BATCHES;
+use crate::grid::{run_grid, Executor, GridSpec};
 use crate::harness::Harness;
 
 /// One row of Table IV.
@@ -25,44 +31,57 @@ pub struct MemoryRow {
     pub increase_vs_b16_percent: f64,
 }
 
+/// The declarative Table IV sweep: workloads × paper batches on the
+/// paper's representative 4-GPU setup (memory usage is communication-
+/// method independent, so the comm axis is a singleton).
+pub fn table4_spec(workloads: &[Workload]) -> GridSpec {
+    GridSpec::paper()
+        .workloads(workloads.iter().copied())
+        .comms([CommMethod::Nccl])
+        .gpu_counts([4])
+}
+
 /// Computes Table IV (4-GPU training; the paper notes the figures are
-/// representative of 2/4/8 GPUs).
+/// representative of 2/4/8 GPUs), honouring the `VOLTASCOPE_THREADS`
+/// executor override.
 ///
 /// # Panics
 ///
 /// Panics if a workload cannot fit batch 16 on the device (none of the
 /// paper's five can fail this).
 pub fn table4(h: &Harness, workloads: &[Workload]) -> Vec<MemoryRow> {
-    let mut rows = Vec::new();
-    for &workload in workloads {
-        let model = workload.build();
-        let base = h
-            .memory
-            .usage(&model, 16, voltascope_train::GpuRole::Worker, &h.sys.gpu)
+    table4_with(h, workloads, Executor::from_env())
+}
+
+/// Computes Table IV under an explicit executor.
+pub fn table4_with(h: &Harness, workloads: &[Workload], exec: Executor) -> Vec<MemoryRow> {
+    run_grid(h, &table4_spec(workloads), exec, |ctx| {
+        let gpu = &ctx.harness.sys.gpu;
+        let mem = &ctx.harness.memory;
+        let base = mem
+            .usage(ctx.model, 16, GpuRole::Worker, gpu)
             .expect("batch 16 must fit")
             .training_gib();
-        for batch in BATCHES {
-            let server = h
-                .memory
-                .usage(&model, batch, voltascope_train::GpuRole::Server, &h.sys.gpu)
-                .expect("paper batch sizes fit");
-            let worker = h
-                .memory
-                .usage(&model, batch, voltascope_train::GpuRole::Worker, &h.sys.gpu)
-                .expect("paper batch sizes fit");
-            rows.push(MemoryRow {
-                workload,
-                batch,
-                pre_training_gib: worker.pre_training_gib(),
-                gpu0_gib: server.training_gib(),
-                gpux_gib: worker.training_gib(),
-                gpu0_extra_percent: 100.0 * (server.training_gib() - worker.training_gib())
-                    / worker.training_gib(),
-                increase_vs_b16_percent: 100.0 * (worker.training_gib() - base) / base,
-            });
+        let server = mem
+            .usage(ctx.model, ctx.cell.batch, GpuRole::Server, gpu)
+            .expect("paper batch sizes fit");
+        let worker = mem
+            .usage(ctx.model, ctx.cell.batch, GpuRole::Worker, gpu)
+            .expect("paper batch sizes fit");
+        MemoryRow {
+            workload: ctx.cell.workload,
+            batch: ctx.cell.batch,
+            pre_training_gib: worker.pre_training_gib(),
+            gpu0_gib: server.training_gib(),
+            gpux_gib: worker.training_gib(),
+            gpu0_extra_percent: 100.0 * (server.training_gib() - worker.training_gib())
+                / worker.training_gib(),
+            increase_vs_b16_percent: 100.0 * (worker.training_gib() - base) / base,
         }
-    }
-    rows
+    })
+    .into_pairs()
+    .map(|(_, row)| row)
+    .collect()
 }
 
 /// Renders Table IV.
@@ -99,16 +118,34 @@ pub struct MaxBatchRow {
     pub max_batch: Option<usize>,
 }
 
+/// The declarative capacity-search sweep: one cell per workload.
+pub fn max_batch_spec(workloads: &[Workload]) -> GridSpec {
+    GridSpec::paper()
+        .workloads(workloads.iter().copied())
+        .comms([CommMethod::Nccl])
+        .batches([16])
+        .gpu_counts([1])
+}
+
 /// Finds the largest trainable batch size per workload (§V-D: 64 for
-/// Inception-v3 and ResNet, 128 for GoogLeNet on the real machine).
+/// Inception-v3 and ResNet, 128 for GoogLeNet on the real machine),
+/// honouring the `VOLTASCOPE_THREADS` executor override.
 pub fn max_batch(h: &Harness, workloads: &[Workload]) -> Vec<MaxBatchRow> {
-    workloads
-        .iter()
-        .map(|&workload| MaxBatchRow {
-            workload,
-            max_batch: h.memory.max_batch(&workload.build(), &h.sys.gpu),
-        })
-        .collect()
+    max_batch_with(h, workloads, Executor::from_env())
+}
+
+/// Computes the capacity search under an explicit executor.
+pub fn max_batch_with(h: &Harness, workloads: &[Workload], exec: Executor) -> Vec<MaxBatchRow> {
+    run_grid(h, &max_batch_spec(workloads), exec, |ctx| MaxBatchRow {
+        workload: ctx.cell.workload,
+        max_batch: ctx
+            .harness
+            .memory
+            .max_batch(ctx.model, &ctx.harness.sys.gpu),
+    })
+    .into_pairs()
+    .map(|(_, row)| row)
+    .collect()
 }
 
 /// Renders the capacity-search table.

@@ -1,16 +1,24 @@
 //! Timing experiments: Fig. 3, Table II, Fig. 4, Table III, Fig. 5.
+//!
+//! Every sweep here is declared as a [`GridSpec`] and executed through
+//! the [`crate::grid`] engine; each `grid`/`rows` entry point has a
+//! `*_with` variant taking an explicit [`Executor`], while the plain
+//! variant honours the `VOLTASCOPE_THREADS` environment override.
+
+use std::collections::HashSet;
 
 use voltascope_comm::CommMethod;
 use voltascope_dnn::zoo::Workload;
 use voltascope_profile::TextTable;
 use voltascope_train::ScalingMode;
 
+use crate::grid::{run_grid, Cell, Executor, GridSpec};
 use crate::harness::{Harness, Measurement};
 
-/// The paper's batch-size sweep.
-pub const BATCHES: [usize; 3] = [16, 32, 64];
-/// The paper's GPU-count sweep.
-pub const GPU_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// The paper's batch-size sweep (alias of [`crate::grid::PAPER_BATCHES`]).
+pub const BATCHES: [usize; 3] = crate::grid::PAPER_BATCHES;
+/// The paper's GPU-count sweep (alias of [`crate::grid::PAPER_GPU_COUNTS`]).
+pub const GPU_COUNTS: [usize; 4] = crate::grid::PAPER_GPU_COUNTS;
 
 /// One bar of Fig. 3: a (workload, method, batch, GPUs) training time.
 #[derive(Debug, Clone)]
@@ -42,34 +50,34 @@ pub struct TrainingTimeCell {
 pub mod fig3 {
     use super::*;
 
-    /// Computes the grid for the given workloads.
+    /// The declarative Fig. 3 sweep for the given workloads.
+    pub fn spec(workloads: &[Workload]) -> GridSpec {
+        GridSpec::paper().workloads(workloads.iter().copied())
+    }
+
+    /// Computes the grid for the given workloads, honouring the
+    /// `VOLTASCOPE_THREADS` executor override.
     pub fn grid(h: &Harness, workloads: &[Workload]) -> Vec<TrainingTimeCell> {
-        let mut cells = Vec::new();
-        for &workload in workloads {
-            let model = workload.build();
-            for comm in CommMethod::ALL {
-                for batch in BATCHES {
-                    for gpus in GPU_COUNTS {
-                        let time = h.training_time_of(
-                            &model,
-                            workload,
-                            batch,
-                            gpus,
-                            comm,
-                            ScalingMode::Strong,
-                        );
-                        cells.push(TrainingTimeCell {
-                            workload,
-                            comm,
-                            batch,
-                            gpus,
-                            time,
-                        });
-                    }
-                }
+        grid_with(h, workloads, Executor::from_env())
+    }
+
+    /// Computes the grid under an explicit executor.
+    pub fn grid_with(h: &Harness, workloads: &[Workload], exec: Executor) -> Vec<TrainingTimeCell> {
+        run_grid(h, &spec(workloads), exec, |ctx| {
+            let c = ctx.cell;
+            TrainingTimeCell {
+                workload: c.workload,
+                comm: c.comm,
+                batch: c.batch,
+                gpus: c.gpus,
+                time: ctx
+                    .harness
+                    .training_time_of(ctx.model, c.workload, c.batch, c.gpus, c.comm, c.scaling),
             }
-        }
-        cells
+        })
+        .into_pairs()
+        .map(|(_, cell)| cell)
+        .collect()
     }
 
     /// Renders the grid as the paper prints it: one row per
@@ -84,21 +92,26 @@ pub mod fig3 {
             "4 GPUs (s)",
             "8 GPUs (s)",
         ]);
-        let mut keys: Vec<(Workload, CommMethod, usize)> = cells
+        // Order-preserving dedup: first appearance wins, regardless of
+        // how the cells are ordered (Vec::dedup would only collapse
+        // *consecutive* duplicates).
+        let mut seen = HashSet::new();
+        let keys: Vec<(Workload, CommMethod, usize)> = cells
             .iter()
             .map(|c| (c.workload, c.comm, c.batch))
+            .filter(|k| seen.insert(*k))
             .collect();
-        keys.dedup();
+        let index: std::collections::HashMap<
+            (Workload, CommMethod, usize, usize),
+            &TrainingTimeCell,
+        > = cells
+            .iter()
+            .map(|c| ((c.workload, c.comm, c.batch, c.gpus), c))
+            .collect();
         for (workload, comm, batch) in keys {
             let cell = |gpus: usize| -> String {
-                cells
-                    .iter()
-                    .find(|c| {
-                        c.workload == workload
-                            && c.comm == comm
-                            && c.batch == batch
-                            && c.gpus == gpus
-                    })
+                index
+                    .get(&(workload, comm, batch, gpus))
                     .map(|c| format!("{:.1} ± {:.1}", c.time.mean_s, c.time.stddev_s))
                     .unwrap_or_else(|| "-".into())
             };
@@ -131,28 +144,42 @@ pub mod table2 {
         pub overhead_percent: f64,
     }
 
-    /// Computes the overhead rows for the given workloads.
+    /// The declarative Table II sweep: both methods on a single GPU.
+    pub fn spec(workloads: &[Workload]) -> GridSpec {
+        GridSpec::paper()
+            .workloads(workloads.iter().copied())
+            .gpu_counts([1])
+    }
+
+    /// Computes the overhead rows for the given workloads, honouring
+    /// the `VOLTASCOPE_THREADS` executor override.
     pub fn rows(h: &Harness, workloads: &[Workload]) -> Vec<OverheadRow> {
-        let mut rows = Vec::new();
-        for &workload in workloads {
-            let model = workload.build();
-            for batch in BATCHES {
-                let p2p = h
-                    .epoch(&model, batch, 1, CommMethod::P2p, ScalingMode::Strong)
-                    .epoch_time
-                    .as_secs_f64();
-                let nccl = h
-                    .epoch(&model, batch, 1, CommMethod::Nccl, ScalingMode::Strong)
-                    .epoch_time
-                    .as_secs_f64();
-                rows.push(OverheadRow {
+        rows_with(h, workloads, Executor::from_env())
+    }
+
+    /// Computes the overhead rows under an explicit executor.
+    pub fn rows_with(h: &Harness, workloads: &[Workload], exec: Executor) -> Vec<OverheadRow> {
+        let out = run_grid(h, &spec(workloads), exec, |ctx| {
+            let c = ctx.cell;
+            ctx.harness
+                .epoch(ctx.model, c.batch, c.gpus, c.comm, c.scaling)
+                .epoch_time
+                .as_secs_f64()
+        });
+        let secs = out.index_by(|c| (c.workload, c.comm, c.batch));
+        workloads
+            .iter()
+            .flat_map(|&workload| BATCHES.iter().map(move |&batch| (workload, batch)))
+            .map(|(workload, batch)| {
+                let p2p = secs[&(workload, CommMethod::P2p, batch)];
+                let nccl = secs[&(workload, CommMethod::Nccl, batch)];
+                OverheadRow {
                     workload,
                     batch,
                     overhead_percent: 100.0 * (nccl - p2p) / p2p,
-                });
-            }
-        }
-        rows
+                }
+            })
+            .collect()
     }
 
     /// Renders Table II.
@@ -188,25 +215,37 @@ pub mod fig4 {
         pub wu_s: f64,
     }
 
-    /// Computes the breakdown grid (NCCL, as in the paper's Fig. 4).
+    /// The declarative Fig. 4 sweep (NCCL, as in the paper).
+    pub fn spec(workloads: &[Workload]) -> GridSpec {
+        GridSpec::paper()
+            .workloads(workloads.iter().copied())
+            .comms([CommMethod::Nccl])
+    }
+
+    /// Computes the breakdown grid, honouring the `VOLTASCOPE_THREADS`
+    /// executor override.
     pub fn grid(h: &Harness, workloads: &[Workload]) -> Vec<BreakdownCell> {
-        let mut cells = Vec::new();
-        for &workload in workloads {
-            let model = workload.build();
-            for batch in BATCHES {
-                for gpus in GPU_COUNTS {
-                    let r = h.epoch(&model, batch, gpus, CommMethod::Nccl, ScalingMode::Strong);
-                    cells.push(BreakdownCell {
-                        workload,
-                        batch,
-                        gpus,
-                        fp_bp_s: r.fp_bp_epoch().as_secs_f64(),
-                        wu_s: r.wu_epoch().as_secs_f64(),
-                    });
-                }
+        grid_with(h, workloads, Executor::from_env())
+    }
+
+    /// Computes the breakdown grid under an explicit executor.
+    pub fn grid_with(h: &Harness, workloads: &[Workload], exec: Executor) -> Vec<BreakdownCell> {
+        run_grid(h, &spec(workloads), exec, |ctx| {
+            let c = ctx.cell;
+            let r = ctx
+                .harness
+                .epoch(ctx.model, c.batch, c.gpus, c.comm, c.scaling);
+            BreakdownCell {
+                workload: c.workload,
+                batch: c.batch,
+                gpus: c.gpus,
+                fp_bp_s: r.fp_bp_epoch().as_secs_f64(),
+                wu_s: r.wu_epoch().as_secs_f64(),
             }
-        }
-        cells
+        })
+        .into_pairs()
+        .map(|(_, cell)| cell)
+        .collect()
     }
 
     /// Renders the breakdown table (X-axis = (GPU count, batch size),
@@ -249,21 +288,35 @@ pub mod table3 {
         pub percent: f64,
     }
 
-    /// Computes the rows (LeNet with NCCL, matching §V-C).
+    /// The declarative Table III sweep (LeNet with NCCL, §V-C).
+    pub fn spec() -> GridSpec {
+        GridSpec::paper()
+            .workloads([Workload::LeNet])
+            .comms([CommMethod::Nccl])
+    }
+
+    /// Computes the rows, honouring the `VOLTASCOPE_THREADS` executor
+    /// override.
     pub fn rows(h: &Harness) -> Vec<SyncRow> {
-        let model = Workload::LeNet.build();
-        let mut rows = Vec::new();
-        for batch in BATCHES {
-            for gpus in GPU_COUNTS {
-                let r = h.epoch(&model, batch, gpus, CommMethod::Nccl, ScalingMode::Strong);
-                rows.push(SyncRow {
-                    batch,
-                    gpus,
-                    percent: r.sync_percent(),
-                });
+        rows_with(h, Executor::from_env())
+    }
+
+    /// Computes the rows under an explicit executor.
+    pub fn rows_with(h: &Harness, exec: Executor) -> Vec<SyncRow> {
+        run_grid(h, &spec(), exec, |ctx| {
+            let c = ctx.cell;
+            let r = ctx
+                .harness
+                .epoch(ctx.model, c.batch, c.gpus, c.comm, c.scaling);
+            SyncRow {
+                batch: c.batch,
+                gpus: c.gpus,
+                percent: r.sync_percent(),
             }
-        }
-        rows
+        })
+        .into_pairs()
+        .map(|(_, row)| row)
+        .collect()
     }
 
     /// Renders Table III.
@@ -306,36 +359,51 @@ pub mod fig5 {
         pub weak_total_s: f64,
     }
 
-    /// Computes the weak-scaling grid.
+    /// The declarative Fig. 5 sweep: both scaling regimes of the full
+    /// paper grid.
+    pub fn spec(workloads: &[Workload]) -> GridSpec {
+        GridSpec::paper()
+            .workloads(workloads.iter().copied())
+            .scalings([ScalingMode::Strong, ScalingMode::Weak])
+    }
+
+    /// Computes the weak-scaling grid, honouring the
+    /// `VOLTASCOPE_THREADS` executor override.
     pub fn grid(h: &Harness, workloads: &[Workload]) -> Vec<WeakScalingCell> {
-        let mut cells = Vec::new();
-        for &workload in workloads {
-            let model = workload.build();
-            for comm in CommMethod::ALL {
-                for batch in BATCHES {
-                    for gpus in GPU_COUNTS {
-                        let strong = h
-                            .epoch(&model, batch, gpus, comm, ScalingMode::Strong)
-                            .epoch_time
-                            .as_secs_f64();
-                        let weak = h
-                            .epoch(&model, batch, gpus, comm, ScalingMode::Weak)
-                            .epoch_time
-                            .as_secs_f64();
-                        cells.push(WeakScalingCell {
-                            workload,
-                            comm,
-                            batch,
-                            gpus,
-                            strong_s: strong,
-                            weak_norm_s: weak / gpus as f64,
-                            weak_total_s: weak,
-                        });
-                    }
+        grid_with(h, workloads, Executor::from_env())
+    }
+
+    /// Computes the weak-scaling grid under an explicit executor.
+    pub fn grid_with(h: &Harness, workloads: &[Workload], exec: Executor) -> Vec<WeakScalingCell> {
+        let out = run_grid(h, &spec(workloads), exec, |ctx| {
+            let c = ctx.cell;
+            ctx.harness
+                .epoch(ctx.model, c.batch, c.gpus, c.comm, c.scaling)
+                .epoch_time
+                .as_secs_f64()
+        });
+        let index = out.index();
+        out.cells()
+            .iter()
+            .filter(|c| c.scaling == ScalingMode::Strong)
+            .map(|&strong_cell| {
+                let weak_cell = Cell {
+                    scaling: ScalingMode::Weak,
+                    ..strong_cell
+                };
+                let strong = *index[&strong_cell];
+                let weak = *index[&weak_cell];
+                WeakScalingCell {
+                    workload: strong_cell.workload,
+                    comm: strong_cell.comm,
+                    batch: strong_cell.batch,
+                    gpus: strong_cell.gpus,
+                    strong_s: strong,
+                    weak_norm_s: weak / strong_cell.gpus as f64,
+                    weak_total_s: weak,
                 }
-            }
-        }
-        cells
+            })
+            .collect()
     }
 
     /// Renders the comparison table.
@@ -400,9 +468,43 @@ mod tests {
         }
         // Batch scaling is near-linear (paper: 1.92x and 3.67x at 4 GPUs).
         let b_ratio = t(CommMethod::P2p, 16, 4) / t(CommMethod::P2p, 64, 4);
-        assert!((2.0..4.4).contains(&b_ratio), "batch 16->64 ratio {b_ratio}");
+        assert!(
+            (2.0..4.4).contains(&b_ratio),
+            "batch 16->64 ratio {b_ratio}"
+        );
         let table = fig3::render(&cells);
         assert_eq!(table.len(), 6);
+    }
+
+    #[test]
+    fn fig3_render_survives_shuffled_cells() {
+        // Regression: the old renderer used Vec::dedup on the row keys,
+        // which only removes *consecutive* duplicates — a shuffled cell
+        // order silently emitted duplicate rows.
+        let h = harness();
+        let mut cells = fig3::grid_with(&h, &[Workload::LeNet], Executor::Serial);
+        let canonical = fig3::render(&cells).render();
+        // Deterministic shuffle: rotate then interleave halves.
+        cells.rotate_left(7);
+        let half = cells.len() / 2;
+        let (a, b) = cells.split_at(half);
+        let shuffled: Vec<TrainingTimeCell> = a
+            .iter()
+            .zip(b.iter())
+            .flat_map(|(x, y)| [y.clone(), x.clone()])
+            .collect();
+        assert_eq!(shuffled.len(), cells.len());
+        let table = fig3::render(&shuffled);
+        // Same number of rows as the canonical rendering: every
+        // (workload, method, batch) key appears exactly once.
+        assert_eq!(table.len(), canonical.lines().count() - 2);
+        // Every canonical row is still present (row order follows the
+        // shuffled first-appearance order, but no row is duplicated or
+        // dropped).
+        let rendered = table.render();
+        for line in canonical.lines().skip(2) {
+            assert!(rendered.contains(line), "row missing after shuffle: {line}");
+        }
     }
 
     #[test]
@@ -446,15 +548,9 @@ mod tests {
     fn fig4_single_gpu_wu_is_negligible() {
         let h = harness();
         let cells = fig4::grid(&h, &[Workload::LeNet]);
-        let c1 = cells
-            .iter()
-            .find(|c| c.gpus == 1 && c.batch == 16)
-            .unwrap();
+        let c1 = cells.iter().find(|c| c.gpus == 1 && c.batch == 16).unwrap();
         assert!(c1.wu_s < c1.fp_bp_s, "1-GPU WU should be small");
-        let c8 = cells
-            .iter()
-            .find(|c| c.gpus == 8 && c.batch == 16)
-            .unwrap();
+        let c8 = cells.iter().find(|c| c.gpus == 8 && c.batch == 16).unwrap();
         assert!(c8.wu_s / (c8.wu_s + c8.fp_bp_s) > c1.wu_s / (c1.wu_s + c1.fp_bp_s));
     }
 
@@ -466,9 +562,7 @@ mod tests {
         let cells = fig5::grid(&h, &[Workload::LeNet]);
         let cell = cells
             .iter()
-            .find(|c| {
-                c.comm == CommMethod::Nccl && c.batch == 16 && c.gpus == 8
-            })
+            .find(|c| c.comm == CommMethod::Nccl && c.batch == 16 && c.gpus == 8)
             .unwrap();
         assert!(
             cell.weak_norm_s <= cell.strong_s * 1.05,

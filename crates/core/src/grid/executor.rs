@@ -1,0 +1,149 @@
+//! Pluggable execution strategies for grid sweeps.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How a grid's cells are executed.
+///
+/// Both strategies produce results in cell-enumeration order; the
+/// parallel strategy distributes cells over `std::thread::scope`
+/// workers pulling from a shared atomic work index (cells have very
+/// uneven costs — Inception-v3 at batch 64 is orders of magnitude
+/// heavier than LeNet at batch 16 — so dynamic work-stealing beats
+/// static chunking).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Executor {
+    /// Run every cell on the calling thread, in enumeration order.
+    Serial,
+    /// Run cells on `threads` scoped worker threads.
+    Parallel {
+        /// Worker thread count (clamped to at least 1).
+        threads: usize,
+    },
+}
+
+impl Executor {
+    /// A parallel executor sized to the machine.
+    pub fn machine() -> Self {
+        Executor::Parallel {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+
+    /// Reads the `VOLTASCOPE_THREADS` override:
+    ///
+    /// * unset, empty or `0` — parallel, one worker per hardware
+    ///   thread ([`Executor::machine`]);
+    /// * `1` or `serial` — [`Executor::Serial`];
+    /// * `N` — parallel with `N` workers.
+    ///
+    /// Unparseable values fall back to [`Executor::machine`] rather
+    /// than failing an experiment run over a typo.
+    pub fn from_env() -> Self {
+        match std::env::var("VOLTASCOPE_THREADS") {
+            Err(_) => Executor::machine(),
+            Ok(v) => match v.trim() {
+                "" | "0" => Executor::machine(),
+                "1" | "serial" => Executor::Serial,
+                n => n
+                    .parse::<usize>()
+                    .map(|threads| Executor::Parallel { threads })
+                    .unwrap_or_else(|_| Executor::machine()),
+            },
+        }
+    }
+
+    /// Worker thread count this executor will use.
+    pub fn threads(&self) -> usize {
+        match *self {
+            Executor::Serial => 1,
+            Executor::Parallel { threads } => threads.max(1),
+        }
+    }
+
+    /// Maps `f` over `0..n`, returning results in index order.
+    ///
+    /// `f` must be a pure function of its index: the parallel strategy
+    /// calls it from worker threads in nondeterministic order, and the
+    /// result vector is assembled by index so the output is identical
+    /// to the serial strategy's.
+    pub fn run<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let threads = self.threads().min(n);
+        if threads <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    // Compute into a worker-local buffer and merge once
+                    // at the end, so the shared lock is taken once per
+                    // worker rather than once per cell.
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    let mut slots = slots.lock().expect("grid worker poisoned result slots");
+                    for (i, value) in local {
+                        slots[i] = Some(value);
+                    }
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .expect("grid worker poisoned result slots")
+            .into_iter()
+            .map(|slot| slot.expect("every grid slot filled"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let f = |i: usize| i * i + 1;
+        let serial = Executor::Serial.run(100, f);
+        for threads in [1, 2, 3, 8, 200] {
+            let parallel = Executor::Parallel { threads }.run(100, f);
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn zero_and_one_cell_grids_work() {
+        assert_eq!(Executor::machine().run(0, |i| i), Vec::<usize>::new());
+        assert_eq!(Executor::Parallel { threads: 4 }.run(1, |i| i), vec![0]);
+    }
+
+    #[test]
+    fn thread_counts_are_clamped() {
+        assert_eq!(Executor::Serial.threads(), 1);
+        assert_eq!(Executor::Parallel { threads: 0 }.threads(), 1);
+        assert!(Executor::machine().threads() >= 1);
+    }
+
+    #[test]
+    fn parallel_actually_uses_worker_threads() {
+        let main = std::thread::current().id();
+        let ids = Executor::Parallel { threads: 4 }.run(64, |_| {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            std::thread::current().id()
+        });
+        assert!(ids.iter().any(|id| *id != main));
+    }
+}

@@ -1,0 +1,240 @@
+//! Shared-context grid execution and indexed results.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Arc;
+
+use voltascope_dnn::zoo::Workload;
+use voltascope_dnn::Model;
+
+use super::cell::{Cell, Platform};
+use super::executor::Executor;
+use super::spec::GridSpec;
+use crate::Harness;
+
+/// Everything a cell function needs, resolved once per grid rather
+/// than once per cell: the platform-adjusted harness and the pre-built
+/// workload model.
+#[derive(Debug, Clone, Copy)]
+pub struct CellCtx<'r> {
+    /// The grid point being evaluated.
+    pub cell: Cell,
+    /// Harness whose system model matches `cell.platform`.
+    pub harness: &'r Harness,
+    /// The cell's workload, built once per grid and shared.
+    pub model: &'r Model,
+}
+
+/// Pre-resolved shared state for one grid: each workload's [`Model`]
+/// built exactly once, and one [`Harness`] per platform variant, all
+/// behind `Arc` so parallel workers share them without copying.
+#[derive(Debug, Clone)]
+pub struct GridRunner {
+    models: HashMap<Workload, Arc<Model>>,
+    harnesses: HashMap<Platform, Arc<Harness>>,
+}
+
+impl GridRunner {
+    /// Builds the shared context for `spec`: one model per workload on
+    /// the axis, one harness per platform on the axis.
+    pub fn new(base: &Harness, spec: &GridSpec) -> Self {
+        let models = spec
+            .workload_axis()
+            .iter()
+            .map(|&w| (w, Arc::new(w.build())))
+            .collect();
+        let harnesses = spec
+            .platform_axis()
+            .iter()
+            .map(|&p| {
+                let harness = if p == Platform::Dgx1 {
+                    base.clone()
+                } else {
+                    let mut sys = base.sys.clone();
+                    sys.topo = p.topology();
+                    Harness {
+                        sys,
+                        ..base.clone()
+                    }
+                };
+                (p, Arc::new(harness))
+            })
+            .collect();
+        GridRunner { models, harnesses }
+    }
+
+    /// Maps `f` over every cell of `spec` under `exec`, returning the
+    /// values in cell-enumeration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` names a workload or platform this runner was
+    /// not built for (always build the runner from the same spec, or a
+    /// superset).
+    pub fn run<T, F>(&self, exec: Executor, spec: &GridSpec, f: F) -> GridOut<T>
+    where
+        T: Send,
+        F: Fn(CellCtx<'_>) -> T + Sync,
+    {
+        let cells = spec.cells();
+        let values = exec.run(cells.len(), |i| {
+            let cell = cells[i];
+            let ctx = CellCtx {
+                cell,
+                harness: self
+                    .harnesses
+                    .get(&cell.platform)
+                    .expect("runner built for this platform axis"),
+                model: self
+                    .models
+                    .get(&cell.workload)
+                    .expect("runner built for this workload axis"),
+            };
+            f(ctx)
+        });
+        GridOut { cells, values }
+    }
+}
+
+/// Runs one grid end to end: build the shared context, execute, return
+/// indexed results. The common entry point for experiment modules.
+pub fn run_grid<T, F>(base: &Harness, spec: &GridSpec, exec: Executor, f: F) -> GridOut<T>
+where
+    T: Send,
+    F: Fn(CellCtx<'_>) -> T + Sync,
+{
+    GridRunner::new(base, spec).run(exec, spec, f)
+}
+
+/// The results of one grid run: values in cell-enumeration order plus
+/// O(1) lookup by cell key.
+#[derive(Debug, Clone)]
+pub struct GridOut<T> {
+    cells: Vec<Cell>,
+    values: Vec<T>,
+}
+
+impl<T> GridOut<T> {
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the grid was empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The cells, in enumeration order.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// The values, in enumeration order.
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Iterates `(cell, value)` pairs in enumeration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Cell, &T)> {
+        self.cells.iter().zip(self.values.iter())
+    }
+
+    /// Consumes the grid into `(cell, value)` pairs.
+    pub fn into_pairs(self) -> impl Iterator<Item = (Cell, T)> {
+        self.cells.into_iter().zip(self.values)
+    }
+
+    /// An O(1) index over the full cell keys.
+    pub fn index(&self) -> HashMap<Cell, &T> {
+        self.cells.iter().copied().zip(self.values.iter()).collect()
+    }
+
+    /// An O(1) index over a derived key (e.g. `(workload, batch)` when
+    /// the other axes are singletons). Later cells win on key
+    /// collisions, matching enumeration order.
+    pub fn index_by<K, F>(&self, key: F) -> HashMap<K, &T>
+    where
+        K: Eq + Hash,
+        F: Fn(&Cell) -> K,
+    {
+        self.cells
+            .iter()
+            .map(&key)
+            .zip(self.values.iter())
+            .collect()
+    }
+
+    /// Looks up one cell's value.
+    pub fn get(&self, cell: &Cell) -> Option<&T> {
+        self.cells
+            .iter()
+            .position(|c| c == cell)
+            .map(|i| &self.values[i])
+    }
+
+    /// Maps the values, keeping cells and order.
+    pub fn map<U, F: FnMut(&Cell, T) -> U>(self, mut f: F) -> GridOut<U> {
+        let GridOut { cells, values } = self;
+        let values = cells.iter().zip(values).map(|(c, v)| f(c, v)).collect();
+        GridOut { cells, values }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voltascope_comm::CommMethod;
+
+    fn small_spec() -> GridSpec {
+        GridSpec::paper()
+            .workloads([Workload::LeNet])
+            .comms([CommMethod::P2p])
+            .batches([16, 32])
+            .gpu_counts([1, 2])
+    }
+
+    #[test]
+    fn runner_shares_one_model_per_workload() {
+        let h = Harness::paper();
+        let spec = small_spec();
+        let runner = GridRunner::new(&h, &spec);
+        let out = runner.run(Executor::Serial, &spec, |ctx| {
+            ctx.model as *const Model as usize
+        });
+        let first = out.values()[0];
+        assert!(out.values().iter().all(|&p| p == first));
+    }
+
+    #[test]
+    fn results_are_indexable_by_cell() {
+        let h = Harness::paper();
+        let spec = small_spec();
+        let out = run_grid(&h, &spec, Executor::Serial, |ctx| {
+            (ctx.cell.batch, ctx.cell.gpus)
+        });
+        assert_eq!(out.len(), 4);
+        let index = out.index();
+        for (cell, value) in out.iter() {
+            assert_eq!(index[cell], value);
+            assert_eq!(out.get(cell), Some(value));
+        }
+        let by_batch = out.index_by(|c| (c.batch, c.gpus));
+        assert_eq!(by_batch[&(32, 2)], &(32, 2));
+    }
+
+    #[test]
+    fn platform_axis_swaps_the_topology() {
+        let h = Harness::paper();
+        let spec = small_spec()
+            .batches([16])
+            .gpu_counts([2])
+            .platforms([Platform::Dgx1, Platform::PcieOnly]);
+        let out = run_grid(&h, &spec, Executor::Serial, |ctx| {
+            ctx.harness.sys.topo.name().to_string()
+        });
+        let names: Vec<&str> = out.values().iter().map(String::as_str).collect();
+        assert_eq!(names.len(), 2);
+        assert_ne!(names[0], names[1]);
+    }
+}

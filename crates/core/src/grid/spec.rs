@@ -1,0 +1,183 @@
+//! Declarative sweep descriptions.
+
+use voltascope_comm::CommMethod;
+use voltascope_dnn::zoo::Workload;
+use voltascope_train::ScalingMode;
+
+use super::cell::{Cell, Platform};
+
+/// The paper's batch-size sweep.
+pub const PAPER_BATCHES: [usize; 3] = [16, 32, 64];
+/// The paper's GPU-count sweep.
+pub const PAPER_GPU_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// A declarative experiment sweep: one value list per axis.
+///
+/// [`GridSpec::paper`] starts every axis at the paper's canonical
+/// value, so an experiment only names the axes it sweeps:
+///
+/// ```
+/// use voltascope::grid::GridSpec;
+/// use voltascope_comm::CommMethod;
+///
+/// // Fig. 4 sweeps workload x batch x GPUs under NCCL only:
+/// let spec = GridSpec::paper().comms([CommMethod::Nccl]);
+/// assert_eq!(spec.len(), 5 * 1 * 3 * 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridSpec {
+    workloads: Vec<Workload>,
+    comms: Vec<CommMethod>,
+    batches: Vec<usize>,
+    gpu_counts: Vec<usize>,
+    scalings: Vec<ScalingMode>,
+    platforms: Vec<Platform>,
+}
+
+impl GridSpec {
+    /// The paper's default grid: all five workloads, both communication
+    /// methods, batches 16/32/64, 1/2/4/8 GPUs, strong scaling, on the
+    /// baseline DGX-1.
+    pub fn paper() -> Self {
+        GridSpec {
+            workloads: Workload::ALL.to_vec(),
+            comms: CommMethod::ALL.to_vec(),
+            batches: PAPER_BATCHES.to_vec(),
+            gpu_counts: PAPER_GPU_COUNTS.to_vec(),
+            scalings: vec![ScalingMode::Strong],
+            platforms: vec![Platform::Dgx1],
+        }
+    }
+
+    /// Replaces the workload axis.
+    pub fn workloads(mut self, workloads: impl IntoIterator<Item = Workload>) -> Self {
+        self.workloads = workloads.into_iter().collect();
+        self
+    }
+
+    /// Replaces the communication-method axis.
+    pub fn comms(mut self, comms: impl IntoIterator<Item = CommMethod>) -> Self {
+        self.comms = comms.into_iter().collect();
+        self
+    }
+
+    /// Replaces the batch-size axis.
+    pub fn batches(mut self, batches: impl IntoIterator<Item = usize>) -> Self {
+        self.batches = batches.into_iter().collect();
+        self
+    }
+
+    /// Replaces the GPU-count axis.
+    pub fn gpu_counts(mut self, gpu_counts: impl IntoIterator<Item = usize>) -> Self {
+        self.gpu_counts = gpu_counts.into_iter().collect();
+        self
+    }
+
+    /// Replaces the scaling-mode axis.
+    pub fn scalings(mut self, scalings: impl IntoIterator<Item = ScalingMode>) -> Self {
+        self.scalings = scalings.into_iter().collect();
+        self
+    }
+
+    /// Replaces the platform axis.
+    pub fn platforms(mut self, platforms: impl IntoIterator<Item = Platform>) -> Self {
+        self.platforms = platforms.into_iter().collect();
+        self
+    }
+
+    /// The workload axis values.
+    pub fn workload_axis(&self) -> &[Workload] {
+        &self.workloads
+    }
+
+    /// The platform axis values.
+    pub fn platform_axis(&self) -> &[Platform] {
+        &self.platforms
+    }
+
+    /// Number of cells in the grid.
+    pub fn len(&self) -> usize {
+        self.workloads.len()
+            * self.comms.len()
+            * self.batches.len()
+            * self.gpu_counts.len()
+            * self.scalings.len()
+            * self.platforms.len()
+    }
+
+    /// Whether the grid has no cells (any axis empty).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enumerates every cell in the **canonical order**: workload →
+    /// platform → comm → batch → GPUs → scaling (scaling innermost so
+    /// regime pairs of the same configuration are adjacent).
+    ///
+    /// This order is part of the golden-output contract: renderers
+    /// derive their row order from it, and the parallel executor
+    /// returns results in exactly this order regardless of which
+    /// thread computed which cell.
+    pub fn cells(&self) -> Vec<Cell> {
+        let mut cells = Vec::with_capacity(self.len());
+        for &workload in &self.workloads {
+            for &platform in &self.platforms {
+                for &comm in &self.comms {
+                    for &batch in &self.batches {
+                        for &gpus in &self.gpu_counts {
+                            for &scaling in &self.scalings {
+                                cells.push(Cell {
+                                    workload,
+                                    comm,
+                                    batch,
+                                    gpus,
+                                    scaling,
+                                    platform,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_grid_has_the_fig3_shape() {
+        let spec = GridSpec::paper();
+        assert_eq!(spec.len(), 5 * 2 * 3 * 4);
+        assert_eq!(spec.cells().len(), spec.len());
+        assert!(!spec.is_empty());
+    }
+
+    #[test]
+    fn enumeration_order_is_workload_major_scaling_minor() {
+        let spec = GridSpec::paper()
+            .workloads([Workload::LeNet, Workload::AlexNet])
+            .comms([CommMethod::P2p])
+            .batches([16])
+            .gpu_counts([1, 2])
+            .scalings([ScalingMode::Strong, ScalingMode::Weak]);
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 8);
+        assert_eq!(cells[0].workload, Workload::LeNet);
+        assert_eq!(cells[0].scaling, ScalingMode::Strong);
+        assert_eq!(cells[1].scaling, ScalingMode::Weak);
+        assert_eq!(cells[1].gpus, 1);
+        assert_eq!(cells[2].gpus, 2);
+        assert_eq!(cells[4].workload, Workload::AlexNet);
+    }
+
+    #[test]
+    fn empty_axis_empties_the_grid() {
+        let spec = GridSpec::paper().batches([]);
+        assert!(spec.is_empty());
+        assert!(spec.cells().is_empty());
+    }
+}

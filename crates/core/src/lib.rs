@@ -39,6 +39,17 @@
 
 pub mod calibration;
 pub mod experiments;
+pub mod grid;
 mod harness;
 
 pub use harness::{Harness, Measurement};
+
+// Compile-time guarantee for the parallel experiment grid: the whole
+// harness crosses sweep worker threads by shared reference.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Harness>();
+    assert_send_sync::<Measurement>();
+    assert_send_sync::<grid::Cell>();
+    assert_send_sync::<grid::GridSpec>();
+};

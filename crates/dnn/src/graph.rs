@@ -335,7 +335,12 @@ impl Model {
         use std::fmt::Write as _;
         let mut out = String::new();
         writeln!(out, "Model: {}  (input {})", self.name, self.input_shape).unwrap();
-        writeln!(out, "{:<24} {:<10} {:<16} {:>12}", "Layer", "Kind", "Output", "Params").unwrap();
+        writeln!(
+            out,
+            "{:<24} {:<10} {:<16} {:>12}",
+            "Layer", "Kind", "Output", "Params"
+        )
+        .unwrap();
         writeln!(out, "{}", "-".repeat(66)).unwrap();
         for n in &self.nodes {
             writeln!(

@@ -43,7 +43,13 @@ impl Conv2d {
     ///
     /// Panics if any of `in_ch`, `out_ch`, `kernel`, `stride` is zero.
     pub fn new(in_ch: usize, out_ch: usize, kernel: usize, stride: usize, pad: usize) -> Self {
-        Conv2d::rect(in_ch, out_ch, (kernel, kernel), (stride, stride), (pad, pad))
+        Conv2d::rect(
+            in_ch,
+            out_ch,
+            (kernel, kernel),
+            (stride, stride),
+            (pad, pad),
+        )
     }
 
     /// Creates a rectangular-kernel convolution with per-axis
@@ -79,8 +85,12 @@ impl Conv2d {
     }
 
     fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
-        let oh = (h + 2 * self.ph).checked_sub(self.kh).map(|v| v / self.sh + 1);
-        let ow = (w + 2 * self.pw).checked_sub(self.kw).map(|v| v / self.sw + 1);
+        let oh = (h + 2 * self.ph)
+            .checked_sub(self.kh)
+            .map(|v| v / self.sh + 1);
+        let ow = (w + 2 * self.pw)
+            .checked_sub(self.kw)
+            .map(|v| v / self.sw + 1);
         match (oh, ow) {
             (Some(oh), Some(ow)) if oh > 0 && ow > 0 => (oh, ow),
             _ => panic!(
@@ -90,7 +100,6 @@ impl Conv2d {
         }
     }
 }
-
 
 impl Conv2d {
     /// Direct-loop reference implementation.
@@ -350,7 +359,6 @@ impl Conv2d {
             grad_params: vec![gw, gb],
         }
     }
-
 }
 
 impl Layer for Conv2d {
@@ -529,7 +537,11 @@ mod tests {
         let g = gradcheck::fixture(y.shape().clone(), 304);
         let naive = conv.backward_naive(&[&x], &[&w, &b], &y, &g);
         let fast = conv.backward_im2col(&[&x], &[&w, &b], &y, &g);
-        for (a, c) in naive.grad_inputs[0].data().iter().zip(fast.grad_inputs[0].data()) {
+        for (a, c) in naive.grad_inputs[0]
+            .data()
+            .iter()
+            .zip(fast.grad_inputs[0].data())
+        {
             assert!((a - c).abs() < 1e-3, "dX: {a} vs {c}");
         }
         for (slot, (na, fa)) in naive.grad_params.iter().zip(&fast.grad_params).enumerate() {
@@ -549,7 +561,11 @@ mod tests {
         let g = gradcheck::fixture(y.shape().clone(), 404);
         let naive = conv.backward_naive(&[&x], &[&w, &b], &y, &g);
         let fast = conv.backward_im2col(&[&x], &[&w, &b], &y, &g);
-        for (a, c) in naive.grad_inputs[0].data().iter().zip(fast.grad_inputs[0].data()) {
+        for (a, c) in naive.grad_inputs[0]
+            .data()
+            .iter()
+            .zip(fast.grad_inputs[0].data())
+        {
             assert!((a - c).abs() < 1e-3, "dX: {a} vs {c}");
         }
     }
@@ -587,7 +603,10 @@ mod tests {
         let inputs = [Shape::new([4, 3, 32, 32])];
         // 2 * (4*8*32*32) * (3*3*3)
         assert_eq!(conv.forward_flops(&inputs), 2 * 4 * 8 * 32 * 32 * 27);
-        assert_eq!(conv.backward_flops(&inputs), 2 * conv.forward_flops(&inputs));
+        assert_eq!(
+            conv.backward_flops(&inputs),
+            2 * conv.forward_flops(&inputs)
+        );
         assert!(conv.uses_tensor_cores());
     }
 }

@@ -187,10 +187,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "height mismatch")]
     fn concat_rejects_spatial_mismatch() {
-        let _ = Concat.output_shape(&[
-            Shape::new([1, 1, 2, 2]),
-            Shape::new([1, 1, 3, 2]),
-        ]);
+        let _ = Concat.output_shape(&[Shape::new([1, 1, 2, 2]), Shape::new([1, 1, 3, 2])]);
     }
 
     #[test]

@@ -43,7 +43,11 @@ pub struct Backward {
 /// and `backward` receive everything they need and return fresh
 /// tensors. `backward` receives the forward inputs, the parameters, the
 /// forward output, and the gradient flowing back from downstream.
-pub trait Layer: fmt::Debug {
+///
+/// `Send + Sync` are supertraits so a [`crate::Model`] can be shared
+/// across the threads of a parallel experiment grid (layers are
+/// stateless descriptors, so any implementation is naturally both).
+pub trait Layer: fmt::Debug + Send + Sync {
     /// Short kind tag used in kernel labels: `"conv"`, `"fc"`, ...
     fn kind(&self) -> &'static str;
 
@@ -180,7 +184,9 @@ pub(crate) mod gradcheck {
     pub fn fixture(shape: Shape, salt: u64) -> Tensor {
         let mut t = Tensor::zeros(shape);
         for (i, v) in t.data_mut().iter_mut().enumerate() {
-            let x = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(salt);
+            let x = (i as u64)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(salt);
             *v = ((x >> 33) % 1000) as f32 / 500.0 - 1.0;
         }
         t

@@ -51,3 +51,12 @@ pub use layer::{
 pub use loss::{accuracy, softmax_cross_entropy};
 pub use stats::NetworkStats;
 pub use tensor::{Shape, Tensor};
+
+// Compile-time guarantee for the parallel experiment grid: models (and
+// the tensors inside them) are shareable across sweep worker threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Model>();
+    assert_send_sync::<Tensor>();
+    assert_send_sync::<NetworkStats>();
+};

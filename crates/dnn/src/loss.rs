@@ -137,10 +137,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts_argmax_hits() {
-        let logits = Tensor::from_vec(
-            Shape::new([2, 3]),
-            vec![1.0, 5.0, 2.0, 9.0, 0.0, 1.0],
-        );
+        let logits = Tensor::from_vec(Shape::new([2, 3]), vec![1.0, 5.0, 2.0, 9.0, 0.0, 1.0]);
         assert_eq!(accuracy(&logits, &[1, 0]), 1.0);
         assert_eq!(accuracy(&logits, &[0, 0]), 0.5);
     }

@@ -1,16 +1,11 @@
 //! GoogLeNet (Inception v1).
 
-use crate::graph::{ModelBuilder, Model, NodeId, Source};
+use crate::graph::{Model, ModelBuilder, NodeId, Source};
 use crate::layer::{AvgPool2d, Concat, Conv2d, Dense, MaxPool2d, Relu};
 use crate::tensor::Shape;
 
 /// Adds `conv + relu` and returns the relu node.
-fn conv_relu(
-    b: &mut ModelBuilder,
-    name: &str,
-    conv: Conv2d,
-    input: Source,
-) -> NodeId {
+fn conv_relu(b: &mut ModelBuilder, name: &str, conv: Conv2d, input: Source) -> NodeId {
     let c = b.add(name, conv, &[input]);
     b.add(format!("{name}.relu"), Relu, &[Source::Node(c)])
 }
@@ -32,15 +27,30 @@ fn inception(
 ) -> NodeId {
     b.begin_module(name.to_string());
     let src = Source::Node(input);
-    let b1 = conv_relu(b, &format!("{name}.1x1"), Conv2d::new(in_ch, c1, 1, 1, 0), src);
-    let b3r = conv_relu(b, &format!("{name}.3x3r"), Conv2d::new(in_ch, c3r, 1, 1, 0), src);
+    let b1 = conv_relu(
+        b,
+        &format!("{name}.1x1"),
+        Conv2d::new(in_ch, c1, 1, 1, 0),
+        src,
+    );
+    let b3r = conv_relu(
+        b,
+        &format!("{name}.3x3r"),
+        Conv2d::new(in_ch, c3r, 1, 1, 0),
+        src,
+    );
     let b3 = conv_relu(
         b,
         &format!("{name}.3x3"),
         Conv2d::new(c3r, c3, 3, 1, 1),
         Source::Node(b3r),
     );
-    let b5r = conv_relu(b, &format!("{name}.5x5r"), Conv2d::new(in_ch, c5r, 1, 1, 0), src);
+    let b5r = conv_relu(
+        b,
+        &format!("{name}.5x5r"),
+        Conv2d::new(in_ch, c5r, 1, 1, 0),
+        src,
+    );
     let b5 = conv_relu(
         b,
         &format!("{name}.5x5"),
@@ -86,8 +96,18 @@ pub fn googlenet() -> Model {
     let mut b = ModelBuilder::new("GoogLeNet", Shape::new([1, 3, 224, 224]));
     let c1 = conv_relu(&mut b, "conv1", Conv2d::new(3, 64, 7, 2, 3), Source::Input);
     let p1 = b.add("pool1", MaxPool2d::new(3, 2, 1), &[Source::Node(c1)]);
-    let c2 = conv_relu(&mut b, "conv2", Conv2d::new(64, 64, 1, 1, 0), Source::Node(p1));
-    let c3 = conv_relu(&mut b, "conv3", Conv2d::new(64, 192, 3, 1, 1), Source::Node(c2));
+    let c2 = conv_relu(
+        &mut b,
+        "conv2",
+        Conv2d::new(64, 64, 1, 1, 0),
+        Source::Node(p1),
+    );
+    let c3 = conv_relu(
+        &mut b,
+        "conv3",
+        Conv2d::new(64, 192, 3, 1, 1),
+        Source::Node(c2),
+    );
     let p2 = b.add("pool2", MaxPool2d::new(3, 2, 1), &[Source::Node(c3)]);
 
     let i3a = inception(&mut b, "inc3a", p2, 192, 64, 96, 128, 16, 32, 32); // 256
@@ -117,10 +137,7 @@ mod tests {
     fn parameter_count_near_published() {
         // GoogLeNet v1 without aux heads: ~6.6M (torchvision: 6,624,904).
         let n = googlenet().param_count();
-        assert!(
-            (6_500_000..7_200_000).contains(&n),
-            "GoogLeNet params {n}"
-        );
+        assert!((6_500_000..7_200_000).contains(&n), "GoogLeNet params {n}");
     }
 
     #[test]

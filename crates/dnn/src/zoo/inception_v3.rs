@@ -8,26 +8,76 @@ use crate::tensor::Shape;
 fn basic(b: &mut ModelBuilder, name: &str, conv: Conv2d, input: Source) -> NodeId {
     let out_ch = conv.out_channels();
     let c = b.add(name, conv, &[input]);
-    let n = b.add(format!("{name}.bn"), BatchNorm2d::new(out_ch), &[Source::Node(c)]);
+    let n = b.add(
+        format!("{name}.bn"),
+        BatchNorm2d::new(out_ch),
+        &[Source::Node(c)],
+    );
     b.add(format!("{name}.relu"), Relu, &[Source::Node(n)])
 }
 
 /// 35x35 module: 1x1 / 5x5 / double-3x3 / pool branches.
-fn inception_a(b: &mut ModelBuilder, name: &str, input: NodeId, in_ch: usize, pool: usize) -> NodeId {
+fn inception_a(
+    b: &mut ModelBuilder,
+    name: &str,
+    input: NodeId,
+    in_ch: usize,
+    pool: usize,
+) -> NodeId {
     b.begin_module(name.to_string());
     let src = Source::Node(input);
-    let b1 = basic(b, &format!("{name}.1x1"), Conv2d::new(in_ch, 64, 1, 1, 0), src);
-    let b5r = basic(b, &format!("{name}.5x5r"), Conv2d::new(in_ch, 48, 1, 1, 0), src);
-    let b5 = basic(b, &format!("{name}.5x5"), Conv2d::new(48, 64, 5, 1, 2), Source::Node(b5r));
-    let d1 = basic(b, &format!("{name}.d3x3r"), Conv2d::new(in_ch, 64, 1, 1, 0), src);
-    let d2 = basic(b, &format!("{name}.d3x3a"), Conv2d::new(64, 96, 3, 1, 1), Source::Node(d1));
-    let d3 = basic(b, &format!("{name}.d3x3b"), Conv2d::new(96, 96, 3, 1, 1), Source::Node(d2));
+    let b1 = basic(
+        b,
+        &format!("{name}.1x1"),
+        Conv2d::new(in_ch, 64, 1, 1, 0),
+        src,
+    );
+    let b5r = basic(
+        b,
+        &format!("{name}.5x5r"),
+        Conv2d::new(in_ch, 48, 1, 1, 0),
+        src,
+    );
+    let b5 = basic(
+        b,
+        &format!("{name}.5x5"),
+        Conv2d::new(48, 64, 5, 1, 2),
+        Source::Node(b5r),
+    );
+    let d1 = basic(
+        b,
+        &format!("{name}.d3x3r"),
+        Conv2d::new(in_ch, 64, 1, 1, 0),
+        src,
+    );
+    let d2 = basic(
+        b,
+        &format!("{name}.d3x3a"),
+        Conv2d::new(64, 96, 3, 1, 1),
+        Source::Node(d1),
+    );
+    let d3 = basic(
+        b,
+        &format!("{name}.d3x3b"),
+        Conv2d::new(96, 96, 3, 1, 1),
+        Source::Node(d2),
+    );
     let ap = b.add(format!("{name}.pool"), AvgPool2d::new(3, 1, 1), &[src]);
-    let bp = basic(b, &format!("{name}.poolproj"), Conv2d::new(in_ch, pool, 1, 1, 0), Source::Node(ap));
+    let bp = basic(
+        b,
+        &format!("{name}.poolproj"),
+        Conv2d::new(in_ch, pool, 1, 1, 0),
+        Source::Node(ap),
+    );
     let cat = b.add(
         format!("{name}.concat"),
         Concat,
-        &[Source::Node(b1), Source::Node(b5), Source::Node(d3), Source::Node(bp)],
+        &[
+            Source::Node(b1),
+            Source::Node(b5),
+            Source::Node(d3),
+            Source::Node(bp),
+        ],
     );
     b.end_module();
     cat
@@ -37,10 +87,30 @@ fn inception_a(b: &mut ModelBuilder, name: &str, input: NodeId, in_ch: usize, po
 fn reduction_a(b: &mut ModelBuilder, name: &str, input: NodeId, in_ch: usize) -> NodeId {
     b.begin_module(name.to_string());
     let src = Source::Node(input);
-    let b3 = basic(b, &format!("{name}.3x3"), Conv2d::new(in_ch, 384, 3, 2, 0), src);
-    let d1 = basic(b, &format!("{name}.d3x3r"), Conv2d::new(in_ch, 64, 1, 1, 0), src);
-    let d2 = basic(b, &format!("{name}.d3x3a"), Conv2d::new(64, 96, 3, 1, 1), Source::Node(d1));
-    let d3 = basic(b, &format!("{name}.d3x3b"), Conv2d::new(96, 96, 3, 2, 0), Source::Node(d2));
+    let b3 = basic(
+        b,
+        &format!("{name}.3x3"),
+        Conv2d::new(in_ch, 384, 3, 2, 0),
+        src,
+    );
+    let d1 = basic(
+        b,
+        &format!("{name}.d3x3r"),
+        Conv2d::new(in_ch, 64, 1, 1, 0),
+        src,
+    );
+    let d2 = basic(
+        b,
+        &format!("{name}.d3x3a"),
+        Conv2d::new(64, 96, 3, 1, 1),
+        Source::Node(d1),
+    );
+    let d3 = basic(
+        b,
+        &format!("{name}.d3x3b"),
+        Conv2d::new(96, 96, 3, 2, 0),
+        Source::Node(d2),
+    );
     let mp = b.add(format!("{name}.pool"), MaxPool2d::new(3, 2, 0), &[src]);
     let cat = b.add(
         format!("{name}.concat"),
@@ -56,21 +126,76 @@ fn inception_b(b: &mut ModelBuilder, name: &str, input: NodeId, c7: usize) -> No
     b.begin_module(name.to_string());
     let src = Source::Node(input);
     let in_ch = 768;
-    let b1 = basic(b, &format!("{name}.1x1"), Conv2d::new(in_ch, 192, 1, 1, 0), src);
-    let s1 = basic(b, &format!("{name}.7x7r"), Conv2d::new(in_ch, c7, 1, 1, 0), src);
-    let s2 = basic(b, &format!("{name}.1x7"), Conv2d::rect(c7, c7, (1, 7), (1, 1), (0, 3)), Source::Node(s1));
-    let s3 = basic(b, &format!("{name}.7x1"), Conv2d::rect(c7, 192, (7, 1), (1, 1), (3, 0)), Source::Node(s2));
-    let d1 = basic(b, &format!("{name}.d7x7r"), Conv2d::new(in_ch, c7, 1, 1, 0), src);
-    let d2 = basic(b, &format!("{name}.d7x1a"), Conv2d::rect(c7, c7, (7, 1), (1, 1), (3, 0)), Source::Node(d1));
-    let d3 = basic(b, &format!("{name}.d1x7a"), Conv2d::rect(c7, c7, (1, 7), (1, 1), (0, 3)), Source::Node(d2));
-    let d4 = basic(b, &format!("{name}.d7x1b"), Conv2d::rect(c7, c7, (7, 1), (1, 1), (3, 0)), Source::Node(d3));
-    let d5 = basic(b, &format!("{name}.d1x7b"), Conv2d::rect(c7, 192, (1, 7), (1, 1), (0, 3)), Source::Node(d4));
+    let b1 = basic(
+        b,
+        &format!("{name}.1x1"),
+        Conv2d::new(in_ch, 192, 1, 1, 0),
+        src,
+    );
+    let s1 = basic(
+        b,
+        &format!("{name}.7x7r"),
+        Conv2d::new(in_ch, c7, 1, 1, 0),
+        src,
+    );
+    let s2 = basic(
+        b,
+        &format!("{name}.1x7"),
+        Conv2d::rect(c7, c7, (1, 7), (1, 1), (0, 3)),
+        Source::Node(s1),
+    );
+    let s3 = basic(
+        b,
+        &format!("{name}.7x1"),
+        Conv2d::rect(c7, 192, (7, 1), (1, 1), (3, 0)),
+        Source::Node(s2),
+    );
+    let d1 = basic(
+        b,
+        &format!("{name}.d7x7r"),
+        Conv2d::new(in_ch, c7, 1, 1, 0),
+        src,
+    );
+    let d2 = basic(
+        b,
+        &format!("{name}.d7x1a"),
+        Conv2d::rect(c7, c7, (7, 1), (1, 1), (3, 0)),
+        Source::Node(d1),
+    );
+    let d3 = basic(
+        b,
+        &format!("{name}.d1x7a"),
+        Conv2d::rect(c7, c7, (1, 7), (1, 1), (0, 3)),
+        Source::Node(d2),
+    );
+    let d4 = basic(
+        b,
+        &format!("{name}.d7x1b"),
+        Conv2d::rect(c7, c7, (7, 1), (1, 1), (3, 0)),
+        Source::Node(d3),
+    );
+    let d5 = basic(
+        b,
+        &format!("{name}.d1x7b"),
+        Conv2d::rect(c7, 192, (1, 7), (1, 1), (0, 3)),
+        Source::Node(d4),
+    );
     let ap = b.add(format!("{name}.pool"), AvgPool2d::new(3, 1, 1), &[src]);
-    let bp = basic(b, &format!("{name}.poolproj"), Conv2d::new(in_ch, 192, 1, 1, 0), Source::Node(ap));
+    let bp = basic(
+        b,
+        &format!("{name}.poolproj"),
+        Conv2d::new(in_ch, 192, 1, 1, 0),
+        Source::Node(ap),
+    );
     let cat = b.add(
         format!("{name}.concat"),
         Concat,
-        &[Source::Node(b1), Source::Node(s3), Source::Node(d5), Source::Node(bp)],
+        &[
+            Source::Node(b1),
+            Source::Node(s3),
+            Source::Node(d5),
+            Source::Node(bp),
+        ],
     );
     b.end_module();
     cat
@@ -81,12 +206,42 @@ fn reduction_b(b: &mut ModelBuilder, name: &str, input: NodeId) -> NodeId {
     b.begin_module(name.to_string());
     let src = Source::Node(input);
     let in_ch = 768;
-    let t1 = basic(b, &format!("{name}.3x3r"), Conv2d::new(in_ch, 192, 1, 1, 0), src);
-    let t2 = basic(b, &format!("{name}.3x3"), Conv2d::new(192, 320, 3, 2, 0), Source::Node(t1));
-    let s1 = basic(b, &format!("{name}.7x7r"), Conv2d::new(in_ch, 192, 1, 1, 0), src);
-    let s2 = basic(b, &format!("{name}.1x7"), Conv2d::rect(192, 192, (1, 7), (1, 1), (0, 3)), Source::Node(s1));
-    let s3 = basic(b, &format!("{name}.7x1"), Conv2d::rect(192, 192, (7, 1), (1, 1), (3, 0)), Source::Node(s2));
-    let s4 = basic(b, &format!("{name}.3x3b"), Conv2d::new(192, 192, 3, 2, 0), Source::Node(s3));
+    let t1 = basic(
+        b,
+        &format!("{name}.3x3r"),
+        Conv2d::new(in_ch, 192, 1, 1, 0),
+        src,
+    );
+    let t2 = basic(
+        b,
+        &format!("{name}.3x3"),
+        Conv2d::new(192, 320, 3, 2, 0),
+        Source::Node(t1),
+    );
+    let s1 = basic(
+        b,
+        &format!("{name}.7x7r"),
+        Conv2d::new(in_ch, 192, 1, 1, 0),
+        src,
+    );
+    let s2 = basic(
+        b,
+        &format!("{name}.1x7"),
+        Conv2d::rect(192, 192, (1, 7), (1, 1), (0, 3)),
+        Source::Node(s1),
+    );
+    let s3 = basic(
+        b,
+        &format!("{name}.7x1"),
+        Conv2d::rect(192, 192, (7, 1), (1, 1), (3, 0)),
+        Source::Node(s2),
+    );
+    let s4 = basic(
+        b,
+        &format!("{name}.3x3b"),
+        Conv2d::new(192, 192, 3, 2, 0),
+        Source::Node(s3),
+    );
     let mp = b.add(format!("{name}.pool"), MaxPool2d::new(3, 2, 0), &[src]);
     let cat = b.add(
         format!("{name}.concat"),
@@ -101,16 +256,61 @@ fn reduction_b(b: &mut ModelBuilder, name: &str, input: NodeId) -> NodeId {
 fn inception_c(b: &mut ModelBuilder, name: &str, input: NodeId, in_ch: usize) -> NodeId {
     b.begin_module(name.to_string());
     let src = Source::Node(input);
-    let b1 = basic(b, &format!("{name}.1x1"), Conv2d::new(in_ch, 320, 1, 1, 0), src);
-    let s1 = basic(b, &format!("{name}.3x3r"), Conv2d::new(in_ch, 384, 1, 1, 0), src);
-    let s2a = basic(b, &format!("{name}.1x3"), Conv2d::rect(384, 384, (1, 3), (1, 1), (0, 1)), Source::Node(s1));
-    let s2b = basic(b, &format!("{name}.3x1"), Conv2d::rect(384, 384, (3, 1), (1, 1), (1, 0)), Source::Node(s1));
-    let d1 = basic(b, &format!("{name}.d3x3r"), Conv2d::new(in_ch, 448, 1, 1, 0), src);
-    let d2 = basic(b, &format!("{name}.d3x3"), Conv2d::new(448, 384, 3, 1, 1), Source::Node(d1));
-    let d3a = basic(b, &format!("{name}.d1x3"), Conv2d::rect(384, 384, (1, 3), (1, 1), (0, 1)), Source::Node(d2));
-    let d3b = basic(b, &format!("{name}.d3x1"), Conv2d::rect(384, 384, (3, 1), (1, 1), (1, 0)), Source::Node(d2));
+    let b1 = basic(
+        b,
+        &format!("{name}.1x1"),
+        Conv2d::new(in_ch, 320, 1, 1, 0),
+        src,
+    );
+    let s1 = basic(
+        b,
+        &format!("{name}.3x3r"),
+        Conv2d::new(in_ch, 384, 1, 1, 0),
+        src,
+    );
+    let s2a = basic(
+        b,
+        &format!("{name}.1x3"),
+        Conv2d::rect(384, 384, (1, 3), (1, 1), (0, 1)),
+        Source::Node(s1),
+    );
+    let s2b = basic(
+        b,
+        &format!("{name}.3x1"),
+        Conv2d::rect(384, 384, (3, 1), (1, 1), (1, 0)),
+        Source::Node(s1),
+    );
+    let d1 = basic(
+        b,
+        &format!("{name}.d3x3r"),
+        Conv2d::new(in_ch, 448, 1, 1, 0),
+        src,
+    );
+    let d2 = basic(
+        b,
+        &format!("{name}.d3x3"),
+        Conv2d::new(448, 384, 3, 1, 1),
+        Source::Node(d1),
+    );
+    let d3a = basic(
+        b,
+        &format!("{name}.d1x3"),
+        Conv2d::rect(384, 384, (1, 3), (1, 1), (0, 1)),
+        Source::Node(d2),
+    );
+    let d3b = basic(
+        b,
+        &format!("{name}.d3x1"),
+        Conv2d::rect(384, 384, (3, 1), (1, 1), (1, 0)),
+        Source::Node(d2),
+    );
     let ap = b.add(format!("{name}.pool"), AvgPool2d::new(3, 1, 1), &[src]);
-    let bp = basic(b, &format!("{name}.poolproj"), Conv2d::new(in_ch, 192, 1, 1, 0), Source::Node(ap));
+    let bp = basic(
+        b,
+        &format!("{name}.poolproj"),
+        Conv2d::new(in_ch, 192, 1, 1, 0),
+        Source::Node(ap),
+    );
     let cat = b.add(
         format!("{name}.concat"),
         Concat,
@@ -144,11 +344,31 @@ fn inception_c(b: &mut ModelBuilder, name: &str, input: NodeId, in_ch: usize) ->
 pub fn inception_v3() -> Model {
     let mut b = ModelBuilder::new("Inception-v3", Shape::new([1, 3, 299, 299]));
     let c1 = basic(&mut b, "stem1", Conv2d::new(3, 32, 3, 2, 0), Source::Input); // 149
-    let c2 = basic(&mut b, "stem2", Conv2d::new(32, 32, 3, 1, 0), Source::Node(c1)); // 147
-    let c3 = basic(&mut b, "stem3", Conv2d::new(32, 64, 3, 1, 1), Source::Node(c2)); // 147
+    let c2 = basic(
+        &mut b,
+        "stem2",
+        Conv2d::new(32, 32, 3, 1, 0),
+        Source::Node(c1),
+    ); // 147
+    let c3 = basic(
+        &mut b,
+        "stem3",
+        Conv2d::new(32, 64, 3, 1, 1),
+        Source::Node(c2),
+    ); // 147
     let p1 = b.add("stem.pool1", MaxPool2d::new(3, 2, 0), &[Source::Node(c3)]); // 73
-    let c4 = basic(&mut b, "stem4", Conv2d::new(64, 80, 1, 1, 0), Source::Node(p1)); // 73
-    let c5 = basic(&mut b, "stem5", Conv2d::new(80, 192, 3, 1, 0), Source::Node(c4)); // 71
+    let c4 = basic(
+        &mut b,
+        "stem4",
+        Conv2d::new(64, 80, 1, 1, 0),
+        Source::Node(p1),
+    ); // 73
+    let c5 = basic(
+        &mut b,
+        "stem5",
+        Conv2d::new(80, 192, 3, 1, 0),
+        Source::Node(c4),
+    ); // 71
     let p2 = b.add("stem.pool2", MaxPool2d::new(3, 2, 0), &[Source::Node(c5)]); // 35
 
     let a1 = inception_a(&mut b, "mixed5b", p2, 192, 32); // 256

@@ -5,16 +5,14 @@ use crate::layer::{Add, AvgPool2d, BatchNorm2d, Conv2d, Dense, MaxPool2d, Relu};
 use crate::tensor::Shape;
 
 /// `conv -> batchnorm`, optionally followed by relu.
-fn conv_bn(
-    b: &mut ModelBuilder,
-    name: &str,
-    conv: Conv2d,
-    input: Source,
-    relu: bool,
-) -> NodeId {
+fn conv_bn(b: &mut ModelBuilder, name: &str, conv: Conv2d, input: Source, relu: bool) -> NodeId {
     let out_ch = conv.out_channels();
     let c = b.add(name, conv, &[input]);
-    let n = b.add(format!("{name}.bn"), BatchNorm2d::new(out_ch), &[Source::Node(c)]);
+    let n = b.add(
+        format!("{name}.bn"),
+        BatchNorm2d::new(out_ch),
+        &[Source::Node(c)],
+    );
     if relu {
         b.add(format!("{name}.relu"), Relu, &[Source::Node(n)])
     } else {
@@ -35,7 +33,13 @@ fn bottleneck(
 ) -> NodeId {
     b.begin_module(name.to_string());
     let src = Source::Node(input);
-    let c1 = conv_bn(b, &format!("{name}.c1"), Conv2d::new(in_ch, mid_ch, 1, 1, 0), src, true);
+    let c1 = conv_bn(
+        b,
+        &format!("{name}.c1"),
+        Conv2d::new(in_ch, mid_ch, 1, 1, 0),
+        src,
+        true,
+    );
     let c2 = conv_bn(
         b,
         &format!("{name}.c2"),
@@ -85,7 +89,13 @@ fn bottleneck(
 /// ```
 pub fn resnet50() -> Model {
     let mut b = ModelBuilder::new("ResNet", Shape::new([1, 3, 224, 224]));
-    let stem = conv_bn(&mut b, "conv1", Conv2d::new(3, 64, 7, 2, 3), Source::Input, true);
+    let stem = conv_bn(
+        &mut b,
+        "conv1",
+        Conv2d::new(3, 64, 7, 2, 3),
+        Source::Input,
+        true,
+    );
     let pool = b.add("pool1", MaxPool2d::new(3, 2, 1), &[Source::Node(stem)]);
 
     let stages: [(usize, usize, usize, usize); 4] = [

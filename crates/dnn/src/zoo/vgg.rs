@@ -4,18 +4,33 @@ use crate::graph::{Model, ModelBuilder, NodeId, Source};
 use crate::layer::{Conv2d, Dense, MaxPool2d, Relu};
 use crate::tensor::Shape;
 
-fn block(b: &mut ModelBuilder, name: &str, input: Source, in_ch: usize, out_ch: usize, convs: usize) -> NodeId {
+fn block(
+    b: &mut ModelBuilder,
+    name: &str,
+    input: Source,
+    in_ch: usize,
+    out_ch: usize,
+    convs: usize,
+) -> NodeId {
     let mut src = input;
     let mut ch = in_ch;
     let mut last = None;
     for i in 0..convs {
-        let c = b.add(format!("{name}.conv{}", i + 1), Conv2d::new(ch, out_ch, 3, 1, 1), &[src]);
+        let c = b.add(
+            format!("{name}.conv{}", i + 1),
+            Conv2d::new(ch, out_ch, 3, 1, 1),
+            &[src],
+        );
         let r = b.add(format!("{name}.relu{}", i + 1), Relu, &[Source::Node(c)]);
         src = Source::Node(r);
         ch = out_ch;
         last = Some(r);
     }
-    b.add(format!("{name}.pool"), MaxPool2d::new(2, 2, 0), &[Source::Node(last.expect("block has convs"))])
+    b.add(
+        format!("{name}.pool"),
+        MaxPool2d::new(2, 2, 0),
+        &[Source::Node(last.expect("block has convs"))],
+    )
 }
 
 /// VGG-16 for 3x224x224 inputs: 13 convolutions, 3 FC layers, ~138M

@@ -8,7 +8,9 @@ use voltascope_dnn::{AvgPool2d, Conv2d, Dense, Layer, MaxPool2d, Shape, Tensor};
 fn fixture(shape: Shape, salt: u64) -> Tensor {
     let mut t = Tensor::zeros(shape);
     for (i, v) in t.data_mut().iter_mut().enumerate() {
-        let x = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(salt);
+        let x = (i as u64)
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(salt);
         *v = ((x >> 33) % 1000) as f32 / 500.0 - 1.0;
     }
     t
@@ -24,7 +26,11 @@ fn gradcheck(layer: &dyn Layer, inputs: &[Tensor], params: &[Tensor]) -> Result<
         *v = ((i * 2654435761) % 13) as f32 / 13.0 - 0.5;
     }
     let loss = |o: &Tensor| -> f64 {
-        o.data().iter().zip(seed.data()).map(|(&a, &b)| a as f64 * b as f64).sum()
+        o.data()
+            .iter()
+            .zip(seed.data())
+            .map(|(&a, &b)| a as f64 * b as f64)
+            .sum()
     };
     let bwd = layer.backward(&irefs, &prefs, &out, &seed);
     let eps = 1e-2f32;

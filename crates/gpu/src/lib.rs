@@ -48,3 +48,12 @@ pub use api::{ApiCall, ApiCostModel};
 pub use compute::KernelCostModel;
 pub use memory::{Allocation, MemoryPool, OomError};
 pub use spec::GpuSpec;
+
+// Compile-time guarantee for the parallel experiment grid: hardware
+// specs and cost models are shared read-only across sweep threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<GpuSpec>();
+    assert_send_sync::<KernelCostModel>();
+    assert_send_sync::<ApiCostModel>();
+};

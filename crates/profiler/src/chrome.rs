@@ -97,8 +97,18 @@ mod tests {
         let mut g = TaskGraph::new();
         let r0 = g.add_resource("gpu0.compute", 1);
         let r1 = g.add_resource("link.GPU0>GPU1", 1);
-        let a = g.task("fp.conv").on(r0).lasting(SimSpan::from_micros(3)).category("fp").build();
-        g.task("grad").on(r1).lasting(SimSpan::from_micros(2)).category("wu").after(a).build();
+        let a = g
+            .task("fp.conv")
+            .on(r0)
+            .lasting(SimSpan::from_micros(3))
+            .category("fp")
+            .build();
+        g.task("grad")
+            .on(r1)
+            .lasting(SimSpan::from_micros(2))
+            .category("wu")
+            .after(a)
+            .build();
         g.task("barrier").after(a).build();
         Engine::new().run(&g).unwrap().into_trace()
     }

@@ -123,7 +123,11 @@ fn section(map: BTreeMap<String, (SimSpan, u64)>) -> Vec<ProfileLine> {
             percent: 100.0 * time.ratio(total),
             total: time,
             calls,
-            average: if calls == 0 { SimSpan::ZERO } else { time / calls },
+            average: if calls == 0 {
+                SimSpan::ZERO
+            } else {
+                time / calls
+            },
         })
         .collect();
     lines.sort_by(|a, b| b.total.cmp(&a.total).then(a.category.cmp(&b.category)));
@@ -196,7 +200,10 @@ mod tests {
         assert_eq!(s.gpu_activities()[0].category, "bp");
         assert_eq!(s.api_calls()[0].category, "api.cudaStreamSynchronize");
         assert!((s.api_calls()[0].percent - 75.0).abs() < 1e-9);
-        assert_eq!(s.api_percent("api.cudaStreamSynchronize"), s.api_calls()[0].percent);
+        assert_eq!(
+            s.api_percent("api.cudaStreamSynchronize"),
+            s.api_calls()[0].percent
+        );
         assert_eq!(s.api_percent("api.nonexistent"), 0.0);
     }
 

@@ -71,10 +71,32 @@ mod tests {
         let g0 = g.add_resource("gpu0.compute", 1);
         let g1 = g.add_resource("gpu1.compute", 1);
         let link = g.add_resource("link.GPU1>GPU0", 1);
-        let f0 = g.task("fp0").on(g0).lasting(SimSpan::from_micros(50)).category("fp").build();
-        let b0 = g.task("bp0").on(g0).lasting(SimSpan::from_micros(100)).category("bp").after(f0).build();
-        let f1 = g.task("fp1").on(g1).lasting(SimSpan::from_micros(50)).category("fp").build();
-        let b1 = g.task("bp1").on(g1).lasting(SimSpan::from_micros(100)).category("bp").after(f1).build();
+        let f0 = g
+            .task("fp0")
+            .on(g0)
+            .lasting(SimSpan::from_micros(50))
+            .category("fp")
+            .build();
+        let b0 = g
+            .task("bp0")
+            .on(g0)
+            .lasting(SimSpan::from_micros(100))
+            .category("bp")
+            .after(f0)
+            .build();
+        let f1 = g
+            .task("fp1")
+            .on(g1)
+            .lasting(SimSpan::from_micros(50))
+            .category("fp")
+            .build();
+        let b1 = g
+            .task("bp1")
+            .on(g1)
+            .lasting(SimSpan::from_micros(100))
+            .category("bp")
+            .after(f1)
+            .build();
         let x = g
             .task("grad")
             .on(link)
@@ -82,7 +104,13 @@ mod tests {
             .category("wu.p2p")
             .after(b1)
             .build();
-        g.task("upd").on(g0).lasting(SimSpan::from_micros(10)).category("wu.update").after(x).after(b0).build();
+        g.task("upd")
+            .on(g0)
+            .lasting(SimSpan::from_micros(10))
+            .category("wu.update")
+            .after(x)
+            .after(b0)
+            .build();
         voltascope_sim::Engine::new().run(&g).unwrap().into_trace()
     }
 

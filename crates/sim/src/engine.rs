@@ -530,7 +530,11 @@ mod tests {
     fn trace_is_sorted_by_start() {
         let mut g = TaskGraph::new();
         let r = g.add_resource("r", 1);
-        g.task("late").on(r).lasting(span(5)).not_before(SimTime::from_nanos(10)).build();
+        g.task("late")
+            .on(r)
+            .lasting(span(5))
+            .not_before(SimTime::from_nanos(10))
+            .build();
         g.task("early").on(r).lasting(span(5)).build();
         let s = Engine::new().run(&g).unwrap();
         let starts: Vec<_> = s.trace().events().iter().map(|e| e.start).collect();

@@ -313,10 +313,7 @@ mod tests {
 
     #[test]
     fn span_sum_and_ratio() {
-        let total: SimSpan = [1u64, 2, 3]
-            .into_iter()
-            .map(SimSpan::from_micros)
-            .sum();
+        let total: SimSpan = [1u64, 2, 3].into_iter().map(SimSpan::from_micros).sum();
         assert_eq!(total, SimSpan::from_micros(6));
         assert!((SimSpan::from_micros(1).ratio(total) - 1.0 / 6.0).abs() < 1e-12);
         assert_eq!(total.ratio(SimSpan::ZERO), 0.0);

@@ -127,7 +127,11 @@ impl Link {
 
 impl fmt::Display for Link {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}--{} ({}, {})", self.a, self.b, self.kind, self.bandwidth)
+        write!(
+            f,
+            "{}--{} ({}, {})",
+            self.a, self.b, self.kind, self.bandwidth
+        )
     }
 }
 
@@ -148,11 +152,15 @@ mod tests {
     #[test]
     fn nvlink_lanes_aggregate_bandwidth() {
         assert_eq!(
-            LinkKind::NvLink { lanes: 1 }.default_bandwidth().gigabytes_per_sec(),
+            LinkKind::NvLink { lanes: 1 }
+                .default_bandwidth()
+                .gigabytes_per_sec(),
             25.0
         );
         assert_eq!(
-            LinkKind::NvLink { lanes: 2 }.default_bandwidth().gigabytes_per_sec(),
+            LinkKind::NvLink { lanes: 2 }
+                .default_bandwidth()
+                .gigabytes_per_sec(),
             50.0
         );
     }

@@ -147,7 +147,11 @@ pub fn pcie_only(gpu_count: u8) -> Topology {
     let half = gpu_count.div_ceil(2);
     for g in 0..gpu_count {
         topo.add_device(Device::gpu(g));
-        let cpu = if g < half { Device::cpu(0) } else { Device::cpu(1) };
+        let cpu = if g < half {
+            Device::cpu(0)
+        } else {
+            Device::cpu(1)
+        };
         topo.connect(Device::gpu(g), cpu, LinkKind::Pcie);
     }
     topo
@@ -171,7 +175,11 @@ pub fn full_nvlink_switch(gpu_count: u8) -> Topology {
     }
     for a in 0..gpu_count {
         for b in (a + 1)..gpu_count {
-            topo.connect(Device::gpu(a), Device::gpu(b), LinkKind::NvLink { lanes: 1 });
+            topo.connect(
+                Device::gpu(a),
+                Device::gpu(b),
+                LinkKind::NvLink { lanes: 1 },
+            );
         }
     }
     topo

@@ -114,7 +114,10 @@ mod tests {
         let row0 = m.lines().nth(1).unwrap();
         // GPU0 row: X, NV2 (g1), NV2 (g2), NV1 (g3), SYS, SYS, NV1 (g6), SYS.
         let cells: Vec<&str> = row0.split_whitespace().skip(1).collect();
-        assert_eq!(cells, vec!["X", "NV2", "NV2", "NV1", "SYS", "SYS", "NV1", "SYS"]);
+        assert_eq!(
+            cells,
+            vec!["X", "NV2", "NV2", "NV1", "SYS", "SYS", "NV1", "SYS"]
+        );
     }
 
     #[test]

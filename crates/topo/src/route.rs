@@ -82,10 +82,7 @@ impl Route {
 
     /// The lowest bandwidth along the route, or `None` for a self-route.
     pub fn bottleneck_bandwidth(&self) -> Option<Bandwidth> {
-        self.hops
-            .iter()
-            .map(|h| h.bandwidth)
-            .reduce(Bandwidth::min)
+        self.hops.iter().map(|h| h.bandwidth).reduce(Bandwidth::min)
     }
 
     /// Total latency along the route.
@@ -155,7 +152,12 @@ mod tests {
         let r = Route::new(
             Device::gpu(0),
             Device::gpu(1),
-            vec![hop(Device::gpu(0), Device::gpu(1), LinkKind::NvLink { lanes: 2 }, 0)],
+            vec![hop(
+                Device::gpu(0),
+                Device::gpu(1),
+                LinkKind::NvLink { lanes: 2 },
+                0,
+            )],
         );
         assert!(r.is_direct_nvlink());
         assert!(!r.through_host());
@@ -218,7 +220,12 @@ mod tests {
         let r = Route::new(
             Device::gpu(0),
             Device::gpu(1),
-            vec![hop(Device::gpu(0), Device::gpu(1), LinkKind::NvLink { lanes: 2 }, 0)],
+            vec![hop(
+                Device::gpu(0),
+                Device::gpu(1),
+                LinkKind::NvLink { lanes: 2 },
+                0,
+            )],
         );
         assert_eq!(r.to_string(), "GPU0 -[NVLink x2]-> GPU1");
     }

@@ -67,10 +67,7 @@ impl Topology {
     ///
     /// Panics if the device was already added.
     pub fn add_device(&mut self, device: Device) {
-        assert!(
-            !self.devices.contains(&device),
-            "{device} added twice"
-        );
+        assert!(!self.devices.contains(&device), "{device} added twice");
         self.devices.push(device);
         self.adjacency.entry(device).or_default();
     }
@@ -115,7 +112,12 @@ impl Topology {
 
     /// All GPUs, ordered by index.
     pub fn gpus(&self) -> Vec<Device> {
-        let mut gpus: Vec<Device> = self.devices.iter().copied().filter(|d| d.is_gpu()).collect();
+        let mut gpus: Vec<Device> = self
+            .devices
+            .iter()
+            .copied()
+            .filter(|d| d.is_gpu())
+            .collect();
         gpus.sort();
         gpus
     }
@@ -161,11 +163,7 @@ impl Topology {
     /// `true` when `a` and `b` are both GPUs joined by a direct NVLink —
     /// the condition for CUDA P2P transfers and P2P direct access.
     pub fn p2p_capable(&self, a: Device, b: Device) -> bool {
-        a.is_gpu()
-            && b.is_gpu()
-            && self
-                .direct_link(a, b)
-                .is_some_and(|l| l.kind.is_nvlink())
+        a.is_gpu() && b.is_gpu() && self.direct_link(a, b).is_some_and(|l| l.kind.is_nvlink())
     }
 
     /// GPUs with a direct NVLink to *both* `a` and `b`: the candidates
@@ -292,8 +290,16 @@ mod tests {
             t.add_device(Device::gpu(i));
             t.connect(Device::gpu(i), Device::cpu(0), LinkKind::Pcie);
         }
-        t.connect(Device::gpu(0), Device::gpu(1), LinkKind::NvLink { lanes: 1 });
-        t.connect(Device::gpu(1), Device::gpu(2), LinkKind::NvLink { lanes: 1 });
+        t.connect(
+            Device::gpu(0),
+            Device::gpu(1),
+            LinkKind::NvLink { lanes: 1 },
+        );
+        t.connect(
+            Device::gpu(1),
+            Device::gpu(2),
+            LinkKind::NvLink { lanes: 1 },
+        );
         t
     }
 
@@ -340,7 +346,9 @@ mod tests {
             t.relay_candidates(Device::gpu(0), Device::gpu(2)),
             vec![Device::gpu(1)]
         );
-        assert!(t.relay_candidates(Device::gpu(0), Device::gpu(1)).is_empty());
+        assert!(t
+            .relay_candidates(Device::gpu(0), Device::gpu(1))
+            .is_empty());
     }
 
     #[test]
@@ -383,8 +391,16 @@ mod tests {
         let mut t = Topology::new("par");
         t.add_device(Device::gpu(0));
         t.add_device(Device::gpu(1));
-        t.connect(Device::gpu(0), Device::gpu(1), LinkKind::NvLink { lanes: 1 });
-        t.connect(Device::gpu(0), Device::gpu(1), LinkKind::NvLink { lanes: 2 });
+        t.connect(
+            Device::gpu(0),
+            Device::gpu(1),
+            LinkKind::NvLink { lanes: 1 },
+        );
+        t.connect(
+            Device::gpu(0),
+            Device::gpu(1),
+            LinkKind::NvLink { lanes: 2 },
+        );
         let l = t.direct_link(Device::gpu(0), Device::gpu(1)).unwrap();
         assert_eq!(l.kind, LinkKind::NvLink { lanes: 2 });
     }

@@ -26,7 +26,9 @@ fn build(gpus: u8, edges: &[(u8, u8, u8)]) -> Topology {
             t.connect(
                 Device::gpu(a),
                 Device::gpu(b),
-                LinkKind::NvLink { lanes: lanes as u32 },
+                LinkKind::NvLink {
+                    lanes: lanes as u32,
+                },
             );
         }
     }

@@ -132,11 +132,10 @@ impl SyntheticDataset {
             let dst = &mut x.data_mut()[i * per_image..(i + 1) * per_image];
             for (j, v) in dst.iter_mut().enumerate() {
                 // Class pattern: a smooth function of (label, j).
-                let pattern =
-                    (((label + 1) * (j + 3)) % 23) as f32 / 23.0 - 0.5;
+                let pattern = (((label + 1) * (j + 3)) % 23) as f32 / 23.0 - 0.5;
                 // Deterministic per-sample noise.
-                let h = (self.seed ^ ((idx as u64) << 24) ^ j as u64)
-                    .wrapping_mul(0x9E3779B97F4A7C15);
+                let h =
+                    (self.seed ^ ((idx as u64) << 24) ^ j as u64).wrapping_mul(0x9E3779B97F4A7C15);
                 let noise = ((h >> 40) % 1000) as f32 / 5000.0 - 0.1;
                 *v = pattern + noise;
             }
@@ -296,7 +295,11 @@ mod tests {
             for epoch in 0..3u64 {
                 let mut seen: Vec<usize> = (0..len).map(|p| s.index(epoch, p)).collect();
                 seen.sort_unstable();
-                assert_eq!(seen, (0..len).collect::<Vec<_>>(), "len={len} epoch={epoch}");
+                assert_eq!(
+                    seen,
+                    (0..len).collect::<Vec<_>>(),
+                    "len={len} epoch={epoch}"
+                );
             }
         }
     }

@@ -251,8 +251,7 @@ pub fn simulate_epoch(sys: &SystemModel, model: &Model, cfg: &TrainConfig) -> Ep
         }
     }
     let bucket_index = member_of;
-    let batch_bytes =
-        cfg.batch_per_gpu as u64 * DatasetSpec::image_bytes(model.input_shape());
+    let batch_bytes = cfg.batch_per_gpu as u64 * DatasetSpec::image_bytes(model.input_shape());
     let ring = Ring::build(&sys.topo, cfg.gpu_count);
     let tree = ReductionTree::new(cfg.gpu_count);
 
@@ -341,11 +340,9 @@ pub fn simulate_epoch(sys: &SystemModel, model: &Model, cfg: &TrainConfig) -> Ep
                     .after(host_prev)
                     .build();
                 host_prev = launch;
-                let duration = sys.kernels.kernel_time_with_bytes(
-                    kd.flops as f64,
-                    kd.bytes,
-                    kd.tensor_cores,
-                );
+                let duration =
+                    sys.kernels
+                        .kernel_time_with_bytes(kd.flops as f64, kd.bytes, kd.tensor_cores);
                 let category = match kd.stage {
                     Stage::Forward => "fp",
                     Stage::Backward => "bp",
@@ -408,7 +405,16 @@ pub fn simulate_epoch(sys: &SystemModel, model: &Model, cfg: &TrainConfig) -> Ep
         // ---- WU stage. ----
         let wu_done: Vec<Vec<TaskId>> = match cfg.comm {
             CommMethod::P2p => build_p2p_wu(
-                &mut graph, &net, sys, &buckets, &gpus, &compute, &host, &tree, &bucket_ready, &p,
+                &mut graph,
+                &net,
+                sys,
+                &buckets,
+                &gpus,
+                &compute,
+                &host,
+                &tree,
+                &bucket_ready,
+                &p,
             ),
             CommMethod::Nccl => {
                 // Grouped-collective marshalling on the scheduler thread,
@@ -484,7 +490,8 @@ pub fn simulate_epoch(sys: &SystemModel, model: &Model, cfg: &TrainConfig) -> Ep
         .dataset
         .iterations(cfg.scaling, cfg.batch_per_gpu, cfg.gpu_count);
     // Epoch = first (fill) iteration + steady-state repetitions.
-    let epoch_time = (t0 - voltascope_sim::SimTime::ZERO) + iter_time * iterations.saturating_sub(1);
+    let epoch_time =
+        (t0 - voltascope_sim::SimTime::ZERO) + iter_time * iterations.saturating_sub(1);
 
     // Middle-iteration event window [t0, t1].
     let trace = schedule.trace();
@@ -855,10 +862,8 @@ mod fusion_tests {
         // ResNet buckets into a handful must shorten the WU stage.
         let sys = SystemModel::dgx1();
         let model = zoo::resnet50();
-        let per_layer =
-            simulate_epoch(&sys, &model, &cfg_fused_with(0, CommMethod::P2p));
-        let fused =
-            simulate_epoch(&sys, &model, &cfg_fused_with(16 << 20, CommMethod::P2p));
+        let per_layer = simulate_epoch(&sys, &model, &cfg_fused_with(0, CommMethod::P2p));
+        let fused = simulate_epoch(&sys, &model, &cfg_fused_with(16 << 20, CommMethod::P2p));
         assert!(
             fused.wu_iter < per_layer.wu_iter,
             "fused {} vs per-layer {}",

@@ -50,5 +50,15 @@ pub use dataset::{DatasetSpec, ScalingMode, ShuffledSampler, SyntheticDataset};
 pub use epoch::{simulate_epoch, EpochReport, SystemModel, TrainConfig};
 pub use memory::{GpuRole, MemoryModel, MemoryUsage};
 pub use optimizer::{Sgd, SgdState};
-pub use schedule::LrSchedule;
 pub use parallel::{flatten, unflatten, DataParallel};
+pub use schedule::LrSchedule;
+
+// Compile-time guarantee for the parallel experiment grid: the platform
+// model and epoch reports cross sweep worker threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SystemModel>();
+    assert_send_sync::<EpochReport>();
+    assert_send_sync::<MemoryModel>();
+    assert_send_sync::<TrainConfig>();
+};

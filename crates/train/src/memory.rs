@@ -171,8 +171,14 @@ mod tests {
         let mm = MemoryModel::default();
         let spec = GpuSpec::tesla_v100();
         let model = zoo::resnet50();
-        let m16 = mm.usage(&model, 16, GpuRole::Worker, &spec).unwrap().training;
-        let m64 = mm.usage(&model, 64, GpuRole::Worker, &spec).unwrap().training;
+        let m16 = mm
+            .usage(&model, 16, GpuRole::Worker, &spec)
+            .unwrap()
+            .training;
+        let m64 = mm
+            .usage(&model, 64, GpuRole::Worker, &spec)
+            .unwrap()
+            .training;
         assert!(m64 > m16);
         // Fixed terms mean 4x batch < 4x memory (paper: 1.83x for
         // Inception-v3).

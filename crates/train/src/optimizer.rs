@@ -164,9 +164,8 @@ mod tests {
         let w1 = snapshot(&p1);
         sgd.step(&mut p1, &grads, &mut state);
         let w2 = snapshot(&p1);
-        let dist = |a: &[f32], b: &[f32]| -> f32 {
-            a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
-        };
+        let dist =
+            |a: &[f32], b: &[f32]| -> f32 { a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum() };
         let d1 = dist(&w0, &w1);
         let d2 = dist(&w1, &w2);
         assert!(d2 > d1 * 1.5, "momentum not accumulating: {d1} then {d2}");
@@ -179,12 +178,7 @@ mod tests {
         let zero_grads = {
             let x = Tensor::zeros(Shape::new([1, 1, 28, 28]));
             let acts = model.forward(&params, &x);
-            let mut g = model.backward(
-                &params,
-                &x,
-                &acts,
-                &Tensor::zeros(Shape::new([1, 10])),
-            );
+            let mut g = model.backward(&params, &x, &acts, &Tensor::zeros(Shape::new([1, 10])));
             g.scale(0.0);
             g
         };

@@ -94,10 +94,7 @@ impl<'m> DataParallel<'m> {
         for (r, params) in self.replicas.iter().enumerate() {
             let lo = r * shard;
             let shard_data = batch.data()[lo * per_image..(lo + shard) * per_image].to_vec();
-            let x = Tensor::from_vec(
-                batch.shape().with_batch(shard),
-                shard_data,
-            );
+            let x = Tensor::from_vec(batch.shape().with_batch(shard), shard_data);
             let acts = self.model.forward(params, &x);
             let (loss, grad_out) =
                 softmax_cross_entropy(self.model.output(&acts), &labels[lo..lo + shard]);
@@ -113,12 +110,7 @@ impl<'m> DataParallel<'m> {
         }
 
         // Identical update on every replica keeps them in sync.
-        for ((params, state), grad) in self
-            .replicas
-            .iter_mut()
-            .zip(&mut self.states)
-            .zip(&grads)
-        {
+        for ((params, state), grad) in self.replicas.iter_mut().zip(&mut self.states).zip(&grads) {
             self.sgd.step(params, grad, state);
         }
         losses.iter().sum::<f32>() / n as f32
@@ -223,10 +215,7 @@ mod tests {
             }
             last = loss;
         }
-        assert!(
-            last < first * 0.7,
-            "loss did not fall: {first} -> {last}"
-        );
+        assert!(last < first * 0.7, "loss did not fall: {first} -> {last}");
     }
 
     #[test]

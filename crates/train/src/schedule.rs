@@ -36,9 +36,11 @@ impl LrSchedule {
     pub fn at(&self, epoch: u32) -> f32 {
         match *self {
             LrSchedule::Constant(lr) => lr,
-            LrSchedule::StepDecay { base, factor, every } => {
-                base * factor.powi((epoch / every.max(1)) as i32)
-            }
+            LrSchedule::StepDecay {
+                base,
+                factor,
+                every,
+            } => base * factor.powi((epoch / every.max(1)) as i32),
             LrSchedule::LinearWarmup {
                 base,
                 warmup_epochs,

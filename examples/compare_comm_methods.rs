@@ -38,7 +38,10 @@ fn main() {
             format!("{:.2}x", base / p2p.min(nccl)),
         ]);
     }
-    println!("{} at batch 16/GPU, strong scaling on 256K images:", workload);
+    println!(
+        "{} at batch 16/GPU, strong scaling on 256K images:",
+        workload
+    );
     println!("{}", table.render());
     println!("Paper SS V-A: P2P wins for the small networks; NCCL overtakes");
     println!("for the deep many-layer networks at 4-8 GPUs.");

@@ -6,8 +6,8 @@
 //! cargo run --release --example memory_planner
 //! ```
 
-use dgx1_repro::prelude::*;
 use dgx1_repro::gpu::GpuSpec;
+use dgx1_repro::prelude::*;
 
 fn main() {
     let mm = MemoryModel::default();
@@ -42,6 +42,10 @@ fn main() {
     println!("Max trainable batch per GPU (power-of-two sweep):");
     for workload in Workload::ALL {
         let cap = mm.max_batch(&workload.build(), &spec);
-        println!("  {:<13} {}", workload.name(), cap.map_or("none".into(), |b| b.to_string()));
+        println!(
+            "  {:<13} {}",
+            workload.name(),
+            cap.map_or("none".into(), |b| b.to_string())
+        );
     }
 }

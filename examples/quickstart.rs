@@ -16,14 +16,23 @@ fn main() {
     let report = harness.epoch(&model, 32, 4, CommMethod::Nccl, ScalingMode::Strong);
 
     println!("workload          : {}", model.name());
-    println!("parameters        : {:.1} M", model.param_count() as f64 / 1e6);
+    println!(
+        "parameters        : {:.1} M",
+        model.param_count() as f64 / 1e6
+    );
     println!("gradient buckets  : {}", model.gradient_buckets().len());
     println!("iterations/epoch  : {}", report.iterations);
     println!("iteration time    : {}", report.iter_time);
     println!("  FP+BP           : {}", report.fp_bp_iter);
     println!("  WU (exposed)    : {}", report.wu_iter);
-    println!("epoch time        : {:.1} s", report.epoch_time.as_secs_f64());
-    println!("compute util      : {:.1} %", 100.0 * report.compute_utilization);
+    println!(
+        "epoch time        : {:.1} s",
+        report.epoch_time.as_secs_f64()
+    );
+    println!(
+        "compute util      : {:.1} %",
+        100.0 * report.compute_utilization
+    );
     println!("sync share        : {:.2} %", report.sync_percent());
     println!();
     println!("nvprof-style summary of one steady-state iteration:");

@@ -17,7 +17,10 @@ fn main() {
     println!("Hardware routes (GPUs cannot forward NVLink traffic):");
     for (a, b) in [(0u8, 1u8), (0, 3), (3, 4), (0, 7)] {
         let route = topo.route(Device::gpu(a), Device::gpu(b));
-        println!("  {route}   [{} for 100 MB]", route.transfer_time(100_000_000));
+        println!(
+            "  {route}   [{} for 100 MB]",
+            route.transfer_time(100_000_000)
+        );
     }
 
     println!();

@@ -46,5 +46,8 @@ fn main() {
     }
     println!();
     println!("The paper's warning made concrete: async updates land on weights");
-    println!("up to {} versions newer than those the gradient was computed on.", ps.max_staleness());
+    println!(
+        "up to {} versions newer than those the gradient was computed on.",
+        ps.max_staleness()
+    );
 }

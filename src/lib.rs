@@ -29,6 +29,7 @@ pub use voltascope_train as train;
 
 /// The most commonly used items, for examples and tests.
 pub mod prelude {
+    pub use voltascope::grid::{Cell, Executor, GridRunner, GridSpec, Platform};
     pub use voltascope::{experiments, Harness, Measurement};
     pub use voltascope_comm::CommMethod;
     pub use voltascope_dnn::zoo::{self, Workload};

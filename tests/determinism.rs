@@ -40,11 +40,78 @@ fn model_construction_and_init_are_deterministic() {
     }
     // Different seeds give different weights.
     let pc = a.init_params(78);
-    let same = pa
-        .iter()
-        .zip(pc.iter())
-        .all(|(x, y)| x.data() == y.data());
+    let same = pa.iter().zip(pc.iter()).all(|(x, y)| x.data() == y.data());
     assert!(!same);
+}
+
+#[test]
+fn fig3_parallel_matches_serial_exactly() {
+    // The grid engine's core contract: for any thread count, the
+    // parallel executor returns the same Measurements, in the same
+    // order, as a serial sweep — so the rendered tables are
+    // byte-identical too.
+    let h = Harness::paper();
+    let workloads = [Workload::LeNet, Workload::AlexNet];
+    let serial = experiments::fig3::grid_with(&h, &workloads, Executor::Serial);
+    let serial_table = experiments::fig3::render(&serial).render();
+    for threads in [1, 2, 8] {
+        let parallel = experiments::fig3::grid_with(&h, &workloads, Executor::Parallel { threads });
+        assert_eq!(serial.len(), parallel.len(), "threads = {threads}");
+        for (s, p) in serial.iter().zip(parallel.iter()) {
+            assert_eq!(s.workload, p.workload, "threads = {threads}");
+            assert_eq!(s.comm, p.comm, "threads = {threads}");
+            assert_eq!(s.batch, p.batch, "threads = {threads}");
+            assert_eq!(s.gpus, p.gpus, "threads = {threads}");
+            assert_eq!(s.time, p.time, "threads = {threads}: Measurement drift");
+        }
+        assert_eq!(
+            serial_table,
+            experiments::fig3::render(&parallel).render(),
+            "threads = {threads}: rendered table drift"
+        );
+    }
+}
+
+#[test]
+fn table4_parallel_matches_serial_exactly() {
+    let h = Harness::paper();
+    let workloads = [Workload::LeNet, Workload::GoogLeNet];
+    let serial = experiments::memory::table4_with(&h, &workloads, Executor::Serial);
+    let serial_table = experiments::memory::render(&serial).render();
+    for threads in [1, 2, 8] {
+        let parallel =
+            experiments::memory::table4_with(&h, &workloads, Executor::Parallel { threads });
+        assert_eq!(
+            serial_table,
+            experiments::memory::render(&parallel).render(),
+            "threads = {threads}: rendered table drift"
+        );
+    }
+}
+
+#[test]
+fn jitter_salt_depends_on_cell_not_execution_order() {
+    // Shrinking the grid (or reordering it) must not change any cell's
+    // measurement: the jitter salt is a function of the cell key alone.
+    let h = Harness::paper();
+    let full = experiments::fig3::grid_with(
+        &h,
+        &[Workload::LeNet, Workload::AlexNet],
+        Executor::machine(),
+    );
+    let reduced = experiments::fig3::grid_with(&h, &[Workload::AlexNet], Executor::Serial);
+    for r in &reduced {
+        let f = full
+            .iter()
+            .find(|c| {
+                c.workload == r.workload
+                    && c.comm == r.comm
+                    && c.batch == r.batch
+                    && c.gpus == r.gpus
+            })
+            .expect("cell present in superset grid");
+        assert_eq!(f.time, r.time);
+    }
 }
 
 #[test]

@@ -56,7 +56,10 @@ fn v_a_nccl_overtakes_p2p_for_deep_networks_at_scale() {
                 gain > min_gain,
                 "{w} g{gpus}: NCCL gain {gain:.3} <= {min_gain}"
             );
-            assert!(gain < 1.8, "{w} g{gpus}: NCCL gain {gain:.3} implausibly large");
+            assert!(
+                gain < 1.8,
+                "{w} g{gpus}: NCCL gain {gain:.3} implausibly large"
+            );
         }
     }
 }
@@ -109,12 +112,16 @@ fn v_b_large_networks_have_flat_small_overhead() {
             .as_secs_f64();
         overheads.push(100.0 * (nccl - p2p) / p2p);
     }
-    let spread = overheads
-        .iter()
-        .fold(f64::MIN, |a, &b| a.max(b))
+    let spread = overheads.iter().fold(f64::MIN, |a, &b| a.max(b))
         - overheads.iter().fold(f64::MAX, |a, &b| a.min(b));
-    assert!(spread < 4.5, "ResNet overhead spread {spread:.1} (paper: < 3.6)");
-    assert!(overheads.iter().all(|&o| o < 10.0), "overheads {overheads:?}");
+    assert!(
+        spread < 4.5,
+        "ResNet overhead spread {spread:.1} (paper: < 3.6)"
+    );
+    assert!(
+        overheads.iter().all(|&o| o < 10.0),
+        "overheads {overheads:?}"
+    );
 }
 
 #[test]

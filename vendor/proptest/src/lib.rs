@@ -1,0 +1,512 @@
+//! Offline, deterministic subset of the `proptest` API.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the slice of proptest it actually uses: the
+//! [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`/`prop_assume!`,
+//! range/tuple/`Just`/`vec` strategies, `prop_flat_map`/`prop_map`
+//! combinators, and [`ProptestConfig::with_cases`].
+//!
+//! Sampling is a deterministic SplitMix64 stream seeded from the test's
+//! module path and name, so every run of every test explores the same
+//! case sequence. There is no shrinking: a failing case panics with the
+//! generated-input message from the assertion itself.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::ops::Range;
+
+/// Deterministic SplitMix64 generator driving all strategy sampling.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// FNV-1a hash of a string, used to derive stable per-test seeds.
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Why a generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case violated a `prop_assume!` precondition; it is skipped
+    /// and does not count against the case budget.
+    Reject(String),
+    /// The case failed an assertion.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure from any printable reason.
+    pub fn fail<S: Into<String>>(reason: S) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// Builds a rejection from any printable reason.
+    pub fn reject<S: Into<String>>(reason: S) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(r) => write!(f, "rejected: {r}"),
+            TestCaseError::Fail(r) => write!(f, "failed: {r}"),
+        }
+    }
+}
+
+/// Per-block configuration, set with `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A value generator. Unlike real proptest there is no shrink tree:
+/// a strategy is just a deterministic sampler.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Derives a dependent strategy from each sampled value.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { base: self, f }
+    }
+
+    /// Maps sampled values through a function.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { base: self, f }
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+    fn sample(&self, rng: &mut TestRng) -> T::Value {
+        let v = self.base.sample(rng);
+        (self.f)(v).sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.base.sample(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $ty
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i64 - self.start as i64) as u64;
+                (self.start as i64 + (rng.next_u64() % span) as i64) as $ty
+            }
+        }
+    )*};
+}
+
+signed_range_strategy!(i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.next_f64() as $ty) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A);
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+    (A, B, C, D, E);
+    (A, B, C, D, E, G);
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// The strategy type behind [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniformly random booleans.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Anything usable as the size argument of [`vec`]: an exact
+    /// length or a half-open length range.
+    pub trait IntoSizeRange {
+        /// Lower/upper (exclusive) length bounds.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self + 1)
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a sampled length.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// Generates vectors of `element` samples with length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        assert!(min < max, "empty vec size range");
+        VecStrategy { element, min, max }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.max - self.min) as u64;
+            let len = self.min + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+/// Declares property tests; supports an optional leading
+/// `#![proptest_config(expr)]` followed by `#[test] fn name(pat in
+/// strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($p:pat in $s:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::new($crate::fnv1a(concat!(
+                module_path!(), "::", stringify!($name)
+            )));
+            let mut accepted = 0u32;
+            let mut attempts = 0u32;
+            while accepted < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= config.cases.saturating_mul(64).max(1024),
+                    "proptest: too many rejected cases in {}",
+                    stringify!($name)
+                );
+                $(let $p = $crate::Strategy::sample(&($s), &mut rng);)*
+                let outcome = (|| -> ::core::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => accepted += 1,
+                    ::core::result::Result::Err($crate::TestCaseError::Reject(_)) => continue,
+                    ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!("proptest case {} failed: {}", attempts, msg)
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Skips the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                $($fmt)+
+            )));
+        }
+    };
+}
+
+/// Fails the current case unless the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                if !(*left == *right) {
+                    return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                        ::std::format!(
+                            "assertion failed: `{:?}` == `{:?}`",
+                            left,
+                            right
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                if !(*left == *right) {
+                    return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                        ::std::format!(
+                            "assertion failed: `{:?}` == `{:?}`: {}",
+                            left,
+                            right,
+                            ::std::format!($($fmt)+)
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::{fnv1a, Strategy, TestRng};
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::new(7);
+        let mut b = TestRng::new(7);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        assert_ne!(TestRng::new(1).next_u64(), TestRng::new(2).next_u64());
+        assert_ne!(fnv1a("a"), fnv1a("b"));
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..200 {
+            let v = (5u64..17).sample(&mut rng);
+            assert!((5..17).contains(&v));
+            let f = (-1.0f32..1.0).sample(&mut rng);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_and_tuple_strategies_compose() {
+        let mut rng = TestRng::new(9);
+        let strat =
+            (1u8..4).prop_flat_map(|n| (Just(n), crate::collection::vec((0u8..n, 0u64..10), 0..6)));
+        for _ in 0..100 {
+            let (n, edges) = strat.sample(&mut rng);
+            assert!((1..4).contains(&n));
+            assert!(edges.len() < 6);
+            for (a, _) in edges {
+                assert!(a < n);
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_surface_works(x in 0usize..50, flip in crate::bool::ANY) {
+            prop_assume!(x != 13);
+            prop_assert!(x < 50, "x was {x}");
+            let y = if flip { x + 1 } else { x };
+            prop_assert_eq!(x + usize::from(flip), y);
+            if x == 0 {
+                return Ok(());
+            }
+            std::convert::identity::<Result<(), String>>(Ok(()))
+                .map_err(TestCaseError::fail)?;
+        }
+    }
+}
