@@ -25,6 +25,7 @@ fn main() {
                 gpus,
                 scaling: ScalingMode::Strong,
                 platform: voltascope::grid::Platform::Dgx1,
+                fault: voltascope::grid::FaultScenario::Healthy,
             };
             let rows = index[&cell];
             println!(

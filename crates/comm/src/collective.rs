@@ -195,12 +195,16 @@ fn ring_collective(
         let serialisation = match topo.direct_link(from, to) {
             Some(l) => l.bandwidth.transfer_time(effective_bytes),
             None => {
-                // Fallback rings (no NVLink cycle) bounce via the host.
-                let route = topo.route(from, to);
-                route
-                    .bottleneck_bandwidth()
-                    .map(|bw| bw.transfer_time(effective_bytes * route.hop_count() as u64))
-                    .unwrap_or(SimSpan::ZERO)
+                // Fallback rings (no NVLink cycle) bounce via the host:
+                // store-and-forward, so each hop serialises the payload
+                // at its *own* link's bandwidth (matching
+                // `Route::transfer_time`; the per-hop latency term is
+                // already charged via `total_latency` above).
+                topo.route(from, to)
+                    .hops()
+                    .iter()
+                    .map(|h| h.bandwidth.transfer_time(effective_bytes))
+                    .sum()
             }
         };
         // Successive collectives pipeline: a link is only *occupied*
@@ -408,6 +412,50 @@ mod tests {
         for &res in f.compute.values() {
             assert_eq!(s.resource_stats(res).busy, costs.kernel_overhead);
         }
+    }
+
+    #[test]
+    fn fallback_hops_use_store_and_forward_per_hop_pricing() {
+        // Regression: the host-bounced ring fallback used to charge
+        // `bottleneck_bandwidth.transfer_time(bytes * hop_count)` —
+        // every hop at the *worst* link's speed. On a mixed-bandwidth
+        // route (PCIe + QPI + PCIe) that overprices the QPI hop.
+        let topo = voltascope_topo::pcie_only(2); // GPU0/cpu0, GPU1/cpu1
+        let mut graph = TaskGraph::new();
+        let net = LinkNetwork::register(&mut graph, &topo);
+        let mut compute = BTreeMap::new();
+        let mut ready = BTreeMap::new();
+        for g in 0..2u8 {
+            let d = Device::gpu(g);
+            compute.insert(d, graph.add_resource(format!("{d}.compute"), 1));
+            ready.insert(d, graph.task(format!("bp@{d}")).category("bp").build());
+        }
+        let costs = NcclCosts {
+            kernel_overhead: SimSpan::ZERO,
+            epoch_setup: SimSpan::ZERO,
+            step_overhead: SimSpan::ZERO,
+            bandwidth_efficiency: 1.0,
+            group_call_overhead: SimSpan::ZERO,
+        };
+        let ring = Ring::build(&topo, 2);
+        let bytes = 96_000_000u64; // per-link: 2*(n-1)/n * bytes = bytes
+        let _ = all_reduce(
+            &mut graph, &net, &topo, &ring, bytes, &ready, &compute, &costs, "ar",
+        );
+        let makespan = Engine::new().run(&graph).unwrap().makespan().as_secs_f64();
+        // Store-and-forward sum: PCIe (12 GB/s) + QPI (19.2 GB/s) + PCIe.
+        let b = bytes as f64;
+        let per_hop_sum = b / 12e9 + b / 19.2e9 + b / 12e9;
+        // The old formula priced all three hops at the 12 GB/s bottleneck.
+        let old_formula = 3.0 * b / 12e9;
+        assert!(
+            (makespan - per_hop_sum).abs() < 1e-4,
+            "makespan {makespan} != per-hop sum {per_hop_sum}"
+        );
+        assert!(
+            (makespan - old_formula).abs() > 1e-3,
+            "makespan {makespan} indistinguishable from the old bottleneck formula {old_formula}"
+        );
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! Property tests of the collective timing models: makespans are
+//! monotone in payload size, and no configuration — including degraded
+//! topologies with dead links or a dead NVLink interface — can
+//! deadlock the engine.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use voltascope_comm::{collective, LinkNetwork, Ring};
+use voltascope_sim::{Engine, SimSpan, TaskGraph};
+use voltascope_topo::{dgx1_v100, Device, FaultSpec, Topology};
+
+/// Builds an `n`-GPU ring AllReduce of `bytes` on `topo` and returns
+/// the makespan in seconds. Panics if the engine deadlocks.
+fn ring_all_reduce_makespan(
+    topo: &Topology,
+    n: usize,
+    bytes: u64,
+    costs: &collective::NcclCosts,
+) -> f64 {
+    let mut graph = TaskGraph::new();
+    let net = LinkNetwork::register(&mut graph, topo);
+    let mut compute = BTreeMap::new();
+    let mut ready: collective::PerGpuDone = BTreeMap::new();
+    for g in 0..n {
+        let d = Device::gpu(g as u8);
+        compute.insert(d, graph.add_resource(format!("{d}.compute"), 1));
+        ready.insert(d, graph.task(format!("ready@{d}")).build());
+    }
+    let ring = Ring::build(topo, n);
+    collective::all_reduce(
+        &mut graph, &net, topo, &ring, bytes, &ready, &compute, costs, "ar",
+    );
+    Engine::new()
+        .run(&graph)
+        .expect("ring AllReduce must never deadlock")
+        .makespan()
+        .as_secs_f64()
+}
+
+/// Same for the flat tree AllReduce.
+fn tree_all_reduce_makespan(
+    topo: &Topology,
+    n: usize,
+    bytes: u64,
+    costs: &collective::NcclCosts,
+) -> f64 {
+    let mut graph = TaskGraph::new();
+    let net = LinkNetwork::register(&mut graph, topo);
+    let mut compute = BTreeMap::new();
+    let mut ready: collective::PerGpuDone = BTreeMap::new();
+    let mut devs = Vec::new();
+    for g in 0..n {
+        let d = Device::gpu(g as u8);
+        devs.push(d);
+        compute.insert(d, graph.add_resource(format!("{d}.compute"), 1));
+        ready.insert(d, graph.task(format!("ready@{d}")).build());
+    }
+    collective::tree_all_reduce(
+        &mut graph, &net, topo, &devs, bytes, &ready, &compute, costs, "tar",
+    );
+    Engine::new()
+        .run(&graph)
+        .expect("tree AllReduce must never deadlock")
+        .makespan()
+        .as_secs_f64()
+}
+
+/// Healthy DGX-1 plus the two canned degraded variants: one dead
+/// cross-quad cable, and GPU3's whole NVLink interface down.
+fn topologies() -> Vec<Topology> {
+    let base = dgx1_v100();
+    vec![
+        base.apply(&FaultSpec::new().kill_link(Device::gpu(3), Device::gpu(5))),
+        base.apply(&FaultSpec::new().kill_nvlinks_of(Device::gpu(3))),
+        base,
+    ]
+}
+
+fn arb_costs() -> impl Strategy<Value = collective::NcclCosts> {
+    (0u64..1_000, 0u64..1_000, 0u64..100, 5u32..101, 0u64..1_000).prop_map(
+        |(kernel, setup, step, eff, group)| collective::NcclCosts {
+            kernel_overhead: SimSpan::from_micros(kernel),
+            epoch_setup: SimSpan::from_micros(setup),
+            step_overhead: SimSpan::from_micros(step),
+            bandwidth_efficiency: f64::from(eff) / 100.0,
+            group_call_overhead: SimSpan::from_micros(group),
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// More bytes can never make a ring AllReduce finish earlier, on
+    /// the healthy and both degraded topologies.
+    #[test]
+    fn ring_all_reduce_is_monotone_in_payload(
+        small in 1u64..(1 << 26),
+        extra in 0u64..(1 << 26),
+        n in 2usize..9,
+    ) {
+        let costs = collective::NcclCosts::default();
+        for topo in topologies() {
+            let lo = ring_all_reduce_makespan(&topo, n, small, &costs);
+            let hi = ring_all_reduce_makespan(&topo, n, small + extra, &costs);
+            prop_assert!(
+                hi >= lo,
+                "{}: {n} GPUs, {small} -> {} bytes shrank makespan {lo} -> {hi}",
+                topo.name(),
+                small + extra
+            );
+        }
+    }
+
+    /// Same monotonicity for the flat tree AllReduce.
+    #[test]
+    fn tree_all_reduce_is_monotone_in_payload(
+        small in 1u64..(1 << 26),
+        extra in 0u64..(1 << 26),
+        n in 1usize..9,
+    ) {
+        let costs = collective::NcclCosts::default();
+        for topo in topologies() {
+            let lo = tree_all_reduce_makespan(&topo, n, small, &costs);
+            let hi = tree_all_reduce_makespan(&topo, n, small + extra, &costs);
+            prop_assert!(
+                hi >= lo,
+                "{}: {n} GPUs, {small} -> {} bytes shrank makespan {lo} -> {hi}",
+                topo.name(),
+                small + extra
+            );
+        }
+    }
+
+    /// No GPU count, payload, or cost parameterisation deadlocks either
+    /// collective, healthy or degraded: the `expect`s inside the
+    /// helpers are the assertion.
+    #[test]
+    fn collectives_never_deadlock(
+        bytes in 1u64..(1 << 27),
+        costs in arb_costs(),
+    ) {
+        for topo in topologies() {
+            for n in 1..=8usize {
+                let ring = ring_all_reduce_makespan(&topo, n, bytes, &costs);
+                let tree = tree_all_reduce_makespan(&topo, n, bytes, &costs);
+                prop_assert!(ring.is_finite() && ring >= 0.0);
+                prop_assert!(tree.is_finite() && tree >= 0.0);
+            }
+        }
+    }
+}

@@ -79,6 +79,7 @@ pub fn dgx1_system() -> SystemModel {
         host_dispatch: SimSpan::from_micros(130),
         p2p_issue: SimSpan::from_micros(70),
         bp_wu_overlap: false,
+        gpu_slowdown: Default::default(),
     }
 }
 

@@ -1,0 +1,292 @@
+//! Degraded-DGX-1 fault-injection sweep: epoch-time and idle-time
+//! deltas when the paper's platform loses an NVLink interface or one
+//! GPU thermally throttles.
+//!
+//! The scenarios live on the grid engine's fault axis
+//! ([`crate::grid::FaultScenario`], re-exported here); this module is
+//! just a grid sweep with a non-trivial fault axis plus the delta
+//! bookkeeping against the healthy baseline.
+//!
+//! A notable non-result drives the scenario choice: the hybrid
+//! cube-mesh tolerates any *single* dead NVLink cable at 8 GPUs — an
+//! all-NVLink Hamiltonian ring with the same 25 GB/s cross-quad
+//! bottleneck always survives, so NCCL renegotiates and epoch time
+//! barely moves (see `single_dead_cable_is_survivable_at_8_gpus`
+//! below). Only a full interface failure (all of one GPU's bricks)
+//! breaks the ring and forces host-bounced hops.
+
+use std::collections::HashMap;
+
+use voltascope_comm::CommMethod;
+use voltascope_dnn::zoo::Workload;
+use voltascope_profile::TextTable;
+use voltascope_sim::SimSpan;
+
+pub use crate::grid::FaultScenario;
+
+use crate::grid::{run_grid, Executor, GridOut, GridSpec};
+use crate::harness::Harness;
+
+/// One degraded-scenario measurement.
+#[derive(Debug, Clone)]
+pub struct DegradedRow {
+    /// Workload (network).
+    pub workload: Workload,
+    /// Communication method.
+    pub comm: CommMethod,
+    /// Fault scenario.
+    pub scenario: FaultScenario,
+    /// Raw epoch time in seconds (no jitter protocol: deltas between
+    /// scenarios are the signal, repetition noise would bury them).
+    pub epoch_s: f64,
+    /// Worst per-GPU compute-stream idle share of the steady-state
+    /// iteration, in percent.
+    pub max_idle_percent: f64,
+}
+
+/// The declarative degraded-DGX-1 sweep: every workload × both
+/// communication methods × every fault scenario, at the paper's
+/// batch-16, 8-GPU point (all eight GPUs so the ring must cross the
+/// broken quad boundary).
+pub fn spec() -> GridSpec {
+    GridSpec::paper()
+        .batches([16])
+        .gpu_counts([8])
+        .faults(FaultScenario::ALL)
+}
+
+/// Runs the degraded-DGX-1 sweep over `workloads`, honouring the
+/// `VOLTASCOPE_THREADS` executor override.
+pub fn degraded_grid(h: &Harness, workloads: &[Workload]) -> Vec<DegradedRow> {
+    degraded_grid_with(h, workloads, Executor::from_env())
+}
+
+/// Runs the degraded-DGX-1 sweep under an explicit executor.
+pub fn degraded_grid_with(h: &Harness, workloads: &[Workload], exec: Executor) -> Vec<DegradedRow> {
+    grid_rows(h, &spec().workloads(workloads.iter().copied()), exec)
+        .into_pairs()
+        .map(|(_, row)| row)
+        .collect()
+}
+
+/// Computes [`DegradedRow`]s for every cell of an arbitrary spec.
+pub fn grid_rows(h: &Harness, spec: &GridSpec, exec: Executor) -> GridOut<DegradedRow> {
+    run_grid(h, spec, exec, |ctx| {
+        let c = ctx.cell;
+        let report = ctx
+            .harness
+            .epoch(ctx.model, c.batch, c.gpus, c.comm, c.scaling);
+        let max_idle_percent = (0..c.gpus)
+            .map(|g| {
+                let resource = format!("GPU{g}.compute");
+                let busy: SimSpan = report
+                    .iter_trace
+                    .events()
+                    .iter()
+                    .filter(|e| e.resource.as_deref() == Some(&resource))
+                    .map(|e| e.duration())
+                    .sum();
+                100.0
+                    * report
+                        .iter_time
+                        .saturating_sub(busy)
+                        .ratio(report.iter_time)
+            })
+            .fold(0.0f64, f64::max);
+        DegradedRow {
+            workload: c.workload,
+            comm: c.comm,
+            scenario: c.fault,
+            epoch_s: report.epoch_time.as_secs_f64(),
+            max_idle_percent,
+        }
+    })
+}
+
+/// Renders the degraded table: absolute numbers plus deltas against
+/// the healthy row of the same (workload, method).
+pub fn render(rows: &[DegradedRow]) -> TextTable {
+    let baselines: HashMap<(Workload, CommMethod), (f64, f64)> = rows
+        .iter()
+        .filter(|r| r.scenario == FaultScenario::Healthy)
+        .map(|r| ((r.workload, r.comm), (r.epoch_s, r.max_idle_percent)))
+        .collect();
+    let mut table = TextTable::new([
+        "Network",
+        "Method",
+        "Scenario",
+        "Epoch (s)",
+        "d epoch (%)",
+        "Max idle (%)",
+        "d idle (pts)",
+    ]);
+    for r in rows {
+        let (base_epoch, base_idle) = baselines
+            .get(&(r.workload, r.comm))
+            .copied()
+            .unwrap_or((f64::NAN, f64::NAN));
+        table.row([
+            r.workload.name().to_string(),
+            r.comm.name().to_string(),
+            r.scenario.name().to_string(),
+            format!("{:.1}", r.epoch_s),
+            format!("{:+.1}", 100.0 * (r.epoch_s - base_epoch) / base_epoch),
+            format!("{:.1}", r.max_idle_percent),
+            format!("{:+.1}", r.max_idle_percent - base_idle),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voltascope_topo::{Device, FaultSpec};
+
+    fn epoch_of(rows: &[DegradedRow], w: Workload, c: CommMethod, s: FaultScenario) -> f64 {
+        rows.iter()
+            .find(|r| r.workload == w && r.comm == c && r.scenario == s)
+            .expect("row present")
+            .epoch_s
+    }
+
+    #[test]
+    fn dead_interface_slows_every_nccl_workload_at_8_gpus() {
+        let h = Harness::paper();
+        let spec = spec().workloads([Workload::LeNet, Workload::AlexNet]);
+        let rows: Vec<DegradedRow> = grid_rows(&h, &spec, Executor::Serial)
+            .into_pairs()
+            .map(|(_, r)| r)
+            .collect();
+        for w in [Workload::LeNet, Workload::AlexNet] {
+            let healthy = epoch_of(&rows, w, CommMethod::Nccl, FaultScenario::Healthy);
+            let dead = epoch_of(&rows, w, CommMethod::Nccl, FaultScenario::DeadNvLink);
+            assert!(
+                dead > healthy * 1.001,
+                "{w:?}: dead interface {dead} vs healthy {healthy}"
+            );
+            let straggler = epoch_of(&rows, w, CommMethod::Nccl, FaultScenario::StragglerGpu);
+            // A straggler can never help; whether it hurts depends on
+            // the workload (see below).
+            assert!(
+                straggler >= healthy,
+                "{w:?}: straggler {straggler} vs healthy {healthy}"
+            );
+        }
+        // AlexNet's kernels are big enough that GPU3 at 1.5x drags the
+        // synchronous iteration. (LeNet is scheduler-bound at 8 GPUs:
+        // its tiny kernels hide entirely behind serial host dispatch,
+        // so the straggler costs nothing — itself a finding.)
+        let healthy = epoch_of(
+            &rows,
+            Workload::AlexNet,
+            CommMethod::Nccl,
+            FaultScenario::Healthy,
+        );
+        let straggler = epoch_of(
+            &rows,
+            Workload::AlexNet,
+            CommMethod::Nccl,
+            FaultScenario::StragglerGpu,
+        );
+        assert!(
+            straggler > healthy * 1.001,
+            "AlexNet straggler {straggler} vs healthy {healthy}"
+        );
+    }
+
+    #[test]
+    fn single_dead_cable_is_survivable_at_8_gpus() {
+        // Killing one cross-quad cable leaves an all-NVLink Hamiltonian
+        // ring with the same 25 GB/s bottleneck: NCCL renegotiates and
+        // the 8-GPU epoch moves by well under the dead-interface hit.
+        let h = Harness::paper();
+        let cut = Harness {
+            sys: h
+                .sys
+                .with_faults(&FaultSpec::new().kill_link(Device::gpu(3), Device::gpu(5))),
+            ..h.clone()
+        };
+        let model = Workload::AlexNet.build();
+        let healthy = h
+            .epoch(
+                &model,
+                16,
+                8,
+                CommMethod::Nccl,
+                voltascope_train::ScalingMode::Strong,
+            )
+            .epoch_time
+            .as_secs_f64();
+        let degraded = cut
+            .epoch(
+                &model,
+                16,
+                8,
+                CommMethod::Nccl,
+                voltascope_train::ScalingMode::Strong,
+            )
+            .epoch_time
+            .as_secs_f64();
+        let rel = (degraded - healthy).abs() / healthy;
+        assert!(
+            rel < 0.02,
+            "single dead cable changed 8-GPU NCCL epoch by {:.2}%",
+            100.0 * rel
+        );
+    }
+
+    #[test]
+    fn single_dead_cable_breaks_the_6_gpu_ring() {
+        // At 6 GPUs (0..5), GPU5's only in-set NVLink neighbours are
+        // GPU3 and GPU4; killing the 3-5 cable leaves no all-NVLink
+        // Hamiltonian cycle, so the ring falls back to host-bounced
+        // hops and NCCL measurably slows.
+        let h = Harness::paper();
+        let cut = Harness {
+            sys: h
+                .sys
+                .with_faults(&FaultSpec::new().kill_link(Device::gpu(3), Device::gpu(5))),
+            ..h.clone()
+        };
+        let model = Workload::AlexNet.build();
+        let healthy = h
+            .epoch(
+                &model,
+                16,
+                6,
+                CommMethod::Nccl,
+                voltascope_train::ScalingMode::Strong,
+            )
+            .epoch_time
+            .as_secs_f64();
+        let degraded = cut
+            .epoch(
+                &model,
+                16,
+                6,
+                CommMethod::Nccl,
+                voltascope_train::ScalingMode::Strong,
+            )
+            .epoch_time
+            .as_secs_f64();
+        assert!(
+            degraded > healthy * 1.01,
+            "6-GPU ring should break: {degraded} vs {healthy}"
+        );
+    }
+
+    #[test]
+    fn render_marks_healthy_deltas_as_zero() {
+        let h = Harness::paper();
+        let spec = spec().workloads([Workload::LeNet]);
+        let rows: Vec<DegradedRow> = grid_rows(&h, &spec, Executor::Serial)
+            .into_pairs()
+            .map(|(_, r)| r)
+            .collect();
+        let text = render(&rows).render();
+        assert!(text.contains("+0.0"));
+        assert!(text.contains("healthy"));
+        assert!(text.contains("dead NVLink"));
+    }
+}

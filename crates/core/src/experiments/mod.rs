@@ -2,6 +2,7 @@
 //! experiment index).
 
 pub mod ablation;
+pub mod faults;
 pub mod idle;
 pub mod memory;
 pub mod structure;

@@ -2,7 +2,9 @@
 
 use voltascope_comm::CommMethod;
 use voltascope_dnn::zoo::Workload;
-use voltascope_topo::{dgx1_v100, full_nvlink_switch, pcie_only, single_lane_dgx1, Topology};
+use voltascope_topo::{
+    dgx1_v100, full_nvlink_switch, pcie_only, single_lane_dgx1, Device, FaultSpec, Topology,
+};
 use voltascope_train::ScalingMode;
 
 /// A platform variant for the ablation axis of the grid.
@@ -59,6 +61,54 @@ impl Platform {
     }
 }
 
+/// A canned degraded-DGX-1 scenario for the fault axis of the grid.
+///
+/// Each variant names a reproducible [`FaultSpec`]; experiments sweep
+/// these instead of carrying ad-hoc specs so cells stay small `Copy`
+/// keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultScenario {
+    /// No faults: the baseline platform as-is.
+    Healthy,
+    /// GPU3's NVLink interface is dead (all its NVLink bricks down).
+    /// This is the interesting single-point failure: killing any *one*
+    /// NVLink cable leaves an all-NVLink 8-GPU Hamiltonian ring with
+    /// the same 25 GB/s bottleneck (the hybrid cube-mesh tolerates it),
+    /// but a dead interface forces the ring through host-bounced PCIe
+    /// hops.
+    DeadNvLink,
+    /// GPU3 is a straggler: thermal throttling runs its kernels 1.5x
+    /// slower, dragging every synchronous iteration with it.
+    StragglerGpu,
+}
+
+impl FaultScenario {
+    /// All scenarios, healthy first.
+    pub const ALL: [FaultScenario; 3] = [
+        FaultScenario::Healthy,
+        FaultScenario::DeadNvLink,
+        FaultScenario::StragglerGpu,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultScenario::Healthy => "healthy",
+            FaultScenario::DeadNvLink => "dead NVLink (GPU3)",
+            FaultScenario::StragglerGpu => "straggler GPU3 (1.5x)",
+        }
+    }
+
+    /// The fault specification this scenario injects.
+    pub fn spec(self) -> FaultSpec {
+        match self {
+            FaultScenario::Healthy => FaultSpec::new(),
+            FaultScenario::DeadNvLink => FaultSpec::new().kill_nvlinks_of(Device::gpu(3)),
+            FaultScenario::StragglerGpu => FaultSpec::new().slow_gpu(Device::gpu(3), 1.5),
+        }
+    }
+}
+
 /// One typed point of an experiment grid: the full configuration of a
 /// single measurement. Cells are small `Copy` keys, `Eq + Hash` so
 /// renderers can index results directly instead of scanning.
@@ -76,6 +126,8 @@ pub struct Cell {
     pub scaling: ScalingMode,
     /// Platform variant.
     pub platform: Platform,
+    /// Fault-injection scenario applied to the platform.
+    pub fault: FaultScenario,
 }
 
 impl Cell {
@@ -85,10 +137,11 @@ impl Cell {
     ///
     /// The bit layout is **frozen**: it must keep matching the seed
     /// harness's formula so the golden outputs under `results/` stay
-    /// byte-identical. Scaling mode and platform are deliberately not
-    /// salted — the jittered-measurement protocol is only applied to
-    /// the baseline-platform strong-scaling grids (Fig. 3); all other
-    /// experiments report raw epoch times.
+    /// byte-identical. Scaling mode, platform and fault scenario are
+    /// deliberately not salted — the jittered-measurement protocol is
+    /// only applied to the baseline-platform strong-scaling grids
+    /// (Fig. 3); all other experiments (including the degraded-DGX-1
+    /// sweep) report raw epoch times.
     pub fn jitter_salt(&self) -> u64 {
         ((self.workload as u64) << 40)
             | ((self.batch as u64) << 24)
@@ -109,6 +162,7 @@ mod tests {
             gpus,
             scaling: ScalingMode::Strong,
             platform: Platform::Dgx1,
+            fault: FaultScenario::Healthy,
         }
     }
 
@@ -143,5 +197,26 @@ mod tests {
             assert!(!p.name().is_empty());
             assert!(!t.name().is_empty());
         }
+    }
+
+    #[test]
+    fn fault_scenarios_apply_to_every_platform() {
+        for p in Platform::ALL {
+            for f in FaultScenario::ALL {
+                // Every canned scenario must be valid on every platform
+                // topology (GPU3 exists everywhere; its NVLink-kill is
+                // a no-op on PCIe-only, which has no NVLinks).
+                let t = p.topology().apply(&f.spec());
+                assert!(!t.name().is_empty(), "{p:?}/{f:?}");
+                assert!(!f.name().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn healthy_scenario_is_the_empty_spec() {
+        assert!(FaultScenario::Healthy.spec().is_healthy());
+        assert!(!FaultScenario::DeadNvLink.spec().is_healthy());
+        assert!(!FaultScenario::StragglerGpu.spec().is_healthy());
     }
 }

@@ -58,7 +58,7 @@ mod executor;
 mod runner;
 mod spec;
 
-pub use cell::{Cell, Platform};
+pub use cell::{Cell, FaultScenario, Platform};
 pub use executor::Executor;
 pub use runner::{run_grid, CellCtx, GridOut, GridRunner};
 pub use spec::{GridSpec, PAPER_BATCHES, PAPER_GPU_COUNTS};

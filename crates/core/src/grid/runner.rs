@@ -7,7 +7,7 @@ use std::sync::Arc;
 use voltascope_dnn::zoo::Workload;
 use voltascope_dnn::Model;
 
-use super::cell::{Cell, Platform};
+use super::cell::{Cell, FaultScenario, Platform};
 use super::executor::Executor;
 use super::spec::GridSpec;
 use crate::Harness;
@@ -26,40 +26,45 @@ pub struct CellCtx<'r> {
 }
 
 /// Pre-resolved shared state for one grid: each workload's [`Model`]
-/// built exactly once, and one [`Harness`] per platform variant, all
-/// behind `Arc` so parallel workers share them without copying.
+/// built exactly once, and one [`Harness`] per (platform, fault
+/// scenario) combination, all behind `Arc` so parallel workers share
+/// them without copying.
 #[derive(Debug, Clone)]
 pub struct GridRunner {
     models: HashMap<Workload, Arc<Model>>,
-    harnesses: HashMap<Platform, Arc<Harness>>,
+    harnesses: HashMap<(Platform, FaultScenario), Arc<Harness>>,
 }
 
 impl GridRunner {
     /// Builds the shared context for `spec`: one model per workload on
-    /// the axis, one harness per platform on the axis.
+    /// the axis, one harness per (platform, fault) pair on the axes.
     pub fn new(base: &Harness, spec: &GridSpec) -> Self {
         let models = spec
             .workload_axis()
             .iter()
             .map(|&w| (w, Arc::new(w.build())))
             .collect();
-        let harnesses = spec
-            .platform_axis()
-            .iter()
-            .map(|&p| {
-                let harness = if p == Platform::Dgx1 {
+        let mut harnesses = HashMap::new();
+        for &p in spec.platform_axis() {
+            for &f in spec.fault_axis() {
+                let harness = if p == Platform::Dgx1 && f == FaultScenario::Healthy {
                     base.clone()
                 } else {
                     let mut sys = base.sys.clone();
-                    sys.topo = p.topology();
+                    if p != Platform::Dgx1 {
+                        sys.topo = p.topology();
+                    }
+                    if f != FaultScenario::Healthy {
+                        sys = sys.with_faults(&f.spec());
+                    }
                     Harness {
                         sys,
                         ..base.clone()
                     }
                 };
-                (p, Arc::new(harness))
-            })
-            .collect();
+                harnesses.insert((p, f), Arc::new(harness));
+            }
+        }
         GridRunner { models, harnesses }
     }
 
@@ -83,8 +88,8 @@ impl GridRunner {
                 cell,
                 harness: self
                     .harnesses
-                    .get(&cell.platform)
-                    .expect("runner built for this platform axis"),
+                    .get(&(cell.platform, cell.fault))
+                    .expect("runner built for this platform and fault axis"),
                 model: self
                     .models
                     .get(&cell.workload)
@@ -236,5 +241,28 @@ mod tests {
         let names: Vec<&str> = out.values().iter().map(String::as_str).collect();
         assert_eq!(names.len(), 2);
         assert_ne!(names[0], names[1]);
+    }
+
+    #[test]
+    fn fault_axis_degrades_the_harness_system() {
+        let h = Harness::paper();
+        let spec = small_spec()
+            .batches([16])
+            .gpu_counts([8])
+            .faults(FaultScenario::ALL);
+        let out = run_grid(&h, &spec, Executor::Serial, |ctx| {
+            (
+                ctx.cell.fault,
+                ctx.harness.sys.topo.name().to_string(),
+                ctx.harness.sys.gpu_slowdown.len(),
+            )
+        });
+        let index = out.index_by(|c| c.fault);
+        let (_, healthy_name, healthy_slow) = index[&FaultScenario::Healthy];
+        let (_, dead_name, _) = index[&FaultScenario::DeadNvLink];
+        let (_, _, straggler_slow) = index[&FaultScenario::StragglerGpu];
+        assert_eq!(*healthy_slow, 0);
+        assert_ne!(healthy_name, dead_name);
+        assert_eq!(*straggler_slow, 1);
     }
 }

@@ -4,7 +4,7 @@ use voltascope_comm::CommMethod;
 use voltascope_dnn::zoo::Workload;
 use voltascope_train::ScalingMode;
 
-use super::cell::{Cell, Platform};
+use super::cell::{Cell, FaultScenario, Platform};
 
 /// The paper's batch-size sweep.
 pub const PAPER_BATCHES: [usize; 3] = [16, 32, 64];
@@ -32,6 +32,7 @@ pub struct GridSpec {
     gpu_counts: Vec<usize>,
     scalings: Vec<ScalingMode>,
     platforms: Vec<Platform>,
+    faults: Vec<FaultScenario>,
 }
 
 impl GridSpec {
@@ -46,6 +47,7 @@ impl GridSpec {
             gpu_counts: PAPER_GPU_COUNTS.to_vec(),
             scalings: vec![ScalingMode::Strong],
             platforms: vec![Platform::Dgx1],
+            faults: vec![FaultScenario::Healthy],
         }
     }
 
@@ -85,6 +87,12 @@ impl GridSpec {
         self
     }
 
+    /// Replaces the fault-scenario axis (default: healthy only).
+    pub fn faults(mut self, faults: impl IntoIterator<Item = FaultScenario>) -> Self {
+        self.faults = faults.into_iter().collect();
+        self
+    }
+
     /// The workload axis values.
     pub fn workload_axis(&self) -> &[Workload] {
         &self.workloads
@@ -95,6 +103,11 @@ impl GridSpec {
         &self.platforms
     }
 
+    /// The fault-scenario axis values.
+    pub fn fault_axis(&self) -> &[FaultScenario] {
+        &self.faults
+    }
+
     /// Number of cells in the grid.
     pub fn len(&self) -> usize {
         self.workloads.len()
@@ -103,6 +116,7 @@ impl GridSpec {
             * self.gpu_counts.len()
             * self.scalings.len()
             * self.platforms.len()
+            * self.faults.len()
     }
 
     /// Whether the grid has no cells (any axis empty).
@@ -111,29 +125,35 @@ impl GridSpec {
     }
 
     /// Enumerates every cell in the **canonical order**: workload →
-    /// platform → comm → batch → GPUs → scaling (scaling innermost so
-    /// regime pairs of the same configuration are adjacent).
+    /// platform → fault → comm → batch → GPUs → scaling (scaling
+    /// innermost so regime pairs of the same configuration are
+    /// adjacent; fault right after platform because a scenario is a
+    /// modifier of the platform under test).
     ///
     /// This order is part of the golden-output contract: renderers
     /// derive their row order from it, and the parallel executor
     /// returns results in exactly this order regardless of which
-    /// thread computed which cell.
+    /// thread computed which cell. The singleton `Healthy` default
+    /// keeps pre-fault-axis grids enumerating exactly as before.
     pub fn cells(&self) -> Vec<Cell> {
         let mut cells = Vec::with_capacity(self.len());
         for &workload in &self.workloads {
             for &platform in &self.platforms {
-                for &comm in &self.comms {
-                    for &batch in &self.batches {
-                        for &gpus in &self.gpu_counts {
-                            for &scaling in &self.scalings {
-                                cells.push(Cell {
-                                    workload,
-                                    comm,
-                                    batch,
-                                    gpus,
-                                    scaling,
-                                    platform,
-                                });
+                for &fault in &self.faults {
+                    for &comm in &self.comms {
+                        for &batch in &self.batches {
+                            for &gpus in &self.gpu_counts {
+                                for &scaling in &self.scalings {
+                                    cells.push(Cell {
+                                        workload,
+                                        comm,
+                                        batch,
+                                        gpus,
+                                        scaling,
+                                        platform,
+                                        fault,
+                                    });
+                                }
                             }
                         }
                     }
@@ -179,5 +199,30 @@ mod tests {
         let spec = GridSpec::paper().batches([]);
         assert!(spec.is_empty());
         assert!(spec.cells().is_empty());
+    }
+
+    #[test]
+    fn fault_axis_defaults_to_healthy_singleton() {
+        let spec = GridSpec::paper();
+        assert_eq!(spec.fault_axis(), &[FaultScenario::Healthy]);
+        assert!(spec
+            .cells()
+            .iter()
+            .all(|c| c.fault == FaultScenario::Healthy));
+    }
+
+    #[test]
+    fn fault_axis_multiplies_the_grid_inside_each_platform() {
+        let spec = GridSpec::paper()
+            .workloads([Workload::LeNet])
+            .comms([CommMethod::Nccl])
+            .batches([16])
+            .gpu_counts([8])
+            .faults(FaultScenario::ALL);
+        assert_eq!(spec.len(), 3);
+        let cells = spec.cells();
+        assert_eq!(cells[0].fault, FaultScenario::Healthy);
+        assert_eq!(cells[1].fault, FaultScenario::DeadNvLink);
+        assert_eq!(cells[2].fault, FaultScenario::StragglerGpu);
     }
 }

@@ -69,6 +69,30 @@ impl KernelCostModel {
         }
     }
 
+    /// Derives a uniformly slowed copy of this model: a straggler or
+    /// thermally-throttled GPU whose clocks run `factor`× slower. All
+    /// three regimes scale exactly by `factor` — compute and memory
+    /// peaks are divided, the launch floor is multiplied — so a slowed
+    /// kernel takes exactly `factor`× the healthy duration regardless
+    /// of which regime wins the roofline max.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor < 1.0`: faults degrade, they never speed up.
+    pub fn slowed(&self, factor: f64) -> KernelCostModel {
+        assert!(
+            factor >= 1.0,
+            "slowdown factor {factor} must be >= 1 (a straggler cannot be faster than healthy)"
+        );
+        KernelCostModel {
+            fp32_flops: self.fp32_flops / factor,
+            tensor_flops: self.tensor_flops / factor,
+            memory_bandwidth: self.memory_bandwidth / factor,
+            min_kernel_time: self.min_kernel_time.mul_f64(factor),
+            ..self.clone()
+        }
+    }
+
     /// Achieved fraction of peak for a kernel of `flops` work.
     pub fn efficiency(&self, flops: f64) -> f64 {
         if flops <= 0.0 {
@@ -205,6 +229,39 @@ mod tests {
         let large = m.achieved_utilization(1e11, true);
         assert!(small < large);
         assert!(large <= m.max_efficiency + 1e-9);
+    }
+
+    #[test]
+    fn slowed_scales_every_regime_exactly() {
+        let m = model();
+        let s = m.slowed(1.5);
+        // Compute-bound, memory-bound and launch-bound kernels all take
+        // exactly 1.5x the healthy time.
+        for (flops, bytes) in [(1e10, 0), (1e6, 9_000_000_000), (0.0, 0)] {
+            let healthy = m.kernel_time_with_bytes(flops, bytes, true).as_secs_f64();
+            let slow = s.kernel_time_with_bytes(flops, bytes, true).as_secs_f64();
+            assert!(
+                (slow / healthy - 1.5).abs() < 1e-6,
+                "flops={flops} bytes={bytes}: {slow} / {healthy}"
+            );
+        }
+        let healthy = m.elementwise_kernel_time(900_000_000).as_secs_f64();
+        let slow = s.elementwise_kernel_time(900_000_000).as_secs_f64();
+        assert!((slow / healthy - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn slowed_by_one_is_identity() {
+        let m = model();
+        let s = m.slowed(1.0);
+        assert_eq!(m.kernel_time(1e9, true), s.kernel_time(1e9, true));
+        assert_eq!(m.min_kernel_time, s.min_kernel_time);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be >= 1")]
+    fn slowed_rejects_speedups() {
+        model().slowed(0.5);
     }
 
     #[test]

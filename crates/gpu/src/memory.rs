@@ -7,6 +7,12 @@
 //! [`MemoryPool::device_reported`] reproduces it.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide pool-id counter: every [`MemoryPool`] gets a distinct
+/// tag so a handle can never be freed into the wrong pool, even when
+/// two pools happen to issue the same allocation id.
+static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(0);
 
 /// Returned when an allocation would exceed device capacity — the
 /// condition that capped the paper's batch sizes at 64 for Inception-v3
@@ -33,9 +39,12 @@ impl fmt::Display for OomError {
 
 impl std::error::Error for OomError {}
 
-/// Handle to a live allocation in a [`MemoryPool`].
+/// Handle to a live allocation in a [`MemoryPool`]. Tagged with its
+/// pool's identity, so freeing it into a different pool panics instead
+/// of silently corrupting that pool's accounting on an id collision.
 #[derive(Debug, PartialEq, Eq, Hash)]
 pub struct Allocation {
+    pool: u64,
     id: u32,
     bytes: u64,
 }
@@ -65,6 +74,7 @@ impl Allocation {
 /// ```
 #[derive(Debug)]
 pub struct MemoryPool {
+    pool_id: u64,
     capacity: u64,
     context: u64,
     current: u64,
@@ -86,6 +96,7 @@ impl MemoryPool {
     pub fn new(capacity: u64, context: u64) -> Self {
         assert!(context <= capacity, "context larger than device memory");
         MemoryPool {
+            pool_id: NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed),
             capacity,
             context,
             current: 0,
@@ -116,7 +127,11 @@ impl MemoryPool {
         let id = self.next_id;
         self.next_id += 1;
         self.live.push(id);
-        Ok(Allocation { id, bytes: rounded })
+        Ok(Allocation {
+            pool: self.pool_id,
+            id,
+            bytes: rounded,
+        })
     }
 
     /// Returns an allocation to the pool. Consuming the handle makes
@@ -126,11 +141,15 @@ impl MemoryPool {
     ///
     /// Panics if the allocation belongs to a different pool.
     pub fn free(&mut self, allocation: Allocation) {
+        assert_eq!(
+            allocation.pool, self.pool_id,
+            "allocation does not belong to this pool"
+        );
         let pos = self
             .live
             .iter()
             .position(|&id| id == allocation.id)
-            .expect("allocation does not belong to this pool");
+            .expect("allocation unknown to its own pool");
         self.live.swap_remove(pos);
         self.current -= allocation.bytes;
     }
@@ -225,11 +244,27 @@ mod tests {
         let mut p2 = MemoryPool::new(4096, 0);
         let a = p1.alloc(512, "a").unwrap();
         let _b = p2.alloc(512, "b").unwrap();
-        // `a` has id 0 in p1; p2 also issued id 0, so simulate misuse by
-        // freeing a p1 handle in p2 after p2's own id 0 was freed.
-        let b = Allocation { id: 7, bytes: 512 };
-        let _ = a;
-        p2.free(b);
+        // `a` and `_b` share allocation id 0 (ids restart per pool),
+        // but the pool tag makes the misuse panic instead of silently
+        // corrupting p2's accounting.
+        p2.free(a);
+    }
+
+    #[test]
+    fn colliding_ids_cannot_corrupt_accounting() {
+        // Before pool tagging, a foreign handle with a colliding id was
+        // accepted and `current` went negative on the next legal free.
+        let mut p1 = MemoryPool::new(1 << 20, 0);
+        let mut p2 = MemoryPool::new(1 << 20, 0);
+        let a1 = p1.alloc(1024, "a1").unwrap();
+        let a2 = p2.alloc(2048, "a2").unwrap();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| p2.free(a1)));
+        assert!(caught.is_err(), "cross-pool free must panic");
+        // p2's accounting is untouched by the rejected free.
+        assert_eq!(p2.current_used(), 2048);
+        assert_eq!(p2.live_allocations(), 1);
+        p2.free(a2);
+        assert_eq!(p2.current_used(), 0);
     }
 
     proptest! {

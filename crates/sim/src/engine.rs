@@ -47,9 +47,12 @@ pub struct ResourceStats {
 impl ResourceStats {
     /// Fraction of the makespan this resource was busy, accounting for
     /// capacity (a capacity-2 resource busy on both slots the whole run
-    /// reports 1.0).
+    /// reports 1.0). A zero makespan or zero capacity reports 0.0
+    /// rather than dividing into inf/NaN — `TaskGraph::add_resource`
+    /// rejects capacity-0 resources, but callers can pass an arbitrary
+    /// divisor here.
     pub fn utilization(&self, makespan: SimSpan, capacity: u32) -> f64 {
-        if makespan.is_zero() {
+        if makespan.is_zero() || capacity == 0 {
             0.0
         } else {
             self.busy.ratio(makespan) / capacity as f64
@@ -402,6 +405,18 @@ mod tests {
         let s = Engine::new().run(&g).unwrap();
         assert_eq!(s.makespan(), span(20));
         assert!((s.resource_stats(r).utilization(span(20), 2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_degenerate_divisors_are_zero_not_nan() {
+        let mut g = TaskGraph::new();
+        let r = g.add_resource("r", 1);
+        g.task("t").on(r).lasting(span(10)).build();
+        let s = Engine::new().run(&g).unwrap();
+        let stats = s.resource_stats(r);
+        assert_eq!(stats.utilization(SimSpan::ZERO, 1), 0.0);
+        assert_eq!(stats.utilization(span(10), 0), 0.0);
+        assert!(stats.utilization(span(10), 0).is_finite());
     }
 
     #[test]

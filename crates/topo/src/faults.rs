@@ -1,0 +1,374 @@
+//! Fault injection: degraded-hardware variants of a topology.
+//!
+//! Real multi-GPU nodes misbehave: NVLink bricks drop, links train down
+//! to fewer lanes, thermal throttling slows individual GPUs, and noisy
+//! neighbours add latency. A [`FaultSpec`] describes such a degradation
+//! declaratively; [`Topology::apply`] produces the degraded device
+//! graph, and the training simulator rebuilds rings, trees and routes
+//! on it — collectives renegotiate around dead links exactly the way
+//! NCCL's topology search does, falling back to host-bounced paths when
+//! no NVLink cycle survives.
+//!
+//! # Example
+//!
+//! ```
+//! use voltascope_topo::{dgx1_v100, Device, FaultSpec};
+//!
+//! let healthy = dgx1_v100();
+//! // Kill the GPU3-GPU5 cross-quad brick (the quad-boundary link next
+//! // to the GPU3/GPU4 split the paper highlights in §IV-A).
+//! let spec = FaultSpec::new().kill_link(Device::gpu(3), Device::gpu(5));
+//! let degraded = healthy.apply(&spec);
+//! assert!(degraded.direct_link(Device::gpu(3), Device::gpu(5)).is_none());
+//! // Traffic between the pair now bounces through the host.
+//! assert!(degraded.route(Device::gpu(3), Device::gpu(5)).through_host());
+//! ```
+
+use std::collections::BTreeMap;
+
+use voltascope_sim::SimSpan;
+
+use crate::device::Device;
+use crate::link::Link;
+use crate::topology::Topology;
+
+/// A declarative description of hardware degradation: dead or
+/// downgraded links, added link latency, and per-GPU compute slowdown.
+///
+/// The default spec is healthy (no faults). Builder methods compose:
+///
+/// ```
+/// use voltascope_topo::{Device, FaultSpec};
+/// use voltascope_sim::SimSpan;
+///
+/// let spec = FaultSpec::new()
+///     .kill_nvlinks_of(Device::gpu(3))
+///     .slow_gpu(Device::gpu(5), 1.4)
+///     .link_jitter(SimSpan::from_nanos(200));
+/// assert!(!spec.is_healthy());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSpec {
+    /// Device pairs whose direct links are all disabled.
+    dead_links: Vec<(Device, Device)>,
+    /// GPUs whose NVLink interface is entirely dead (every NVLink brick
+    /// touching the device disappears; PCIe survives).
+    dead_nvlink_gpus: Vec<Device>,
+    /// Per-pair bandwidth multipliers in `(0, 1]` (link trained down).
+    degraded_links: Vec<(Device, Device, f64)>,
+    /// Extra latency added to every surviving link.
+    link_jitter: SimSpan,
+    /// Per-GPU compute slowdown factors (`>= 1`); a straggler or
+    /// thermally-throttled device.
+    gpu_slowdown: BTreeMap<Device, f64>,
+}
+
+impl FaultSpec {
+    /// A healthy (empty) fault spec.
+    pub fn new() -> Self {
+        FaultSpec::default()
+    }
+
+    /// Disables every direct link between `a` and `b`.
+    pub fn kill_link(mut self, a: Device, b: Device) -> Self {
+        self.dead_links.push((a, b));
+        self
+    }
+
+    /// Disables every NVLink brick attached to `gpu` (the whole NVLink
+    /// interface fails; the PCIe uplink survives). This is the fault
+    /// that actually breaks the DGX-1's 8-GPU ring: the hybrid
+    /// cube-mesh tolerates any *single* dead link by renegotiating an
+    /// alternative all-NVLink cycle.
+    pub fn kill_nvlinks_of(mut self, gpu: Device) -> Self {
+        self.dead_nvlink_gpus.push(gpu);
+        self
+    }
+
+    /// Multiplies the bandwidth of every direct link between `a` and
+    /// `b` by `factor` (a link trained down to fewer lanes).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < factor <= 1`.
+    pub fn degrade_link(mut self, a: Device, b: Device, factor: f64) -> Self {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "degrade factor {factor} must be in (0, 1]"
+        );
+        self.degraded_links.push((a, b, factor));
+        self
+    }
+
+    /// Adds `extra` latency to every surviving link (congestion /
+    /// retraining jitter).
+    pub fn link_jitter(mut self, extra: SimSpan) -> Self {
+        self.link_jitter = extra;
+        self
+    }
+
+    /// Marks `gpu` as a straggler: all its kernels take `factor` times
+    /// longer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor < 1`.
+    pub fn slow_gpu(mut self, gpu: Device, factor: f64) -> Self {
+        assert!(factor >= 1.0, "slowdown factor {factor} must be >= 1");
+        self.gpu_slowdown.insert(gpu, factor);
+        self
+    }
+
+    /// `true` when the spec injects nothing.
+    pub fn is_healthy(&self) -> bool {
+        self.dead_links.is_empty()
+            && self.dead_nvlink_gpus.is_empty()
+            && self.degraded_links.is_empty()
+            && self.link_jitter.is_zero()
+            && self.gpu_slowdown.is_empty()
+    }
+
+    /// The compute-slowdown factor for `device` (1.0 when healthy).
+    pub fn slowdown_of(&self, device: Device) -> f64 {
+        self.gpu_slowdown.get(&device).copied().unwrap_or(1.0)
+    }
+
+    /// All per-GPU slowdown factors.
+    pub fn gpu_slowdowns(&self) -> &BTreeMap<Device, f64> {
+        &self.gpu_slowdown
+    }
+
+    /// Whether the spec kills or downgrades any link touching `link`.
+    fn classify(&self, link: &Link) -> LinkFate {
+        let pair_matches =
+            |a: Device, b: Device| (link.a == a && link.b == b) || (link.a == b && link.b == a);
+        if self.dead_links.iter().any(|&(a, b)| pair_matches(a, b)) {
+            return LinkFate::Dead;
+        }
+        if link.kind.is_nvlink()
+            && self
+                .dead_nvlink_gpus
+                .iter()
+                .any(|&g| link.a == g || link.b == g)
+        {
+            return LinkFate::Dead;
+        }
+        let factor: f64 = self
+            .degraded_links
+            .iter()
+            .filter(|&&(a, b, _)| pair_matches(a, b))
+            .map(|&(_, _, f)| f)
+            .product();
+        if factor < 1.0 {
+            LinkFate::Degraded(factor)
+        } else {
+            LinkFate::Alive
+        }
+    }
+}
+
+enum LinkFate {
+    Alive,
+    Degraded(f64),
+    Dead,
+}
+
+impl Topology {
+    /// Builds the degraded topology described by `faults`: dead links
+    /// are removed, downgraded links get their bandwidth scaled, and
+    /// every surviving link gains the spec's jitter latency. Devices,
+    /// forwarding rules and link-insertion order are preserved, so
+    /// routing and ring construction on the result stay deterministic
+    /// and keep the store-and-forward semantics of the healthy graph.
+    ///
+    /// Compute slowdowns do not change the graph — consumers read them
+    /// from [`FaultSpec::slowdown_of`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec names a device this topology does not have,
+    /// or a dead/degraded pair with no direct link (catching typos
+    /// deterministically rather than silently injecting nothing).
+    pub fn apply(&self, faults: &FaultSpec) -> Topology {
+        for &(a, b) in &faults.dead_links {
+            assert!(
+                self.direct_link(a, b).is_some(),
+                "fault kills non-existent link {a}-{b} in topology '{}'",
+                self.name()
+            );
+        }
+        for &(a, b, _) in &faults.degraded_links {
+            assert!(
+                self.direct_link(a, b).is_some(),
+                "fault degrades non-existent link {a}-{b} in topology '{}'",
+                self.name()
+            );
+        }
+        for &g in faults
+            .dead_nvlink_gpus
+            .iter()
+            .chain(faults.gpu_slowdown.keys())
+        {
+            assert!(
+                self.devices().contains(&g),
+                "fault names unknown device {g} in topology '{}'",
+                self.name()
+            );
+        }
+
+        let name = if faults.is_healthy() {
+            self.name().to_string()
+        } else {
+            format!("{} (degraded)", self.name())
+        };
+        let mut out = Topology::new(name);
+        for &d in self.devices() {
+            out.add_device(d);
+        }
+        out.set_gpus_forward(self.gpus_forward());
+        for link in self.links() {
+            match faults.classify(link) {
+                LinkFate::Dead => {}
+                LinkFate::Alive => {
+                    out.connect_custom(Link {
+                        latency: link.latency + faults.link_jitter,
+                        ..*link
+                    });
+                }
+                LinkFate::Degraded(factor) => {
+                    out.connect_custom(Link {
+                        bandwidth: crate::Bandwidth::bytes_per_sec(
+                            link.bandwidth.as_bytes_per_sec() * factor,
+                        ),
+                        latency: link.latency + faults.link_jitter,
+                        ..*link
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::dgx1_v100;
+
+    #[test]
+    fn healthy_spec_is_identity() {
+        let topo = dgx1_v100();
+        let same = topo.apply(&FaultSpec::new());
+        assert_eq!(same.name(), topo.name());
+        assert_eq!(same.links().len(), topo.links().len());
+        for (a, b) in topo.links().iter().zip(same.links()) {
+            assert_eq!(a.bandwidth, b.bandwidth);
+            assert_eq!(a.latency, b.latency);
+        }
+    }
+
+    #[test]
+    fn dead_link_disappears_and_reroutes_via_host() {
+        let topo = dgx1_v100();
+        let g = Device::gpu;
+        let degraded = topo.apply(&FaultSpec::new().kill_link(g(3), g(5)));
+        assert!(degraded.direct_link(g(3), g(5)).is_none());
+        assert_eq!(degraded.links().len(), topo.links().len() - 1);
+        let route = degraded.route(g(3), g(5));
+        assert!(route.through_host());
+        assert_eq!(route.hop_count(), 3); // g3 -> cpu0 -> cpu1 -> g5
+    }
+
+    #[test]
+    fn dead_nvlink_interface_keeps_pcie() {
+        let topo = dgx1_v100();
+        let g = Device::gpu;
+        let degraded = topo.apply(&FaultSpec::new().kill_nvlinks_of(g(3)));
+        for n in [0u8, 1, 2, 5] {
+            assert!(degraded.direct_link(g(3), g(n)).is_none());
+        }
+        // PCIe uplink survives: GPU3 stays reachable via the host.
+        assert_eq!(degraded.home_cpu(g(3)), Device::cpu(0));
+        assert!(degraded.route(g(3), g(0)).through_host());
+        // Unrelated links untouched.
+        assert!(degraded.p2p_capable(g(0), g(1)));
+    }
+
+    #[test]
+    fn degraded_link_scales_bandwidth_only() {
+        let topo = dgx1_v100();
+        let g = Device::gpu;
+        let degraded = topo.apply(&FaultSpec::new().degrade_link(g(0), g(1), 0.5));
+        let link = degraded.direct_link(g(0), g(1)).unwrap();
+        assert_eq!(link.bandwidth.gigabytes_per_sec(), 25.0); // was 50
+        let other = degraded.direct_link(g(0), g(2)).unwrap();
+        assert_eq!(other.bandwidth.gigabytes_per_sec(), 50.0);
+    }
+
+    #[test]
+    fn jitter_adds_latency_everywhere() {
+        let topo = dgx1_v100();
+        let extra = SimSpan::from_nanos(250);
+        let degraded = topo.apply(&FaultSpec::new().link_jitter(extra));
+        for (a, b) in topo.links().iter().zip(degraded.links()) {
+            assert_eq!(b.latency, a.latency + extra);
+        }
+    }
+
+    #[test]
+    fn slowdowns_round_trip() {
+        let g = Device::gpu;
+        let spec = FaultSpec::new().slow_gpu(g(5), 1.4);
+        assert_eq!(spec.slowdown_of(g(5)), 1.4);
+        assert_eq!(spec.slowdown_of(g(0)), 1.0);
+        assert!(!spec.is_healthy());
+        // Pure compute faults leave the graph alone.
+        let topo = dgx1_v100();
+        let degraded = topo.apply(&spec);
+        assert_eq!(degraded.links().len(), topo.links().len());
+    }
+
+    #[test]
+    fn degraded_name_is_marked() {
+        let topo = dgx1_v100();
+        let g = Device::gpu;
+        let degraded = topo.apply(&FaultSpec::new().kill_link(g(3), g(5)));
+        assert!(degraded.name().contains("degraded"));
+    }
+
+    #[test]
+    fn forwarding_flag_survives_apply() {
+        let mut topo = dgx1_v100();
+        topo.set_gpus_forward(true);
+        let g = Device::gpu;
+        let degraded = topo.apply(&FaultSpec::new().kill_link(g(3), g(5)));
+        // With forwarding on, GPU3->GPU5 can still relay over NVLink.
+        assert!(!degraded.route(g(3), g(5)).through_host());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-existent link")]
+    fn killing_missing_link_panics() {
+        let topo = dgx1_v100();
+        let _ = topo.apply(&FaultSpec::new().kill_link(Device::gpu(3), Device::gpu(4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown device")]
+    fn unknown_device_panics() {
+        let topo = dgx1_v100();
+        let _ = topo.apply(&FaultSpec::new().kill_nvlinks_of(Device::gpu(12)));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in (0, 1]")]
+    fn degrade_factor_above_one_panics() {
+        let _ = FaultSpec::new().degrade_link(Device::gpu(0), Device::gpu(1), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be >= 1")]
+    fn speedup_straggler_panics() {
+        let _ = FaultSpec::new().slow_gpu(Device::gpu(0), 0.5);
+    }
+}

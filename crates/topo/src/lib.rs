@@ -40,6 +40,7 @@
 
 mod bandwidth;
 mod device;
+pub mod faults;
 mod link;
 mod presets;
 pub mod render;
@@ -48,6 +49,7 @@ mod topology;
 
 pub use bandwidth::Bandwidth;
 pub use device::{Device, DeviceKind};
+pub use faults::FaultSpec;
 pub use link::{Link, LinkId, LinkKind};
 pub use presets::{dgx1_p100, dgx1_v100, full_nvlink_switch, pcie_only, single_lane_dgx1};
 pub use route::Route;

@@ -61,6 +61,11 @@ impl Topology {
         self.gpus_forward = allowed;
     }
 
+    /// Whether GPUs may forward traffic for third parties.
+    pub fn gpus_forward(&self) -> bool {
+        self.gpus_forward
+    }
+
     /// Registers a device.
     ///
     /// # Panics

@@ -20,7 +20,7 @@ use voltascope_comm::{collective, CommMethod, LinkNetwork, ReductionTree, Ring};
 use voltascope_dnn::{Model, Stage};
 use voltascope_gpu::{ApiCall, ApiCostModel, GpuSpec, KernelCostModel};
 use voltascope_sim::{Engine, ResourceId, SimSpan, TaskGraph, TaskId, Trace};
-use voltascope_topo::{dgx1_v100, Device, Topology};
+use voltascope_topo::{dgx1_v100, Device, FaultSpec, Topology};
 
 use crate::dataset::{DatasetSpec, ScalingMode};
 
@@ -59,6 +59,11 @@ pub struct SystemModel {
     /// blocked per iteration, so the calibrated default is `false`.
     /// Flipping this is the overlap ablation of DESIGN.md §5.
     pub bp_wu_overlap: bool,
+    /// Per-GPU compute slowdown factors (>= 1): a straggler or
+    /// thermally-throttled device runs all its kernels this much
+    /// slower. Devices not listed run at full speed. Populated by
+    /// [`SystemModel::with_faults`]; empty on a healthy system.
+    pub gpu_slowdown: BTreeMap<Device, f64>,
 }
 
 impl SystemModel {
@@ -75,6 +80,32 @@ impl SystemModel {
             host_dispatch: SimSpan::from_micros(130),
             p2p_issue: SimSpan::from_micros(70),
             bp_wu_overlap: false,
+            gpu_slowdown: BTreeMap::new(),
+        }
+    }
+
+    /// Derives the degraded system described by `faults`: the topology
+    /// is rewired around dead/downgraded links (see
+    /// [`Topology::apply`]) and per-GPU straggler factors are recorded
+    /// for the kernel model. An empty fault spec returns an identical
+    /// system.
+    pub fn with_faults(&self, faults: &FaultSpec) -> SystemModel {
+        let mut sys = self.clone();
+        sys.topo = self.topo.apply(faults);
+        for (&g, &f) in faults.gpu_slowdowns() {
+            *sys.gpu_slowdown.entry(g).or_insert(1.0) *= f;
+        }
+        sys
+    }
+
+    /// Kernel cost model for device `g`, accounting for any straggler
+    /// slowdown. Healthy devices get a plain copy of the shared model,
+    /// so fault-free simulations are bit-identical to a system without
+    /// the fault machinery.
+    fn kernels_of(&self, g: Device) -> KernelCostModel {
+        match self.gpu_slowdown.get(&g) {
+            Some(&f) if f != 1.0 => self.kernels.slowed(f),
+            _ => self.kernels.clone(),
         }
     }
 }
@@ -204,6 +235,10 @@ pub fn simulate_epoch(sys: &SystemModel, model: &Model, cfg: &TrainConfig) -> Ep
         .map(|&d| (d, graph.add_resource(format!("{d}.host"), 1)))
         .collect();
     let scheduler = graph.add_resource("host.scheduler", 1);
+    // Per-device kernel models: healthy GPUs share the system model's
+    // numbers, stragglers get a uniformly slowed copy.
+    let kmodels: BTreeMap<Device, KernelCostModel> =
+        gpus.iter().map(|&d| (d, sys.kernels_of(d))).collect();
 
     let kernels = model.kernel_profile(cfg.batch_per_gpu);
     let layer_buckets = model.gradient_buckets();
@@ -341,8 +376,7 @@ pub fn simulate_epoch(sys: &SystemModel, model: &Model, cfg: &TrainConfig) -> Ep
                     .build();
                 host_prev = launch;
                 let duration =
-                    sys.kernels
-                        .kernel_time_with_bytes(kd.flops as f64, kd.bytes, kd.tensor_cores);
+                    kmodels[&g].kernel_time_with_bytes(kd.flops as f64, kd.bytes, kd.tensor_cores);
                 let category = match kd.stage {
                     Stage::Forward => "fp",
                     Stage::Backward => "bp",
@@ -408,6 +442,7 @@ pub fn simulate_epoch(sys: &SystemModel, model: &Model, cfg: &TrainConfig) -> Ep
                 &mut graph,
                 &net,
                 sys,
+                &kmodels,
                 &buckets,
                 &gpus,
                 &compute,
@@ -442,7 +477,7 @@ pub fn simulate_epoch(sys: &SystemModel, model: &Model, cfg: &TrainConfig) -> Ep
                     }
                 }
                 build_nccl_wu(
-                    &mut graph, &net, sys, &buckets, &gpus, &compute, &ring, &gated, &p,
+                    &mut graph, &net, sys, &kmodels, &buckets, &gpus, &compute, &ring, &gated, &p,
                 )
             }
         };
@@ -570,6 +605,7 @@ fn build_p2p_wu(
     graph: &mut TaskGraph,
     net: &LinkNetwork,
     sys: &SystemModel,
+    kmodels: &BTreeMap<Device, KernelCostModel>,
     buckets: &[voltascope_dnn::GradientBucket],
     gpus: &[Device],
     compute: &BTreeMap<Device, ResourceId>,
@@ -607,7 +643,7 @@ fn build_p2p_wu(
                     .task(format!("{prefix}/wu.add.{}@{to}", bucket.name))
                     .on(compute[&gpus[to]])
                     // Read both operands, write the sum: 3x bucket bytes.
-                    .lasting(sys.kernels.elementwise_kernel_time(3 * bucket.bytes))
+                    .lasting(kmodels[&gpus[to]].elementwise_kernel_time(3 * bucket.bytes))
                     .category("wu.p2p.add")
                     .after(xfer)
                     .build();
@@ -620,7 +656,7 @@ fn build_p2p_wu(
         let upd = graph
             .task(format!("{prefix}/wu.update.{}", bucket.name))
             .on(compute[&gpus[0]])
-            .lasting(sys.kernels.elementwise_kernel_time(5 * bucket.bytes))
+            .lasting(kmodels[&gpus[0]].elementwise_kernel_time(5 * bucket.bytes))
             .category("wu.update")
             .after(cur[0])
             .build();
@@ -662,6 +698,7 @@ fn build_nccl_wu(
     graph: &mut TaskGraph,
     net: &LinkNetwork,
     sys: &SystemModel,
+    kmodels: &BTreeMap<Device, KernelCostModel>,
     buckets: &[voltascope_dnn::GradientBucket],
     gpus: &[Device],
     compute: &BTreeMap<Device, ResourceId>,
@@ -693,7 +730,7 @@ fn build_nccl_wu(
         let upd = graph
             .task(format!("{prefix}/wu.update.{}", bucket.name))
             .on(compute[&gpus[0]])
-            .lasting(sys.kernels.elementwise_kernel_time(5 * bucket.bytes))
+            .lasting(kmodels[&gpus[0]].elementwise_kernel_time(5 * bucket.bytes))
             .category("wu.update")
             .after(reduced[&gpus[0]])
             .build();
@@ -829,6 +866,58 @@ mod tests {
         let sys = SystemModel::dgx1();
         let model = zoo::lenet();
         let _ = simulate_epoch(&sys, &model, &cfg(16, 9, CommMethod::P2p));
+    }
+
+    #[test]
+    fn empty_faults_change_nothing() {
+        let sys = SystemModel::dgx1();
+        let degraded = sys.with_faults(&FaultSpec::new());
+        let model = zoo::lenet();
+        let a = simulate_epoch(&sys, &model, &cfg(16, 4, CommMethod::Nccl));
+        let b = simulate_epoch(&degraded, &model, &cfg(16, 4, CommMethod::Nccl));
+        assert_eq!(a.epoch_time, b.epoch_time);
+        assert_eq!(a.iter_time, b.iter_time);
+    }
+
+    #[test]
+    fn straggler_gpu_slows_the_whole_iteration() {
+        // Data parallelism synchronises every iteration, so one GPU at
+        // 2x kernel time drags all four towards its pace.
+        let sys = SystemModel::dgx1();
+        let slow = sys.with_faults(&FaultSpec::new().slow_gpu(Device::gpu(3), 2.0));
+        let model = zoo::alexnet();
+        let healthy = simulate_epoch(&sys, &model, &cfg(16, 4, CommMethod::Nccl));
+        let degraded = simulate_epoch(&slow, &model, &cfg(16, 4, CommMethod::Nccl));
+        assert!(
+            degraded.iter_time > healthy.iter_time,
+            "straggler did not slow the iteration: {} vs {}",
+            degraded.iter_time,
+            healthy.iter_time
+        );
+        // But nowhere near 2x the whole epoch either: only GPU3's
+        // kernels run slow, and a single-GPU run without it is
+        // unaffected entirely.
+        let healthy1 = simulate_epoch(&sys, &model, &cfg(16, 1, CommMethod::P2p));
+        let degraded1 = simulate_epoch(&slow, &model, &cfg(16, 1, CommMethod::P2p));
+        assert_eq!(healthy1.epoch_time, degraded1.epoch_time);
+    }
+
+    #[test]
+    fn dead_nvlink_interface_slows_nccl_training() {
+        // All of GPU3's NVLink bricks dead: the 8-GPU ring cannot avoid
+        // it, so three hops fall back to host bouncing and the NCCL
+        // epoch stretches.
+        let sys = SystemModel::dgx1();
+        let dead = sys.with_faults(&FaultSpec::new().kill_nvlinks_of(Device::gpu(3)));
+        let model = zoo::alexnet();
+        let healthy = simulate_epoch(&sys, &model, &cfg(16, 8, CommMethod::Nccl));
+        let degraded = simulate_epoch(&dead, &model, &cfg(16, 8, CommMethod::Nccl));
+        assert!(
+            degraded.epoch_time > healthy.epoch_time,
+            "dead NVLink interface did not slow NCCL: {} vs {}",
+            degraded.epoch_time,
+            healthy.epoch_time
+        );
     }
 }
 
