@@ -1,0 +1,70 @@
+//! Fault-path micro-benchmarks: `Topology::apply` (degraded-graph
+//! rebuild) and `Ring::build` (Hamiltonian-cycle search) on healthy,
+//! degraded, and dense topologies. The ring search is a bounded DFS
+//! (`Ring::SEARCH_NODE_BUDGET`); the dense 12-GPU case exercises the
+//! cutoff, the degraded DGX-1 cases stay within it and measure the
+//! renegotiation cost the training simulator pays per fault scenario.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use voltascope_comm::Ring;
+use voltascope_topo::{dgx1_v100, full_nvlink_switch, Device, FaultSpec, Topology};
+
+fn degraded_specs() -> Vec<(&'static str, FaultSpec)> {
+    vec![
+        ("healthy", FaultSpec::new()),
+        (
+            "dead_cable",
+            FaultSpec::new().kill_link(Device::gpu(3), Device::gpu(5)),
+        ),
+        (
+            "dead_interface",
+            FaultSpec::new().kill_nvlinks_of(Device::gpu(3)),
+        ),
+        (
+            "composite",
+            FaultSpec::new()
+                .kill_nvlinks_of(Device::gpu(3))
+                .degrade_link(Device::gpu(0), Device::gpu(1), 0.5)
+                .slow_gpu(Device::gpu(6), 1.5),
+        ),
+    ]
+}
+
+fn bench_topology_apply(c: &mut Criterion) {
+    let topo = dgx1_v100();
+    let mut group = c.benchmark_group("topology_apply");
+    for (name, spec) in degraded_specs() {
+        group.bench_with_input(BenchmarkId::new("dgx1", name), &spec, |b, spec| {
+            b.iter(|| black_box(topo.apply(black_box(spec))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ring_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring_build");
+    // Degraded DGX-1 graphs: the DFS explores dead-end branches but
+    // stays far below the node budget.
+    for (name, spec) in degraded_specs() {
+        let degraded: Topology = dgx1_v100().apply(&spec);
+        group.bench_with_input(BenchmarkId::new("dgx1_8gpu", name), &degraded, |b, t| {
+            b.iter(|| black_box(Ring::build(black_box(t), 8)));
+        });
+    }
+    // Dense all-to-all graphs: 8 GPUs is exhaustively searched (~14k
+    // nodes); 12 GPUs would be 11! cycles and runs into the budget.
+    for gpus in [8usize, 12] {
+        let switch = full_nvlink_switch(gpus as u8);
+        group.bench_with_input(
+            BenchmarkId::new("nvswitch", format!("{gpus}gpu")),
+            &switch,
+            |b, t| {
+                b.iter(|| black_box(Ring::build(black_box(t), gpus)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_topology_apply, bench_ring_build);
+criterion_main!(benches);

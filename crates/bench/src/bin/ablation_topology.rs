@@ -1,11 +1,14 @@
 //! Topology ablation (DESIGN.md SS5): rerun AlexNet 16x4 on platform
 //! variants (PCIe-only, single-lane NVLink, ideal NVSwitch, GPU
 //! forwarding) to isolate which hardware property causes which effect.
+//! The sweep is issued through the caching `GridService`.
+use voltascope::service::GridService;
 use voltascope::{experiments::ablation, Harness};
 use voltascope_dnn::zoo::Workload;
 
 fn main() {
-    let rows = ablation::topology_ablation(&Harness::paper(), Workload::AlexNet, 16, 4);
+    let service = GridService::new(Harness::paper());
+    let rows = ablation::topology_ablation_service(&service, Workload::AlexNet, 16, 4);
     voltascope_bench::emit(
         "Ablation: interconnect topology (AlexNet, batch 16, 4 GPUs)",
         &ablation::render(&rows),

@@ -1,11 +1,13 @@
 //! Degraded-DGX-1 fault-injection sweep: epoch-time and idle-time
 //! deltas for every network under a dead GPU3 NVLink interface and a
 //! 1.5x straggler GPU3, versus the healthy baseline (batch 16, 8
-//! GPUs).
+//! GPUs). The sweep is issued through the caching `GridService`.
+use voltascope::service::GridService;
 use voltascope::{experiments::faults, Harness};
 
 fn main() {
-    let rows = faults::degraded_grid(&Harness::paper(), &voltascope_bench::workloads());
+    let service = GridService::new(Harness::paper());
+    let rows = faults::degraded_grid_service(&service, &voltascope_bench::workloads());
     voltascope_bench::emit(
         "Degraded DGX-1: fault-injection scenarios (batch 16, 8 GPUs)",
         &faults::render(&rows),

@@ -1,9 +1,13 @@
 //! Regenerates Fig. 3: training time per epoch for five workloads under
 //! P2P and NCCL communication, batch sizes 16/32/64, 1/2/4/8 GPUs
 //! (mean +/- stddev of 5 repetitions, strong scaling on 256K images).
+//! The sweep is issued through the caching `GridService`, which is
+//! byte-identical to the direct grid path.
+use voltascope::service::GridService;
 use voltascope::{experiments::fig3, Harness};
 
 fn main() {
-    let cells = fig3::grid(&Harness::paper(), &voltascope_bench::workloads());
+    let service = GridService::new(Harness::paper());
+    let cells = fig3::grid_service(&service, &voltascope_bench::workloads());
     voltascope_bench::emit("Fig. 3: Training time per epoch (s)", &fig3::render(&cells));
 }

@@ -1,9 +1,12 @@
 //! Regenerates Fig. 4: the breakdown of training time into computation
-//! (FP+BP) and communication (WU) under NCCL.
+//! (FP+BP) and communication (WU) under NCCL. The sweep is issued
+//! through the caching `GridService`.
+use voltascope::service::GridService;
 use voltascope::{experiments::fig4, Harness};
 
 fn main() {
-    let cells = fig4::grid(&Harness::paper(), &voltascope_bench::workloads());
+    let service = GridService::new(Harness::paper());
+    let cells = fig4::grid_service(&service, &voltascope_bench::workloads());
     voltascope_bench::emit(
         "Fig. 4: FP+BP vs WU breakdown (NCCL)",
         &fig4::render(&cells),

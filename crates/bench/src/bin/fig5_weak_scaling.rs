@@ -1,8 +1,11 @@
 //! Regenerates Fig. 5: weak-scaling vs strong-scaling training time
-//! (256K images per GPU under weak scaling).
+//! (256K images per GPU under weak scaling). The sweep is issued
+//! through the caching `GridService`.
+use voltascope::service::GridService;
 use voltascope::{experiments::fig5, Harness};
 
 fn main() {
-    let cells = fig5::grid(&Harness::paper(), &voltascope_bench::workloads());
+    let service = GridService::new(Harness::paper());
+    let cells = fig5::grid_service(&service, &voltascope_bench::workloads());
     voltascope_bench::emit("Fig. 5: Weak vs strong scaling", &fig5::render(&cells));
 }

@@ -1,19 +1,21 @@
 //! Per-GPU idle-time analysis (SS V-A: "some of the GPUs become idle
-//! during DNN training" because of the asymmetric interconnect).
+//! during DNN training" because of the asymmetric interconnect). The
+//! sweep is issued through the caching `GridService`.
 use voltascope::grid::{Cell, GridSpec};
+use voltascope::service::GridService;
 use voltascope::{experiments::idle, Harness};
 use voltascope_comm::CommMethod;
 use voltascope_dnn::zoo::Workload;
 use voltascope_train::ScalingMode;
 
 fn main() {
-    let h = Harness::paper();
+    let service = GridService::new(Harness::paper());
     // One grid over every section, computed in parallel up front...
     let spec = GridSpec::paper()
         .workloads([Workload::AlexNet])
         .batches([16])
         .gpu_counts([4, 8]);
-    let out = idle::grid(&h, &spec);
+    let out = idle::grid_service(&service, &spec);
     let index = out.index();
     // ...then printed in the report's (gpus, comm) section order.
     for (workload, gpus) in [(Workload::AlexNet, 4usize), (Workload::AlexNet, 8)] {

@@ -1,8 +1,11 @@
 //! Regenerates Table II: NCCL overhead relative to P2P on one GPU.
+//! The sweep is issued through the caching `GridService`.
+use voltascope::service::GridService;
 use voltascope::{experiments::table2, Harness};
 
 fn main() {
-    let rows = table2::rows(&Harness::paper(), &voltascope_bench::workloads());
+    let service = GridService::new(Harness::paper());
+    let rows = table2::rows_service(&service, &voltascope_bench::workloads());
     voltascope_bench::emit(
         "Table II: NCCL overhead vs P2P, single GPU",
         &table2::render(&rows),

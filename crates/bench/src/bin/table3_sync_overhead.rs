@@ -1,8 +1,11 @@
 //! Regenerates Table III: cudaStreamSynchronize time share for LeNet.
+//! The sweep is issued through the caching `GridService`.
+use voltascope::service::GridService;
 use voltascope::{experiments::table3, Harness};
 
 fn main() {
-    let rows = table3::rows(&Harness::paper());
+    let service = GridService::new(Harness::paper());
+    let rows = table3::rows_service(&service);
     voltascope_bench::emit(
         "Table III: cudaStreamSynchronize share, LeNet",
         &table3::render(&rows),

@@ -192,35 +192,43 @@ fn ring_collective(
             None => topo.route(from, to).total_latency(),
         } + costs.step_overhead;
         let effective_bytes = (per_link_bytes as f64 / costs.bandwidth_efficiency.max(0.01)) as u64;
-        let serialisation = match topo.direct_link(from, to) {
-            Some(l) => l.bandwidth.transfer_time(effective_bytes),
-            None => {
-                // Fallback rings (no NVLink cycle) bounce via the host:
-                // store-and-forward, so each hop serialises the payload
-                // at its *own* link's bandwidth (matching
-                // `Route::transfer_time`; the per-hop latency term is
-                // already charged via `total_latency` above).
-                topo.route(from, to)
-                    .hops()
-                    .iter()
-                    .map(|h| h.bandwidth.transfer_time(effective_bytes))
-                    .sum()
-            }
-        };
         // Successive collectives pipeline: a link is only *occupied*
         // for the serialisation (bandwidth) term, while the chunk-step
         // latency is a parallel delay — so back-to-back buckets stream
         // without accumulating per-call latency on the links (this is
         // the pipelining the paper credits NCCL with, §V-A/§V-B).
-        let mut builder = graph
-            .task(format!("{label}.ring.hop{i}"))
-            .lasting(serialisation)
-            .category("wu.nccl.ring")
-            .after(start);
-        if let Some(res) = net.direct_resource(topo, from, to) {
-            builder = builder.on(res);
-        }
-        let occupy = builder.build();
+        let occupy = match topo.direct_link(from, to) {
+            Some(l) => {
+                let mut builder = graph
+                    .task(format!("{label}.ring.hop{i}"))
+                    .lasting(l.bandwidth.transfer_time(effective_bytes))
+                    .category("wu.nccl.ring")
+                    .after(start);
+                if let Some(res) = net.direct_resource(topo, from, to) {
+                    builder = builder.on(res);
+                }
+                builder.build()
+            }
+            None => {
+                // Fallback rings (no NVLink cycle) bounce via the host:
+                // store-and-forward, each hop serialising the payload
+                // at its *own* link's bandwidth *on* that link's
+                // per-direction resource, so concurrent fallback
+                // transfers crossing the same PCIe/QPI leg contend
+                // (the per-hop latency term is charged via
+                // `total_latency` above).
+                net.occupy_route(
+                    graph,
+                    topo,
+                    from,
+                    to,
+                    effective_bytes,
+                    &[start],
+                    "wu.nccl.ring",
+                    &format!("{label}.ring.hop{i}"),
+                )
+            }
+        };
         let delay = graph
             .task(format!("{label}.ring.hop{i}.latency"))
             .lasting(hop_latency * steps)
@@ -455,6 +463,53 @@ mod tests {
         assert!(
             (makespan - old_formula).abs() > 1e-3,
             "makespan {makespan} indistinguishable from the old bottleneck formula {old_formula}"
+        );
+    }
+
+    #[test]
+    fn concurrent_fallback_transfers_contend_on_shared_pcie_legs() {
+        // Regression: host-bounced fallback hops used to occupy *no*
+        // link resources (`direct_resource` is None for routed pairs),
+        // so two simultaneous fallback transfers over the same PCIe leg
+        // were priced as if the leg were dedicated. They must
+        // serialise on each shared per-direction leg.
+        let topo = voltascope_topo::pcie_only(2);
+        let mut graph = TaskGraph::new();
+        let net = LinkNetwork::register(&mut graph, &topo);
+        let mut compute = BTreeMap::new();
+        let mut ready = BTreeMap::new();
+        for g in 0..2u8 {
+            let d = Device::gpu(g);
+            compute.insert(d, graph.add_resource(format!("{d}.compute"), 1));
+            ready.insert(d, graph.task(format!("bp@{d}")).category("bp").build());
+        }
+        let costs = NcclCosts {
+            kernel_overhead: SimSpan::ZERO,
+            epoch_setup: SimSpan::ZERO,
+            step_overhead: SimSpan::ZERO,
+            bandwidth_efficiency: 1.0,
+            group_call_overhead: SimSpan::ZERO,
+        };
+        let ring = Ring::build(&topo, 2);
+        let bytes = 96_000_000u64; // per-link bytes = 2*(n-1)/n * bytes = bytes
+        let a = all_reduce(
+            &mut graph, &net, &topo, &ring, bytes, &ready, &compute, &costs, "ar1",
+        );
+        let _b = all_reduce(
+            &mut graph, &net, &topo, &ring, bytes, &ready, &compute, &costs, "ar2",
+        );
+        assert_eq!(a.len(), 2);
+        let makespan = Engine::new().run(&graph).unwrap().makespan().as_secs_f64();
+        // One isolated transfer store-and-forwards PCIe (12 GB/s) + QPI
+        // (19.2 GB/s) + PCIe: 8 + 5 + 8 = 21 ms. Both collectives cross
+        // the same legs in the same direction, so the trailing PCIe leg
+        // cannot finish its second 8 ms occupancy before ~29 ms.
+        let b = bytes as f64;
+        let per_hop_sum = b / 12e9 + b / 19.2e9 + b / 12e9;
+        let contended = per_hop_sum + b / 12e9;
+        assert!(
+            makespan >= contended - 1e-3,
+            "makespan {makespan} shows no contention (uncontended per-hop sum {per_hop_sum})"
         );
     }
 

@@ -88,6 +88,51 @@ impl LinkNetwork {
         Some(self.direction(topo, LinkId::from_index(idx), from))
     }
 
+    /// Emits the store-and-forward *occupancy* chain for a routed
+    /// transfer: one task per hop of the hardware route, each on its
+    /// per-direction link resource, lasting only that hop's
+    /// serialisation (bandwidth) time. The ring collectives use this
+    /// for host-bounced fallback hops, whose pipelined chunk-step
+    /// latency is charged separately as a parallel delay — but whose
+    /// bandwidth must still occupy every PCIe/QPI leg along the route,
+    /// so concurrent fallback transfers over a shared leg contend
+    /// instead of being priced as if the leg were dedicated.
+    ///
+    /// Returns the final hop's task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no route exists between `from` and `to`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn occupy_route(
+        &self,
+        graph: &mut TaskGraph,
+        topo: &Topology,
+        from: Device,
+        to: Device,
+        bytes: u64,
+        deps: &[TaskId],
+        category: &str,
+        label: &str,
+    ) -> TaskId {
+        let route = topo.route(from, to);
+        let mut prev: Option<TaskId> = None;
+        for (i, hop) in route.hops().iter().enumerate() {
+            let resource = self.direction(topo, hop.link, hop.from);
+            let mut builder = graph
+                .task(format!("{label}.leg{i}"))
+                .on(resource)
+                .lasting(hop.bandwidth.transfer_time(bytes))
+                .category(category);
+            builder = match prev {
+                Some(p) => builder.after(p),
+                None => builder.after_all(deps.iter().copied()),
+            };
+            prev = Some(builder.build());
+        }
+        prev.expect("route has at least one hop")
+    }
+
     /// Emits the task(s) for moving `bytes` from `from` to `to` and
     /// returns the completion task. Policy, mirroring MXNet on the
     /// DGX-1 (§V-A):

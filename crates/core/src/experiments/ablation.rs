@@ -7,15 +7,18 @@
 //! just a grid sweep with a non-trivial platform axis.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use voltascope_comm::CommMethod;
 use voltascope_dnn::zoo::Workload;
 use voltascope_profile::TextTable;
+use voltascope_train::EpochReport;
 
 pub use crate::grid::Platform;
 
-use crate::grid::{run_grid, Executor, GridSpec};
+use crate::grid::{epoch_reports, Executor, GridOut, GridSpec};
 use crate::harness::Harness;
+use crate::service::GridService;
 
 /// One ablation result.
 #[derive(Debug, Clone)]
@@ -58,20 +61,28 @@ pub fn topology_ablation_with(
     gpus: usize,
     exec: Executor,
 ) -> Vec<AblationRow> {
-    run_grid(h, &spec(workload, batch, gpus), exec, |ctx| {
-        let c = ctx.cell;
-        let r = ctx
-            .harness
-            .epoch(ctx.model, c.batch, c.gpus, c.comm, c.scaling);
-        AblationRow {
+    rows_from(&epoch_reports(h, &spec(workload, batch, gpus), exec))
+}
+
+/// Runs the topology ablation through a caching sweep service.
+pub fn topology_ablation_service(
+    service: &GridService,
+    workload: Workload,
+    batch: usize,
+    gpus: usize,
+) -> Vec<AblationRow> {
+    rows_from(&service.sweep(&spec(workload, batch, gpus)))
+}
+
+/// Derives the ablation rows from a raw report grid.
+pub fn rows_from(out: &GridOut<Arc<EpochReport>>) -> Vec<AblationRow> {
+    out.iter()
+        .map(|(c, r)| AblationRow {
             platform: c.platform,
             comm: c.comm,
             epoch_s: r.epoch_time.as_secs_f64(),
-        }
-    })
-    .into_pairs()
-    .map(|(_, row)| row)
-    .collect()
+        })
+        .collect()
 }
 
 /// Renders the ablation table (slowdown relative to the DGX-1

@@ -16,16 +16,19 @@
 //! breaks the ring and forces host-bounced hops.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use voltascope_comm::CommMethod;
 use voltascope_dnn::zoo::Workload;
 use voltascope_profile::TextTable;
 use voltascope_sim::SimSpan;
+use voltascope_train::EpochReport;
 
 pub use crate::grid::FaultScenario;
 
-use crate::grid::{run_grid, Executor, GridOut, GridSpec};
+use crate::grid::{epoch_reports, Cell, Executor, GridOut, GridSpec};
 use crate::harness::Harness;
+use crate::service::GridService;
 
 /// One degraded-scenario measurement.
 #[derive(Debug, Clone)]
@@ -69,38 +72,49 @@ pub fn degraded_grid_with(h: &Harness, workloads: &[Workload], exec: Executor) -
         .collect()
 }
 
+/// Runs the degraded-DGX-1 sweep through a caching sweep service.
+pub fn degraded_grid_service(service: &GridService, workloads: &[Workload]) -> Vec<DegradedRow> {
+    rows_from(service.sweep(&spec().workloads(workloads.iter().copied())))
+        .into_pairs()
+        .map(|(_, row)| row)
+        .collect()
+}
+
 /// Computes [`DegradedRow`]s for every cell of an arbitrary spec.
 pub fn grid_rows(h: &Harness, spec: &GridSpec, exec: Executor) -> GridOut<DegradedRow> {
-    run_grid(h, spec, exec, |ctx| {
-        let c = ctx.cell;
-        let report = ctx
-            .harness
-            .epoch(ctx.model, c.batch, c.gpus, c.comm, c.scaling);
-        let max_idle_percent = (0..c.gpus)
-            .map(|g| {
-                let resource = format!("GPU{g}.compute");
-                let busy: SimSpan = report
-                    .iter_trace
-                    .events()
-                    .iter()
-                    .filter(|e| e.resource.as_deref() == Some(&resource))
-                    .map(|e| e.duration())
-                    .sum();
-                100.0
-                    * report
-                        .iter_time
-                        .saturating_sub(busy)
-                        .ratio(report.iter_time)
-            })
-            .fold(0.0f64, f64::max);
-        DegradedRow {
-            workload: c.workload,
-            comm: c.comm,
-            scenario: c.fault,
-            epoch_s: report.epoch_time.as_secs_f64(),
-            max_idle_percent,
-        }
-    })
+    rows_from(epoch_reports(h, spec, exec))
+}
+
+/// Derives the degraded rows from a raw report grid.
+pub fn rows_from(out: GridOut<Arc<EpochReport>>) -> GridOut<DegradedRow> {
+    out.map(|c, report| degraded_row(c, &report))
+}
+
+fn degraded_row(c: &Cell, report: &EpochReport) -> DegradedRow {
+    let max_idle_percent = (0..c.gpus)
+        .map(|g| {
+            let resource = format!("GPU{g}.compute");
+            let busy: SimSpan = report
+                .iter_trace
+                .events()
+                .iter()
+                .filter(|e| e.resource.as_deref() == Some(&resource))
+                .map(|e| e.duration())
+                .sum();
+            100.0
+                * report
+                    .iter_time
+                    .saturating_sub(busy)
+                    .ratio(report.iter_time)
+        })
+        .fold(0.0f64, f64::max);
+    DegradedRow {
+        workload: c.workload,
+        comm: c.comm,
+        scenario: c.fault,
+        epoch_s: report.epoch_time.as_secs_f64(),
+        max_idle_percent,
+    }
 }
 
 /// Renders the degraded table: absolute numbers plus deltas against
@@ -273,6 +287,55 @@ mod tests {
         assert!(
             degraded > healthy * 1.01,
             "6-GPU ring should break: {degraded} vs {healthy}"
+        );
+    }
+
+    #[test]
+    fn second_straggler_at_same_factor_barely_moves_the_epoch() {
+        // Synchronous data parallelism waits for the slowest rank each
+        // iteration: a second GPU throttled at the *same* 1.5x factor
+        // can never beat the single-straggler case, and because the
+        // iteration is already paced by the first straggler it should
+        // cost at most a whisker more (sub-percent, from the second
+        // slow rank's own comm-phase contribution).
+        let h = Harness::paper();
+        let spec = spec()
+            .workloads([Workload::AlexNet])
+            .faults(FaultScenario::EXTENDED);
+        let rows: Vec<DegradedRow> = grid_rows(&h, &spec, Executor::Serial)
+            .into_pairs()
+            .map(|(_, r)| r)
+            .collect();
+        let one = epoch_of(
+            &rows,
+            Workload::AlexNet,
+            CommMethod::Nccl,
+            FaultScenario::StragglerGpu,
+        );
+        let two = epoch_of(
+            &rows,
+            Workload::AlexNet,
+            CommMethod::Nccl,
+            FaultScenario::TwoStragglers,
+        );
+        let healthy = epoch_of(
+            &rows,
+            Workload::AlexNet,
+            CommMethod::Nccl,
+            FaultScenario::Healthy,
+        );
+        assert!(two >= one, "two stragglers {two} vs one {one}");
+        assert!(
+            two > healthy * 1.001,
+            "two stragglers {two} vs healthy {healthy}"
+        );
+        // Max-of-ranks: the second straggler adds far less than the
+        // first one did.
+        assert!(
+            two - one < (one - healthy) * 0.5,
+            "second straggler added {} but first added {}",
+            two - one,
+            one - healthy
         );
     }
 

@@ -2,13 +2,17 @@
 //! the DGX-1's asymmetric links leave some GPUs idle ("GPU1 and GPU2
 //! remain idle until GPU3 receives the updated weights").
 
+use std::sync::Arc;
+
 use voltascope_comm::CommMethod;
 use voltascope_dnn::zoo::Workload;
 use voltascope_profile::TextTable;
 use voltascope_sim::SimSpan;
+use voltascope_train::EpochReport;
 
-use crate::grid::{run_grid, Executor, GridOut, GridSpec};
+use crate::grid::{epoch_reports, Cell, Executor, GridOut, GridSpec};
 use crate::harness::Harness;
+use crate::service::GridService;
 
 /// One GPU's activity within a steady-state iteration.
 #[derive(Debug, Clone)]
@@ -33,31 +37,39 @@ pub fn grid(h: &Harness, spec: &GridSpec) -> GridOut<Vec<IdleRow>> {
 
 /// Computes the per-GPU idle grid under an explicit executor.
 pub fn grid_with(h: &Harness, spec: &GridSpec, exec: Executor) -> GridOut<Vec<IdleRow>> {
-    run_grid(h, spec, exec, |ctx| {
-        let c = ctx.cell;
-        let report = ctx
-            .harness
-            .epoch(ctx.model, c.batch, c.gpus, c.comm, c.scaling);
-        (0..c.gpus)
-            .map(|g| {
-                let resource = format!("GPU{g}.compute");
-                let busy: SimSpan = report
-                    .iter_trace
-                    .events()
-                    .iter()
-                    .filter(|e| e.resource.as_deref() == Some(&resource))
-                    .map(|e| e.duration())
-                    .sum();
-                let idle = report.iter_time.saturating_sub(busy);
-                IdleRow {
-                    gpu: g,
-                    busy,
-                    idle,
-                    idle_percent: 100.0 * idle.ratio(report.iter_time),
-                }
-            })
-            .collect()
-    })
+    rows_from(epoch_reports(h, spec, exec))
+}
+
+/// Computes the per-GPU idle grid through a caching sweep service.
+pub fn grid_service(service: &GridService, spec: &GridSpec) -> GridOut<Vec<IdleRow>> {
+    rows_from(service.sweep(spec))
+}
+
+/// Derives the per-GPU idle rows from a raw report grid.
+pub fn rows_from(out: GridOut<Arc<EpochReport>>) -> GridOut<Vec<IdleRow>> {
+    out.map(|c, report| idle_rows(c, &report))
+}
+
+fn idle_rows(c: &Cell, report: &EpochReport) -> Vec<IdleRow> {
+    (0..c.gpus)
+        .map(|g| {
+            let resource = format!("GPU{g}.compute");
+            let busy: SimSpan = report
+                .iter_trace
+                .events()
+                .iter()
+                .filter(|e| e.resource.as_deref() == Some(&resource))
+                .map(|e| e.duration())
+                .sum();
+            let idle = report.iter_time.saturating_sub(busy);
+            IdleRow {
+                gpu: g,
+                busy,
+                idle,
+                idle_percent: 100.0 * idle.ratio(report.iter_time),
+            }
+        })
+        .collect()
 }
 
 /// Measures per-GPU compute idle time for one configuration.

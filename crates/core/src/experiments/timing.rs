@@ -4,16 +4,24 @@
 //! the [`crate::grid`] engine; each `grid`/`rows` entry point has a
 //! `*_with` variant taking an explicit [`Executor`], while the plain
 //! variant honours the `VOLTASCOPE_THREADS` environment override.
+//!
+//! Every sweep also has a `*_service` variant that routes through a
+//! caching [`GridService`](crate::service::GridService). Both paths
+//! derive their rows from the same raw [`EpochReport`] grid via a
+//! shared `rows_from`, so their tables are byte-identical — the
+//! service merely skips recomputing cells it has already seen.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use voltascope_comm::CommMethod;
 use voltascope_dnn::zoo::Workload;
 use voltascope_profile::TextTable;
-use voltascope_train::ScalingMode;
+use voltascope_train::{EpochReport, ScalingMode};
 
-use crate::grid::{run_grid, Cell, Executor, GridSpec};
+use crate::grid::{epoch_reports, Cell, Executor, GridOut, GridSpec};
 use crate::harness::{Harness, Measurement};
+use crate::service::GridService;
 
 /// The paper's batch-size sweep (alias of [`crate::grid::PAPER_BATCHES`]).
 pub const BATCHES: [usize; 3] = crate::grid::PAPER_BATCHES;
@@ -63,21 +71,27 @@ pub mod fig3 {
 
     /// Computes the grid under an explicit executor.
     pub fn grid_with(h: &Harness, workloads: &[Workload], exec: Executor) -> Vec<TrainingTimeCell> {
-        run_grid(h, &spec(workloads), exec, |ctx| {
-            let c = ctx.cell;
-            TrainingTimeCell {
+        rows_from(h, &epoch_reports(h, &spec(workloads), exec))
+    }
+
+    /// Computes the grid through a caching sweep service.
+    pub fn grid_service(service: &GridService, workloads: &[Workload]) -> Vec<TrainingTimeCell> {
+        rows_from(service.base(), &service.sweep(&spec(workloads)))
+    }
+
+    /// Derives the Fig. 3 rows from a raw report grid: the repetition
+    /// protocol's jittered measurement per cell, salted by the cell key
+    /// alone, so both execution paths agree exactly.
+    pub fn rows_from(h: &Harness, out: &GridOut<Arc<EpochReport>>) -> Vec<TrainingTimeCell> {
+        out.iter()
+            .map(|(c, r)| TrainingTimeCell {
                 workload: c.workload,
                 comm: c.comm,
                 batch: c.batch,
                 gpus: c.gpus,
-                time: ctx
-                    .harness
-                    .training_time_of(ctx.model, c.workload, c.batch, c.gpus, c.comm, c.scaling),
-            }
-        })
-        .into_pairs()
-        .map(|(_, cell)| cell)
-        .collect()
+                time: h.measure(r.epoch_time.as_secs_f64(), c.jitter_salt()),
+            })
+            .collect()
     }
 
     /// Renders the grid as the paper prints it: one row per
@@ -159,23 +173,32 @@ pub mod table2 {
 
     /// Computes the overhead rows under an explicit executor.
     pub fn rows_with(h: &Harness, workloads: &[Workload], exec: Executor) -> Vec<OverheadRow> {
-        let out = run_grid(h, &spec(workloads), exec, |ctx| {
-            let c = ctx.cell;
-            ctx.harness
-                .epoch(ctx.model, c.batch, c.gpus, c.comm, c.scaling)
-                .epoch_time
-                .as_secs_f64()
-        });
+        rows_from(&epoch_reports(h, &spec(workloads), exec))
+    }
+
+    /// Computes the overhead rows through a caching sweep service.
+    pub fn rows_service(service: &GridService, workloads: &[Workload]) -> Vec<OverheadRow> {
+        rows_from(&service.sweep(&spec(workloads)))
+    }
+
+    /// Derives the Table II rows from a raw report grid. Each P2P cell
+    /// (in enumeration order, i.e. workload-major then batch) pairs
+    /// with the NCCL cell of the same configuration.
+    pub fn rows_from(out: &GridOut<Arc<EpochReport>>) -> Vec<OverheadRow> {
         let secs = out.index_by(|c| (c.workload, c.comm, c.batch));
-        workloads
+        out.cells()
             .iter()
-            .flat_map(|&workload| BATCHES.iter().map(move |&batch| (workload, batch)))
-            .map(|(workload, batch)| {
-                let p2p = secs[&(workload, CommMethod::P2p, batch)];
-                let nccl = secs[&(workload, CommMethod::Nccl, batch)];
+            .filter(|c| c.comm == CommMethod::P2p)
+            .map(|c| {
+                let p2p = secs[&(c.workload, CommMethod::P2p, c.batch)]
+                    .epoch_time
+                    .as_secs_f64();
+                let nccl = secs[&(c.workload, CommMethod::Nccl, c.batch)]
+                    .epoch_time
+                    .as_secs_f64();
                 OverheadRow {
-                    workload,
-                    batch,
+                    workload: c.workload,
+                    batch: c.batch,
                     overhead_percent: 100.0 * (nccl - p2p) / p2p,
                 }
             })
@@ -230,22 +253,25 @@ pub mod fig4 {
 
     /// Computes the breakdown grid under an explicit executor.
     pub fn grid_with(h: &Harness, workloads: &[Workload], exec: Executor) -> Vec<BreakdownCell> {
-        run_grid(h, &spec(workloads), exec, |ctx| {
-            let c = ctx.cell;
-            let r = ctx
-                .harness
-                .epoch(ctx.model, c.batch, c.gpus, c.comm, c.scaling);
-            BreakdownCell {
+        rows_from(&epoch_reports(h, &spec(workloads), exec))
+    }
+
+    /// Computes the breakdown grid through a caching sweep service.
+    pub fn grid_service(service: &GridService, workloads: &[Workload]) -> Vec<BreakdownCell> {
+        rows_from(&service.sweep(&spec(workloads)))
+    }
+
+    /// Derives the Fig. 4 rows from a raw report grid.
+    pub fn rows_from(out: &GridOut<Arc<EpochReport>>) -> Vec<BreakdownCell> {
+        out.iter()
+            .map(|(c, r)| BreakdownCell {
                 workload: c.workload,
                 batch: c.batch,
                 gpus: c.gpus,
                 fp_bp_s: r.fp_bp_epoch().as_secs_f64(),
                 wu_s: r.wu_epoch().as_secs_f64(),
-            }
-        })
-        .into_pairs()
-        .map(|(_, cell)| cell)
-        .collect()
+            })
+            .collect()
     }
 
     /// Renders the breakdown table (X-axis = (GPU count, batch size),
@@ -303,20 +329,23 @@ pub mod table3 {
 
     /// Computes the rows under an explicit executor.
     pub fn rows_with(h: &Harness, exec: Executor) -> Vec<SyncRow> {
-        run_grid(h, &spec(), exec, |ctx| {
-            let c = ctx.cell;
-            let r = ctx
-                .harness
-                .epoch(ctx.model, c.batch, c.gpus, c.comm, c.scaling);
-            SyncRow {
+        rows_from(&epoch_reports(h, &spec(), exec))
+    }
+
+    /// Computes the rows through a caching sweep service.
+    pub fn rows_service(service: &GridService) -> Vec<SyncRow> {
+        rows_from(&service.sweep(&spec()))
+    }
+
+    /// Derives the Table III rows from a raw report grid.
+    pub fn rows_from(out: &GridOut<Arc<EpochReport>>) -> Vec<SyncRow> {
+        out.iter()
+            .map(|(c, r)| SyncRow {
                 batch: c.batch,
                 gpus: c.gpus,
                 percent: r.sync_percent(),
-            }
-        })
-        .into_pairs()
-        .map(|(_, row)| row)
-        .collect()
+            })
+            .collect()
     }
 
     /// Renders Table III.
@@ -375,13 +404,18 @@ pub mod fig5 {
 
     /// Computes the weak-scaling grid under an explicit executor.
     pub fn grid_with(h: &Harness, workloads: &[Workload], exec: Executor) -> Vec<WeakScalingCell> {
-        let out = run_grid(h, &spec(workloads), exec, |ctx| {
-            let c = ctx.cell;
-            ctx.harness
-                .epoch(ctx.model, c.batch, c.gpus, c.comm, c.scaling)
-                .epoch_time
-                .as_secs_f64()
-        });
+        rows_from(&epoch_reports(h, &spec(workloads), exec))
+    }
+
+    /// Computes the weak-scaling grid through a caching sweep service.
+    pub fn grid_service(service: &GridService, workloads: &[Workload]) -> Vec<WeakScalingCell> {
+        rows_from(&service.sweep(&spec(workloads)))
+    }
+
+    /// Derives the Fig. 5 rows from a raw report grid: each
+    /// strong-scaling cell pairs with the weak-scaling cell of the same
+    /// configuration.
+    pub fn rows_from(out: &GridOut<Arc<EpochReport>>) -> Vec<WeakScalingCell> {
         let index = out.index();
         out.cells()
             .iter()
@@ -391,8 +425,8 @@ pub mod fig5 {
                     scaling: ScalingMode::Weak,
                     ..strong_cell
                 };
-                let strong = *index[&strong_cell];
-                let weak = *index[&weak_cell];
+                let strong = index[&strong_cell].epoch_time.as_secs_f64();
+                let weak = index[&weak_cell].epoch_time.as_secs_f64();
                 WeakScalingCell {
                     workload: strong_cell.workload,
                     comm: strong_cell.comm,

@@ -80,14 +80,32 @@ pub enum FaultScenario {
     /// GPU3 is a straggler: thermal throttling runs its kernels 1.5x
     /// slower, dragging every synchronous iteration with it.
     StragglerGpu,
+    /// GPU3 *and* GPU6 straggle at 1.5x simultaneously — one on each
+    /// CPU socket. Synchronous data parallelism waits for the slowest
+    /// rank per iteration, so a second straggler at the same factor
+    /// barely moves the epoch beyond the single-straggler case; this
+    /// scenario exists to demonstrate that max-of-ranks behaviour.
+    TwoStragglers,
 }
 
 impl FaultScenario {
-    /// All scenarios, healthy first.
+    /// The scenarios swept by the canonical degraded-DGX-1 experiment,
+    /// healthy first. Frozen at three entries: the golden outputs under
+    /// `results/` enumerate exactly this set, so new scenarios join
+    /// [`FaultScenario::EXTENDED`] instead.
     pub const ALL: [FaultScenario; 3] = [
         FaultScenario::Healthy,
         FaultScenario::DeadNvLink,
         FaultScenario::StragglerGpu,
+    ];
+
+    /// Every canned scenario, including those outside the canonical
+    /// golden sweep.
+    pub const EXTENDED: [FaultScenario; 4] = [
+        FaultScenario::Healthy,
+        FaultScenario::DeadNvLink,
+        FaultScenario::StragglerGpu,
+        FaultScenario::TwoStragglers,
     ];
 
     /// Display name.
@@ -96,6 +114,7 @@ impl FaultScenario {
             FaultScenario::Healthy => "healthy",
             FaultScenario::DeadNvLink => "dead NVLink (GPU3)",
             FaultScenario::StragglerGpu => "straggler GPU3 (1.5x)",
+            FaultScenario::TwoStragglers => "stragglers GPU3+GPU6 (1.5x)",
         }
     }
 
@@ -105,6 +124,9 @@ impl FaultScenario {
             FaultScenario::Healthy => FaultSpec::new(),
             FaultScenario::DeadNvLink => FaultSpec::new().kill_nvlinks_of(Device::gpu(3)),
             FaultScenario::StragglerGpu => FaultSpec::new().slow_gpu(Device::gpu(3), 1.5),
+            FaultScenario::TwoStragglers => {
+                FaultSpec::new().two_stragglers(Device::gpu(3), Device::gpu(6), 1.5)
+            }
         }
     }
 }
@@ -202,7 +224,7 @@ mod tests {
     #[test]
     fn fault_scenarios_apply_to_every_platform() {
         for p in Platform::ALL {
-            for f in FaultScenario::ALL {
+            for f in FaultScenario::EXTENDED {
                 // Every canned scenario must be valid on every platform
                 // topology (GPU3 exists everywhere; its NVLink-kill is
                 // a no-op on PCIe-only, which has no NVLinks).
@@ -218,5 +240,25 @@ mod tests {
         assert!(FaultScenario::Healthy.spec().is_healthy());
         assert!(!FaultScenario::DeadNvLink.spec().is_healthy());
         assert!(!FaultScenario::StragglerGpu.spec().is_healthy());
+        assert!(!FaultScenario::TwoStragglers.spec().is_healthy());
+    }
+
+    #[test]
+    fn canonical_sweep_is_frozen_and_extended_is_a_superset() {
+        // The degraded-DGX-1 golden enumerates exactly ALL; it must not
+        // grow when scenarios are added.
+        assert_eq!(FaultScenario::ALL.len(), 3);
+        for f in FaultScenario::ALL {
+            assert!(FaultScenario::EXTENDED.contains(&f));
+        }
+        assert!(FaultScenario::EXTENDED.contains(&FaultScenario::TwoStragglers));
+    }
+
+    #[test]
+    fn two_stragglers_slow_both_sockets() {
+        let spec = FaultScenario::TwoStragglers.spec();
+        assert_eq!(spec.slowdown_of(Device::gpu(3)), 1.5);
+        assert_eq!(spec.slowdown_of(Device::gpu(6)), 1.5);
+        assert_eq!(spec.slowdown_of(Device::gpu(0)), 1.0);
     }
 }

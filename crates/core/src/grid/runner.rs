@@ -6,6 +6,7 @@ use std::sync::Arc;
 
 use voltascope_dnn::zoo::Workload;
 use voltascope_dnn::Model;
+use voltascope_train::EpochReport;
 
 use super::cell::{Cell, FaultScenario, Platform};
 use super::executor::Executor;
@@ -47,22 +48,7 @@ impl GridRunner {
         let mut harnesses = HashMap::new();
         for &p in spec.platform_axis() {
             for &f in spec.fault_axis() {
-                let harness = if p == Platform::Dgx1 && f == FaultScenario::Healthy {
-                    base.clone()
-                } else {
-                    let mut sys = base.sys.clone();
-                    if p != Platform::Dgx1 {
-                        sys.topo = p.topology();
-                    }
-                    if f != FaultScenario::Healthy {
-                        sys = sys.with_faults(&f.spec());
-                    }
-                    Harness {
-                        sys,
-                        ..base.clone()
-                    }
-                };
-                harnesses.insert((p, f), Arc::new(harness));
+                harnesses.insert((p, f), Arc::new(harness_for(base, p, f)));
             }
         }
         GridRunner { models, harnesses }
@@ -101,6 +87,29 @@ impl GridRunner {
     }
 }
 
+/// Builds the [`Harness`] variant for one (platform, fault) pair:
+/// `base` itself for the healthy baseline DGX-1, otherwise `base` with
+/// the variant topology swapped in and the fault spec applied. The
+/// measurement-protocol fields (reps, jitter, seed) are always
+/// inherited unchanged, so post-processing a variant's raw epoch with
+/// the *base* harness is byte-identical to using the variant harness.
+pub fn harness_for(base: &Harness, platform: Platform, fault: FaultScenario) -> Harness {
+    if platform == Platform::Dgx1 && fault == FaultScenario::Healthy {
+        return base.clone();
+    }
+    let mut sys = base.sys.clone();
+    if platform != Platform::Dgx1 {
+        sys.topo = platform.topology();
+    }
+    if fault != FaultScenario::Healthy {
+        sys = sys.with_faults(&fault.spec());
+    }
+    Harness {
+        sys,
+        ..base.clone()
+    }
+}
+
 /// Runs one grid end to end: build the shared context, execute, return
 /// indexed results. The common entry point for experiment modules.
 pub fn run_grid<T, F>(base: &Harness, spec: &GridSpec, exec: Executor, f: F) -> GridOut<T>
@@ -109,6 +118,20 @@ where
     F: Fn(CellCtx<'_>) -> T + Sync,
 {
     GridRunner::new(base, spec).run(exec, spec, f)
+}
+
+/// Simulates the raw [`EpochReport`] of every cell of `spec` — the
+/// direct-path twin of [`crate::service::GridService::sweep`]. Both
+/// produce the same `GridOut<Arc<EpochReport>>` shape, so experiment
+/// row derivations are agnostic about which path computed their cells.
+pub fn epoch_reports(base: &Harness, spec: &GridSpec, exec: Executor) -> GridOut<Arc<EpochReport>> {
+    run_grid(base, spec, exec, |ctx| {
+        let c = ctx.cell;
+        Arc::new(
+            ctx.harness
+                .epoch(ctx.model, c.batch, c.gpus, c.comm, c.scaling),
+        )
+    })
 }
 
 /// The results of one grid run: values in cell-enumeration order plus
@@ -120,6 +143,22 @@ pub struct GridOut<T> {
 }
 
 impl<T> GridOut<T> {
+    /// Assembles a grid result from already-paired cells and values
+    /// (used by the service layer, which answers some cells from cache
+    /// rather than executing the whole grid).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the lengths disagree.
+    pub(crate) fn from_parts(cells: Vec<Cell>, values: Vec<T>) -> Self {
+        assert_eq!(
+            cells.len(),
+            values.len(),
+            "one value per cell in enumeration order"
+        );
+        GridOut { cells, values }
+    }
+
     /// Number of cells.
     pub fn len(&self) -> usize {
         self.cells.len()

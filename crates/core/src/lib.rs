@@ -41,6 +41,7 @@ pub mod calibration;
 pub mod experiments;
 pub mod grid;
 mod harness;
+pub mod service;
 
 pub use harness::{Harness, Measurement};
 
@@ -52,4 +53,6 @@ const _: () = {
     assert_send_sync::<Measurement>();
     assert_send_sync::<grid::Cell>();
     assert_send_sync::<grid::GridSpec>();
+    // The sweep service is shared by reference across request threads.
+    assert_send_sync::<service::GridService>();
 };

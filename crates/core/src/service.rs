@@ -1,0 +1,366 @@
+//! # Cached, single-flight sweep service over the grid engine
+//!
+//! [`GridService`] is a concurrent request front end for the grid
+//! engine: callers submit sweeps (a [`GridSpec`] or an explicit
+//! [`Cell`] list) and the service answers every cell it has already
+//! computed from a shared cache, coalesces cells another request is
+//! currently computing (single-flight), and schedules only the
+//! genuinely missing cells onto its [`Executor`] worker pool.
+//!
+//! The cached value per cell is the [`EpochReport`] — the raw,
+//! jitter-free simulation output every portable experiment derives its
+//! rows from. Post-processing (the repetition protocol's jittered
+//! [`crate::Measurement`], FP+BP/WU splits, sync shares, idle scans)
+//! is cheap and deterministic, so experiment modules re-derive their
+//! tables from cached reports and stay byte-identical to the direct
+//! [`crate::grid::GridRunner`] path.
+//!
+//! ## Cache keying
+//!
+//! The cache key is the full [`Cell`] — including the platform variant
+//! and fault scenario — so a PCIe-only AlexNet epoch can never answer
+//! a DGX-1 request for the same (workload, comm, batch, gpus, scaling)
+//! point. Keys are never evicted: the whole paper grid is a few
+//! thousand cells of a few-KB report each, far below any meaningful
+//! memory bound, and eviction would reintroduce recomputation
+//! nondeterminism for long request streams.
+//!
+//! ## Single-flight
+//!
+//! A cell is claimed (marked in-flight) under the state lock before
+//! computation starts, so overlapping requests for the same cell
+//! compute it exactly once: the first request computes, later requests
+//! park on a condition variable and are woken when the report is
+//! published. Cell computations are pure simulations and do not panic
+//! for valid cells; a panicking computation aborts its request and is
+//! not unwound into a cache retraction.
+//!
+//! ## Example
+//!
+//! ```
+//! use voltascope::grid::{Executor, GridSpec};
+//! use voltascope::service::GridService;
+//! use voltascope::Harness;
+//! use voltascope_dnn::zoo::Workload;
+//!
+//! let service = GridService::with_executor(Harness::paper(), Executor::Serial);
+//! let spec = GridSpec::paper().workloads([Workload::LeNet]).batches([16]);
+//! let first = service.sweep(&spec);
+//! let again = service.sweep(&spec);
+//! assert_eq!(first.len(), again.len());
+//! // The second sweep was answered entirely from cache.
+//! assert_eq!(service.stats().computed, first.len() as u64);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use voltascope_dnn::zoo::Workload;
+use voltascope_dnn::Model;
+use voltascope_train::EpochReport;
+
+use crate::grid::{harness_for, Cell, Executor, FaultScenario, GridOut, GridSpec, Platform};
+use crate::Harness;
+
+/// One cache entry: either being computed by some request right now,
+/// or done and shareable.
+#[derive(Debug)]
+enum Slot {
+    InFlight,
+    Done(Arc<EpochReport>),
+}
+
+/// Lock-guarded service state: the report cache plus the lazily grown
+/// model/harness pools (the same sharing the [`crate::grid::GridRunner`]
+/// does per grid, but across the service's whole lifetime).
+#[derive(Debug, Default)]
+struct State {
+    cache: HashMap<Cell, Slot>,
+    models: HashMap<Workload, Arc<Model>>,
+    harnesses: HashMap<(Platform, FaultScenario), Arc<Harness>>,
+}
+
+/// Counters describing how a [`GridService`] answered its requests so
+/// far. Monotone; snapshot via [`GridService::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceStats {
+    /// Requests served ([`GridService::run_cells`] / [`GridService::sweep`] calls).
+    pub requests: u64,
+    /// Total cells across all requests (duplicates counted).
+    pub cells: u64,
+    /// Cells answered from a completed cache entry.
+    pub hits: u64,
+    /// Cells coalesced onto a computation already in flight (including
+    /// duplicate cells within a single request).
+    pub coalesced: u64,
+    /// Cells actually computed (each unique cell at most once, ever).
+    pub computed: u64,
+}
+
+impl ServiceStats {
+    /// Fraction of requested cells answered without new computation
+    /// (cache hits plus coalesced), in `[0, 1]`; zero for no traffic.
+    pub fn hit_rate(&self) -> f64 {
+        if self.cells == 0 {
+            0.0
+        } else {
+            (self.hits + self.coalesced) as f64 / self.cells as f64
+        }
+    }
+}
+
+/// A concurrent sweep front end: deduplicating, caching, single-flight.
+/// See the [module docs](self) for semantics.
+#[derive(Debug)]
+pub struct GridService {
+    base: Harness,
+    exec: Executor,
+    state: Mutex<State>,
+    ready: Condvar,
+    requests: AtomicU64,
+    cells: AtomicU64,
+    hits: AtomicU64,
+    coalesced: AtomicU64,
+    computed: AtomicU64,
+}
+
+impl GridService {
+    /// A service over `base`, executing missing cells under the
+    /// environment-selected executor ([`Executor::from_env`], honouring
+    /// `VOLTASCOPE_THREADS`).
+    pub fn new(base: Harness) -> Self {
+        Self::with_executor(base, Executor::from_env())
+    }
+
+    /// A service with an explicit executor for missing cells.
+    pub fn with_executor(base: Harness, exec: Executor) -> Self {
+        GridService {
+            base,
+            exec,
+            state: Mutex::new(State::default()),
+            ready: Condvar::new(),
+            requests: AtomicU64::new(0),
+            cells: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            computed: AtomicU64::new(0),
+        }
+    }
+
+    /// The base harness requests are simulated against. Its
+    /// measurement-protocol fields apply to every platform/fault
+    /// variant (see [`harness_for`]), so renderers post-process cached
+    /// reports with this harness.
+    pub fn base(&self) -> &Harness {
+        &self.base
+    }
+
+    /// The executor missing cells are scheduled onto.
+    pub fn executor(&self) -> Executor {
+        self.exec
+    }
+
+    /// Runs a full declarative sweep through the cache, returning an
+    /// indexed [`GridOut`] in the spec's canonical enumeration order —
+    /// the same shape [`crate::grid::run_grid`] produces, so renderers
+    /// are agnostic about which path computed their cells.
+    pub fn sweep(&self, spec: &GridSpec) -> GridOut<Arc<EpochReport>> {
+        let cells = spec.cells();
+        let reports = self.run_cells(&cells);
+        GridOut::from_parts(cells, reports)
+    }
+
+    /// Answers one request for an explicit cell list: cache hits are
+    /// returned as-is, in-flight cells are awaited, and missing cells
+    /// are claimed and computed on this service's executor. Returns one
+    /// report per input cell, in input order (duplicates allowed).
+    pub fn run_cells(&self, cells: &[Cell]) -> Vec<Arc<EpochReport>> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.cells.fetch_add(cells.len() as u64, Ordering::Relaxed);
+
+        // Claim phase: classify every cell under one lock acquisition.
+        // Missing cells are marked in flight *before* the lock drops,
+        // so no concurrent request can double-compute them.
+        let mine: Vec<(Cell, Arc<Model>, Arc<Harness>)> = {
+            let mut state = self.state.lock().expect("service state poisoned");
+            let mut mine = Vec::new();
+            for &cell in cells {
+                match state.cache.get(&cell) {
+                    Some(Slot::Done(_)) => {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Some(Slot::InFlight) => {
+                        self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => {
+                        state.cache.insert(cell, Slot::InFlight);
+                        let model = state
+                            .models
+                            .entry(cell.workload)
+                            .or_insert_with(|| Arc::new(cell.workload.build()))
+                            .clone();
+                        let harness = state
+                            .harnesses
+                            .entry((cell.platform, cell.fault))
+                            .or_insert_with(|| {
+                                Arc::new(harness_for(&self.base, cell.platform, cell.fault))
+                            })
+                            .clone();
+                        mine.push((cell, model, harness));
+                    }
+                }
+            }
+            mine
+        };
+
+        // Compute phase: only the cells this request claimed, on the
+        // worker pool. Each report is published (and waiters notified)
+        // as soon as it exists, not at the end of the batch, so
+        // overlapping requests stream results out of this one.
+        self.exec.run(mine.len(), |i| {
+            let (cell, model, harness) = &mine[i];
+            let report =
+                Arc::new(harness.epoch(model, cell.batch, cell.gpus, cell.comm, cell.scaling));
+            self.computed.fetch_add(1, Ordering::Relaxed);
+            let mut state = self.state.lock().expect("service state poisoned");
+            state.cache.insert(*cell, Slot::Done(report.clone()));
+            drop(state);
+            self.ready.notify_all();
+        });
+
+        // Assemble phase: by now every claimed cell is done; cells
+        // claimed by other requests may still be in flight, so park on
+        // the condition variable until they publish.
+        let mut state = self.state.lock().expect("service state poisoned");
+        let mut reports = Vec::with_capacity(cells.len());
+        for cell in cells {
+            let report = loop {
+                match state.cache.get(cell) {
+                    Some(Slot::Done(report)) => break report.clone(),
+                    _ => {
+                        state = self
+                            .ready
+                            .wait(state)
+                            .expect("service state poisoned while waiting");
+                    }
+                }
+            };
+            reports.push(report);
+        }
+        reports
+    }
+
+    /// Snapshot of the request counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            cells: self.cells.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            computed: self.computed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct cells resident in the cache (completed or in
+    /// flight).
+    pub fn cached_cells(&self) -> usize {
+        self.state
+            .lock()
+            .expect("service state poisoned")
+            .cache
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voltascope_comm::CommMethod;
+    use voltascope_train::ScalingMode;
+
+    fn lenet_cell(batch: usize, gpus: usize) -> Cell {
+        Cell {
+            workload: Workload::LeNet,
+            comm: CommMethod::P2p,
+            batch,
+            gpus,
+            scaling: ScalingMode::Strong,
+            platform: Platform::Dgx1,
+            fault: FaultScenario::Healthy,
+        }
+    }
+
+    #[test]
+    fn repeat_requests_hit_the_cache() {
+        let service = GridService::with_executor(Harness::paper(), Executor::Serial);
+        let cells = [lenet_cell(16, 1), lenet_cell(16, 2)];
+        let first = service.run_cells(&cells);
+        let second = service.run_cells(&cells);
+        assert_eq!(first.len(), 2);
+        for (a, b) in first.iter().zip(second.iter()) {
+            // Same Arc, not merely equal values.
+            assert!(Arc::ptr_eq(a, b));
+        }
+        let stats = service.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.cells, 4);
+        assert_eq!(stats.computed, 2);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.coalesced, 0);
+        assert_eq!(stats.hit_rate(), 0.5);
+        assert_eq!(service.cached_cells(), 2);
+    }
+
+    #[test]
+    fn duplicate_cells_within_a_request_compute_once() {
+        let service = GridService::with_executor(Harness::paper(), Executor::Serial);
+        let cell = lenet_cell(16, 1);
+        let reports = service.run_cells(&[cell, cell, cell]);
+        assert_eq!(reports.len(), 3);
+        assert!(Arc::ptr_eq(&reports[0], &reports[1]));
+        assert!(Arc::ptr_eq(&reports[1], &reports[2]));
+        let stats = service.stats();
+        assert_eq!(stats.computed, 1);
+        assert_eq!(stats.coalesced, 2);
+    }
+
+    #[test]
+    fn overlapping_sweeps_only_compute_the_missing_cells() {
+        let service = GridService::with_executor(Harness::paper(), Executor::Serial);
+        let small = GridSpec::paper()
+            .workloads([Workload::LeNet])
+            .comms([CommMethod::P2p])
+            .batches([16])
+            .gpu_counts([1, 2]);
+        let bigger = small.clone().gpu_counts([1, 2, 4]);
+        service.sweep(&small);
+        let out = service.sweep(&bigger);
+        assert_eq!(out.len(), 3);
+        let stats = service.stats();
+        assert_eq!(stats.computed, 3, "only the 4-GPU cell was new");
+        assert_eq!(stats.hits, 2);
+    }
+
+    #[test]
+    fn empty_requests_are_answered_without_computation() {
+        let service = GridService::with_executor(Harness::paper(), Executor::Serial);
+        assert!(service.run_cells(&[]).is_empty());
+        let stats = service.stats();
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.cells, 0);
+        assert_eq!(stats.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn sweep_preserves_canonical_enumeration_order() {
+        let service = GridService::with_executor(Harness::paper(), Executor::Serial);
+        let spec = GridSpec::paper()
+            .workloads([Workload::LeNet])
+            .comms([CommMethod::P2p, CommMethod::Nccl])
+            .batches([16])
+            .gpu_counts([2]);
+        let out = service.sweep(&spec);
+        assert_eq!(out.cells(), spec.cells().as_slice());
+    }
+}

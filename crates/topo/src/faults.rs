@@ -119,6 +119,21 @@ impl FaultSpec {
         self
     }
 
+    /// Canned scenario: two GPUs straggling simultaneously at the same
+    /// `factor` — the common "two hot devices" case on a shared
+    /// chassis, where throttling correlates across neighbouring cards.
+    /// Synchronous training pays the *max* of the per-GPU slowdowns per
+    /// iteration, so a second straggler in the other quad mostly tests
+    /// whether any schedule slack is left to hide it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor < 1` or `a == b`.
+    pub fn two_stragglers(self, a: Device, b: Device, factor: f64) -> Self {
+        assert_ne!(a, b, "two stragglers need two distinct GPUs");
+        self.slow_gpu(a, factor).slow_gpu(b, factor)
+    }
+
     /// `true` when the spec injects nothing.
     pub fn is_healthy(&self) -> bool {
         self.dead_links.is_empty()
@@ -370,5 +385,25 @@ mod tests {
     #[should_panic(expected = "must be >= 1")]
     fn speedup_straggler_panics() {
         let _ = FaultSpec::new().slow_gpu(Device::gpu(0), 0.5);
+    }
+
+    #[test]
+    fn two_stragglers_compose_both_slowdowns() {
+        let g = Device::gpu;
+        let spec = FaultSpec::new().two_stragglers(g(3), g(6), 1.5);
+        assert_eq!(spec.slowdown_of(g(3)), 1.5);
+        assert_eq!(spec.slowdown_of(g(6)), 1.5);
+        assert_eq!(spec.slowdown_of(g(0)), 1.0);
+        assert_eq!(spec.gpu_slowdowns().len(), 2);
+        assert!(!spec.is_healthy());
+        // Pure compute faults leave the graph alone.
+        let topo = dgx1_v100();
+        assert_eq!(topo.apply(&spec).links().len(), topo.links().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "two distinct GPUs")]
+    fn identical_stragglers_panic() {
+        let _ = FaultSpec::new().two_stragglers(Device::gpu(3), Device::gpu(3), 1.5);
     }
 }
