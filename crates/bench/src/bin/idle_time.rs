@@ -1,15 +1,15 @@
 //! Per-GPU idle-time analysis (SS V-A: "some of the GPUs become idle
 //! during DNN training" because of the asymmetric interconnect). The
-//! sweep is issued through the caching `GridService`.
+//! sweep is issued through the caching `GridService`; set
+//! `VOLTASCOPE_CACHE` to warm-start from (and re-save) a snapshot.
+use voltascope::experiments::idle;
 use voltascope::grid::{Cell, GridSpec};
-use voltascope::service::GridService;
-use voltascope::{experiments::idle, Harness};
 use voltascope_comm::CommMethod;
 use voltascope_dnn::zoo::Workload;
 use voltascope_train::ScalingMode;
 
 fn main() {
-    let service = GridService::new(Harness::paper());
+    let service = voltascope_bench::service();
     // One grid over every section, computed in parallel up front...
     let spec = GridSpec::paper()
         .workloads([Workload::AlexNet])
@@ -39,4 +39,5 @@ fn main() {
             println!("{}", idle::render(rows).render());
         }
     }
+    voltascope_bench::save_service(&service);
 }

@@ -16,6 +16,10 @@ use voltascope_dnn::zoo::Workload;
 use voltascope_profile::TextTable;
 
 fn main() {
+    // Deliberately NOT wired to `VOLTASCOPE_CACHE`: the printed
+    // per-request hit/computed accounting *is* this demo's output, and
+    // a warm-started cache would turn every row into a hit and change
+    // the pinned golden. The cold in-memory stream is the artefact.
     let service = GridService::new(Harness::paper());
     // A plausible exploration session: start narrow, widen the batch
     // axis, revisit, then pivot to another workload that shares the

@@ -14,7 +14,52 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use voltascope::grid::Executor;
+use voltascope::service::GridService;
+use voltascope::Harness;
 use voltascope_profile::TextTable;
+
+/// Environment variable naming the snapshot file the sweep binaries
+/// warm-start from and re-save to. Unset → plain in-memory service.
+pub const CACHE_ENV: &str = "VOLTASCOPE_CACHE";
+
+/// Builds the [`GridService`] a regeneration binary issues its sweeps
+/// through. With `VOLTASCOPE_CACHE=<path>` set, the service warm-starts
+/// from that snapshot (load-or-empty: a missing, stale, or corrupt file
+/// just means a cold start) and the binary should call [`save_service`]
+/// before exiting to persist what it computed. Status goes to stderr so
+/// the golden stdout tables stay byte-identical either way.
+pub fn service() -> GridService {
+    let base = Harness::paper();
+    match std::env::var(CACHE_ENV) {
+        Ok(path) if !path.is_empty() => {
+            let (service, status) = GridService::with_snapshot(base, Executor::from_env(), &path);
+            eprintln!("voltascope-bench: cache {path}: {status}");
+            service
+        }
+        _ => GridService::new(base),
+    }
+}
+
+/// Re-saves the service's cache to the `VOLTASCOPE_CACHE` snapshot (a
+/// no-op when the variable is unset) and reports the request-stream
+/// hit rate on stderr. Call once, after the last sweep.
+pub fn save_service(service: &GridService) {
+    let Ok(path) = std::env::var(CACHE_ENV) else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let stats = service.stats();
+    match service.save(&path) {
+        Ok(cells) => eprintln!(
+            "voltascope-bench: saved {cells} cells to {path} (request hit rate {:.1}%)",
+            stats.hit_rate() * 100.0
+        ),
+        Err(e) => eprintln!("voltascope-bench: failed to save cache {path}: {e}"),
+    }
+}
 
 /// Prints `table` under `title`, as CSV when `--csv` was passed.
 pub fn emit(title: &str, table: &TextTable) {

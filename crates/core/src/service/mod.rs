@@ -1,0 +1,770 @@
+//! # Cached, single-flight sweep service over the grid engine
+//!
+//! [`GridService`] is a concurrent request front end for the grid
+//! engine: callers submit sweeps (a [`GridSpec`] or an explicit
+//! [`Cell`] list) and the service answers every cell it has already
+//! computed from a shared cache, coalesces cells another request is
+//! currently computing (single-flight), and schedules only the
+//! genuinely missing cells onto its [`Executor`] worker pool.
+//!
+//! The cached value per cell is the [`EpochReport`] — the raw,
+//! jitter-free simulation output every portable experiment derives its
+//! rows from. Post-processing (the repetition protocol's jittered
+//! [`crate::Measurement`], FP+BP/WU splits, sync shares, idle scans)
+//! is cheap and deterministic, so experiment modules re-derive their
+//! tables from cached reports and stay byte-identical to the direct
+//! [`crate::grid::GridRunner`] path.
+//!
+//! ## Cache keying
+//!
+//! The cache key is the full [`Cell`] — including the platform variant
+//! and fault scenario — so a PCIe-only AlexNet epoch can never answer
+//! a DGX-1 request for the same (workload, comm, batch, gpus, scaling)
+//! point. Keys are never evicted: the whole paper grid is a few
+//! thousand cells of a few-KB report each, far below any meaningful
+//! memory bound, and eviction would reintroduce recomputation
+//! nondeterminism for long request streams.
+//!
+//! ## Single-flight
+//!
+//! A cell is claimed (marked in-flight) under the state lock before
+//! computation starts, so overlapping requests for the same cell
+//! compute it exactly once: the first request computes, later requests
+//! park on a condition variable and are woken when the report is
+//! published.
+//!
+//! ## Panic recovery
+//!
+//! Cell computations are pure simulations and do not panic for valid
+//! cells, but an invalid cell (e.g. a GPU count beyond the topology)
+//! panics inside the simulator. Every claim is therefore protected by
+//! an unwind guard: if the computing request panics before publishing,
+//! the guard reverts all of its unfinished in-flight claims to
+//! *absent* and wakes every waiter. A request that was parked on such
+//! a claim adopts the cell and computes it itself (and, for a
+//! genuinely poisonous cell, observes the same panic rather than a
+//! deadlock). The state lock is never held across a computation, and
+//! lock acquisition recovers from mutex poisoning — the cache's
+//! invariants are maintained by the guards, not by the panicking
+//! section — so one failed request can never wedge the service.
+//!
+//! ## Persistence
+//!
+//! The cache can be snapshotted to disk and reloaded across processes:
+//! [`GridService::save`] writes every completed cell through the
+//! versioned, fingerprinted format of [`persist`], and
+//! [`GridService::with_snapshot`] warm-starts a service from such a
+//! file (falling back to an empty cache when the file is missing,
+//! stale, or corrupt). The regeneration binaries wire this to the
+//! `VOLTASCOPE_CACHE` environment variable.
+//!
+//! ## Example
+//!
+//! ```
+//! use voltascope::grid::{Executor, GridSpec};
+//! use voltascope::service::GridService;
+//! use voltascope::Harness;
+//! use voltascope_dnn::zoo::Workload;
+//!
+//! let service = GridService::with_executor(Harness::paper(), Executor::Serial);
+//! let spec = GridSpec::paper().workloads([Workload::LeNet]).batches([16]);
+//! let first = service.sweep(&spec);
+//! let again = service.sweep(&spec);
+//! assert_eq!(first.len(), again.len());
+//! // The second sweep was answered entirely from cache.
+//! assert_eq!(service.stats().computed, first.len() as u64);
+//! ```
+
+pub mod persist;
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+use voltascope_dnn::zoo::Workload;
+use voltascope_dnn::Model;
+use voltascope_train::EpochReport;
+
+use crate::grid::{harness_for, Cell, Executor, FaultScenario, GridOut, GridSpec, Platform};
+use crate::Harness;
+
+use persist::PersistError;
+
+/// One cache entry: either being computed by some request right now,
+/// or done and shareable. A claim whose computation panics is removed
+/// entirely (reverted to absent) by its unwind guard.
+#[derive(Debug)]
+enum Slot {
+    InFlight,
+    Done(Arc<EpochReport>),
+}
+
+/// Lock-guarded service state: the report cache plus the lazily grown
+/// model/harness pools (the same sharing the [`crate::grid::GridRunner`]
+/// does per grid, but across the service's whole lifetime).
+#[derive(Debug, Default)]
+struct State {
+    cache: HashMap<Cell, Slot>,
+    models: HashMap<Workload, Arc<Model>>,
+    harnesses: HashMap<(Platform, FaultScenario), Arc<Harness>>,
+}
+
+/// Counters describing how a [`GridService`] answered its requests so
+/// far. Monotone; snapshot via [`GridService::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceStats {
+    /// Requests served ([`GridService::run_cells`] / [`GridService::sweep`] calls).
+    pub requests: u64,
+    /// Total cells across all requests (duplicates counted).
+    pub cells: u64,
+    /// Cells answered from a completed cache entry (including entries
+    /// preloaded from a snapshot).
+    pub hits: u64,
+    /// Cells coalesced onto a computation another request already had
+    /// in flight.
+    pub coalesced: u64,
+    /// Intra-request duplicates of a cell the *same* request claimed
+    /// moments earlier. These enjoy no cache benefit — the request
+    /// pays for the computation itself — so they are tracked apart
+    /// from hits/coalesced and excluded from [`ServiceStats::hit_rate`].
+    pub repeats: u64,
+    /// Cells actually computed (each unique cell at most once, unless
+    /// a panicked claim was reverted and the cell later recomputed).
+    pub computed: u64,
+}
+
+impl ServiceStats {
+    /// Fraction of requested cells answered without new computation
+    /// (cache hits plus cross-request coalescing), in `[0, 1]`; zero
+    /// for no traffic. Intra-request repeats of a freshly claimed cell
+    /// do not count — a cold request `[c, c]` reports a 0% hit rate.
+    pub fn hit_rate(&self) -> f64 {
+        if self.cells == 0 {
+            0.0
+        } else {
+            (self.hits + self.coalesced) as f64 / self.cells as f64
+        }
+    }
+}
+
+/// How [`GridService::with_snapshot`] started: warm from a loaded
+/// snapshot, cold because none existed, or cold because the file was
+/// rejected (stale or damaged).
+#[derive(Debug)]
+pub enum SnapshotStatus {
+    /// The snapshot was valid; this many cells were preloaded.
+    Loaded {
+        /// Number of cache entries loaded from the file.
+        cells: usize,
+    },
+    /// No snapshot file existed at the path.
+    Cold,
+    /// A file existed but was rejected; the service starts empty and
+    /// recomputes (a later [`GridService::save`] repairs the file).
+    Rejected(PersistError),
+}
+
+impl fmt::Display for SnapshotStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotStatus::Loaded { cells } => write!(f, "warm start: loaded {cells} cells"),
+            SnapshotStatus::Cold => write!(f, "cold start: no snapshot"),
+            SnapshotStatus::Rejected(e) => write!(f, "cold start: snapshot rejected ({e})"),
+        }
+    }
+}
+
+/// A concurrent sweep front end: deduplicating, caching, single-flight.
+/// See the [module docs](self) for semantics.
+#[derive(Debug)]
+pub struct GridService {
+    base: Harness,
+    exec: Executor,
+    state: Mutex<State>,
+    ready: Condvar,
+    requests: AtomicU64,
+    cells: AtomicU64,
+    hits: AtomicU64,
+    coalesced: AtomicU64,
+    repeats: AtomicU64,
+    computed: AtomicU64,
+}
+
+/// Unwind guard over a request's claimed cells: on drop, any cell the
+/// request claimed but never published is reverted to absent and every
+/// waiter is woken, so a panicking computation cannot leave permanent
+/// in-flight claims behind. On the normal path all claimed cells are
+/// `Done` by drop time and the guard is a cheap no-op sweep.
+///
+/// The guard takes the state lock in `drop`, so it must never be
+/// dropped while the caller holds that lock.
+struct ClaimGuard<'a> {
+    service: &'a GridService,
+    cells: Vec<Cell>,
+}
+
+impl Drop for ClaimGuard<'_> {
+    fn drop(&mut self) {
+        if self.cells.is_empty() {
+            return;
+        }
+        let mut reverted = false;
+        {
+            let mut state = self.service.lock_state();
+            for cell in &self.cells {
+                if matches!(state.cache.get(cell), Some(Slot::InFlight)) {
+                    state.cache.remove(cell);
+                    reverted = true;
+                }
+            }
+        }
+        if reverted {
+            // Waiters re-inspect the slot: absent means "adopt and
+            // compute yourself" (see the assemble loop).
+            self.service.ready.notify_all();
+        }
+    }
+}
+
+impl GridService {
+    /// A service over `base`, executing missing cells under the
+    /// environment-selected executor ([`Executor::from_env`], honouring
+    /// `VOLTASCOPE_THREADS`).
+    pub fn new(base: Harness) -> Self {
+        Self::with_executor(base, Executor::from_env())
+    }
+
+    /// A service with an explicit executor for missing cells.
+    pub fn with_executor(base: Harness, exec: Executor) -> Self {
+        GridService {
+            base,
+            exec,
+            state: Mutex::new(State::default()),
+            ready: Condvar::new(),
+            requests: AtomicU64::new(0),
+            cells: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            repeats: AtomicU64::new(0),
+            computed: AtomicU64::new(0),
+        }
+    }
+
+    /// A service warm-started from the snapshot file at `path`
+    /// (load-or-empty): a valid snapshot written under the same
+    /// harness calibration preloads the cache; a missing, stale, or
+    /// corrupt file yields an empty cache with the reason in the
+    /// returned [`SnapshotStatus`]. Preloaded cells are served as
+    /// ordinary cache hits.
+    pub fn with_snapshot(
+        base: Harness,
+        exec: Executor,
+        path: impl AsRef<Path>,
+    ) -> (Self, SnapshotStatus) {
+        let fingerprint = persist::harness_fingerprint(&base);
+        let service = Self::with_executor(base, exec);
+        let status = match persist::load(path.as_ref(), fingerprint) {
+            Ok(entries) => {
+                let cells = entries.len();
+                let mut state = service.lock_state();
+                for (cell, report) in entries {
+                    state.cache.insert(cell, Slot::Done(report));
+                }
+                drop(state);
+                SnapshotStatus::Loaded { cells }
+            }
+            Err(e) if e.is_missing_file() => SnapshotStatus::Cold,
+            Err(e) => SnapshotStatus::Rejected(e),
+        };
+        (service, status)
+    }
+
+    /// Snapshots every completed cache entry to `path` (atomically:
+    /// temp sibling + rename), keyed by this service's harness
+    /// fingerprint. In-flight claims are skipped. Returns the number
+    /// of cells written.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<usize, PersistError> {
+        let entries: Vec<(Cell, Arc<EpochReport>)> = {
+            let state = self.lock_state();
+            state
+                .cache
+                .iter()
+                .filter_map(|(cell, slot)| match slot {
+                    Slot::Done(report) => Some((*cell, report.clone())),
+                    Slot::InFlight => None,
+                })
+                .collect()
+        };
+        persist::save(
+            path.as_ref(),
+            persist::harness_fingerprint(&self.base),
+            &entries,
+        )?;
+        Ok(entries.len())
+    }
+
+    /// The base harness requests are simulated against. Its
+    /// measurement-protocol fields apply to every platform/fault
+    /// variant (see [`harness_for`]), so renderers post-process cached
+    /// reports with this harness.
+    pub fn base(&self) -> &Harness {
+        &self.base
+    }
+
+    /// The executor missing cells are scheduled onto.
+    pub fn executor(&self) -> Executor {
+        self.exec
+    }
+
+    /// Runs a full declarative sweep through the cache, returning an
+    /// indexed [`GridOut`] in the spec's canonical enumeration order —
+    /// the same shape [`crate::grid::run_grid`] produces, so renderers
+    /// are agnostic about which path computed their cells.
+    pub fn sweep(&self, spec: &GridSpec) -> GridOut<Arc<EpochReport>> {
+        let cells = spec.cells();
+        let reports = self.run_cells(&cells);
+        GridOut::from_parts(cells, reports)
+    }
+
+    /// Answers one request for an explicit cell list: cache hits are
+    /// returned as-is, in-flight cells are awaited, and missing cells
+    /// are claimed and computed on this service's executor. Returns one
+    /// report per input cell, in input order (duplicates allowed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a claimed cell's simulation panics (e.g. an invalid
+    /// GPU count); the claim is reverted first, so other requests are
+    /// unaffected (see the module docs' panic-recovery section).
+    pub fn run_cells(&self, cells: &[Cell]) -> Vec<Arc<EpochReport>> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.cells.fetch_add(cells.len() as u64, Ordering::Relaxed);
+
+        // Claim phase: classify every cell under one lock acquisition.
+        // Missing cells are marked in flight *before* the lock drops,
+        // so no concurrent request can double-compute them. Duplicates
+        // of a cell claimed earlier in this same request are neither
+        // hits nor coalesced — the request pays for the computation —
+        // so they are tracked as `repeats`.
+        let mine: Vec<(Cell, Arc<Model>, Arc<Harness>)> = {
+            let mut state = self.lock_state();
+            let mut mine = Vec::new();
+            let mut claimed_here: HashSet<Cell> = HashSet::new();
+            for &cell in cells {
+                if claimed_here.contains(&cell) {
+                    self.repeats.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                match state.cache.get(&cell) {
+                    Some(Slot::Done(_)) => {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Some(Slot::InFlight) => {
+                        self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => {
+                        state.cache.insert(cell, Slot::InFlight);
+                        claimed_here.insert(cell);
+                        let (model, harness) = Self::pools(&mut state, &self.base, cell);
+                        mine.push((cell, model, harness));
+                    }
+                }
+            }
+            mine
+        };
+
+        // Every claim is covered by the unwind guard from here on: a
+        // panic anywhere below reverts the unpublished claims and
+        // wakes waiters before the panic continues unwinding.
+        let claims = ClaimGuard {
+            service: self,
+            cells: mine.iter().map(|(cell, _, _)| *cell).collect(),
+        };
+
+        // Compute phase: only the cells this request claimed, on the
+        // worker pool. Each report is published (and waiters notified)
+        // as soon as it exists, not at the end of the batch, so
+        // overlapping requests stream results out of this one.
+        self.exec.run(mine.len(), |i| {
+            let (cell, model, harness) = &mine[i];
+            let report =
+                Arc::new(harness.epoch(model, cell.batch, cell.gpus, cell.comm, cell.scaling));
+            self.computed.fetch_add(1, Ordering::Relaxed);
+            let mut state = self.lock_state();
+            state.cache.insert(*cell, Slot::Done(report.clone()));
+            drop(state);
+            self.ready.notify_all();
+        });
+        // Normal path: everything we claimed is published, so the
+        // guard's sweep finds nothing to revert. Dropped here, before
+        // the assemble lock, because the guard locks the state itself.
+        drop(claims);
+
+        // Assemble phase: by now every cell this request claimed is
+        // done; cells claimed by other requests may still be in
+        // flight, so park on the condition variable until they
+        // publish. An *absent* cell here means its claimant panicked
+        // and the claim was reverted — adopt it and compute inline.
+        let mut state = self.lock_state();
+        let mut reports = Vec::with_capacity(cells.len());
+        for cell in cells {
+            let report = loop {
+                match state.cache.get(cell) {
+                    Some(Slot::Done(report)) => break report.clone(),
+                    Some(Slot::InFlight) => {
+                        state = self
+                            .ready
+                            .wait(state)
+                            .unwrap_or_else(PoisonError::into_inner);
+                    }
+                    None => {
+                        state = self.adopt_and_compute(state, *cell);
+                    }
+                }
+            };
+            reports.push(report);
+        }
+        reports
+    }
+
+    /// Claims and computes `cell` from the assemble loop, for the case
+    /// where the original claimant panicked and reverted its claim.
+    /// Takes and returns the state guard; the lock is dropped around
+    /// the computation itself.
+    fn adopt_and_compute<'a>(
+        &'a self,
+        mut state: MutexGuard<'a, State>,
+        cell: Cell,
+    ) -> MutexGuard<'a, State> {
+        state.cache.insert(cell, Slot::InFlight);
+        let (model, harness) = Self::pools(&mut state, &self.base, cell);
+        drop(state);
+        let claim = ClaimGuard {
+            service: self,
+            cells: vec![cell],
+        };
+        // May panic for a genuinely poisonous cell, in which case the
+        // guard reverts this adoption too and the panic propagates to
+        // this request's caller.
+        let report =
+            Arc::new(harness.epoch(&model, cell.batch, cell.gpus, cell.comm, cell.scaling));
+        self.computed.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut state = self.lock_state();
+            state.cache.insert(cell, Slot::Done(report));
+        }
+        drop(claim);
+        self.ready.notify_all();
+        self.lock_state()
+    }
+
+    /// Fetches (building on first use) the shared model and harness
+    /// for `cell` from the state pools.
+    fn pools(state: &mut State, base: &Harness, cell: Cell) -> (Arc<Model>, Arc<Harness>) {
+        let model = state
+            .models
+            .entry(cell.workload)
+            .or_insert_with(|| Arc::new(cell.workload.build()))
+            .clone();
+        let harness = state
+            .harnesses
+            .entry((cell.platform, cell.fault))
+            .or_insert_with(|| Arc::new(harness_for(base, cell.platform, cell.fault)))
+            .clone();
+        (model, harness)
+    }
+
+    /// Acquires the state lock, recovering from poisoning: the lock is
+    /// never held across a cell computation, and the claim guards keep
+    /// the cache invariants across unwinds, so a poisoned mutex only
+    /// means "some thread panicked elsewhere", not "the state is
+    /// inconsistent".
+    fn lock_state(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Snapshot of the request counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            cells: self.cells.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            repeats: self.repeats.load(Ordering::Relaxed),
+            computed: self.computed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct cells resident in the cache (completed or in
+    /// flight).
+    pub fn cached_cells(&self) -> usize {
+        self.lock_state().cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use voltascope_comm::CommMethod;
+    use voltascope_train::ScalingMode;
+
+    fn lenet_cell(batch: usize, gpus: usize) -> Cell {
+        Cell {
+            workload: Workload::LeNet,
+            comm: CommMethod::P2p,
+            batch,
+            gpus,
+            scaling: ScalingMode::Strong,
+            platform: Platform::Dgx1,
+            fault: FaultScenario::Healthy,
+        }
+    }
+
+    /// A cell whose simulation panics: 9 GPUs on an 8-GPU topology.
+    fn poisonous_cell() -> Cell {
+        lenet_cell(16, 9)
+    }
+
+    #[test]
+    fn repeat_requests_hit_the_cache() {
+        let service = GridService::with_executor(Harness::paper(), Executor::Serial);
+        let cells = [lenet_cell(16, 1), lenet_cell(16, 2)];
+        let first = service.run_cells(&cells);
+        let second = service.run_cells(&cells);
+        assert_eq!(first.len(), 2);
+        for (a, b) in first.iter().zip(second.iter()) {
+            // Same Arc, not merely equal values.
+            assert!(Arc::ptr_eq(a, b));
+        }
+        let stats = service.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.cells, 4);
+        assert_eq!(stats.computed, 2);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.coalesced, 0);
+        assert_eq!(stats.repeats, 0);
+        assert_eq!(stats.hit_rate(), 0.5);
+        assert_eq!(service.cached_cells(), 2);
+    }
+
+    #[test]
+    fn duplicate_cells_within_a_request_compute_once() {
+        let service = GridService::with_executor(Harness::paper(), Executor::Serial);
+        let cell = lenet_cell(16, 1);
+        let reports = service.run_cells(&[cell, cell, cell]);
+        assert_eq!(reports.len(), 3);
+        assert!(Arc::ptr_eq(&reports[0], &reports[1]));
+        assert!(Arc::ptr_eq(&reports[1], &reports[2]));
+        let stats = service.stats();
+        assert_eq!(stats.computed, 1);
+        // Intra-request duplicates of a freshly claimed cell are
+        // repeats, not coalesced: the request gained nothing from the
+        // cache, so the hit rate must stay zero.
+        assert_eq!(stats.coalesced, 0);
+        assert_eq!(stats.repeats, 2);
+        assert_eq!(stats.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn warm_duplicates_count_as_hits() {
+        let service = GridService::with_executor(Harness::paper(), Executor::Serial);
+        let cell = lenet_cell(16, 1);
+        service.run_cells(&[cell]);
+        service.run_cells(&[cell, cell]);
+        let stats = service.stats();
+        assert_eq!(stats.computed, 1);
+        assert_eq!(stats.hits, 2, "both warm duplicates are genuine hits");
+        assert_eq!(stats.repeats, 0);
+    }
+
+    #[test]
+    fn overlapping_sweeps_only_compute_the_missing_cells() {
+        let service = GridService::with_executor(Harness::paper(), Executor::Serial);
+        let small = GridSpec::paper()
+            .workloads([Workload::LeNet])
+            .comms([CommMethod::P2p])
+            .batches([16])
+            .gpu_counts([1, 2]);
+        let bigger = small.clone().gpu_counts([1, 2, 4]);
+        service.sweep(&small);
+        let out = service.sweep(&bigger);
+        assert_eq!(out.len(), 3);
+        let stats = service.stats();
+        assert_eq!(stats.computed, 3, "only the 4-GPU cell was new");
+        assert_eq!(stats.hits, 2);
+    }
+
+    #[test]
+    fn empty_requests_are_answered_without_computation() {
+        let service = GridService::with_executor(Harness::paper(), Executor::Serial);
+        assert!(service.run_cells(&[]).is_empty());
+        let stats = service.stats();
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.cells, 0);
+        assert_eq!(stats.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn sweep_preserves_canonical_enumeration_order() {
+        let service = GridService::with_executor(Harness::paper(), Executor::Serial);
+        let spec = GridSpec::paper()
+            .workloads([Workload::LeNet])
+            .comms([CommMethod::P2p, CommMethod::Nccl])
+            .batches([16])
+            .gpu_counts([2]);
+        let out = service.sweep(&spec);
+        assert_eq!(out.cells(), spec.cells().as_slice());
+    }
+
+    #[test]
+    fn panicking_compute_reverts_its_claim() {
+        let service = GridService::with_executor(Harness::paper(), Executor::Serial);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            service.run_cells(&[poisonous_cell()]);
+        }));
+        assert!(result.is_err(), "9-GPU cell must panic");
+        // The claim is gone, not wedged in flight.
+        assert_eq!(service.cached_cells(), 0);
+
+        // A retry panics again (no deadlock on a stale claim)...
+        let retry = catch_unwind(AssertUnwindSafe(|| {
+            service.run_cells(&[poisonous_cell()]);
+        }));
+        assert!(retry.is_err());
+        assert_eq!(service.cached_cells(), 0);
+
+        // ...and an unrelated healthy request completes normally: the
+        // mutex was not poisoned into an `expect` cascade.
+        let reports = service.run_cells(&[lenet_cell(16, 1)]);
+        assert_eq!(reports.len(), 1);
+        let stats = service.stats();
+        assert_eq!(stats.requests, 3);
+        assert_eq!(stats.computed, 1, "only the healthy cell completed");
+    }
+
+    #[test]
+    fn panic_midway_through_a_request_spares_completed_cells() {
+        // The serial executor computes `mine` in claim order: the
+        // healthy cell publishes before the poisonous one panics. Its
+        // report must survive the unwind; the failed claim must not.
+        let service = GridService::with_executor(Harness::paper(), Executor::Serial);
+        let good = lenet_cell(16, 1);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            service.run_cells(&[good, poisonous_cell()]);
+        }));
+        assert!(result.is_err());
+        assert_eq!(service.cached_cells(), 1, "published cell survives");
+        // The survivor is served as a plain hit.
+        let reports = service.run_cells(&[good]);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(service.stats().hits, 1);
+    }
+
+    #[test]
+    fn concurrent_requests_for_a_panicking_cell_never_deadlock() {
+        // Whatever the interleaving — the second request coalesces
+        // onto the first's claim and adopts it after the revert, or
+        // claims fresh after the revert — both observe the panic and
+        // nothing is left in flight.
+        let service = Arc::new(GridService::with_executor(
+            Harness::paper(),
+            Executor::Serial,
+        ));
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let service = Arc::clone(&service);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    service.run_cells(&[poisonous_cell()])
+                })
+            })
+            .collect();
+        for handle in handles {
+            assert!(handle.join().is_err(), "both requests must panic");
+        }
+        assert_eq!(service.cached_cells(), 0);
+        // The service remains fully usable afterwards.
+        let reports = service.run_cells(&[lenet_cell(16, 2)]);
+        assert_eq!(reports.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_reports_and_serves_hits() {
+        let path = std::env::temp_dir().join(format!(
+            "voltascope-service-unit-{}.snap",
+            std::process::id()
+        ));
+        let cells = [lenet_cell(16, 1), lenet_cell(16, 2), lenet_cell(32, 4)];
+
+        let cold = GridService::with_executor(Harness::paper(), Executor::Serial);
+        let cold_reports = cold.run_cells(&cells);
+        assert_eq!(cold.save(&path).unwrap(), cells.len());
+
+        let (warm, status) = GridService::with_snapshot(Harness::paper(), Executor::Serial, &path);
+        assert!(matches!(status, SnapshotStatus::Loaded { cells: 3 }));
+        let warm_reports = warm.run_cells(&cells);
+        for (c, w) in cold_reports.iter().zip(warm_reports.iter()) {
+            assert_eq!(c.iterations, w.iterations);
+            assert_eq!(c.epoch_time, w.epoch_time);
+            assert_eq!(c.iter_time, w.iter_time);
+            assert_eq!(c.api_iter, w.api_iter);
+            assert_eq!(c.iter_trace.events(), w.iter_trace.events());
+        }
+        let stats = warm.stats();
+        assert_eq!(stats.computed, 0, "warm run must be pure hits");
+        assert_eq!(stats.hits, cells.len() as u64);
+        assert_eq!(stats.hit_rate(), 1.0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_and_stale_snapshots_start_cold() {
+        let path = std::env::temp_dir().join(format!(
+            "voltascope-service-stale-{}.snap",
+            std::process::id()
+        ));
+        let (_, status) = GridService::with_snapshot(Harness::paper(), Executor::Serial, &path);
+        assert!(matches!(status, SnapshotStatus::Cold));
+
+        // A snapshot written under a different calibration is rejected.
+        let mut tweaked = Harness::paper();
+        tweaked.seed += 1;
+        let other = GridService::with_executor(tweaked, Executor::Serial);
+        other.run_cells(&[lenet_cell(16, 1)]);
+        other.save(&path).unwrap();
+        let (service, status) =
+            GridService::with_snapshot(Harness::paper(), Executor::Serial, &path);
+        assert!(matches!(
+            status,
+            SnapshotStatus::Rejected(PersistError::FingerprintMismatch { .. })
+        ));
+        assert_eq!(service.cached_cells(), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn save_skips_in_flight_claims() {
+        // save() must only persist Done slots; a wedged or concurrent
+        // in-flight claim is simply absent from the snapshot.
+        let service = GridService::with_executor(Harness::paper(), Executor::Serial);
+        service.run_cells(&[lenet_cell(16, 1)]);
+        {
+            let mut state = service.lock_state();
+            state.cache.insert(lenet_cell(16, 2), Slot::InFlight);
+        }
+        let path = std::env::temp_dir().join(format!(
+            "voltascope-service-partial-{}.snap",
+            std::process::id()
+        ));
+        assert_eq!(service.save(&path).unwrap(), 1);
+        let (warm, status) = GridService::with_snapshot(Harness::paper(), Executor::Serial, &path);
+        assert!(matches!(status, SnapshotStatus::Loaded { cells: 1 }));
+        assert_eq!(warm.cached_cells(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,729 @@
+//! # Versioned on-disk snapshots of the report cache
+//!
+//! A snapshot file stores every completed `(Cell, EpochReport)` entry
+//! of a [`GridService`](super::GridService) cache, so a later process
+//! can warm-start instead of recomputing the grid. The format is
+//! dependency-free (hand-rolled little-endian encoding, matching the
+//! workspace's no-serde policy) and designed for **exact** round-trips:
+//! every field — including `f64`s, which travel as IEEE-754 bit
+//! patterns — decodes to the identical value, so tables rendered from
+//! a loaded snapshot are byte-identical to a cold recompute.
+//!
+//! ## File layout (all integers little-endian)
+//!
+//! | offset | size | field |
+//! |---|---|---|
+//! | 0  | 8 | magic `b"VSCPSNAP"` |
+//! | 8  | 4 | format version ([`FORMAT_VERSION`]) |
+//! | 12 | 8 | harness fingerprint ([`harness_fingerprint`]) |
+//! | 20 | 8 | entry count |
+//! | 28 | 8 | payload length in bytes |
+//! | 36 | 8 | FNV-1a checksum of the payload |
+//! | 44 | .. | payload: `entry count` encoded entries |
+//!
+//! Each entry is the cell key (enum tags as `u8`, batch/GPU count as
+//! `u64`) followed by the full [`EpochReport`] — stage timings, the
+//! per-category API totals, and the complete steady-state iteration
+//! trace. Entries are stored sorted by their encoded cell key, so the
+//! snapshot bytes are a canonical function of the cache *contents*,
+//! independent of insertion order: save → load → re-save is
+//! byte-identical.
+//!
+//! ## Staleness policy
+//!
+//! A snapshot is only as valid as the simulator that produced it, so
+//! two independent checks gate loading:
+//!
+//! * **Format version** — [`FORMAT_VERSION`] must be bumped whenever
+//!   the encoding changes *or* when simulation semantics shift without
+//!   a calibration change (e.g. a model-zoo or scheduler fix). A
+//!   mismatch yields [`PersistError::UnsupportedVersion`].
+//! * **Harness fingerprint** — a hash over the complete base
+//!   [`Harness`] configuration (topology, kernel/API/NCCL cost models,
+//!   host-dispatch costs, memory model, measurement protocol). Any
+//!   calibration change produces a different fingerprint and the stale
+//!   snapshot is rejected ([`PersistError::FingerprintMismatch`])
+//!   rather than silently reused.
+//!
+//! Rejection is always typed and recoverable — truncated, corrupted,
+//! wrong-version and wrong-fingerprint files return a [`PersistError`],
+//! never panic — so callers fall back to an empty cache and recompute.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+use std::sync::Arc;
+
+use voltascope_comm::CommMethod;
+use voltascope_dnn::zoo::Workload;
+use voltascope_sim::{SimSpan, SimTime, TaskId, Trace, TraceEvent};
+use voltascope_train::{EpochReport, ScalingMode};
+
+use crate::grid::{Cell, FaultScenario, Platform};
+use crate::Harness;
+
+/// Magic bytes opening every snapshot file.
+pub const MAGIC: [u8; 8] = *b"VSCPSNAP";
+
+/// Current snapshot format version. Bump on any encoding change *or*
+/// any simulator-semantics change not captured by the harness
+/// fingerprint (see the module docs' staleness policy).
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Size of the fixed header preceding the payload.
+const HEADER_LEN: usize = 44;
+
+/// Why a snapshot could not be written or read back.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`]: not a snapshot at all.
+    BadMagic,
+    /// The file is a snapshot, but of a format this build cannot read.
+    UnsupportedVersion {
+        /// Version found in the file header.
+        found: u32,
+    },
+    /// The snapshot was produced under a different harness calibration.
+    FingerprintMismatch {
+        /// Fingerprint of the harness trying to load the snapshot.
+        expected: u64,
+        /// Fingerprint recorded in the file header.
+        found: u64,
+    },
+    /// The file ends before the encoded data does.
+    Truncated,
+    /// The payload bytes do not hash to the header's checksum.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        expected: u64,
+        /// Checksum of the payload as read.
+        found: u64,
+    },
+    /// The payload is structurally invalid (bad enum tag, non-UTF-8
+    /// string, duplicate cell, trailing bytes, ...).
+    Corrupted(&'static str),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "snapshot i/o error: {e}"),
+            PersistError::BadMagic => write!(f, "not a voltascope snapshot (bad magic)"),
+            PersistError::UnsupportedVersion { found } => {
+                write!(f, "unsupported snapshot version {found} (this build reads {FORMAT_VERSION})")
+            }
+            PersistError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "snapshot fingerprint {found:#018x} does not match harness {expected:#018x} (stale calibration)"
+            ),
+            PersistError::Truncated => write!(f, "snapshot file is truncated"),
+            PersistError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "snapshot payload checksum {found:#018x} does not match header {expected:#018x}"
+            ),
+            PersistError::Corrupted(what) => write!(f, "snapshot payload corrupted: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl PersistError {
+    /// `true` when the error just means "no snapshot exists yet" — the
+    /// ordinary cold-start case, as opposed to a rejected file.
+    pub fn is_missing_file(&self) -> bool {
+        matches!(self, PersistError::Io(e) if e.kind() == std::io::ErrorKind::NotFound)
+    }
+}
+
+/// Fingerprint of a harness configuration, recorded in every snapshot
+/// header. Hashes the `Debug` rendering of the full [`Harness`] — the
+/// system model (topology, GPU spec, kernel/API/NCCL cost models,
+/// host-dispatch and P2P-issue costs, overlap flag, straggler factors),
+/// the memory model, and the measurement protocol (reps, jitter sigma,
+/// seed). Deliberately conservative: any calibration change, even one
+/// that could not affect cached reports, invalidates old snapshots —
+/// recomputing a grid is cheap next to silently reusing stale numbers.
+pub fn harness_fingerprint(harness: &Harness) -> u64 {
+    fnv1a(format!("{harness:?}").as_bytes())
+}
+
+/// Encodes `entries` as a complete snapshot byte image for `fingerprint`.
+///
+/// Entries are canonicalised (sorted by encoded cell key) before
+/// writing, so any permutation of the same cache encodes to identical
+/// bytes.
+pub fn encode(fingerprint: u64, entries: &[(Cell, Arc<EpochReport>)]) -> Vec<u8> {
+    let mut encoded: Vec<(Vec<u8>, Vec<u8>)> = entries
+        .iter()
+        .map(|(cell, report)| {
+            let mut key = Vec::with_capacity(21);
+            put_cell(&mut key, cell);
+            let mut body = Vec::new();
+            put_report(&mut body, report);
+            (key, body)
+        })
+        .collect();
+    encoded.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let mut payload = Vec::new();
+    for (key, body) in &encoded {
+        payload.extend_from_slice(key);
+        payload.extend_from_slice(body);
+    }
+
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&fingerprint.to_le_bytes());
+    out.extend_from_slice(&(encoded.len() as u64).to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decodes a snapshot byte image, validating magic, version,
+/// fingerprint, length and checksum before touching the payload.
+pub fn decode(
+    bytes: &[u8],
+    expected_fingerprint: u64,
+) -> Result<Vec<(Cell, Arc<EpochReport>)>, PersistError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(PersistError::Truncated);
+    }
+    if bytes[..8] != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 header bytes"));
+    if version != FORMAT_VERSION {
+        return Err(PersistError::UnsupportedVersion { found: version });
+    }
+    let found_fp = u64::from_le_bytes(bytes[12..20].try_into().expect("8 header bytes"));
+    if found_fp != expected_fingerprint {
+        return Err(PersistError::FingerprintMismatch {
+            expected: expected_fingerprint,
+            found: found_fp,
+        });
+    }
+    let count = u64::from_le_bytes(bytes[20..28].try_into().expect("8 header bytes"));
+    let payload_len = u64::from_le_bytes(bytes[28..36].try_into().expect("8 header bytes"));
+    let checksum = u64::from_le_bytes(bytes[36..44].try_into().expect("8 header bytes"));
+    let payload = &bytes[HEADER_LEN..];
+    match (payload.len() as u64).cmp(&payload_len) {
+        std::cmp::Ordering::Less => return Err(PersistError::Truncated),
+        std::cmp::Ordering::Greater => {
+            return Err(PersistError::Corrupted("trailing bytes after payload"))
+        }
+        std::cmp::Ordering::Equal => {}
+    }
+    let found_sum = fnv1a(payload);
+    if found_sum != checksum {
+        return Err(PersistError::ChecksumMismatch {
+            expected: checksum,
+            found: found_sum,
+        });
+    }
+
+    let mut r = Reader {
+        bytes: payload,
+        pos: 0,
+    };
+    let mut entries = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..count {
+        let cell = take_cell(&mut r)?;
+        if !seen.insert(cell) {
+            return Err(PersistError::Corrupted("duplicate cell entry"));
+        }
+        let report = take_report(&mut r)?;
+        entries.push((cell, Arc::new(report)));
+    }
+    if r.pos != payload.len() {
+        return Err(PersistError::Corrupted("payload longer than its entries"));
+    }
+    Ok(entries)
+}
+
+/// Writes a snapshot atomically: the image is assembled in memory,
+/// written to a `.tmp` sibling, and renamed into place, so a crash
+/// mid-save can never leave a half-written snapshot behind (a torn
+/// write would be rejected by the checksum anyway).
+pub fn save(
+    path: &Path,
+    fingerprint: u64,
+    entries: &[(Cell, Arc<EpochReport>)],
+) -> Result<(), PersistError> {
+    let bytes = encode(fingerprint, entries);
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    fs::write(&tmp, &bytes)?;
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Reads and decodes the snapshot at `path`. A missing file surfaces
+/// as `PersistError::Io` with [`PersistError::is_missing_file`] true.
+pub fn load(
+    path: &Path,
+    expected_fingerprint: u64,
+) -> Result<Vec<(Cell, Arc<EpochReport>)>, PersistError> {
+    let bytes = fs::read(path)?;
+    decode(&bytes, expected_fingerprint)
+}
+
+/// FNV-1a over a byte slice — the workspace's standard dependency-free
+/// hash (the vendored proptest uses the same constants for seeding).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---- Field-level encoding ----
+
+fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_span(out: &mut Vec<u8>, s: SimSpan) {
+    put_u64(out, s.as_nanos());
+}
+
+fn put_cell(out: &mut Vec<u8>, cell: &Cell) {
+    put_u8(
+        out,
+        match cell.workload {
+            Workload::LeNet => 0,
+            Workload::AlexNet => 1,
+            Workload::GoogLeNet => 2,
+            Workload::InceptionV3 => 3,
+            Workload::ResNet => 4,
+        },
+    );
+    put_u8(
+        out,
+        match cell.comm {
+            CommMethod::P2p => 0,
+            CommMethod::Nccl => 1,
+        },
+    );
+    put_u64(out, cell.batch as u64);
+    put_u64(out, cell.gpus as u64);
+    put_u8(
+        out,
+        match cell.scaling {
+            ScalingMode::Strong => 0,
+            ScalingMode::Weak => 1,
+        },
+    );
+    put_u8(
+        out,
+        match cell.platform {
+            Platform::Dgx1 => 0,
+            Platform::SingleLane => 1,
+            Platform::PcieOnly => 2,
+            Platform::NvSwitch => 3,
+            Platform::ForwardingGpus => 4,
+        },
+    );
+    put_u8(
+        out,
+        match cell.fault {
+            FaultScenario::Healthy => 0,
+            FaultScenario::DeadNvLink => 1,
+            FaultScenario::StragglerGpu => 2,
+            FaultScenario::TwoStragglers => 3,
+        },
+    );
+}
+
+fn put_report(out: &mut Vec<u8>, report: &EpochReport) {
+    put_u64(out, report.iterations);
+    put_span(out, report.iter_time);
+    put_span(out, report.epoch_time);
+    put_span(out, report.fp_bp_iter);
+    put_span(out, report.wu_iter);
+    put_u32(out, report.api_iter.len() as u32);
+    for (category, span) in &report.api_iter {
+        put_str(out, category);
+        put_span(out, *span);
+    }
+    put_span(out, report.sync_wall_iter);
+    put_u64(out, report.compute_utilization.to_bits());
+    let events = report.iter_trace.events();
+    put_u32(out, events.len() as u32);
+    for e in events {
+        put_u32(out, e.task.index() as u32);
+        put_str(out, &e.label);
+        put_str(out, &e.category);
+        match &e.resource {
+            None => put_u8(out, 0),
+            Some(r) => {
+                put_u8(out, 1);
+                put_str(out, r);
+            }
+        }
+        put_u64(out, e.start.as_nanos());
+        put_u64(out, e.end.as_nanos());
+    }
+}
+
+// ---- Field-level decoding ----
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        let end = self.pos.checked_add(n).ok_or(PersistError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(PersistError::Truncated);
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, PersistError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn span(&mut self) -> Result<SimSpan, PersistError> {
+        Ok(SimSpan::from_nanos(self.u64()?))
+    }
+
+    fn string(&mut self) -> Result<String, PersistError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| PersistError::Corrupted("non-UTF-8 string"))
+    }
+}
+
+fn take_cell(r: &mut Reader<'_>) -> Result<Cell, PersistError> {
+    let workload = match r.u8()? {
+        0 => Workload::LeNet,
+        1 => Workload::AlexNet,
+        2 => Workload::GoogLeNet,
+        3 => Workload::InceptionV3,
+        4 => Workload::ResNet,
+        _ => return Err(PersistError::Corrupted("unknown workload tag")),
+    };
+    let comm = match r.u8()? {
+        0 => CommMethod::P2p,
+        1 => CommMethod::Nccl,
+        _ => return Err(PersistError::Corrupted("unknown comm tag")),
+    };
+    let batch = r.u64()? as usize;
+    let gpus = r.u64()? as usize;
+    let scaling = match r.u8()? {
+        0 => ScalingMode::Strong,
+        1 => ScalingMode::Weak,
+        _ => return Err(PersistError::Corrupted("unknown scaling tag")),
+    };
+    let platform = match r.u8()? {
+        0 => Platform::Dgx1,
+        1 => Platform::SingleLane,
+        2 => Platform::PcieOnly,
+        3 => Platform::NvSwitch,
+        4 => Platform::ForwardingGpus,
+        _ => return Err(PersistError::Corrupted("unknown platform tag")),
+    };
+    let fault = match r.u8()? {
+        0 => FaultScenario::Healthy,
+        1 => FaultScenario::DeadNvLink,
+        2 => FaultScenario::StragglerGpu,
+        3 => FaultScenario::TwoStragglers,
+        _ => return Err(PersistError::Corrupted("unknown fault tag")),
+    };
+    Ok(Cell {
+        workload,
+        comm,
+        batch,
+        gpus,
+        scaling,
+        platform,
+        fault,
+    })
+}
+
+fn take_report(r: &mut Reader<'_>) -> Result<EpochReport, PersistError> {
+    let iterations = r.u64()?;
+    let iter_time = r.span()?;
+    let epoch_time = r.span()?;
+    let fp_bp_iter = r.span()?;
+    let wu_iter = r.span()?;
+    let api_len = r.u32()?;
+    let mut api_iter = BTreeMap::new();
+    for _ in 0..api_len {
+        let category = r.string()?;
+        let span = r.span()?;
+        if api_iter.insert(category, span).is_some() {
+            return Err(PersistError::Corrupted("duplicate api category"));
+        }
+    }
+    let sync_wall_iter = r.span()?;
+    let compute_utilization = f64::from_bits(r.u64()?);
+    let event_len = r.u32()?;
+    let mut events = Vec::with_capacity(event_len.min(1 << 16) as usize);
+    for _ in 0..event_len {
+        let task = TaskId::from_index(r.u32()? as usize);
+        let label = r.string()?;
+        let category = r.string()?;
+        let resource = match r.u8()? {
+            0 => None,
+            1 => Some(r.string()?),
+            _ => return Err(PersistError::Corrupted("unknown resource tag")),
+        };
+        let start = SimTime::from_nanos(r.u64()?);
+        let end = SimTime::from_nanos(r.u64()?);
+        if end < start {
+            return Err(PersistError::Corrupted("trace event ends before it starts"));
+        }
+        events.push(TraceEvent {
+            task,
+            label,
+            category,
+            resource,
+            start,
+            end,
+        });
+    }
+    Ok(EpochReport {
+        iterations,
+        iter_time,
+        epoch_time,
+        fp_bp_iter,
+        wu_iter,
+        api_iter,
+        sync_wall_iter,
+        compute_utilization,
+        iter_trace: Trace::new(events),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(batch: usize, gpus: usize) -> Cell {
+        Cell {
+            workload: Workload::LeNet,
+            comm: CommMethod::P2p,
+            batch,
+            gpus,
+            scaling: ScalingMode::Strong,
+            platform: Platform::Dgx1,
+            fault: FaultScenario::Healthy,
+        }
+    }
+
+    fn report(seed: u64) -> Arc<EpochReport> {
+        let mut api_iter = BTreeMap::new();
+        api_iter.insert("api.launch".to_string(), SimSpan::from_nanos(seed + 1));
+        api_iter.insert("api.sync".to_string(), SimSpan::from_nanos(2 * seed + 7));
+        Arc::new(EpochReport {
+            iterations: seed + 3,
+            iter_time: SimSpan::from_nanos(10 * seed + 5),
+            epoch_time: SimSpan::from_nanos(100 * seed + 50),
+            fp_bp_iter: SimSpan::from_nanos(6 * seed),
+            wu_iter: SimSpan::from_nanos(4 * seed + 5),
+            api_iter,
+            sync_wall_iter: SimSpan::from_nanos(seed / 2),
+            compute_utilization: 0.1 + (seed % 7) as f64 * 0.1,
+            iter_trace: Trace::new(vec![TraceEvent {
+                task: TaskId::from_index(seed as usize % 11),
+                label: format!("it1/k{seed}"),
+                category: "fp".to_string(),
+                resource: (seed.is_multiple_of(2)).then(|| format!("GPU{}.compute", seed % 8)),
+                start: SimTime::from_nanos(seed),
+                end: SimTime::from_nanos(seed + 40),
+            }]),
+        })
+    }
+
+    fn entries() -> Vec<(Cell, Arc<EpochReport>)> {
+        vec![
+            (cell(16, 1), report(1)),
+            (cell(16, 2), report(2)),
+            (cell(32, 4), report(3)),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_field() {
+        let fp = 0xdead_beef;
+        let bytes = encode(fp, &entries());
+        let decoded = decode(&bytes, fp).unwrap();
+        assert_eq!(decoded.len(), 3);
+        for ((c0, r0), (c1, r1)) in entries().iter().zip(decoded.iter()) {
+            assert_eq!(c0, c1);
+            assert_eq!(r0.iterations, r1.iterations);
+            assert_eq!(r0.iter_time, r1.iter_time);
+            assert_eq!(r0.epoch_time, r1.epoch_time);
+            assert_eq!(r0.api_iter, r1.api_iter);
+            assert_eq!(
+                r0.compute_utilization.to_bits(),
+                r1.compute_utilization.to_bits()
+            );
+            assert_eq!(r0.iter_trace.events(), r1.iter_trace.events());
+        }
+    }
+
+    #[test]
+    fn encoding_is_canonical_in_entry_order() {
+        let fp = 7;
+        let mut shuffled = entries();
+        shuffled.reverse();
+        assert_eq!(encode(fp, &entries()), encode(fp, &shuffled));
+    }
+
+    #[test]
+    fn resave_is_byte_identical() {
+        let fp = 99;
+        let bytes = encode(fp, &entries());
+        let decoded = decode(&bytes, fp).unwrap();
+        assert_eq!(bytes, encode(fp, &decoded));
+    }
+
+    #[test]
+    fn empty_snapshot_roundtrips() {
+        let bytes = encode(5, &[]);
+        assert_eq!(bytes.len(), HEADER_LEN);
+        assert!(decode(&bytes, 5).unwrap().is_empty());
+    }
+
+    #[test]
+    fn every_truncation_is_rejected_without_panicking() {
+        let bytes = encode(1, &entries());
+        for cut in 0..bytes.len() {
+            assert!(decode(&bytes[..cut], 1).is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn wrong_version_is_a_typed_error() {
+        let mut bytes = encode(1, &entries());
+        bytes[8] = bytes[8].wrapping_add(1);
+        assert!(matches!(
+            decode(&bytes, 1),
+            Err(PersistError::UnsupportedVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_fingerprint_is_a_typed_error() {
+        let bytes = encode(1, &entries());
+        assert!(matches!(
+            decode(&bytes, 2),
+            Err(PersistError::FingerprintMismatch {
+                expected: 2,
+                found: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn payload_corruption_fails_the_checksum() {
+        let mut bytes = encode(1, &entries());
+        let mid = HEADER_LEN + (bytes.len() - HEADER_LEN) / 2;
+        bytes[mid] ^= 0xa5;
+        assert!(matches!(
+            decode(&bytes, 1),
+            Err(PersistError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_cells_are_rejected() {
+        let dup = vec![(cell(16, 1), report(1)), (cell(16, 1), report(2))];
+        let bytes = encode(1, &dup);
+        assert!(matches!(
+            decode(&bytes, 1),
+            Err(PersistError::Corrupted("duplicate cell entry"))
+        ));
+    }
+
+    #[test]
+    fn missing_file_is_distinguishable_from_rejection() {
+        let err = load(Path::new("/nonexistent/voltascope.snap"), 1).unwrap_err();
+        assert!(err.is_missing_file());
+        assert!(!PersistError::BadMagic.is_missing_file());
+    }
+
+    #[test]
+    fn save_and_load_through_the_filesystem() {
+        let path = std::env::temp_dir().join(format!(
+            "voltascope-persist-unit-{}.snap",
+            std::process::id()
+        ));
+        save(&path, 42, &entries()).unwrap();
+        let loaded = load(&path, 42).unwrap();
+        assert_eq!(loaded.len(), 3);
+        // Stale fingerprint: rejected, file untouched.
+        assert!(matches!(
+            load(&path, 43),
+            Err(PersistError::FingerprintMismatch { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_tracks_calibration_changes() {
+        let base = Harness::paper();
+        let mut tweaked = Harness::paper();
+        tweaked.sys.host_dispatch = SimSpan::from_micros(131);
+        assert_eq!(
+            harness_fingerprint(&base),
+            harness_fingerprint(&Harness::paper())
+        );
+        assert_ne!(harness_fingerprint(&base), harness_fingerprint(&tweaked));
+    }
+}

@@ -35,7 +35,30 @@ pub fn chrome_trace(trace: &Trace) -> String {
         .collect();
     tracks.sort();
     tracks.dedup();
-    let tid = |name: &str| tracks.binary_search(&name).map(|i| i + 1).unwrap_or(0);
+    chrome_trace_with_tracks(trace, &tracks)
+}
+
+/// Like [`chrome_trace`], but with an explicit track list (and order):
+/// track `i` of `tracks` becomes tid `i + 1`, letting callers pin a
+/// stable track layout across traces whose resource sets differ.
+///
+/// Events whose resource is absent from `tracks` land on a dedicated
+/// overflow track (tid `tracks.len() + 1`, labelled `(unresolved)`),
+/// never on tid 0 — that id is reserved for events with *no* resource,
+/// matching the metadata-track convention tooling expects.
+pub fn chrome_trace_with_tracks(trace: &Trace, tracks: &[&str]) -> String {
+    let overflow = tracks.len() + 1;
+    let tid = |name: &str| {
+        tracks
+            .iter()
+            .position(|t| *t == name)
+            .map(|i| i + 1)
+            .unwrap_or(overflow)
+    };
+    let has_overflow = trace
+        .events()
+        .iter()
+        .any(|e| e.resource.as_deref().is_some_and(|r| !tracks.contains(&r)));
 
     let mut out = String::from("[\n");
     let mut first = true;
@@ -50,6 +73,17 @@ pub fn chrome_trace(trace: &Trace) -> String {
             "  {{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
             i + 1,
             escape(name)
+        )
+        .unwrap();
+    }
+    if has_overflow {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        write!(
+            out,
+            "  {{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{overflow},\"args\":{{\"name\":\"(unresolved)\"}}}}",
         )
         .unwrap();
     }
@@ -132,6 +166,45 @@ mod tests {
     fn zero_length_barriers_are_skipped() {
         let json = chrome_trace(&demo());
         assert!(!json.contains("\"barrier\""));
+    }
+
+    #[test]
+    fn unresolved_resources_get_the_overflow_track_not_tid_zero() {
+        // An explicit track list that omits one of the trace's
+        // resources: events on the missing resource must land on the
+        // dedicated overflow track (tracks.len() + 1), not collide
+        // with tid 0 (the metadata/no-resource convention).
+        let trace = demo();
+        let json = chrome_trace_with_tracks(&trace, &["gpu0.compute"]);
+        // The resolved resource keeps its position-based tid.
+        assert!(
+            json.contains("\"name\":\"fp.conv\",\"cat\":\"fp\",\"ph\":\"X\",\"pid\":1,\"tid\":1")
+        );
+        // The unresolved one overflows to tracks.len() + 1 = 2.
+        assert!(json.contains("\"name\":\"grad\",\"cat\":\"wu\",\"ph\":\"X\",\"pid\":1,\"tid\":2"));
+        assert!(!json.contains("\"tid\":0"));
+        // The overflow track is labelled so viewers show it grouped.
+        assert!(json.contains("\"tid\":2,\"args\":{\"name\":\"(unresolved)\"}"));
+    }
+
+    #[test]
+    fn explicit_track_order_is_respected() {
+        // Caller-pinned ordering, not sorted: link first → tid 1.
+        let json = chrome_trace_with_tracks(&demo(), &["link.GPU0>GPU1", "gpu0.compute"]);
+        assert!(json.contains("\"tid\":1,\"args\":{\"name\":\"link.GPU0>GPU1\"}"));
+        assert!(json.contains("\"tid\":2,\"args\":{\"name\":\"gpu0.compute\"}"));
+        assert!(json.contains("\"name\":\"grad\",\"cat\":\"wu\",\"ph\":\"X\",\"pid\":1,\"tid\":1"));
+        // No overflow track when every resource resolves.
+        assert!(!json.contains("(unresolved)"));
+    }
+
+    #[test]
+    fn derived_track_list_never_overflows() {
+        // chrome_trace derives tracks from the trace itself, so the
+        // overflow path must be unreachable through it.
+        let json = chrome_trace(&demo());
+        assert!(!json.contains("(unresolved)"));
+        assert!(!json.contains("\"tid\":0"));
     }
 
     #[test]

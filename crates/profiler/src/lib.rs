@@ -34,7 +34,7 @@ mod summary;
 mod table;
 mod timeline;
 
-pub use chrome::chrome_trace;
+pub use chrome::{chrome_trace, chrome_trace_with_tracks};
 pub use summary::{ProfileLine, ProfileSummary};
 pub use table::TextTable;
 pub use timeline::render_timeline;

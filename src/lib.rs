@@ -30,7 +30,7 @@ pub use voltascope_train as train;
 /// The most commonly used items, for examples and tests.
 pub mod prelude {
     pub use voltascope::grid::{Cell, Executor, FaultScenario, GridRunner, GridSpec, Platform};
-    pub use voltascope::service::{GridService, ServiceStats};
+    pub use voltascope::service::{persist, GridService, ServiceStats, SnapshotStatus};
     pub use voltascope::{experiments, Harness, Measurement};
     pub use voltascope_comm::CommMethod;
     pub use voltascope_dnn::zoo::{self, Workload};

@@ -1,0 +1,280 @@
+//! Snapshot-format contract: the on-disk report cache must round-trip
+//! exactly (save → load → byte-identical re-save), reject every broken
+//! or stale file with a typed error instead of panicking, and make a
+//! warm-started `GridService` indistinguishable from a cold one.
+
+use std::sync::Arc;
+
+use dgx1_repro::prelude::persist::{decode, encode, PersistError};
+use dgx1_repro::prelude::*;
+use dgx1_repro::sim::{SimSpan, SimTime, TaskId, Trace, TraceEvent};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Deterministically derives a structurally varied cell from a seed.
+fn arb_cell(seed: u64) -> Cell {
+    const WORKLOADS: [Workload; 5] = [
+        Workload::LeNet,
+        Workload::AlexNet,
+        Workload::GoogLeNet,
+        Workload::InceptionV3,
+        Workload::ResNet,
+    ];
+    const PLATFORMS: [Platform; 5] = [
+        Platform::Dgx1,
+        Platform::SingleLane,
+        Platform::PcieOnly,
+        Platform::NvSwitch,
+        Platform::ForwardingGpus,
+    ];
+    const FAULTS: [FaultScenario; 4] = [
+        FaultScenario::Healthy,
+        FaultScenario::DeadNvLink,
+        FaultScenario::StragglerGpu,
+        FaultScenario::TwoStragglers,
+    ];
+    Cell {
+        workload: WORKLOADS[(seed % 5) as usize],
+        comm: if seed.is_multiple_of(2) {
+            CommMethod::P2p
+        } else {
+            CommMethod::Nccl
+        },
+        batch: 1 + (seed % 97) as usize,
+        gpus: 1 + (seed % 8) as usize,
+        scaling: if seed.is_multiple_of(3) {
+            ScalingMode::Weak
+        } else {
+            ScalingMode::Strong
+        },
+        platform: PLATFORMS[(seed / 5 % 5) as usize],
+        fault: FAULTS[(seed / 7 % 4) as usize],
+    }
+}
+
+/// A synthetic report exercising every encoded field, including
+/// resource-less trace events and non-round `f64` bit patterns.
+fn arb_report(seed: u64) -> Arc<EpochReport> {
+    let mut api_iter = BTreeMap::new();
+    for k in 0..(seed % 4) {
+        api_iter.insert(
+            format!("api.cat{k}"),
+            SimSpan::from_nanos(seed.wrapping_mul(31).wrapping_add(k)),
+        );
+    }
+    let events = (0..(seed % 5))
+        .map(|i| {
+            let start = seed.wrapping_add(17 * i) % 1_000_000;
+            TraceEvent {
+                task: TaskId::from_index((seed.wrapping_add(i) % 1024) as usize),
+                label: format!("it1/k{seed}.{i}"),
+                category: ["fp", "wu", "comm"][(i % 3) as usize].to_string(),
+                resource: (i.is_multiple_of(2)).then(|| format!("GPU{}.compute", i % 8)),
+                start: SimTime::from_nanos(start),
+                end: SimTime::from_nanos(start + seed % 5_000),
+            }
+        })
+        .collect();
+    Arc::new(EpochReport {
+        iterations: 1 + seed % 4096,
+        iter_time: SimSpan::from_nanos(seed.wrapping_mul(0x9e37_79b9)),
+        epoch_time: SimSpan::from_nanos(seed.wrapping_mul(0x85eb_ca6b)),
+        fp_bp_iter: SimSpan::from_nanos(seed / 3),
+        wu_iter: SimSpan::from_nanos(seed / 5 + 1),
+        api_iter,
+        sync_wall_iter: SimSpan::from_nanos(seed / 7),
+        compute_utilization: (seed % 1000) as f64 / 997.0,
+        iter_trace: Trace::new(events),
+    })
+}
+
+/// Distinct-cell entry set of `n` entries derived from `seed`.
+fn arb_entries(seed: u64, n: usize) -> Vec<(Cell, Arc<EpochReport>)> {
+    let mut entries: Vec<(Cell, Arc<EpochReport>)> = Vec::new();
+    let mut s = seed;
+    while entries.len() < n {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let cell = arb_cell(s);
+        if entries.iter().all(|(c, _)| *c != cell) {
+            entries.push((cell, arb_report(s)));
+        }
+    }
+    entries
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// save → load → re-save is byte-identical, and any permutation of
+    /// the same entries encodes to the same canonical bytes.
+    #[test]
+    fn roundtrip_is_byte_identical_and_canonical(seed in 0u64..10_000, n in 0usize..12) {
+        let fp = seed ^ 0xfeed;
+        let entries = arb_entries(seed, n);
+        let bytes = encode(fp, &entries);
+
+        let decoded = decode(&bytes, fp).expect("valid snapshot must decode");
+        prop_assert_eq!(decoded.len(), entries.len());
+        prop_assert_eq!(encode(fp, &decoded), bytes.clone(), "re-save drifted");
+
+        let mut reversed = entries.clone();
+        reversed.reverse();
+        prop_assert_eq!(encode(fp, &reversed), bytes, "encoding not canonical");
+    }
+
+    /// Every decoded field equals what was saved — including `f64` bit
+    /// patterns and the full trace.
+    #[test]
+    fn every_field_survives_the_roundtrip(seed in 0u64..10_000) {
+        let entries = arb_entries(seed, 4);
+        let decoded = decode(&encode(7, &entries), 7).unwrap();
+        prop_assert_eq!(decoded.len(), entries.len());
+        // decode returns canonical (sorted) order; match by cell key.
+        for (c0, r0) in &entries {
+            let (_, r1) = decoded
+                .iter()
+                .find(|(c1, _)| c1 == c0)
+                .expect("every saved cell must be decoded");
+            prop_assert_eq!(r0.iterations, r1.iterations);
+            prop_assert_eq!(r0.iter_time, r1.iter_time);
+            prop_assert_eq!(r0.epoch_time, r1.epoch_time);
+            prop_assert_eq!(r0.fp_bp_iter, r1.fp_bp_iter);
+            prop_assert_eq!(r0.wu_iter, r1.wu_iter);
+            prop_assert_eq!(&r0.api_iter, &r1.api_iter);
+            prop_assert_eq!(r0.sync_wall_iter, r1.sync_wall_iter);
+            prop_assert_eq!(
+                r0.compute_utilization.to_bits(),
+                r1.compute_utilization.to_bits()
+            );
+            prop_assert_eq!(r0.iter_trace.events(), r1.iter_trace.events());
+        }
+    }
+
+    /// Truncating a valid snapshot anywhere yields a typed error,
+    /// never a panic and never a silently shorter cache.
+    #[test]
+    fn truncations_are_rejected(seed in 0u64..10_000, frac in 0.0f64..1.0) {
+        let bytes = encode(3, &arb_entries(seed, 3));
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        prop_assert!(cut < bytes.len());
+        prop_assert!(decode(&bytes[..cut], 3).is_err(), "cut at {} accepted", cut);
+    }
+
+    /// Flipping any single byte of a valid snapshot is detected: the
+    /// header fields are each individually validated and the payload
+    /// is checksummed.
+    #[test]
+    fn single_byte_corruption_is_rejected(seed in 0u64..10_000, pos in 0usize..4096) {
+        let mut bytes = encode(11, &arb_entries(seed, 2));
+        let pos = pos % bytes.len();
+        bytes[pos] ^= 0x5a;
+        prop_assert!(decode(&bytes, 11).is_err(), "flip at {} accepted", pos);
+    }
+}
+
+#[test]
+fn stale_files_fail_with_the_right_typed_error() {
+    let entries = arb_entries(42, 2);
+    let good = encode(1, &entries);
+
+    let mut wrong_version = good.clone();
+    wrong_version[8] = wrong_version[8].wrapping_add(3);
+    assert!(matches!(
+        decode(&wrong_version, 1),
+        Err(PersistError::UnsupportedVersion { .. })
+    ));
+
+    assert!(matches!(
+        decode(&good, 2),
+        Err(PersistError::FingerprintMismatch {
+            expected: 2,
+            found: 1
+        })
+    ));
+
+    let mut not_a_snapshot = good;
+    not_a_snapshot[0] = b'X';
+    assert!(matches!(
+        decode(&not_a_snapshot, 1),
+        Err(PersistError::BadMagic)
+    ));
+}
+
+/// The service_demo request stream: six overlapping sweeps, 72 cells.
+fn demo_stream() -> Vec<GridSpec> {
+    vec![
+        GridSpec::paper().workloads([Workload::LeNet]).batches([16]),
+        GridSpec::paper().workloads([Workload::LeNet]),
+        GridSpec::paper().workloads([Workload::LeNet]).batches([16]),
+        GridSpec::paper()
+            .workloads([Workload::LeNet])
+            .comms([CommMethod::Nccl]),
+        GridSpec::paper()
+            .workloads([Workload::AlexNet])
+            .batches([16])
+            .gpu_counts([1, 2]),
+        GridSpec::paper()
+            .workloads([Workload::LeNet, Workload::AlexNet])
+            .batches([16]),
+    ]
+}
+
+#[test]
+fn warm_service_is_equivalent_to_cold_over_a_mixed_stream() {
+    let path = std::env::temp_dir().join(format!(
+        "voltascope-persist-equiv-{}.snap",
+        std::process::id()
+    ));
+    let stream = demo_stream();
+
+    let cold = GridService::with_executor(Harness::paper(), Executor::Serial);
+    let cold_outs: Vec<_> = stream.iter().map(|s| cold.sweep(s)).collect();
+    let cold_stats = cold.stats();
+    assert_eq!(cold_stats.cells, 72, "the demo stream is 72 cells");
+    let saved = cold.save(&path).unwrap();
+    assert_eq!(saved as u64, cold_stats.computed);
+
+    let (warm, status) = GridService::with_snapshot(Harness::paper(), Executor::Serial, &path);
+    assert!(matches!(status, SnapshotStatus::Loaded { .. }), "{status}");
+    let warm_outs: Vec<_> = stream.iter().map(|s| warm.sweep(s)).collect();
+
+    // Same cells, field-identical reports, zero recomputation.
+    for (c_out, w_out) in cold_outs.iter().zip(warm_outs.iter()) {
+        assert_eq!(c_out.cells(), w_out.cells());
+        for ((cell, c), (_, w)) in c_out.iter().zip(w_out.iter()) {
+            assert_eq!(c.iterations, w.iterations, "{cell:?}");
+            assert_eq!(c.iter_time, w.iter_time, "{cell:?}");
+            assert_eq!(c.epoch_time, w.epoch_time, "{cell:?}");
+            assert_eq!(c.fp_bp_iter, w.fp_bp_iter, "{cell:?}");
+            assert_eq!(c.wu_iter, w.wu_iter, "{cell:?}");
+            assert_eq!(c.sync_wall_iter, w.sync_wall_iter, "{cell:?}");
+            assert_eq!(c.api_iter, w.api_iter, "{cell:?}");
+            assert_eq!(
+                c.compute_utilization.to_bits(),
+                w.compute_utilization.to_bits(),
+                "{cell:?}"
+            );
+            assert_eq!(c.iter_trace.events(), w.iter_trace.events(), "{cell:?}");
+        }
+    }
+    let warm_stats = warm.stats();
+    assert_eq!(warm_stats.computed, 0, "warm pass must not recompute");
+    assert!(
+        warm_stats.hit_rate() >= 0.95,
+        "warm hit rate {:.3} below the acceptance bar",
+        warm_stats.hit_rate()
+    );
+
+    // Re-saving the untouched warm cache reproduces the same bytes.
+    let resaved = path.with_extension("snap2");
+    warm.save(&resaved).unwrap();
+    assert_eq!(
+        std::fs::read(&path).unwrap(),
+        std::fs::read(&resaved).unwrap(),
+        "warm re-save must be byte-identical"
+    );
+    std::fs::remove_file(&path).unwrap();
+    std::fs::remove_file(&resaved).unwrap();
+}

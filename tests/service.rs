@@ -54,9 +54,13 @@ fn concurrent_identical_requests_compute_each_cell_exactly_once() {
     assert_eq!(stats.requests, requesters as u64);
     assert_eq!(stats.cells, (requesters * cells.len()) as u64);
     assert_eq!(
-        stats.hits + stats.coalesced + stats.computed,
+        stats.hits + stats.coalesced + stats.repeats + stats.computed,
         stats.cells,
         "every requested cell classified exactly once"
+    );
+    assert_eq!(
+        stats.repeats, 0,
+        "no request contained intra-request duplicates"
     );
     // Every requester got the same shared reports.
     for reports in &results {
