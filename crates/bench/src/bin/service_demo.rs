@@ -7,10 +7,14 @@
 //! sequentially (each one claims its missing cells before the next
 //! request runs), so the printed table is deterministic for any
 //! `VOLTASCOPE_THREADS` setting: only the intra-request cell
-//! computations are parallel, never the claim accounting.
+//! computations are parallel, never the claim accounting. With
+//! `VOLTASCOPE_ASYNC=1` each request travels as a ticket through the
+//! prioritised scheduler's worker pool instead — same reports, same
+//! statistics, byte-identical table.
 use voltascope::grid::GridSpec;
 use voltascope::service::GridService;
 use voltascope::Harness;
+use voltascope_bench::Front;
 use voltascope_comm::CommMethod;
 use voltascope_dnn::zoo::Workload;
 use voltascope_profile::TextTable;
@@ -20,7 +24,7 @@ fn main() {
     // per-request hit/computed accounting *is* this demo's output, and
     // a warm-started cache would turn every row into a hit and change
     // the pinned golden. The cold in-memory stream is the artefact.
-    let service = GridService::new(Harness::paper());
+    let front = Front::over(GridService::new(Harness::paper()));
     // A plausible exploration session: start narrow, widen the batch
     // axis, revisit, then pivot to another workload that shares the
     // communication sweep.
@@ -65,10 +69,10 @@ fn main() {
         "Computed",
         "Cumulative hit rate",
     ]);
-    let mut prev = service.stats();
+    let mut prev = front.service().stats();
     for (name, spec) in &stream {
-        let out = service.sweep(spec);
-        let now = service.stats();
+        let out = front.sweep(spec);
+        let now = front.service().stats();
         table.row([
             name.to_string(),
             out.len().to_string(),
@@ -78,7 +82,7 @@ fn main() {
         ]);
         prev = now;
     }
-    let stats = service.stats();
+    let stats = front.service().stats();
     table.row([
         "TOTAL".to_string(),
         stats.cells.to_string(),

@@ -14,14 +14,99 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use voltascope::grid::Executor;
-use voltascope::service::GridService;
+use std::sync::Arc;
+
+use voltascope::grid::{Executor, GridOut, GridSpec};
+use voltascope::service::sched::{SchedConfig, Scheduler, SubmitOpts};
+use voltascope::service::{persist, GridService};
 use voltascope::Harness;
 use voltascope_profile::TextTable;
+use voltascope_train::EpochReport;
 
 /// Environment variable naming the snapshot file the sweep binaries
 /// warm-start from and re-save to. Unset → plain in-memory service.
 pub const CACHE_ENV: &str = "VOLTASCOPE_CACHE";
+
+/// Environment variable switching the ported binaries onto the async
+/// scheduler front end (`1`/anything non-zero). The output is
+/// byte-identical either way — the flag exists so CI can prove it.
+pub const ASYNC_ENV: &str = "VOLTASCOPE_ASYNC";
+
+/// Reads the [`ASYNC_ENV`] opt-in: unset, empty, or `0` means the
+/// blocking path; anything else routes sweeps through the scheduler.
+pub fn async_from_env() -> bool {
+    match std::env::var(ASYNC_ENV) {
+        Err(_) => false,
+        Ok(v) => {
+            let v = v.trim();
+            !v.is_empty() && v != "0"
+        }
+    }
+}
+
+/// The request front end a ported binary issues its sweeps through:
+/// the blocking [`GridService`] by default, or the async
+/// [`Scheduler`] ticket path under `VOLTASCOPE_ASYNC=1`. Both produce
+/// byte-identical reports and (for sequential request streams)
+/// identical service statistics.
+pub enum Front {
+    /// Direct blocking sweeps.
+    Blocking(Arc<GridService>),
+    /// Ticket-based sweeps through the scheduler's worker pool.
+    Async(Scheduler),
+}
+
+impl Front {
+    /// Builds the environment-selected front end over the
+    /// environment-selected service (see [`service`]).
+    pub fn from_env() -> Self {
+        Self::over(service())
+    }
+
+    /// Wraps an explicit service in the environment-selected front
+    /// end. The scheduler's worker count follows `VOLTASCOPE_THREADS`
+    /// (via [`SchedConfig::default`]), mirroring the blocking
+    /// executor selection.
+    pub fn over(service: GridService) -> Self {
+        let service = Arc::new(service);
+        if async_from_env() {
+            let sched = Scheduler::new(service, SchedConfig::default());
+            eprintln!(
+                "voltascope-bench: async scheduler front end ({} workers)",
+                sched.config().workers
+            );
+            Front::Async(sched)
+        } else {
+            Front::Blocking(service)
+        }
+    }
+
+    /// The underlying service (for stats, snapshots, and the base
+    /// harness renderers post-process with).
+    pub fn service(&self) -> &GridService {
+        match self {
+            Front::Blocking(service) => service,
+            Front::Async(sched) => sched.service(),
+        }
+    }
+
+    /// Runs one sweep through the selected path.
+    pub fn sweep(&self, spec: &GridSpec) -> GridOut<Arc<EpochReport>> {
+        match self {
+            Front::Blocking(service) => service.sweep(spec),
+            Front::Async(sched) => sched.sweep(spec),
+        }
+    }
+
+    /// Runs one trace-guaranteed sweep through the selected path (see
+    /// [`GridService::sweep_traced`]).
+    pub fn sweep_traced(&self, spec: &GridSpec) -> GridOut<Arc<EpochReport>> {
+        match self {
+            Front::Blocking(service) => service.sweep_traced(spec),
+            Front::Async(sched) => sched.sweep_opts(spec, SubmitOpts::default().traced(true)),
+        }
+    }
+}
 
 /// Builds the [`GridService`] a regeneration binary issues its sweeps
 /// through. With `VOLTASCOPE_CACHE=<path>` set, the service warm-starts
@@ -43,7 +128,9 @@ pub fn service() -> GridService {
 
 /// Re-saves the service's cache to the `VOLTASCOPE_CACHE` snapshot (a
 /// no-op when the variable is unset) and reports the request-stream
-/// hit rate on stderr. Call once, after the last sweep.
+/// hit rate on stderr. With `VOLTASCOPE_CACHE_SLIM=1` the iteration
+/// traces are omitted from the written snapshot (see
+/// [`persist::slim_from_env`]). Call once, after the last sweep.
 pub fn save_service(service: &GridService) {
     let Ok(path) = std::env::var(CACHE_ENV) else {
         return;
@@ -51,10 +138,12 @@ pub fn save_service(service: &GridService) {
     if path.is_empty() {
         return;
     }
+    let slim = persist::slim_from_env();
     let stats = service.stats();
-    match service.save(&path) {
+    match service.save_with(&path, slim) {
         Ok(cells) => eprintln!(
-            "voltascope-bench: saved {cells} cells to {path} (request hit rate {:.1}%)",
+            "voltascope-bench: saved {cells} cells{} to {path} (request hit rate {:.1}%)",
+            if slim { " (slim)" } else { "" },
             stats.hit_rate() * 100.0
         ),
         Err(e) => eprintln!("voltascope-bench: failed to save cache {path}: {e}"),

@@ -72,9 +72,12 @@ pub fn degraded_grid_with(h: &Harness, workloads: &[Workload], exec: Executor) -
         .collect()
 }
 
-/// Runs the degraded-DGX-1 sweep through a caching sweep service.
+/// Runs the degraded-DGX-1 sweep through a caching sweep service. The
+/// idle-percent column walks the iteration traces, so this issues a
+/// *traced* sweep: slim-loaded snapshot entries are recomputed rather
+/// than scanned as fully idle.
 pub fn degraded_grid_service(service: &GridService, workloads: &[Workload]) -> Vec<DegradedRow> {
-    rows_from(service.sweep(&spec().workloads(workloads.iter().copied())))
+    rows_from(service.sweep_traced(&spec().workloads(workloads.iter().copied())))
         .into_pairs()
         .map(|(_, row)| row)
         .collect()

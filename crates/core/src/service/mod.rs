@@ -58,6 +58,27 @@
 //! stale, or corrupt). The regeneration binaries wire this to the
 //! `VOLTASCOPE_CACHE` environment variable.
 //!
+//! ### Slim snapshots
+//!
+//! [`GridService::save_with`] can omit the iteration traces (the bulk
+//! of snapshot size) per the `VOLTASCOPE_CACHE_SLIM` opt-out. Entries
+//! loaded from such a snapshot are held *slim-marked* in the cache:
+//! ordinary requests serve them as hits (every scalar field
+//! round-trips exactly), but trace-consuming requests issued through
+//! [`GridService::sweep_traced`] / [`GridService::run_cells_traced`]
+//! treat a slim entry as missing and recompute the cell, so an idle
+//! scan can never silently render from an empty trace. Recomputation
+//! publishes the full report, upgrading the entry in place.
+//!
+//! ## Async front end
+//!
+//! [`sched`] layers a non-blocking, prioritised scheduler over this
+//! service: requests become tickets on a bounded queue drained by a
+//! worker pool, with strict-priority bands, deficit-round-robin
+//! fairness across clients, cancellation, deadlines and backpressure.
+//! Reports flow through the same cache, so the two paths are
+//! byte-identical.
+//!
 //! ## Example
 //!
 //! ```
@@ -76,6 +97,7 @@
 //! ```
 
 pub mod persist;
+pub mod sched;
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -94,11 +116,29 @@ use persist::PersistError;
 
 /// One cache entry: either being computed by some request right now,
 /// or done and shareable. A claim whose computation panics is removed
-/// entirely (reverted to absent) by its unwind guard.
+/// entirely (reverted to absent) by its unwind guard. `DoneSlim`
+/// entries were loaded from a slim snapshot: their scalar fields are
+/// exact but the iteration trace is empty, so trace-consuming requests
+/// treat them as missing and recompute (see the module docs).
 #[derive(Debug)]
 enum Slot {
     InFlight,
     Done(Arc<EpochReport>),
+    DoneSlim(Arc<EpochReport>),
+}
+
+/// How [`GridService::cell_report`] answered one cell, for the
+/// scheduler's duplicate accounting: duplicates of a cell inherit the
+/// first occurrence's class (`Computed` duplicates are intra-request
+/// repeats, `Hit`/`Coalesced` duplicates are more of the same).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CellClass {
+    /// Served from a completed cache entry.
+    Hit,
+    /// Waited on a computation some other thread had in flight.
+    Coalesced,
+    /// Claimed and computed by this call.
+    Computed,
 }
 
 /// Lock-guarded service state: the report cache plus the lazily grown
@@ -265,12 +305,17 @@ impl GridService {
     ) -> (Self, SnapshotStatus) {
         let fingerprint = persist::harness_fingerprint(&base);
         let service = Self::with_executor(base, exec);
-        let status = match persist::load(path.as_ref(), fingerprint) {
+        let status = match persist::load_entries(path.as_ref(), fingerprint) {
             Ok(entries) => {
                 let cells = entries.len();
                 let mut state = service.lock_state();
-                for (cell, report) in entries {
-                    state.cache.insert(cell, Slot::Done(report));
+                for (cell, report, slim) in entries {
+                    let slot = if slim {
+                        Slot::DoneSlim(report)
+                    } else {
+                        Slot::Done(report)
+                    };
+                    state.cache.insert(cell, slot);
                 }
                 drop(state);
                 SnapshotStatus::Loaded { cells }
@@ -283,21 +328,33 @@ impl GridService {
 
     /// Snapshots every completed cache entry to `path` (atomically:
     /// temp sibling + rename), keyed by this service's harness
-    /// fingerprint. In-flight claims are skipped. Returns the number
-    /// of cells written.
+    /// fingerprint, with full iteration traces. In-flight claims are
+    /// skipped. Returns the number of cells written.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<usize, PersistError> {
-        let entries: Vec<(Cell, Arc<EpochReport>)> = {
+        self.save_with(path, false)
+    }
+
+    /// Snapshots the cache, optionally slim: when `slim` is true the
+    /// iteration traces are omitted from every written entry (the
+    /// `VOLTASCOPE_CACHE_SLIM` mode — see the module docs). Entries
+    /// that were themselves loaded from a slim snapshot are always
+    /// written slim, whatever `slim` says: their traces are empty
+    /// placeholders, and persisting them as full entries would launder
+    /// a slim entry into one that trace consumers trust.
+    pub fn save_with(&self, path: impl AsRef<Path>, slim: bool) -> Result<usize, PersistError> {
+        let entries: Vec<(Cell, Arc<EpochReport>, bool)> = {
             let state = self.lock_state();
             state
                 .cache
                 .iter()
                 .filter_map(|(cell, slot)| match slot {
-                    Slot::Done(report) => Some((*cell, report.clone())),
+                    Slot::Done(report) => Some((*cell, report.clone(), slim)),
+                    Slot::DoneSlim(report) => Some((*cell, report.clone(), true)),
                     Slot::InFlight => None,
                 })
                 .collect()
         };
-        persist::save(
+        persist::save_entries(
             path.as_ref(),
             persist::harness_fingerprint(&self.base),
             &entries,
@@ -328,10 +385,26 @@ impl GridService {
         GridOut::from_parts(cells, reports)
     }
 
+    /// Like [`GridService::sweep`], for consumers that walk the
+    /// iteration traces (idle scans, timeline renders): slim-marked
+    /// cache entries are recomputed instead of served, so every
+    /// returned report carries its full trace. On a service that never
+    /// loaded a slim snapshot this is identical to `sweep`.
+    pub fn sweep_traced(&self, spec: &GridSpec) -> GridOut<Arc<EpochReport>> {
+        let cells = spec.cells();
+        let reports = self.run_cells_traced(&cells, true);
+        GridOut::from_parts(cells, reports)
+    }
+
     /// Answers one request for an explicit cell list: cache hits are
     /// returned as-is, in-flight cells are awaited, and missing cells
     /// are claimed and computed on this service's executor. Returns one
     /// report per input cell, in input order (duplicates allowed).
+    ///
+    /// Slim-marked entries (loaded from a slim snapshot) are served as
+    /// ordinary hits — their scalar fields are exact, only the
+    /// iteration trace is empty. Trace consumers must use
+    /// [`GridService::run_cells_traced`] instead.
     ///
     /// # Panics
     ///
@@ -339,6 +412,14 @@ impl GridService {
     /// GPU count); the claim is reverted first, so other requests are
     /// unaffected (see the module docs' panic-recovery section).
     pub fn run_cells(&self, cells: &[Cell]) -> Vec<Arc<EpochReport>> {
+        self.run_cells_traced(cells, false)
+    }
+
+    /// [`GridService::run_cells`] with an explicit trace requirement:
+    /// when `traced` is true, slim-marked entries count as missing and
+    /// are reclaimed and recomputed (publishing the full report, which
+    /// upgrades the cache entry in place).
+    pub fn run_cells_traced(&self, cells: &[Cell], traced: bool) -> Vec<Arc<EpochReport>> {
         self.requests.fetch_add(1, Ordering::Relaxed);
         self.cells.fetch_add(cells.len() as u64, Ordering::Relaxed);
 
@@ -361,10 +442,15 @@ impl GridService {
                     Some(Slot::Done(_)) => {
                         self.hits.fetch_add(1, Ordering::Relaxed);
                     }
+                    Some(Slot::DoneSlim(_)) if !traced => {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                    }
                     Some(Slot::InFlight) => {
                         self.coalesced.fetch_add(1, Ordering::Relaxed);
                     }
-                    None => {
+                    // A slim entry cannot serve a traced request:
+                    // reclaim it and recompute the full report.
+                    Some(Slot::DoneSlim(_)) | None => {
                         state.cache.insert(cell, Slot::InFlight);
                         claimed_here.insert(cell);
                         let (model, harness) = Self::pools(&mut state, &self.base, cell);
@@ -413,6 +499,10 @@ impl GridService {
             let report = loop {
                 match state.cache.get(cell) {
                     Some(Slot::Done(report)) => break report.clone(),
+                    // Only reachable when `!traced` (a traced request
+                    // reclaimed every slim entry in its claim phase,
+                    // and computations always publish full reports).
+                    Some(Slot::DoneSlim(report)) => break report.clone(),
                     Some(Slot::InFlight) => {
                         state = self
                             .ready
@@ -427,6 +517,74 @@ impl GridService {
             reports.push(report);
         }
         reports
+    }
+
+    /// Answers a single cell for the async scheduler's workers:
+    /// claim-or-wait-or-hit with the same single-flight, panic-revert
+    /// and slim semantics as [`GridService::run_cells_traced`], but for
+    /// exactly one cell and reporting *how* it was answered so the
+    /// scheduler can account duplicates by class. Does **not** bump the
+    /// request/cell counters — the scheduler does that at submit time,
+    /// keeping sequential async streams stat-identical to the blocking
+    /// path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell's simulation panics; the claim is reverted
+    /// first (scheduler workers catch the unwind and fail the ticket).
+    pub(crate) fn cell_report(&self, cell: Cell, traced: bool) -> (Arc<EpochReport>, CellClass) {
+        let mut waited = false;
+        let mut state = self.lock_state();
+        loop {
+            let served = match state.cache.get(&cell) {
+                Some(Slot::Done(report)) => Some(report.clone()),
+                Some(Slot::DoneSlim(report)) if !traced => Some(report.clone()),
+                Some(Slot::InFlight) => {
+                    waited = true;
+                    state = self
+                        .ready
+                        .wait(state)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    continue;
+                }
+                // Missing (or slim under a traced request, or reverted
+                // by a panicked claimant while we waited): claim it.
+                Some(Slot::DoneSlim(_)) | None => None,
+            };
+            if let Some(report) = served {
+                drop(state);
+                // A wait that resolved to a published report was
+                // coalesced onto another thread's computation — the
+                // same class the blocking claim phase assigns when it
+                // observes InFlight under its single lock hold.
+                return if waited {
+                    self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    (report, CellClass::Coalesced)
+                } else {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    (report, CellClass::Hit)
+                };
+            }
+            state.cache.insert(cell, Slot::InFlight);
+            let (model, harness) = Self::pools(&mut state, &self.base, cell);
+            drop(state);
+            let claim = ClaimGuard {
+                service: self,
+                cells: vec![cell],
+            };
+            // May panic; the guard reverts the claim and wakes waiters
+            // before the unwind reaches the scheduler's catch.
+            let report =
+                Arc::new(harness.epoch(&model, cell.batch, cell.gpus, cell.comm, cell.scaling));
+            self.computed.fetch_add(1, Ordering::Relaxed);
+            {
+                let mut state = self.lock_state();
+                state.cache.insert(cell, Slot::Done(report.clone()));
+            }
+            drop(claim);
+            self.ready.notify_all();
+            return (report, CellClass::Computed);
+        }
     }
 
     /// Claims and computes `cell` from the assemble loop, for the case
@@ -745,6 +903,110 @@ mod tests {
         ));
         assert_eq!(service.cached_cells(), 0);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn slim_snapshot_serves_scalars_but_recomputes_for_traces() {
+        let path = std::env::temp_dir().join(format!(
+            "voltascope-service-slim-{}.snap",
+            std::process::id()
+        ));
+        let cells = [lenet_cell(16, 1), lenet_cell(16, 2)];
+
+        let cold = GridService::with_executor(Harness::paper(), Executor::Serial);
+        let cold_reports = cold.run_cells(&cells);
+        assert!(cold_reports
+            .iter()
+            .all(|r| !r.iter_trace.events().is_empty()));
+        cold.save_with(&path, true).unwrap();
+
+        // Ordinary requests: pure hits, exact scalars, empty traces.
+        let (warm, status) = GridService::with_snapshot(Harness::paper(), Executor::Serial, &path);
+        assert!(matches!(status, SnapshotStatus::Loaded { cells: 2 }));
+        let warm_reports = warm.run_cells(&cells);
+        for (c, w) in cold_reports.iter().zip(warm_reports.iter()) {
+            assert_eq!(c.iterations, w.iterations);
+            assert_eq!(c.epoch_time, w.epoch_time);
+            assert_eq!(c.iter_time, w.iter_time);
+            assert_eq!(c.api_iter, w.api_iter);
+            assert_eq!(
+                c.compute_utilization.to_bits(),
+                w.compute_utilization.to_bits()
+            );
+            assert!(w.iter_trace.events().is_empty());
+        }
+        assert_eq!(warm.stats().computed, 0);
+        assert_eq!(warm.stats().hits, 2);
+
+        // Traced requests: slim entries are recomputed, full traces
+        // come back, and the cache entry is upgraded in place.
+        let traced = warm.run_cells_traced(&cells, true);
+        assert_eq!(warm.stats().computed, 2, "slim entries recomputed");
+        for (c, t) in cold_reports.iter().zip(traced.iter()) {
+            assert_eq!(c.iter_trace.events(), t.iter_trace.events());
+        }
+        let again = warm.run_cells_traced(&cells, true);
+        assert_eq!(warm.stats().computed, 2, "upgrade persists: no recompute");
+        assert!(Arc::ptr_eq(&traced[0], &again[0]));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn resaving_a_slim_loaded_cache_stays_slim() {
+        let path = std::env::temp_dir().join(format!(
+            "voltascope-service-reslim-{}.snap",
+            std::process::id()
+        ));
+        let cold = GridService::with_executor(Harness::paper(), Executor::Serial);
+        cold.run_cells(&[lenet_cell(16, 1)]);
+        cold.save_with(&path, true).unwrap();
+
+        // A full (slim = false) re-save of slim-loaded entries must not
+        // launder empty placeholder traces into trusted full entries.
+        let (warm, _) = GridService::with_snapshot(Harness::paper(), Executor::Serial, &path);
+        warm.save_with(&path, false).unwrap();
+        let (again, status) = GridService::with_snapshot(Harness::paper(), Executor::Serial, &path);
+        assert!(matches!(status, SnapshotStatus::Loaded { cells: 1 }));
+        let traced = again.sweep_traced(
+            &GridSpec::paper()
+                .workloads([Workload::LeNet])
+                .comms([CommMethod::P2p])
+                .batches([16])
+                .gpu_counts([1]),
+        );
+        assert_eq!(again.stats().computed, 1, "still treated as slim");
+        let report = traced.get(&lenet_cell(16, 1)).unwrap();
+        assert!(!report.iter_trace.events().is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn cell_report_classifies_hits_and_computes() {
+        let service = GridService::with_executor(Harness::paper(), Executor::Serial);
+        let cell = lenet_cell(16, 1);
+        let (first, class) = service.cell_report(cell, false);
+        assert_eq!(class, CellClass::Computed);
+        let (second, class) = service.cell_report(cell, false);
+        assert_eq!(class, CellClass::Hit);
+        assert!(Arc::ptr_eq(&first, &second));
+        let stats = service.stats();
+        assert_eq!(stats.computed, 1);
+        assert_eq!(stats.hits, 1);
+        // cell_report leaves request/cell accounting to its caller.
+        assert_eq!(stats.requests, 0);
+        assert_eq!(stats.cells, 0);
+    }
+
+    #[test]
+    fn cell_report_panics_revert_like_the_blocking_path() {
+        let service = GridService::with_executor(Harness::paper(), Executor::Serial);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            service.cell_report(poisonous_cell(), false);
+        }));
+        assert!(result.is_err());
+        assert_eq!(service.cached_cells(), 0, "claim reverted");
+        let (_, class) = service.cell_report(lenet_cell(16, 1), false);
+        assert_eq!(class, CellClass::Computed);
     }
 
     #[test]

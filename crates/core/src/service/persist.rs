@@ -22,12 +22,32 @@
 //! | 44 | .. | payload: `entry count` encoded entries |
 //!
 //! Each entry is the cell key (enum tags as `u8`, batch/GPU count as
-//! `u64`) followed by the full [`EpochReport`] — stage timings, the
-//! per-category API totals, and the complete steady-state iteration
-//! trace. Entries are stored sorted by their encoded cell key, so the
-//! snapshot bytes are a canonical function of the cache *contents*,
-//! independent of insertion order: save → load → re-save is
-//! byte-identical.
+//! `u64`) followed by the [`EpochReport`] — stage timings, the
+//! per-category API totals, and (unless the entry is *slim*, below) the
+//! complete steady-state iteration trace. Entries are stored sorted by
+//! their encoded cell key, so the snapshot bytes are a canonical
+//! function of the cache *contents*, independent of insertion order:
+//! save → load → re-save is byte-identical.
+//!
+//! ## Slim entries (`VOLTASCOPE_CACHE_SLIM=1`)
+//!
+//! The steady-state iteration traces dominate snapshot size (the full
+//! artefact set persists ~100 MB, almost all of it trace events). Each
+//! entry therefore carries a one-byte trace flag: `1` means the full
+//! event list follows, `0` means the trace was deliberately omitted at
+//! save time. [`slim_from_env`] reads the `VOLTASCOPE_CACHE_SLIM`
+//! opt-out the sweep binaries honour via
+//! [`GridService::save_with`](super::GridService::save_with).
+//!
+//! A slim entry still round-trips every *scalar* field exactly — epoch
+//! and iteration times, FP+BP/WU splits, API totals, sync share,
+//! utilisation — so any table derived from those fields is
+//! byte-identical whether it was served from a slim or a full
+//! snapshot. What a slim entry **cannot** serve is a request that
+//! walks the iteration trace (idle scans, timeline renders, the fault
+//! sweep's idle deltas): the loading service marks slim entries
+//! distinctly and trace-needing requests recompute them instead of
+//! silently rendering from an empty trace (see the service docs).
 //!
 //! ## Staleness policy
 //!
@@ -69,7 +89,29 @@ pub const MAGIC: [u8; 8] = *b"VSCPSNAP";
 /// Current snapshot format version. Bump on any encoding change *or*
 /// any simulator-semantics change not captured by the harness
 /// fingerprint (see the module docs' staleness policy).
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// Version history: 1 — initial format; 2 — per-entry trace-presence
+/// flag (slim snapshots).
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Environment variable that opts snapshot saves out of persisting the
+/// steady-state iteration traces (`1`/anything non-zero enables slim
+/// mode). Read by the sweep binaries, not by the library: explicit
+/// callers pass the flag to [`encode_entries`]/[`save_entries`] or
+/// [`GridService::save_with`](super::GridService::save_with).
+pub const SLIM_ENV: &str = "VOLTASCOPE_CACHE_SLIM";
+
+/// Reads the [`SLIM_ENV`] opt-out: unset, empty, or `0` means full
+/// snapshots; anything else enables slim mode.
+pub fn slim_from_env() -> bool {
+    match std::env::var(SLIM_ENV) {
+        Err(_) => false,
+        Ok(v) => {
+            let v = v.trim();
+            !v.is_empty() && v != "0"
+        }
+    }
+}
 
 /// Size of the fixed header preceding the payload.
 const HEADER_LEN: usize = 44;
@@ -164,19 +206,32 @@ pub fn harness_fingerprint(harness: &Harness) -> u64 {
     fnv1a(format!("{harness:?}").as_bytes())
 }
 
-/// Encodes `entries` as a complete snapshot byte image for `fingerprint`.
+/// Encodes `entries` as a complete full-fat snapshot byte image for
+/// `fingerprint` (every iteration trace persisted). Shorthand for
+/// [`encode_entries`] with `slim = false` on every entry.
+pub fn encode(fingerprint: u64, entries: &[(Cell, Arc<EpochReport>)]) -> Vec<u8> {
+    let with_flags: Vec<(Cell, Arc<EpochReport>, bool)> = entries
+        .iter()
+        .map(|(c, r)| (*c, r.clone(), false))
+        .collect();
+    encode_entries(fingerprint, &with_flags)
+}
+
+/// Encodes `entries` with a per-entry slim flag: `true` omits that
+/// entry's iteration trace from the payload (see the module docs'
+/// slim-entries section).
 ///
 /// Entries are canonicalised (sorted by encoded cell key) before
 /// writing, so any permutation of the same cache encodes to identical
 /// bytes.
-pub fn encode(fingerprint: u64, entries: &[(Cell, Arc<EpochReport>)]) -> Vec<u8> {
+pub fn encode_entries(fingerprint: u64, entries: &[(Cell, Arc<EpochReport>, bool)]) -> Vec<u8> {
     let mut encoded: Vec<(Vec<u8>, Vec<u8>)> = entries
         .iter()
-        .map(|(cell, report)| {
+        .map(|(cell, report, slim)| {
             let mut key = Vec::with_capacity(21);
             put_cell(&mut key, cell);
             let mut body = Vec::new();
-            put_report(&mut body, report);
+            put_report(&mut body, report, *slim);
             (key, body)
         })
         .collect();
@@ -199,12 +254,28 @@ pub fn encode(fingerprint: u64, entries: &[(Cell, Arc<EpochReport>)]) -> Vec<u8>
     out
 }
 
-/// Decodes a snapshot byte image, validating magic, version,
-/// fingerprint, length and checksum before touching the payload.
+/// Decodes a snapshot byte image, dropping the per-entry slim flags
+/// (a slim entry decodes to a report with an empty iteration trace).
+/// Use [`decode_entries`] when the flags matter.
 pub fn decode(
     bytes: &[u8],
     expected_fingerprint: u64,
 ) -> Result<Vec<(Cell, Arc<EpochReport>)>, PersistError> {
+    Ok(decode_entries(bytes, expected_fingerprint)?
+        .into_iter()
+        .map(|(cell, report, _)| (cell, report))
+        .collect())
+}
+
+/// Decodes a snapshot byte image, validating magic, version,
+/// fingerprint, length and checksum before touching the payload.
+/// The third tuple element is the entry's slim flag: `true` means the
+/// iteration trace was omitted at save time (the decoded report
+/// carries an empty trace).
+pub fn decode_entries(
+    bytes: &[u8],
+    expected_fingerprint: u64,
+) -> Result<Vec<(Cell, Arc<EpochReport>, bool)>, PersistError> {
     if bytes.len() < HEADER_LEN {
         return Err(PersistError::Truncated);
     }
@@ -252,8 +323,8 @@ pub fn decode(
         if !seen.insert(cell) {
             return Err(PersistError::Corrupted("duplicate cell entry"));
         }
-        let report = take_report(&mut r)?;
-        entries.push((cell, Arc::new(report)));
+        let (report, slim) = take_report(&mut r)?;
+        entries.push((cell, Arc::new(report), slim));
     }
     if r.pos != payload.len() {
         return Err(PersistError::Corrupted("payload longer than its entries"));
@@ -261,32 +332,56 @@ pub fn decode(
     Ok(entries)
 }
 
-/// Writes a snapshot atomically: the image is assembled in memory,
-/// written to a `.tmp` sibling, and renamed into place, so a crash
-/// mid-save can never leave a half-written snapshot behind (a torn
-/// write would be rejected by the checksum anyway).
+/// Writes a full-fat snapshot atomically (see [`save_entries`]).
 pub fn save(
     path: &Path,
     fingerprint: u64,
     entries: &[(Cell, Arc<EpochReport>)],
 ) -> Result<(), PersistError> {
-    let bytes = encode(fingerprint, entries);
+    write_atomic(path, &encode(fingerprint, entries))
+}
+
+/// Writes a snapshot with per-entry slim flags atomically: the image
+/// is assembled in memory, written to a `.tmp` sibling, and renamed
+/// into place, so a crash mid-save can never leave a half-written
+/// snapshot behind (a torn write would be rejected by the checksum
+/// anyway).
+pub fn save_entries(
+    path: &Path,
+    fingerprint: u64,
+    entries: &[(Cell, Arc<EpochReport>, bool)],
+) -> Result<(), PersistError> {
+    write_atomic(path, &encode_entries(fingerprint, entries))
+}
+
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
     let tmp = std::path::PathBuf::from(tmp);
-    fs::write(&tmp, &bytes)?;
+    fs::write(&tmp, bytes)?;
     fs::rename(&tmp, path)?;
     Ok(())
 }
 
-/// Reads and decodes the snapshot at `path`. A missing file surfaces
-/// as `PersistError::Io` with [`PersistError::is_missing_file`] true.
+/// Reads and decodes the snapshot at `path`, dropping slim flags. A
+/// missing file surfaces as `PersistError::Io` with
+/// [`PersistError::is_missing_file`] true.
 pub fn load(
     path: &Path,
     expected_fingerprint: u64,
 ) -> Result<Vec<(Cell, Arc<EpochReport>)>, PersistError> {
     let bytes = fs::read(path)?;
     decode(&bytes, expected_fingerprint)
+}
+
+/// Reads and decodes the snapshot at `path`, keeping per-entry slim
+/// flags.
+pub fn load_entries(
+    path: &Path,
+    expected_fingerprint: u64,
+) -> Result<Vec<(Cell, Arc<EpochReport>, bool)>, PersistError> {
+    let bytes = fs::read(path)?;
+    decode_entries(&bytes, expected_fingerprint)
 }
 
 /// FNV-1a over a byte slice — the workspace's standard dependency-free
@@ -371,7 +466,7 @@ fn put_cell(out: &mut Vec<u8>, cell: &Cell) {
     );
 }
 
-fn put_report(out: &mut Vec<u8>, report: &EpochReport) {
+fn put_report(out: &mut Vec<u8>, report: &EpochReport, slim: bool) {
     put_u64(out, report.iterations);
     put_span(out, report.iter_time);
     put_span(out, report.epoch_time);
@@ -384,6 +479,11 @@ fn put_report(out: &mut Vec<u8>, report: &EpochReport) {
     }
     put_span(out, report.sync_wall_iter);
     put_u64(out, report.compute_utilization.to_bits());
+    if slim {
+        put_u8(out, 0);
+        return;
+    }
+    put_u8(out, 1);
     let events = report.iter_trace.events();
     put_u32(out, events.len() as u32);
     for e in events {
@@ -494,7 +594,7 @@ fn take_cell(r: &mut Reader<'_>) -> Result<Cell, PersistError> {
     })
 }
 
-fn take_report(r: &mut Reader<'_>) -> Result<EpochReport, PersistError> {
+fn take_report(r: &mut Reader<'_>) -> Result<(EpochReport, bool), PersistError> {
     let iterations = r.u64()?;
     let iter_time = r.span()?;
     let epoch_time = r.span()?;
@@ -511,42 +611,52 @@ fn take_report(r: &mut Reader<'_>) -> Result<EpochReport, PersistError> {
     }
     let sync_wall_iter = r.span()?;
     let compute_utilization = f64::from_bits(r.u64()?);
-    let event_len = r.u32()?;
-    let mut events = Vec::with_capacity(event_len.min(1 << 16) as usize);
-    for _ in 0..event_len {
-        let task = TaskId::from_index(r.u32()? as usize);
-        let label = r.string()?;
-        let category = r.string()?;
-        let resource = match r.u8()? {
-            0 => None,
-            1 => Some(r.string()?),
-            _ => return Err(PersistError::Corrupted("unknown resource tag")),
-        };
-        let start = SimTime::from_nanos(r.u64()?);
-        let end = SimTime::from_nanos(r.u64()?);
-        if end < start {
-            return Err(PersistError::Corrupted("trace event ends before it starts"));
+    let (events, slim) = match r.u8()? {
+        0 => (Vec::new(), true),
+        1 => {
+            let event_len = r.u32()?;
+            let mut events = Vec::with_capacity(event_len.min(1 << 16) as usize);
+            for _ in 0..event_len {
+                let task = TaskId::from_index(r.u32()? as usize);
+                let label = r.string()?;
+                let category = r.string()?;
+                let resource = match r.u8()? {
+                    0 => None,
+                    1 => Some(r.string()?),
+                    _ => return Err(PersistError::Corrupted("unknown resource tag")),
+                };
+                let start = SimTime::from_nanos(r.u64()?);
+                let end = SimTime::from_nanos(r.u64()?);
+                if end < start {
+                    return Err(PersistError::Corrupted("trace event ends before it starts"));
+                }
+                events.push(TraceEvent {
+                    task,
+                    label,
+                    category,
+                    resource,
+                    start,
+                    end,
+                });
+            }
+            (events, false)
         }
-        events.push(TraceEvent {
-            task,
-            label,
-            category,
-            resource,
-            start,
-            end,
-        });
-    }
-    Ok(EpochReport {
-        iterations,
-        iter_time,
-        epoch_time,
-        fp_bp_iter,
-        wu_iter,
-        api_iter,
-        sync_wall_iter,
-        compute_utilization,
-        iter_trace: Trace::new(events),
-    })
+        _ => return Err(PersistError::Corrupted("unknown trace tag")),
+    };
+    Ok((
+        EpochReport {
+            iterations,
+            iter_time,
+            epoch_time,
+            fp_bp_iter,
+            wu_iter,
+            api_iter,
+            sync_wall_iter,
+            compute_utilization,
+            iter_trace: Trace::new(events),
+        },
+        slim,
+    ))
 }
 
 #[cfg(test)]
@@ -713,6 +823,113 @@ mod tests {
             Err(PersistError::FingerprintMismatch { .. })
         ));
         std::fs::remove_file(&path).unwrap();
+    }
+
+    fn flagged(slims: &[bool]) -> Vec<(Cell, Arc<EpochReport>, bool)> {
+        entries()
+            .into_iter()
+            .zip(slims.iter().copied())
+            .map(|((c, r), s)| (c, r, s))
+            .collect()
+    }
+
+    #[test]
+    fn slim_entries_roundtrip_scalars_and_drop_traces() {
+        let fp = 0x515a;
+        let bytes = encode_entries(fp, &flagged(&[true, false, true]));
+        let decoded = decode_entries(&bytes, fp).unwrap();
+        assert_eq!(decoded.len(), 3);
+        for ((c0, r0), (c1, r1, slim)) in entries().iter().zip(decoded.iter()) {
+            assert_eq!(c0, c1);
+            assert_eq!(r0.iterations, r1.iterations);
+            assert_eq!(r0.iter_time, r1.iter_time);
+            assert_eq!(r0.epoch_time, r1.epoch_time);
+            assert_eq!(r0.fp_bp_iter, r1.fp_bp_iter);
+            assert_eq!(r0.wu_iter, r1.wu_iter);
+            assert_eq!(r0.api_iter, r1.api_iter);
+            assert_eq!(r0.sync_wall_iter, r1.sync_wall_iter);
+            assert_eq!(
+                r0.compute_utilization.to_bits(),
+                r1.compute_utilization.to_bits()
+            );
+            if *slim {
+                assert!(r1.iter_trace.events().is_empty());
+            } else {
+                assert_eq!(r0.iter_trace.events(), r1.iter_trace.events());
+            }
+        }
+        assert_eq!(
+            decoded.iter().map(|(_, _, s)| *s).collect::<Vec<_>>(),
+            vec![true, false, true]
+        );
+    }
+
+    #[test]
+    fn slim_snapshot_is_smaller_than_full() {
+        let fp = 3;
+        let full = encode_entries(fp, &flagged(&[false, false, false]));
+        let slim = encode_entries(fp, &flagged(&[true, true, true]));
+        assert!(slim.len() < full.len());
+    }
+
+    #[test]
+    fn slim_resave_is_byte_identical() {
+        let fp = 17;
+        let bytes = encode_entries(fp, &flagged(&[true, false, true]));
+        let decoded = decode_entries(&bytes, fp).unwrap();
+        assert_eq!(bytes, encode_entries(fp, &decoded));
+    }
+
+    #[test]
+    fn unknown_trace_tag_is_corruption_not_panic() {
+        // Flip the trace-presence flag of the first (and only) entry to
+        // an undefined value, refreshing the checksum so corruption is
+        // caught by the structural check, not the hash.
+        let one = vec![(cell(16, 1), report(4), true)];
+        let mut bytes = encode_entries(1, &one);
+        let flag_pos = bytes.len() - 1; // slim flag is the final payload byte
+        assert_eq!(bytes[flag_pos], 0);
+        bytes[flag_pos] = 9;
+        let sum = fnv1a(&bytes[HEADER_LEN..]);
+        bytes[36..44].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            decode_entries(&bytes, 1),
+            Err(PersistError::Corrupted("unknown trace tag"))
+        ));
+    }
+
+    #[test]
+    fn every_slim_truncation_is_rejected_without_panicking() {
+        let bytes = encode_entries(1, &flagged(&[true, false, true]));
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_entries(&bytes[..cut], 1).is_err(),
+                "cut at {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn slim_env_parsing() {
+        // Sequential mutation of one env var; no other test in this
+        // binary reads SLIM_ENV (the library never consults the
+        // environment — only the bench front end does).
+        for (val, want) in [
+            (Some("1"), true),
+            (Some("true"), true),
+            (Some(" 1 "), true),
+            (Some("0"), false),
+            (Some(""), false),
+            (Some("  "), false),
+            (None, false),
+        ] {
+            match val {
+                Some(v) => std::env::set_var(SLIM_ENV, v),
+                None => std::env::remove_var(SLIM_ENV),
+            }
+            assert_eq!(slim_from_env(), want, "value {val:?}");
+        }
+        std::env::remove_var(SLIM_ENV);
     }
 
     #[test]

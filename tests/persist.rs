@@ -5,7 +5,7 @@
 
 use std::sync::Arc;
 
-use dgx1_repro::prelude::persist::{decode, encode, PersistError};
+use dgx1_repro::prelude::persist::{decode, decode_entries, encode, encode_entries, PersistError};
 use dgx1_repro::prelude::*;
 use dgx1_repro::sim::{SimSpan, SimTime, TaskId, Trace, TraceEvent};
 use proptest::prelude::*;
@@ -152,6 +152,53 @@ proptest! {
         }
     }
 
+    /// Slim-flagged entries round-trip exactly: the flag survives, the
+    /// scalars survive, the trace is dropped for slim entries only,
+    /// the encoding stays canonical, and a re-save is byte-identical.
+    #[test]
+    fn slim_flags_roundtrip_and_drop_exactly_the_traces(seed in 0u64..10_000, n in 0usize..10) {
+        let entries: Vec<(Cell, Arc<EpochReport>, bool)> = arb_entries(seed, n)
+            .into_iter()
+            .enumerate()
+            .map(|(i, (c, r))| (c, r, (seed >> (i % 32)) & 1 == 1))
+            .collect();
+        let bytes = encode_entries(5, &entries);
+
+        let decoded = decode_entries(&bytes, 5).expect("valid snapshot must decode");
+        prop_assert_eq!(decoded.len(), entries.len());
+        prop_assert_eq!(encode_entries(5, &decoded), bytes.clone(), "re-save drifted");
+        let mut reversed = entries.clone();
+        reversed.reverse();
+        prop_assert_eq!(encode_entries(5, &reversed), bytes, "encoding not canonical");
+
+        for (c0, r0, slim0) in &entries {
+            let (_, r1, slim1) = decoded
+                .iter()
+                .find(|(c1, _, _)| c1 == c0)
+                .expect("every saved cell must be decoded");
+            prop_assert_eq!(slim0, slim1, "slim flag lost for {:?}", c0);
+            prop_assert_eq!(r0.iterations, r1.iterations);
+            prop_assert_eq!(r0.iter_time, r1.iter_time);
+            prop_assert_eq!(r0.epoch_time, r1.epoch_time);
+            prop_assert_eq!(r0.fp_bp_iter, r1.fp_bp_iter);
+            prop_assert_eq!(r0.wu_iter, r1.wu_iter);
+            prop_assert_eq!(&r0.api_iter, &r1.api_iter);
+            prop_assert_eq!(r0.sync_wall_iter, r1.sync_wall_iter);
+            prop_assert_eq!(
+                r0.compute_utilization.to_bits(),
+                r1.compute_utilization.to_bits()
+            );
+            if *slim0 {
+                prop_assert!(
+                    r1.iter_trace.events().is_empty(),
+                    "slim entry kept its trace"
+                );
+            } else {
+                prop_assert_eq!(r0.iter_trace.events(), r1.iter_trace.events());
+            }
+        }
+    }
+
     /// Truncating a valid snapshot anywhere yields a typed error,
     /// never a panic and never a silently shorter cache.
     #[test]
@@ -277,4 +324,85 @@ fn warm_service_is_equivalent_to_cold_over_a_mixed_stream() {
     );
     std::fs::remove_file(&path).unwrap();
     std::fs::remove_file(&resaved).unwrap();
+}
+
+#[test]
+fn slim_warm_service_serves_equivalent_scalars_and_recomputes_for_traces() {
+    let slim_path = std::env::temp_dir().join(format!(
+        "voltascope-persist-slim-{}.snap",
+        std::process::id()
+    ));
+    let full_path = slim_path.with_extension("full");
+    let stream = demo_stream();
+
+    let cold = GridService::with_executor(Harness::paper(), Executor::Serial);
+    let cold_outs: Vec<_> = stream.iter().map(|s| cold.sweep(s)).collect();
+    let saved = cold.save_with(&slim_path, true).unwrap();
+    assert_eq!(saved as u64, cold.stats().computed);
+    cold.save(&full_path).unwrap();
+    let slim_len = std::fs::metadata(&slim_path).unwrap().len();
+    let full_len = std::fs::metadata(&full_path).unwrap().len();
+    assert!(
+        slim_len < full_len / 10,
+        "slim snapshot ({slim_len} B) should be far smaller than full ({full_len} B)"
+    );
+
+    // A slim-warm service answers the whole stream from cache with
+    // identical scalars; only the iteration traces are gone.
+    let (warm, status) = GridService::with_snapshot(Harness::paper(), Executor::Serial, &slim_path);
+    assert!(matches!(status, SnapshotStatus::Loaded { .. }), "{status}");
+    for (spec, c_out) in stream.iter().zip(cold_outs.iter()) {
+        let w_out = warm.sweep(spec);
+        assert_eq!(c_out.cells(), w_out.cells());
+        for ((cell, c), (_, w)) in c_out.iter().zip(w_out.iter()) {
+            assert_eq!(c.iterations, w.iterations, "{cell:?}");
+            assert_eq!(c.iter_time, w.iter_time, "{cell:?}");
+            assert_eq!(c.epoch_time, w.epoch_time, "{cell:?}");
+            assert_eq!(c.fp_bp_iter, w.fp_bp_iter, "{cell:?}");
+            assert_eq!(c.wu_iter, w.wu_iter, "{cell:?}");
+            assert_eq!(c.sync_wall_iter, w.sync_wall_iter, "{cell:?}");
+            assert_eq!(c.api_iter, w.api_iter, "{cell:?}");
+            assert_eq!(
+                c.compute_utilization.to_bits(),
+                w.compute_utilization.to_bits(),
+                "{cell:?}"
+            );
+            assert!(w.iter_trace.events().is_empty(), "{cell:?} kept a trace");
+        }
+    }
+    let warm_stats = warm.stats();
+    assert_eq!(warm_stats.computed, 0, "scalar requests must not recompute");
+    assert!(warm_stats.hit_rate() >= 0.95, "{}", warm_stats.hit_rate());
+
+    // Re-saving the slim-warm cache reproduces the slim bytes even
+    // without the slim flag: a slim-loaded entry can never launder
+    // itself back into a full one.
+    let resaved = slim_path.with_extension("snap2");
+    warm.save(&resaved).unwrap();
+    assert_eq!(
+        std::fs::read(&slim_path).unwrap(),
+        std::fs::read(&resaved).unwrap(),
+        "slim-loaded re-save must be byte-identical to the slim snapshot"
+    );
+
+    // A trace-requiring request recomputes the cell and gets the full
+    // trace back, identical to the cold computation.
+    let cell = cold_outs[0].cells()[0];
+    let cold_report = cold_outs[0].get(&cell).unwrap();
+    assert!(!cold_report.iter_trace.events().is_empty());
+    let traced = warm.run_cells_traced(&[cell], true);
+    assert_eq!(
+        traced[0].iter_trace.events(),
+        cold_report.iter_trace.events(),
+        "traced recompute must reproduce the cold trace"
+    );
+    assert_eq!(
+        warm.stats().computed,
+        1,
+        "exactly the traced cell recomputed"
+    );
+
+    for p in [&slim_path, &full_path, &resaved] {
+        std::fs::remove_file(p).unwrap();
+    }
 }
