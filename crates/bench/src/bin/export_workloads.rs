@@ -1,0 +1,87 @@
+//! Exports the Rust model-zoo networks as checked-in `.workload`
+//! files (the "workloads as data" path), and verifies them.
+//!
+//! Default mode regenerates every zoo file under the workload
+//! directory (`VOLTASCOPE_WORKLOAD_DIR` or the repository's
+//! `workloads/`). `--check` instead byte-compares each file against
+//! the builder-derived canonical text and exits non-zero on any drift
+//! — the CI gate that keeps the data files and the Rust builders in
+//! lockstep.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use voltascope::workloads::workload_dir;
+use voltascope_dnn::zoo;
+use voltascope_workload::WorkloadSpec;
+
+/// The exported zoo: the five paper workloads plus the VGG-16
+/// extension, with their stable file stems.
+fn exports() -> Vec<(&'static str, WorkloadSpec)> {
+    vec![
+        ("lenet", WorkloadSpec::from_model(&zoo::lenet())),
+        ("alexnet", WorkloadSpec::from_model(&zoo::alexnet())),
+        ("googlenet", WorkloadSpec::from_model(&zoo::googlenet())),
+        ("resnet", WorkloadSpec::from_model(&zoo::resnet50())),
+        (
+            "inception_v3",
+            WorkloadSpec::from_model(&zoo::inception_v3()),
+        ),
+        ("vgg16", WorkloadSpec::from_model(&zoo::vgg16())),
+    ]
+}
+
+fn main() -> ExitCode {
+    let check = std::env::args().any(|a| a == "--check");
+    let dir: PathBuf = workload_dir();
+    let mut drift = 0usize;
+    for (stem, spec) in exports() {
+        let path = dir.join(format!("{stem}.workload"));
+        let canonical = spec.to_text();
+        if check {
+            match std::fs::read_to_string(&path) {
+                Ok(on_disk) if on_disk == canonical => {
+                    println!("ok      {} ({} layers)", path.display(), spec.layers.len());
+                }
+                Ok(_) => {
+                    eprintln!("DRIFT   {} differs from the builder export", path.display());
+                    drift += 1;
+                }
+                Err(e) => {
+                    eprintln!("MISSING {} ({e})", path.display());
+                    drift += 1;
+                }
+            }
+        } else {
+            std::fs::create_dir_all(&dir).expect("create workload directory");
+            std::fs::write(&path, &canonical).expect("write workload file");
+            println!("wrote   {} ({} layers)", path.display(), spec.layers.len());
+        }
+    }
+    if check {
+        // Also parse everything in the directory (hand-written files
+        // included), so a syntax error in any checked-in workload
+        // fails the gate with its line/column.
+        match voltascope::workloads::load_dir(&dir) {
+            Ok(all) => {
+                for (path, spec) in &all {
+                    println!(
+                        "parsed  {} (name `{}`, {} stages)",
+                        path.display(),
+                        spec.name,
+                        spec.pipeline_stages
+                    );
+                }
+            }
+            Err((path, e)) => {
+                eprintln!("PARSE   {}: {e}", path.display());
+                drift += 1;
+            }
+        }
+    }
+    if drift > 0 {
+        eprintln!("{drift} workload file(s) out of sync; run export_workloads to regenerate");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -21,7 +21,7 @@ fn main() {
     for (workload, gpus) in [(Workload::AlexNet, 4usize), (Workload::AlexNet, 8)] {
         for comm in CommMethod::ALL {
             let cell = Cell {
-                workload,
+                workload: workload.into(),
                 comm,
                 batch: 16,
                 gpus,

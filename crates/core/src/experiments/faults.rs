@@ -29,12 +29,13 @@ pub use crate::grid::FaultScenario;
 use crate::grid::{epoch_reports, Cell, Executor, GridOut, GridSpec};
 use crate::harness::Harness;
 use crate::service::GridService;
+use crate::workloads::WorkloadSel;
 
 /// One degraded-scenario measurement.
 #[derive(Debug, Clone)]
 pub struct DegradedRow {
     /// Workload (network).
-    pub workload: Workload,
+    pub workload: WorkloadSel,
     /// Communication method.
     pub comm: CommMethod,
     /// Fault scenario.
@@ -123,7 +124,7 @@ fn degraded_row(c: &Cell, report: &EpochReport) -> DegradedRow {
 /// Renders the degraded table: absolute numbers plus deltas against
 /// the healthy row of the same (workload, method).
 pub fn render(rows: &[DegradedRow]) -> TextTable {
-    let baselines: HashMap<(Workload, CommMethod), (f64, f64)> = rows
+    let baselines: HashMap<(WorkloadSel, CommMethod), (f64, f64)> = rows
         .iter()
         .filter(|r| r.scenario == FaultScenario::Healthy)
         .map(|r| ((r.workload, r.comm), (r.epoch_s, r.max_idle_percent)))

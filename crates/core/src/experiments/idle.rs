@@ -5,7 +5,6 @@
 use std::sync::Arc;
 
 use voltascope_comm::CommMethod;
-use voltascope_dnn::zoo::Workload;
 use voltascope_profile::TextTable;
 use voltascope_sim::SimSpan;
 use voltascope_train::EpochReport;
@@ -75,14 +74,16 @@ fn idle_rows(c: &Cell, report: &EpochReport) -> Vec<IdleRow> {
         .collect()
 }
 
-/// Measures per-GPU compute idle time for one configuration.
+/// Measures per-GPU compute idle time for one configuration. Accepts
+/// a zoo workload or any [`crate::workloads::WorkloadSel`].
 pub fn per_gpu_idle(
     h: &Harness,
-    workload: Workload,
+    workload: impl Into<crate::workloads::WorkloadSel>,
     batch: usize,
     gpus: usize,
     comm: CommMethod,
 ) -> Vec<IdleRow> {
+    let workload = workload.into();
     let spec = GridSpec::paper()
         .workloads([workload])
         .comms([comm])
@@ -112,6 +113,7 @@ pub fn render(rows: &[IdleRow]) -> TextTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use voltascope_dnn::zoo::Workload;
 
     #[test]
     fn all_gpus_report_and_sum_to_iteration() {

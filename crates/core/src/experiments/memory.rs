@@ -11,12 +11,13 @@ use voltascope_train::GpuRole;
 
 use crate::grid::{run_grid, Executor, GridSpec};
 use crate::harness::Harness;
+use crate::workloads::WorkloadSel;
 
 /// One row of Table IV.
 #[derive(Debug, Clone)]
 pub struct MemoryRow {
     /// Workload.
-    pub workload: Workload,
+    pub workload: WorkloadSel,
     /// Per-GPU batch size.
     pub batch: usize,
     /// Pre-training usage of every GPU, GiB.
@@ -59,14 +60,14 @@ pub fn table4_with(h: &Harness, workloads: &[Workload], exec: Executor) -> Vec<M
         let gpu = &ctx.harness.sys.gpu;
         let mem = &ctx.harness.memory;
         let base = mem
-            .usage(ctx.model, 16, GpuRole::Worker, gpu)
+            .usage(ctx.model(), 16, GpuRole::Worker, gpu)
             .expect("batch 16 must fit")
             .training_gib();
         let server = mem
-            .usage(ctx.model, ctx.cell.batch, GpuRole::Server, gpu)
+            .usage(ctx.model(), ctx.cell.batch, GpuRole::Server, gpu)
             .expect("paper batch sizes fit");
         let worker = mem
-            .usage(ctx.model, ctx.cell.batch, GpuRole::Worker, gpu)
+            .usage(ctx.model(), ctx.cell.batch, GpuRole::Worker, gpu)
             .expect("paper batch sizes fit");
         MemoryRow {
             workload: ctx.cell.workload,
@@ -113,7 +114,7 @@ pub fn render(rows: &[MemoryRow]) -> TextTable {
 #[derive(Debug, Clone)]
 pub struct MaxBatchRow {
     /// Workload.
-    pub workload: Workload,
+    pub workload: WorkloadSel,
     /// Largest power-of-two per-GPU batch that fits, if any.
     pub max_batch: Option<usize>,
 }
@@ -141,7 +142,7 @@ pub fn max_batch_with(h: &Harness, workloads: &[Workload], exec: Executor) -> Ve
         max_batch: ctx
             .harness
             .memory
-            .max_batch(ctx.model, &ctx.harness.sys.gpu),
+            .max_batch(ctx.model(), &ctx.harness.sys.gpu),
     })
     .into_pairs()
     .map(|(_, row)| row)

@@ -22,6 +22,7 @@ use voltascope_train::{EpochReport, ScalingMode};
 use crate::grid::{epoch_reports, Cell, Executor, GridOut, GridSpec};
 use crate::harness::{Harness, Measurement};
 use crate::service::GridService;
+use crate::workloads::WorkloadSel;
 
 /// The paper's batch-size sweep (alias of [`crate::grid::PAPER_BATCHES`]).
 pub const BATCHES: [usize; 3] = crate::grid::PAPER_BATCHES;
@@ -32,7 +33,7 @@ pub const GPU_COUNTS: [usize; 4] = crate::grid::PAPER_GPU_COUNTS;
 #[derive(Debug, Clone)]
 pub struct TrainingTimeCell {
     /// Workload.
-    pub workload: Workload,
+    pub workload: WorkloadSel,
     /// Communication method.
     pub comm: CommMethod,
     /// Per-GPU batch size.
@@ -110,13 +111,13 @@ pub mod fig3 {
         // how the cells are ordered (Vec::dedup would only collapse
         // *consecutive* duplicates).
         let mut seen = HashSet::new();
-        let keys: Vec<(Workload, CommMethod, usize)> = cells
+        let keys: Vec<(WorkloadSel, CommMethod, usize)> = cells
             .iter()
             .map(|c| (c.workload, c.comm, c.batch))
             .filter(|k| seen.insert(*k))
             .collect();
         let index: std::collections::HashMap<
-            (Workload, CommMethod, usize, usize),
+            (WorkloadSel, CommMethod, usize, usize),
             &TrainingTimeCell,
         > = cells
             .iter()
@@ -151,7 +152,7 @@ pub mod table2 {
     #[derive(Debug, Clone)]
     pub struct OverheadRow {
         /// Workload.
-        pub workload: Workload,
+        pub workload: WorkloadSel,
         /// Per-GPU batch size.
         pub batch: usize,
         /// `100 * (T_nccl - T_p2p) / T_p2p` on one GPU.
@@ -227,7 +228,7 @@ pub mod fig4 {
     #[derive(Debug, Clone)]
     pub struct BreakdownCell {
         /// Workload.
-        pub workload: Workload,
+        pub workload: WorkloadSel,
         /// Per-GPU batch size.
         pub batch: usize,
         /// GPU count.
@@ -371,7 +372,7 @@ pub mod fig5 {
     #[derive(Debug, Clone)]
     pub struct WeakScalingCell {
         /// Workload.
-        pub workload: Workload,
+        pub workload: WorkloadSel,
         /// Communication method.
         pub comm: CommMethod,
         /// Per-GPU batch size.

@@ -1,11 +1,12 @@
 //! Typed grid points and platform variants.
 
 use voltascope_comm::CommMethod;
-use voltascope_dnn::zoo::Workload;
 use voltascope_topo::{
     dgx1_v100, full_nvlink_switch, pcie_only, single_lane_dgx1, Device, FaultSpec, Topology,
 };
 use voltascope_train::ScalingMode;
+
+use crate::workloads::WorkloadSel;
 
 /// A platform variant for the ablation axis of the grid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -136,8 +137,8 @@ impl FaultScenario {
 /// renderers can index results directly instead of scanning.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Cell {
-    /// Workload (network).
-    pub workload: Workload,
+    /// Workload (network) selector: zoo builder or data-defined spec.
+    pub workload: WorkloadSel,
     /// Communication method.
     pub comm: CommMethod,
     /// Per-GPU batch size.
@@ -159,13 +160,16 @@ impl Cell {
     ///
     /// The bit layout is **frozen**: it must keep matching the seed
     /// harness's formula so the golden outputs under `results/` stay
-    /// byte-identical. Scaling mode, platform and fault scenario are
-    /// deliberately not salted — the jittered-measurement protocol is
-    /// only applied to the baseline-platform strong-scaling grids
-    /// (Fig. 3); all other experiments (including the degraded-DGX-1
-    /// sweep) report raw epoch times.
+    /// byte-identical. Zoo workloads tag their enum discriminant
+    /// (0..=4) exactly as before; data workloads occupy the disjoint
+    /// `0x20 + index` range (see [`WorkloadSel::salt_tag`]). Scaling
+    /// mode, platform and fault scenario are deliberately not salted —
+    /// the jittered-measurement protocol is only applied to the
+    /// baseline-platform strong-scaling grids (Fig. 3); all other
+    /// experiments (including the degraded-DGX-1 sweep) report raw
+    /// epoch times.
     pub fn jitter_salt(&self) -> u64 {
-        ((self.workload as u64) << 40)
+        (self.workload.salt_tag() << 40)
             | ((self.batch as u64) << 24)
             | ((self.gpus as u64) << 16)
             | (self.comm == CommMethod::Nccl) as u64
@@ -176,9 +180,11 @@ impl Cell {
 mod tests {
     use super::*;
 
+    use voltascope_dnn::zoo::Workload;
+
     fn cell(workload: Workload, comm: CommMethod, batch: usize, gpus: usize) -> Cell {
         Cell {
-            workload,
+            workload: workload.into(),
             comm,
             batch,
             gpus,

@@ -47,7 +47,7 @@
 //! let runner = GridRunner::new(&harness, &spec);
 //! let out = runner.run(Executor::Serial, &spec, |ctx| {
 //!     ctx.harness
-//!         .epoch(ctx.model, ctx.cell.batch, ctx.cell.gpus, ctx.cell.comm, ctx.cell.scaling)
+//!         .epoch(ctx.model(), ctx.cell.batch, ctx.cell.gpus, ctx.cell.comm, ctx.cell.scaling)
 //!         .epoch_time
 //! });
 //! assert_eq!(out.len(), 2 * 2); // comm methods x GPU counts

@@ -4,46 +4,68 @@ use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::Arc;
 
-use voltascope_dnn::zoo::Workload;
 use voltascope_dnn::Model;
 use voltascope_train::EpochReport;
+use voltascope_workload::Definition;
 
 use super::cell::{Cell, FaultScenario, Platform};
 use super::executor::Executor;
 use super::spec::GridSpec;
+use crate::workloads::WorkloadSel;
 use crate::Harness;
 
 /// Everything a cell function needs, resolved once per grid rather
-/// than once per cell: the platform-adjusted harness and the pre-built
-/// workload model.
+/// than once per cell: the platform-adjusted harness and the resolved
+/// workload definition.
 #[derive(Debug, Clone, Copy)]
 pub struct CellCtx<'r> {
     /// The grid point being evaluated.
     pub cell: Cell,
     /// Harness whose system model matches `cell.platform`.
     pub harness: &'r Harness,
-    /// The cell's workload, built once per grid and shared.
-    pub model: &'r Model,
+    /// The cell's workload definition, resolved once per grid and
+    /// shared.
+    pub def: &'r Definition,
 }
 
-/// Pre-resolved shared state for one grid: each workload's [`Model`]
-/// built exactly once, and one [`Harness`] per (platform, fault
-/// scenario) combination, all behind `Arc` so parallel workers share
-/// them without copying.
+impl<'r> CellCtx<'r> {
+    /// The cell's built [`Model`], for experiments that inspect graph
+    /// structure or memory (data-only workloads have no model).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cell's workload is data-defined; model-reading
+    /// experiments must sweep zoo workloads.
+    pub fn model(&self) -> &'r Model {
+        self.def.model().unwrap_or_else(|| {
+            panic!(
+                "workload `{}` is data-defined and has no built model",
+                self.cell.workload.name()
+            )
+        })
+    }
+}
+
+/// Pre-resolved shared state for one grid: each workload's
+/// [`Definition`] resolved exactly once (building the zoo model and/or
+/// attaching the parsed spec), and one [`Harness`] per (platform,
+/// fault scenario) combination, all behind `Arc` so parallel workers
+/// share them without copying.
 #[derive(Debug, Clone)]
 pub struct GridRunner {
-    models: HashMap<Workload, Arc<Model>>,
+    defs: HashMap<WorkloadSel, Arc<Definition>>,
     harnesses: HashMap<(Platform, FaultScenario), Arc<Harness>>,
 }
 
 impl GridRunner {
-    /// Builds the shared context for `spec`: one model per workload on
-    /// the axis, one harness per (platform, fault) pair on the axes.
+    /// Builds the shared context for `spec`: one definition per
+    /// workload on the axis, one harness per (platform, fault) pair on
+    /// the axes.
     pub fn new(base: &Harness, spec: &GridSpec) -> Self {
-        let models = spec
+        let defs = spec
             .workload_axis()
             .iter()
-            .map(|&w| (w, Arc::new(w.build())))
+            .map(|&w| (w, Arc::new(w.definition())))
             .collect();
         let mut harnesses = HashMap::new();
         for &p in spec.platform_axis() {
@@ -51,7 +73,7 @@ impl GridRunner {
                 harnesses.insert((p, f), Arc::new(harness_for(base, p, f)));
             }
         }
-        GridRunner { models, harnesses }
+        GridRunner { defs, harnesses }
     }
 
     /// Maps `f` over every cell of `spec` under `exec`, returning the
@@ -76,8 +98,8 @@ impl GridRunner {
                     .harnesses
                     .get(&(cell.platform, cell.fault))
                     .expect("runner built for this platform and fault axis"),
-                model: self
-                    .models
+                def: self
+                    .defs
                     .get(&cell.workload)
                     .expect("runner built for this workload axis"),
             };
@@ -129,7 +151,7 @@ pub fn epoch_reports(base: &Harness, spec: &GridSpec, exec: Executor) -> GridOut
         let c = ctx.cell;
         Arc::new(
             ctx.harness
-                .epoch(ctx.model, c.batch, c.gpus, c.comm, c.scaling),
+                .epoch_def(ctx.def, c.batch, c.gpus, c.comm, c.scaling),
         )
     })
 }
@@ -229,6 +251,7 @@ impl<T> GridOut<T> {
 mod tests {
     use super::*;
     use voltascope_comm::CommMethod;
+    use voltascope_dnn::zoo::Workload;
 
     fn small_spec() -> GridSpec {
         GridSpec::paper()
@@ -239,12 +262,15 @@ mod tests {
     }
 
     #[test]
-    fn runner_shares_one_model_per_workload() {
+    fn runner_shares_one_definition_per_workload() {
         let h = Harness::paper();
         let spec = small_spec();
         let runner = GridRunner::new(&h, &spec);
         let out = runner.run(Executor::Serial, &spec, |ctx| {
-            ctx.model as *const Model as usize
+            (
+                ctx.def as *const Definition as usize,
+                ctx.model() as *const Model as usize,
+            )
         });
         let first = out.values()[0];
         assert!(out.values().iter().all(|&p| p == first));

@@ -5,6 +5,7 @@ use voltascope_dnn::zoo::Workload;
 use voltascope_train::ScalingMode;
 
 use super::cell::{Cell, FaultScenario, Platform};
+use crate::workloads::WorkloadSel;
 
 /// The paper's batch-size sweep.
 pub const PAPER_BATCHES: [usize; 3] = [16, 32, 64];
@@ -26,7 +27,7 @@ pub const PAPER_GPU_COUNTS: [usize; 4] = [1, 2, 4, 8];
 /// ```
 #[derive(Debug, Clone)]
 pub struct GridSpec {
-    workloads: Vec<Workload>,
+    workloads: Vec<WorkloadSel>,
     comms: Vec<CommMethod>,
     batches: Vec<usize>,
     gpu_counts: Vec<usize>,
@@ -41,7 +42,7 @@ impl GridSpec {
     /// baseline DGX-1.
     pub fn paper() -> Self {
         GridSpec {
-            workloads: Workload::ALL.to_vec(),
+            workloads: Workload::ALL.map(WorkloadSel::Zoo).to_vec(),
             comms: CommMethod::ALL.to_vec(),
             batches: PAPER_BATCHES.to_vec(),
             gpu_counts: PAPER_GPU_COUNTS.to_vec(),
@@ -51,9 +52,14 @@ impl GridSpec {
         }
     }
 
-    /// Replaces the workload axis.
-    pub fn workloads(mut self, workloads: impl IntoIterator<Item = Workload>) -> Self {
-        self.workloads = workloads.into_iter().collect();
+    /// Replaces the workload axis. Accepts zoo workloads, data
+    /// workloads, or [`WorkloadSel`] values directly.
+    pub fn workloads<I>(mut self, workloads: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: Into<WorkloadSel>,
+    {
+        self.workloads = workloads.into_iter().map(Into::into).collect();
         self
     }
 
@@ -94,7 +100,7 @@ impl GridSpec {
     }
 
     /// The workload axis values.
-    pub fn workload_axis(&self) -> &[Workload] {
+    pub fn workload_axis(&self) -> &[WorkloadSel] {
         &self.workloads
     }
 

@@ -4,8 +4,10 @@ use voltascope_comm::CommMethod;
 use voltascope_dnn::{zoo::Workload, Model};
 use voltascope_sim::{mean_stddev, Jitter};
 use voltascope_train::{
-    simulate_epoch, DatasetSpec, EpochReport, MemoryModel, ScalingMode, SystemModel, TrainConfig,
+    simulate_epoch, simulate_epoch_lowered, DatasetSpec, EpochReport, MemoryModel, ScalingMode,
+    SystemModel, TrainConfig,
 };
+use voltascope_workload::Definition;
 
 use crate::calibration;
 
@@ -79,6 +81,36 @@ impl Harness {
             bucket_fusion_bytes: 0,
         };
         simulate_epoch(&self.sys, model, &cfg)
+    }
+
+    /// Like [`Harness::epoch`] but driven by a workload [`Definition`]:
+    /// builder-backed definitions lower from the Rust model (identical
+    /// to [`Harness::epoch`] by construction), data-backed ones from
+    /// the parsed `.workload` spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the lowering error's message when the definition
+    /// fails validation (empty workload, zero batch, ...), matching
+    /// [`simulate_epoch`]'s behaviour for invalid models.
+    pub fn epoch_def(
+        &self,
+        def: &Definition,
+        batch: usize,
+        gpus: usize,
+        comm: CommMethod,
+        scaling: ScalingMode,
+    ) -> EpochReport {
+        let cfg = TrainConfig {
+            batch_per_gpu: batch,
+            gpu_count: gpus,
+            comm,
+            scaling,
+            dataset: DatasetSpec::imagenet_256k(),
+            bucket_fusion_bytes: 0,
+        };
+        let lowered = def.lowered(batch).unwrap_or_else(|e| panic!("{e}"));
+        simulate_epoch_lowered(&self.sys, &lowered, &cfg)
     }
 
     /// Simulates one epoch with full control over the configuration

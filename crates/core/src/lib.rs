@@ -42,8 +42,10 @@ pub mod experiments;
 pub mod grid;
 mod harness;
 pub mod service;
+pub mod workloads;
 
 pub use harness::{Harness, Measurement};
+pub use workloads::{DataWorkload, WorkloadSel};
 
 // Compile-time guarantee for the parallel experiment grid: the whole
 // harness crosses sweep worker threads by shared reference.

@@ -105,11 +105,11 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
-use voltascope_dnn::zoo::Workload;
-use voltascope_dnn::Model;
 use voltascope_train::EpochReport;
+use voltascope_workload::Definition;
 
 use crate::grid::{harness_for, Cell, Executor, FaultScenario, GridOut, GridSpec, Platform};
+use crate::workloads::WorkloadSel;
 use crate::Harness;
 
 use persist::PersistError;
@@ -142,12 +142,13 @@ pub(crate) enum CellClass {
 }
 
 /// Lock-guarded service state: the report cache plus the lazily grown
-/// model/harness pools (the same sharing the [`crate::grid::GridRunner`]
-/// does per grid, but across the service's whole lifetime).
+/// definition/harness pools (the same sharing the
+/// [`crate::grid::GridRunner`] does per grid, but across the service's
+/// whole lifetime).
 #[derive(Debug, Default)]
 struct State {
     cache: HashMap<Cell, Slot>,
-    models: HashMap<Workload, Arc<Model>>,
+    defs: HashMap<WorkloadSel, Arc<Definition>>,
     harnesses: HashMap<(Platform, FaultScenario), Arc<Harness>>,
 }
 
@@ -429,7 +430,7 @@ impl GridService {
         // of a cell claimed earlier in this same request are neither
         // hits nor coalesced — the request pays for the computation —
         // so they are tracked as `repeats`.
-        let mine: Vec<(Cell, Arc<Model>, Arc<Harness>)> = {
+        let mine: Vec<(Cell, Arc<Definition>, Arc<Harness>)> = {
             let mut state = self.lock_state();
             let mut mine = Vec::new();
             let mut claimed_here: HashSet<Cell> = HashSet::new();
@@ -453,8 +454,8 @@ impl GridService {
                     Some(Slot::DoneSlim(_)) | None => {
                         state.cache.insert(cell, Slot::InFlight);
                         claimed_here.insert(cell);
-                        let (model, harness) = Self::pools(&mut state, &self.base, cell);
-                        mine.push((cell, model, harness));
+                        let (def, harness) = Self::pools(&mut state, &self.base, cell);
+                        mine.push((cell, def, harness));
                     }
                 }
             }
@@ -474,9 +475,9 @@ impl GridService {
         // as soon as it exists, not at the end of the batch, so
         // overlapping requests stream results out of this one.
         self.exec.run(mine.len(), |i| {
-            let (cell, model, harness) = &mine[i];
+            let (cell, def, harness) = &mine[i];
             let report =
-                Arc::new(harness.epoch(model, cell.batch, cell.gpus, cell.comm, cell.scaling));
+                Arc::new(harness.epoch_def(def, cell.batch, cell.gpus, cell.comm, cell.scaling));
             self.computed.fetch_add(1, Ordering::Relaxed);
             let mut state = self.lock_state();
             state.cache.insert(*cell, Slot::Done(report.clone()));
@@ -566,7 +567,7 @@ impl GridService {
                 };
             }
             state.cache.insert(cell, Slot::InFlight);
-            let (model, harness) = Self::pools(&mut state, &self.base, cell);
+            let (def, harness) = Self::pools(&mut state, &self.base, cell);
             drop(state);
             let claim = ClaimGuard {
                 service: self,
@@ -575,7 +576,7 @@ impl GridService {
             // May panic; the guard reverts the claim and wakes waiters
             // before the unwind reaches the scheduler's catch.
             let report =
-                Arc::new(harness.epoch(&model, cell.batch, cell.gpus, cell.comm, cell.scaling));
+                Arc::new(harness.epoch_def(&def, cell.batch, cell.gpus, cell.comm, cell.scaling));
             self.computed.fetch_add(1, Ordering::Relaxed);
             {
                 let mut state = self.lock_state();
@@ -597,7 +598,7 @@ impl GridService {
         cell: Cell,
     ) -> MutexGuard<'a, State> {
         state.cache.insert(cell, Slot::InFlight);
-        let (model, harness) = Self::pools(&mut state, &self.base, cell);
+        let (def, harness) = Self::pools(&mut state, &self.base, cell);
         drop(state);
         let claim = ClaimGuard {
             service: self,
@@ -607,7 +608,7 @@ impl GridService {
         // guard reverts this adoption too and the panic propagates to
         // this request's caller.
         let report =
-            Arc::new(harness.epoch(&model, cell.batch, cell.gpus, cell.comm, cell.scaling));
+            Arc::new(harness.epoch_def(&def, cell.batch, cell.gpus, cell.comm, cell.scaling));
         self.computed.fetch_add(1, Ordering::Relaxed);
         {
             let mut state = self.lock_state();
@@ -618,20 +619,20 @@ impl GridService {
         self.lock_state()
     }
 
-    /// Fetches (building on first use) the shared model and harness
-    /// for `cell` from the state pools.
-    fn pools(state: &mut State, base: &Harness, cell: Cell) -> (Arc<Model>, Arc<Harness>) {
-        let model = state
-            .models
+    /// Fetches (building on first use) the shared workload definition
+    /// and harness for `cell` from the state pools.
+    fn pools(state: &mut State, base: &Harness, cell: Cell) -> (Arc<Definition>, Arc<Harness>) {
+        let def = state
+            .defs
             .entry(cell.workload)
-            .or_insert_with(|| Arc::new(cell.workload.build()))
+            .or_insert_with(|| Arc::new(cell.workload.definition()))
             .clone();
         let harness = state
             .harnesses
             .entry((cell.platform, cell.fault))
             .or_insert_with(|| Arc::new(harness_for(base, cell.platform, cell.fault)))
             .clone();
-        (model, harness)
+        (def, harness)
     }
 
     /// Acquires the state lock, recovering from poisoning: the lock is
@@ -667,11 +668,12 @@ mod tests {
     use super::*;
     use std::panic::{catch_unwind, AssertUnwindSafe};
     use voltascope_comm::CommMethod;
+    use voltascope_dnn::zoo::Workload;
     use voltascope_train::ScalingMode;
 
     fn lenet_cell(batch: usize, gpus: usize) -> Cell {
         Cell {
-            workload: Workload::LeNet,
+            workload: voltascope_dnn::zoo::Workload::LeNet.into(),
             comm: CommMethod::P2p,
             batch,
             gpus,

@@ -81,6 +81,7 @@ use voltascope_sim::{SimSpan, SimTime, TaskId, Trace, TraceEvent};
 use voltascope_train::{EpochReport, ScalingMode};
 
 use crate::grid::{Cell, FaultScenario, Platform};
+use crate::workloads::{self, WorkloadSel};
 use crate::Harness;
 
 /// Magic bytes opening every snapshot file.
@@ -91,8 +92,9 @@ pub const MAGIC: [u8; 8] = *b"VSCPSNAP";
 /// fingerprint (see the module docs' staleness policy).
 ///
 /// Version history: 1 — initial format; 2 — per-entry trace-presence
-/// flag (slim snapshots).
-pub const FORMAT_VERSION: u32 = 2;
+/// flag (slim snapshots); 3 — data workloads (tag 5 + spec name; zoo
+/// tags 0..=4 unchanged).
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Environment variable that opts snapshot saves out of persisting the
 /// steady-state iteration traces (`1`/anything non-zero enables slim
@@ -419,16 +421,25 @@ fn put_span(out: &mut Vec<u8>, s: SimSpan) {
 }
 
 fn put_cell(out: &mut Vec<u8>, cell: &Cell) {
-    put_u8(
-        out,
-        match cell.workload {
-            Workload::LeNet => 0,
-            Workload::AlexNet => 1,
-            Workload::GoogLeNet => 2,
-            Workload::InceptionV3 => 3,
-            Workload::ResNet => 4,
-        },
-    );
+    // Zoo workloads keep the frozen tags 0..=4; a data workload writes
+    // tag 5 followed by its spec name, so snapshots survive registry
+    // reordering (the name, not the index, is authoritative on disk).
+    match cell.workload {
+        WorkloadSel::Zoo(w) => put_u8(
+            out,
+            match w {
+                Workload::LeNet => 0,
+                Workload::AlexNet => 1,
+                Workload::GoogLeNet => 2,
+                Workload::InceptionV3 => 3,
+                Workload::ResNet => 4,
+            },
+        ),
+        WorkloadSel::Data(d) => {
+            put_u8(out, 5);
+            put_str(out, d.name());
+        }
+    }
     put_u8(
         out,
         match cell.comm {
@@ -549,11 +560,21 @@ impl<'a> Reader<'a> {
 
 fn take_cell(r: &mut Reader<'_>) -> Result<Cell, PersistError> {
     let workload = match r.u8()? {
-        0 => Workload::LeNet,
-        1 => Workload::AlexNet,
-        2 => Workload::GoogLeNet,
-        3 => Workload::InceptionV3,
-        4 => Workload::ResNet,
+        0 => WorkloadSel::Zoo(Workload::LeNet),
+        1 => WorkloadSel::Zoo(Workload::AlexNet),
+        2 => WorkloadSel::Zoo(Workload::GoogLeNet),
+        3 => WorkloadSel::Zoo(Workload::InceptionV3),
+        4 => WorkloadSel::Zoo(Workload::ResNet),
+        5 => {
+            // Resolved through the registry by name: a snapshot naming
+            // a workload this process does not know is corrupt *for
+            // this process* and falls back to recompute.
+            let name = r.string()?;
+            match workloads::find_data(&name) {
+                Some(d) => WorkloadSel::Data(d),
+                None => return Err(PersistError::Corrupted("unregistered data workload")),
+            }
+        }
         _ => return Err(PersistError::Corrupted("unknown workload tag")),
     };
     let comm = match r.u8()? {
@@ -665,7 +686,7 @@ mod tests {
 
     fn cell(batch: usize, gpus: usize) -> Cell {
         Cell {
-            workload: Workload::LeNet,
+            workload: Workload::LeNet.into(),
             comm: CommMethod::P2p,
             batch,
             gpus,

@@ -1070,7 +1070,7 @@ mod tests {
 
     fn lenet_cell(batch: usize, gpus: usize) -> Cell {
         Cell {
-            workload: Workload::LeNet,
+            workload: Workload::LeNet.into(),
             comm: CommMethod::P2p,
             batch,
             gpus,

@@ -1,0 +1,317 @@
+//! Workload selection and the data-workload registry.
+//!
+//! The grid machinery keys cells by [`WorkloadSel`]: either a zoo
+//! workload built in Rust ([`Workload`]) or a [`DataWorkload`] — a
+//! `.workload` spec discovered on disk, indexed into a process-wide
+//! registry so the selector stays a small `Copy` key.
+//!
+//! # Registry
+//!
+//! The registry loads lazily from `$VOLTASCOPE_WORKLOAD_DIR`, falling
+//! back to the repository's `workloads/` directory. Files are taken in
+//! filename order (sorted), so [`DataWorkload`] indices — and the
+//! jitter salts derived from them — are stable for a fixed directory
+//! content. A missing directory yields an empty registry; a file that
+//! fails to parse aborts with the parser's typed error (CI's
+//! parse-all-workloads step reports the same error first).
+//!
+//! # Data-driven zoo
+//!
+//! Setting `VOLTASCOPE_WORKLOAD_SOURCE=data` makes every zoo selector
+//! resolve to a [`Definition::Checked`]: epoch timing then lowers from
+//! the checked-in `.workload` file while the built model stays
+//! available for memory/census queries. The golden CI job re-runs the
+//! full suite in this mode to prove the data path byte-identical.
+
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, OnceLock};
+
+use voltascope_dnn::zoo::Workload;
+use voltascope_workload::{Definition, ParseError, WorkloadSpec};
+
+/// Environment variable overriding the `.workload` search directory.
+pub const WORKLOAD_DIR_ENV: &str = "VOLTASCOPE_WORKLOAD_DIR";
+/// Environment variable selecting the zoo definition source
+/// (`data` routes zoo timing through the parsed `.workload` files).
+pub const WORKLOAD_SOURCE_ENV: &str = "VOLTASCOPE_WORKLOAD_SOURCE";
+
+/// A workload from the on-disk registry, identified by its stable
+/// index (filename-sorted position in the workload directory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DataWorkload(u16);
+
+impl DataWorkload {
+    /// Registry index (filename-sorted, stable per directory content).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The workload's display name (the spec's `name` directive).
+    pub fn name(self) -> &'static str {
+        &registry().entries[self.index()].name
+    }
+
+    /// The parsed spec.
+    pub fn spec(self) -> &'static Arc<WorkloadSpec> {
+        &registry().entries[self.index()].spec
+    }
+
+    /// The file the spec was parsed from.
+    pub fn path(self) -> &'static Path {
+        &registry().entries[self.index()].path
+    }
+}
+
+impl std::fmt::Display for DataWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Selects a workload for a grid cell: a Rust-built zoo network or a
+/// data-defined `.workload` spec. Small `Copy` key, `Eq + Hash`, like
+/// every other cell axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum WorkloadSel {
+    /// One of the five paper workloads, built in Rust.
+    Zoo(Workload),
+    /// A registered data workload.
+    Data(DataWorkload),
+}
+
+impl WorkloadSel {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadSel::Zoo(w) => w.name(),
+            WorkloadSel::Data(d) => d.name(),
+        }
+    }
+
+    /// The zoo workload, when this selector is one.
+    pub fn zoo(self) -> Option<Workload> {
+        match self {
+            WorkloadSel::Zoo(w) => Some(w),
+            WorkloadSel::Data(_) => None,
+        }
+    }
+
+    /// The workload tag salted into the jitter stream. Zoo tags are
+    /// the **frozen** enum discriminants (0..=4, golden-locked); data
+    /// workloads occupy a disjoint range starting at `0x20`.
+    pub fn salt_tag(self) -> u64 {
+        match self {
+            WorkloadSel::Zoo(w) => w as u64,
+            WorkloadSel::Data(d) => 0x20 + d.0 as u64,
+        }
+    }
+
+    /// Resolves a selector from a name: zoo names/aliases first, then
+    /// registered data workloads (exact spec name).
+    pub fn from_name(name: &str) -> Option<WorkloadSel> {
+        if let Some(w) = Workload::from_name(name) {
+            return Some(WorkloadSel::Zoo(w));
+        }
+        find_data(name).map(WorkloadSel::Data)
+    }
+
+    /// Resolves the selector to a workload [`Definition`].
+    ///
+    /// Zoo selectors yield [`Definition::Builder`] unless
+    /// `VOLTASCOPE_WORKLOAD_SOURCE=data`, in which case the registered
+    /// spec of the same name is attached as [`Definition::Checked`]
+    /// and timing lowers from the data file.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the data source is requested but no spec with the
+    /// zoo model's name is registered.
+    pub fn definition(self) -> Definition {
+        match self {
+            WorkloadSel::Zoo(w) => {
+                let model = Arc::new(w.build());
+                if data_source_requested() {
+                    let spec = find_data(model.name())
+                        .unwrap_or_else(|| {
+                            panic!(
+                                "{WORKLOAD_SOURCE_ENV}=data but no .workload spec named `{}` is registered",
+                                model.name()
+                            )
+                        })
+                        .spec()
+                        .clone();
+                    Definition::Checked { model, spec }
+                } else {
+                    Definition::Builder(model)
+                }
+            }
+            WorkloadSel::Data(d) => Definition::Data(d.spec().clone()),
+        }
+    }
+}
+
+impl From<Workload> for WorkloadSel {
+    fn from(w: Workload) -> Self {
+        WorkloadSel::Zoo(w)
+    }
+}
+
+impl From<DataWorkload> for WorkloadSel {
+    fn from(d: DataWorkload) -> Self {
+        WorkloadSel::Data(d)
+    }
+}
+
+impl PartialEq<Workload> for WorkloadSel {
+    fn eq(&self, other: &Workload) -> bool {
+        matches!(self, WorkloadSel::Zoo(w) if w == other)
+    }
+}
+
+impl std::fmt::Display for WorkloadSel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+struct Entry {
+    name: String,
+    spec: Arc<WorkloadSpec>,
+    path: PathBuf,
+}
+
+struct Registry {
+    entries: Vec<Entry>,
+}
+
+/// Whether zoo timing should lower from the data files.
+fn data_source_requested() -> bool {
+    std::env::var(WORKLOAD_SOURCE_ENV).is_ok_and(|v| v == "data")
+}
+
+/// The directory the registry loads from: the env override, else the
+/// repository's `workloads/` directory next to the workspace root.
+pub fn workload_dir() -> PathBuf {
+    match std::env::var_os(WORKLOAD_DIR_ENV) {
+        Some(dir) => PathBuf::from(dir),
+        None => Path::new(env!("CARGO_MANIFEST_DIR")).join("../../workloads"),
+    }
+}
+
+/// Parses every `*.workload` file under `dir` in filename order.
+/// Pure helper behind the process registry, also used by the CI
+/// parse-all-workloads gate.
+pub fn load_dir(dir: &Path) -> Result<Vec<(PathBuf, WorkloadSpec)>, (PathBuf, ParseError)> {
+    let Ok(read) = std::fs::read_dir(dir) else {
+        return Ok(Vec::new()); // missing directory == empty registry
+    };
+    let mut paths: Vec<PathBuf> = read
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "workload"))
+        .collect();
+    paths.sort();
+    let mut out = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = std::fs::read_to_string(&path).unwrap_or_default();
+        match WorkloadSpec::parse(&text) {
+            Ok(spec) => out.push((path, spec)),
+            Err(e) => return Err((path, e)),
+        }
+    }
+    Ok(out)
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let entries = load_dir(&workload_dir())
+            .unwrap_or_else(|(path, e)| panic!("{}: {e}", path.display()))
+            .into_iter()
+            .map(|(path, spec)| Entry {
+                name: spec.name.clone(),
+                spec: Arc::new(spec),
+                path,
+            })
+            .collect();
+        Registry { entries }
+    })
+}
+
+/// All registered data workloads, in registry (filename) order.
+pub fn data_workloads() -> Vec<DataWorkload> {
+    (0..registry().entries.len())
+        .map(|i| DataWorkload(i as u16))
+        .collect()
+}
+
+/// Finds a registered data workload by exact spec name.
+pub fn find_data(name: &str) -> Option<DataWorkload> {
+    registry()
+        .entries
+        .iter()
+        .position(|e| e.name == name)
+        .map(|i| DataWorkload(i as u16))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoo_selectors_convert_and_compare() {
+        let sel: WorkloadSel = Workload::AlexNet.into();
+        assert_eq!(sel, Workload::AlexNet);
+        assert_ne!(sel, Workload::LeNet);
+        assert_eq!(sel.name(), "AlexNet");
+        assert_eq!(sel.zoo(), Some(Workload::AlexNet));
+        assert_eq!(sel.to_string(), "AlexNet");
+    }
+
+    #[test]
+    fn zoo_salt_tags_are_the_frozen_discriminants() {
+        for w in Workload::ALL {
+            assert_eq!(WorkloadSel::Zoo(w).salt_tag(), w as u64);
+        }
+        // Data tags live in a disjoint range.
+        assert_eq!(WorkloadSel::Data(DataWorkload(0)).salt_tag(), 0x20);
+        assert_eq!(WorkloadSel::Data(DataWorkload(3)).salt_tag(), 0x23);
+    }
+
+    #[test]
+    fn builder_definition_by_default() {
+        let def = WorkloadSel::Zoo(Workload::LeNet).definition();
+        assert!(matches!(def, Definition::Builder(_)));
+        assert_eq!(def.name(), "LeNet");
+    }
+
+    #[test]
+    fn load_dir_tolerates_missing_directory() {
+        let loaded = load_dir(Path::new("/nonexistent/voltascope-workloads")).unwrap();
+        assert!(loaded.is_empty());
+    }
+
+    #[test]
+    fn from_name_resolves_zoo_aliases() {
+        assert_eq!(
+            WorkloadSel::from_name("resnet-50"),
+            Some(WorkloadSel::Zoo(Workload::ResNet))
+        );
+        assert_eq!(WorkloadSel::from_name("definitely-not-a-workload"), None);
+    }
+
+    #[test]
+    fn checked_in_workload_files_register() {
+        // The repository ships the six zoo files plus the transformer;
+        // registry order is filename-sorted.
+        let names: Vec<&str> = data_workloads().iter().map(|d| d.name()).collect();
+        assert!(names.contains(&"LeNet"), "registry: {names:?}");
+        assert!(names.contains(&"GPT2-Small"), "registry: {names:?}");
+        let gpt = find_data("GPT2-Small").unwrap();
+        assert!(gpt.spec().pipeline_stages > 1);
+        assert!(gpt.path().ends_with("transformer_pp.workload"));
+        // Data definitions resolve without a Rust model.
+        let def = WorkloadSel::Data(gpt).definition();
+        assert!(def.model().is_none());
+        assert!(def.lowered(16).is_ok());
+    }
+}

@@ -54,7 +54,7 @@ pub enum Stage {
 }
 
 /// One GPU kernel the simulator must schedule for a layer.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KernelDesc {
     /// Label, e.g. `"fp.conv1"`.
     pub name: String,
@@ -65,6 +65,30 @@ pub struct KernelDesc {
     /// Device memory traffic (inputs + outputs, at f32).
     pub bytes: u64,
     /// Whether the kernel runs on tensor cores.
+    pub tensor_cores: bool,
+}
+
+/// One layer's accounting snapshot at batch 1: everything a
+/// declarative workload schema needs to describe the layer without the
+/// graph. Every count scales exactly linearly in batch for the layer
+/// kinds in this crate, so batch-1 values suffice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerInfo {
+    /// Layer (node) name, unique within the model.
+    pub name: String,
+    /// Layer kind tag (`"conv"`, `"fc"`, ...).
+    pub kind: &'static str,
+    /// Forward FLOPs for one sample.
+    pub fp_flops: u64,
+    /// Backward FLOPs for one sample.
+    pub bp_flops: u64,
+    /// Input activation bytes for one sample (summed over fan-in).
+    pub in_bytes: u64,
+    /// Output activation bytes for one sample.
+    pub out_bytes: u64,
+    /// Parameter bytes at f32.
+    pub param_bytes: u64,
+    /// Whether the layer's kernels run on tensor cores.
     pub tensor_cores: bool,
 }
 
@@ -304,6 +328,32 @@ impl Model {
             });
         }
         kernels
+    }
+
+    /// Per-layer batch-1 accounting rows in forward order: the data a
+    /// declarative `.workload` file records for each layer. Consistent
+    /// with [`Model::kernel_profile`] by construction — the FP kernel
+    /// for a layer at batch `b` has `flops = b * fp_flops` and
+    /// `bytes = b * (in_bytes + out_bytes)`; the BP kernel has
+    /// `flops = b * bp_flops` and `bytes = 2 * b * (in_bytes +
+    /// out_bytes)`.
+    pub fn layer_info(&self) -> Vec<LayerInfo> {
+        self.nodes
+            .iter()
+            .map(|n| {
+                let shapes = self.node_input_shapes(n, 1);
+                LayerInfo {
+                    name: n.name.clone(),
+                    kind: n.layer.kind(),
+                    fp_flops: n.layer.forward_flops(&shapes),
+                    bp_flops: n.layer.backward_flops(&shapes),
+                    in_bytes: shapes.iter().map(|s| s.bytes()).sum(),
+                    out_bytes: n.out_shape.bytes(),
+                    param_bytes: n.layer.param_count() * 4,
+                    tensor_cores: n.layer.uses_tensor_cores(),
+                }
+            })
+            .collect()
     }
 
     /// Gradient buckets in backward-completion order (last layer
@@ -641,6 +691,32 @@ mod tests {
         assert_eq!(ks[5].name, "bp.conv1");
         assert!(ks.iter().take(3).all(|k| k.stage == Stage::Forward));
         assert!(ks.iter().skip(3).all(|k| k.stage == Stage::Backward));
+    }
+
+    #[test]
+    fn layer_info_is_consistent_with_kernel_profile() {
+        let m = tiny();
+        let info = m.layer_info();
+        assert_eq!(info.len(), m.node_count());
+        for batch in [1usize, 2, 16] {
+            let ks = m.kernel_profile(batch);
+            let b = batch as u64;
+            for (i, li) in info.iter().enumerate() {
+                let fp = &ks[i];
+                let bp = &ks[2 * info.len() - 1 - i];
+                assert_eq!(fp.name, format!("fp.{}", li.name));
+                assert_eq!(bp.name, format!("bp.{}", li.name));
+                assert_eq!(fp.flops, b * li.fp_flops);
+                assert_eq!(bp.flops, b * li.bp_flops);
+                assert_eq!(fp.bytes, b * (li.in_bytes + li.out_bytes));
+                assert_eq!(bp.bytes, 2 * b * (li.in_bytes + li.out_bytes));
+                assert_eq!(fp.tensor_cores, li.tensor_cores);
+            }
+        }
+        assert_eq!(
+            info.iter().map(|li| li.param_bytes).sum::<u64>(),
+            m.param_bytes()
+        );
     }
 
     #[test]

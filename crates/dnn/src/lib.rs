@@ -42,8 +42,8 @@ mod tensor;
 pub mod zoo;
 
 pub use graph::{
-    Activations, GradientBucket, Gradients, KernelDesc, Model, ModelBuilder, NodeId, Params,
-    Source, Stage,
+    Activations, GradientBucket, Gradients, KernelDesc, LayerInfo, Model, ModelBuilder, NodeId,
+    Params, Source, Stage,
 };
 pub use layer::{
     Add, AvgPool2d, Backward, BatchNorm2d, Concat, Conv2d, Dense, Layer, MaxPool2d, Relu,

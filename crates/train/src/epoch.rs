@@ -21,6 +21,7 @@ use voltascope_dnn::{Model, Stage};
 use voltascope_gpu::{ApiCall, ApiCostModel, GpuSpec, KernelCostModel};
 use voltascope_sim::{Engine, ResourceId, SimSpan, TaskGraph, TaskId, Trace};
 use voltascope_topo::{dgx1_v100, Device, FaultSpec, Topology};
+use voltascope_workload::{lower_model, LoweredWorkload};
 
 use crate::dataset::{DatasetSpec, ScalingMode};
 
@@ -102,7 +103,7 @@ impl SystemModel {
     /// slowdown. Healthy devices get a plain copy of the shared model,
     /// so fault-free simulations are bit-identical to a system without
     /// the fault machinery.
-    fn kernels_of(&self, g: Device) -> KernelCostModel {
+    pub(crate) fn kernels_of(&self, g: Device) -> KernelCostModel {
         match self.gpu_slowdown.get(&g) {
             Some(&f) if f != 1.0 => self.kernels.slowed(f),
             _ => self.kernels.clone(),
@@ -216,7 +217,36 @@ impl EpochReport {
 /// assert!(four.epoch_time > one.epoch_time / 4);
 /// ```
 pub fn simulate_epoch(sys: &SystemModel, model: &Model, cfg: &TrainConfig) -> EpochReport {
+    let lowered = lower_model(model, cfg.batch_per_gpu).unwrap_or_else(|e| panic!("{e}"));
+    simulate_epoch_lowered(sys, &lowered, cfg)
+}
+
+/// Simulates one epoch of data-parallel training from an
+/// already-lowered workload: the data-driven twin of
+/// [`simulate_epoch`], consuming the kernel/bucket profile a
+/// [`WorkloadSpec`](voltascope_workload::WorkloadSpec) or a built
+/// model lowers to. All pipeline assembly — bucket fusion, the FP/BP
+/// kernel chains, the P2P and NCCL weight-update schedules — lives
+/// here; `simulate_epoch` is a thin wrapper that lowers its model
+/// first, so both entry points produce bit-identical reports for
+/// equivalent inputs.
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (zero batch, GPU count
+/// outside the topology) or `workload.batch` disagrees with
+/// `cfg.batch_per_gpu`.
+pub fn simulate_epoch_lowered(
+    sys: &SystemModel,
+    workload: &LoweredWorkload,
+    cfg: &TrainConfig,
+) -> EpochReport {
     assert!(cfg.batch_per_gpu > 0, "batch size must be positive");
+    assert_eq!(
+        workload.batch, cfg.batch_per_gpu,
+        "workload lowered for batch {} but config asks for {}",
+        workload.batch, cfg.batch_per_gpu
+    );
     assert!(
         cfg.gpu_count >= 1 && cfg.gpu_count <= sys.topo.gpu_count(),
         "gpu_count {} out of range",
@@ -240,8 +270,8 @@ pub fn simulate_epoch(sys: &SystemModel, model: &Model, cfg: &TrainConfig) -> Ep
     let kmodels: BTreeMap<Device, KernelCostModel> =
         gpus.iter().map(|&d| (d, sys.kernels_of(d))).collect();
 
-    let kernels = model.kernel_profile(cfg.batch_per_gpu);
-    let layer_buckets = model.gradient_buckets();
+    let kernels = &workload.kernels;
+    let layer_buckets = &workload.buckets;
     // Optional fusion: group consecutive per-layer buckets until each
     // fused bucket reaches the threshold. `groups[i]` lists the layer
     // buckets merged into fused bucket i; a fused bucket is ready when
@@ -251,7 +281,7 @@ pub fn simulate_epoch(sys: &SystemModel, model: &Model, cfg: &TrainConfig) -> Ep
     {
         let mut acc_bytes = 0u64;
         let mut acc_names: Vec<&str> = Vec::new();
-        for b in &layer_buckets {
+        for b in layer_buckets {
             acc_bytes += b.bytes;
             acc_names.push(&b.name);
             if acc_bytes >= cfg.bucket_fusion_bytes.max(1) {
@@ -286,7 +316,7 @@ pub fn simulate_epoch(sys: &SystemModel, model: &Model, cfg: &TrainConfig) -> Ep
         }
     }
     let bucket_index = member_of;
-    let batch_bytes = cfg.batch_per_gpu as u64 * DatasetSpec::image_bytes(model.input_shape());
+    let batch_bytes = cfg.batch_per_gpu as u64 * DatasetSpec::image_bytes(&workload.input_shape);
     let ring = Ring::build(&sys.topo, cfg.gpu_count);
     let tree = ReductionTree::new(cfg.gpu_count);
 
@@ -311,7 +341,7 @@ pub fn simulate_epoch(sys: &SystemModel, model: &Model, cfg: &TrainConfig) -> Ep
                 &sys.topo,
                 sys.topo.home_cpu(g),
                 g,
-                model.param_bytes(),
+                workload.param_bytes,
                 &deps,
                 "setup.weights",
                 &format!("init.weights@{g}"),
@@ -366,7 +396,7 @@ pub fn simulate_epoch(sys: &SystemModel, model: &Model, cfg: &TrainConfig) -> Ep
 
             let mut host_prev = issue;
             let mut kernel_prev: Option<TaskId> = None;
-            for kd in &kernels {
+            for kd in kernels {
                 let launch = graph
                     .task(format!("{p}/launch.{}@{g}", kd.name))
                     .on(host[&g])

@@ -43,14 +43,16 @@ mod epoch;
 mod memory;
 mod optimizer;
 mod parallel;
+mod pipeline;
 mod schedule;
 
 pub use async_sgd::AsyncParameterServer;
 pub use dataset::{DatasetSpec, ScalingMode, ShuffledSampler, SyntheticDataset};
-pub use epoch::{simulate_epoch, EpochReport, SystemModel, TrainConfig};
+pub use epoch::{simulate_epoch, simulate_epoch_lowered, EpochReport, SystemModel, TrainConfig};
 pub use memory::{GpuRole, MemoryModel, MemoryUsage};
 pub use optimizer::{Sgd, SgdState};
 pub use parallel::{flatten, unflatten, DataParallel};
+pub use pipeline::{simulate_pipeline_epoch, PipelineConfig, PipelineError, PipelineReport};
 pub use schedule::LrSchedule;
 
 // Compile-time guarantee for the parallel experiment grid: the platform

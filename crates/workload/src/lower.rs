@@ -1,0 +1,307 @@
+//! Lowering: compiling a workload description into the kernel/bucket
+//! profile the epoch simulator executes.
+//!
+//! Both front ends converge on [`LoweredWorkload`]:
+//!
+//! * [`lower`] scales a parsed [`WorkloadSpec`]'s batch-1 counts to the
+//!   requested batch (every zoo layer kind is exactly linear in batch,
+//!   so this reproduces the builder numbers bit for bit), and
+//! * [`lower_model`] asks a built [`Model`] directly via
+//!   [`Model::kernel_profile`]/[`Model::gradient_buckets`].
+//!
+//! Degenerate inputs that previously panicked deep inside the task
+//! graph (batch 0, empty models) or silently produced zero-cost
+//! kernels are rejected here with typed [`LowerError`]s.
+
+use voltascope_dnn::{GradientBucket, KernelDesc, Model, Shape, Stage};
+
+use crate::schema::WorkloadSpec;
+
+/// A workload compiled for one per-GPU batch size: exactly the inputs
+/// `simulate_epoch` consumes when assembling its task graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoweredWorkload {
+    /// Workload display name.
+    pub name: String,
+    /// The per-GPU batch size the kernels below are scaled to.
+    pub batch: usize,
+    /// Canonical input shape at batch 1 (drives H2D mini-batch bytes).
+    pub input_shape: Shape,
+    /// Total parameter bytes (initial weight distribution volume).
+    pub param_bytes: u64,
+    /// One training iteration's kernels: FP in layer order, then BP in
+    /// reverse layer order, as cuDNN issues them.
+    pub kernels: Vec<KernelDesc>,
+    /// Per-layer gradient buckets in backward-completion order (last
+    /// layer first), before any fusion.
+    pub buckets: Vec<GradientBucket>,
+}
+
+/// Why a workload could not be lowered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LowerError {
+    /// The requested batch size is zero.
+    ZeroBatch,
+    /// The workload has no layers.
+    EmptyWorkload(String),
+    /// Two layers share a name (bucket readiness is keyed by name).
+    DuplicateLayerName {
+        /// Workload name.
+        workload: String,
+        /// The repeated layer name.
+        layer: String,
+    },
+    /// A layer declares zero FLOPs and zero bytes: it would lower to a
+    /// silent zero-cost kernel.
+    ZeroCostLayer {
+        /// Workload name.
+        workload: String,
+        /// The offending layer.
+        layer: String,
+    },
+    /// No layer carries parameters, so every gradient bucket would be
+    /// zero bytes and the weight-update stage degenerate.
+    NoParameters(String),
+}
+
+impl std::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            // Matches the message `simulate_epoch` has always panicked
+            // with on a zero batch.
+            LowerError::ZeroBatch => write!(f, "batch size must be positive"),
+            LowerError::EmptyWorkload(w) => write!(f, "workload `{w}` has no layers"),
+            LowerError::DuplicateLayerName { workload, layer } => {
+                write!(f, "workload `{workload}` repeats layer name `{layer}`")
+            }
+            LowerError::ZeroCostLayer { workload, layer } => write!(
+                f,
+                "layer `{layer}` of workload `{workload}` has zero FLOPs and zero bytes"
+            ),
+            LowerError::NoParameters(w) => {
+                write!(f, "workload `{w}` has no parameters to communicate")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+fn check_names_and_costs<'a>(
+    workload: &str,
+    rows: impl Iterator<Item = (&'a str, u64, u64)>,
+) -> Result<(), LowerError> {
+    let mut seen = std::collections::HashSet::new();
+    for (name, flops, bytes) in rows {
+        if !seen.insert(name.to_string()) {
+            return Err(LowerError::DuplicateLayerName {
+                workload: workload.to_string(),
+                layer: name.to_string(),
+            });
+        }
+        if flops == 0 && bytes == 0 {
+            return Err(LowerError::ZeroCostLayer {
+                workload: workload.to_string(),
+                layer: name.to_string(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Lowers a parsed spec to the kernel/bucket profile for `batch`
+/// samples per GPU.
+///
+/// # Example
+///
+/// ```
+/// use voltascope_workload::{lower, WorkloadSpec};
+///
+/// let spec = WorkloadSpec::parse(
+///     "workload v1\nname T\ninput 4\nlayer fc1 fc 0 160 320 16 40 336 1\nend\n",
+/// )
+/// .unwrap();
+/// let lw = lower(&spec, 8).unwrap();
+/// assert_eq!(lw.kernels.len(), 2); // fp.fc1, bp.fc1
+/// assert_eq!(lw.kernels[0].flops, 8 * 160);
+/// assert_eq!(lw.buckets[0].bytes, 336);
+/// ```
+pub fn lower(spec: &WorkloadSpec, batch: usize) -> Result<LoweredWorkload, LowerError> {
+    if batch == 0 {
+        return Err(LowerError::ZeroBatch);
+    }
+    if spec.layers.is_empty() {
+        return Err(LowerError::EmptyWorkload(spec.name.clone()));
+    }
+    check_names_and_costs(
+        &spec.name,
+        spec.layers
+            .iter()
+            .map(|l| (l.name.as_str(), l.fp_flops, l.in_bytes + l.out_bytes)),
+    )?;
+    if spec.param_bytes() == 0 {
+        return Err(LowerError::NoParameters(spec.name.clone()));
+    }
+    let b = batch as u64;
+    let mut kernels = Vec::with_capacity(spec.layers.len() * 2);
+    for l in &spec.layers {
+        kernels.push(KernelDesc {
+            name: format!("fp.{}", l.name),
+            stage: Stage::Forward,
+            flops: b * l.fp_flops,
+            bytes: b * (l.in_bytes + l.out_bytes),
+            tensor_cores: l.tensor_cores,
+        });
+    }
+    for l in spec.layers.iter().rev() {
+        kernels.push(KernelDesc {
+            name: format!("bp.{}", l.name),
+            stage: Stage::Backward,
+            flops: b * l.bp_flops,
+            bytes: 2 * b * (l.in_bytes + l.out_bytes),
+            tensor_cores: l.tensor_cores,
+        });
+    }
+    let buckets = spec
+        .layers
+        .iter()
+        .rev()
+        .filter(|l| l.param_bytes > 0)
+        .map(|l| GradientBucket {
+            name: l.name.clone(),
+            bytes: l.param_bytes,
+        })
+        .collect();
+    let mut input_dims = Vec::with_capacity(spec.input_dims.len() + 1);
+    input_dims.push(1);
+    input_dims.extend_from_slice(&spec.input_dims);
+    Ok(LoweredWorkload {
+        name: spec.name.clone(),
+        batch,
+        input_shape: Shape::new(input_dims),
+        param_bytes: spec.param_bytes(),
+        kernels,
+        buckets,
+    })
+}
+
+/// Lowers a built model directly, bypassing the text schema. The
+/// output is definitionally what `simulate_epoch` consumed before the
+/// workload layer existed — [`Model::kernel_profile`] and
+/// [`Model::gradient_buckets`] verbatim — so existing goldens cannot
+/// move.
+pub fn lower_model(model: &Model, batch: usize) -> Result<LoweredWorkload, LowerError> {
+    if batch == 0 {
+        return Err(LowerError::ZeroBatch);
+    }
+    let info = model.layer_info();
+    if info.is_empty() {
+        return Err(LowerError::EmptyWorkload(model.name().to_string()));
+    }
+    check_names_and_costs(
+        model.name(),
+        info.iter()
+            .map(|li| (li.name.as_str(), li.fp_flops, li.in_bytes + li.out_bytes)),
+    )?;
+    if model.param_bytes() == 0 {
+        return Err(LowerError::NoParameters(model.name().to_string()));
+    }
+    Ok(LoweredWorkload {
+        name: model.name().to_string(),
+        batch,
+        input_shape: model.input_shape().clone(),
+        param_bytes: model.param_bytes(),
+        kernels: model.kernel_profile(batch),
+        buckets: model.gradient_buckets(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voltascope_dnn::zoo;
+
+    fn spec(text: &str) -> WorkloadSpec {
+        WorkloadSpec::parse(text).unwrap()
+    }
+
+    #[test]
+    fn zero_batch_is_typed() {
+        let s = spec("workload v1\nname T\ninput 4\nlayer a fc 0 1 2 4 4 8 0\nend\n");
+        assert_eq!(lower(&s, 0), Err(LowerError::ZeroBatch));
+        assert_eq!(
+            lower(&s, 0).unwrap_err().to_string(),
+            "batch size must be positive"
+        );
+        let m = zoo::lenet();
+        assert_eq!(lower_model(&m, 0), Err(LowerError::ZeroBatch));
+    }
+
+    #[test]
+    fn empty_workload_is_typed() {
+        let s = spec("workload v1\nname Hollow\ninput 4\nend\n");
+        assert_eq!(
+            lower(&s, 1),
+            Err(LowerError::EmptyWorkload("Hollow".into()))
+        );
+    }
+
+    #[test]
+    fn zero_cost_layer_is_typed() {
+        let s = spec(
+            "workload v1\nname T\ninput 4\nlayer a fc 0 1 2 4 4 8 0\nlayer b relu 0 0 0 0 0 0 0\nend\n",
+        );
+        assert_eq!(
+            lower(&s, 1),
+            Err(LowerError::ZeroCostLayer {
+                workload: "T".into(),
+                layer: "b".into()
+            })
+        );
+    }
+
+    #[test]
+    fn parameterless_workload_is_typed() {
+        let s = spec("workload v1\nname T\ninput 4\nlayer a relu 0 16 32 16 16 0 0\nend\n");
+        assert_eq!(lower(&s, 1), Err(LowerError::NoParameters("T".into())));
+    }
+
+    #[test]
+    fn duplicate_names_in_hand_built_spec_are_typed() {
+        // The parser already rejects duplicates; a hand-constructed
+        // spec must still fail to lower rather than corrupt bucket
+        // readiness (which is keyed by layer name).
+        let mut s = spec("workload v1\nname T\ninput 4\nlayer a fc 0 1 2 4 4 8 0\nend\n");
+        let dup = s.layers[0].clone();
+        s.layers.push(dup);
+        assert_eq!(
+            lower(&s, 1),
+            Err(LowerError::DuplicateLayerName {
+                workload: "T".into(),
+                layer: "a".into()
+            })
+        );
+    }
+
+    #[test]
+    fn lowered_model_matches_kernel_profile() {
+        let m = zoo::lenet();
+        let lw = lower_model(&m, 16).unwrap();
+        assert_eq!(lw.kernels, m.kernel_profile(16));
+        assert_eq!(lw.buckets, m.gradient_buckets());
+        assert_eq!(lw.param_bytes, m.param_bytes());
+        assert_eq!(&lw.input_shape, m.input_shape());
+    }
+
+    #[test]
+    fn spec_lowering_matches_model_lowering() {
+        // The load-bearing identity: a spec extracted from a model
+        // lowers to the exact kernels/buckets the model produces, at
+        // every batch size (linearity in batch is exact).
+        for batch in [1usize, 16, 32, 64] {
+            let m = zoo::lenet();
+            let s = WorkloadSpec::from_model(&m);
+            assert_eq!(lower(&s, batch).unwrap(), lower_model(&m, batch).unwrap());
+        }
+    }
+}

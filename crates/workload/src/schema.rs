@@ -1,0 +1,622 @@
+//! The `.workload` schema: a small line-oriented text format that
+//! describes a training workload as data — layer names and kinds,
+//! per-layer FLOP and byte counts at batch 1, parameter bytes, and
+//! parallelism axes — so that new model families are files under
+//! `workloads/`, not Rust modules.
+//!
+//! # Grammar (v1)
+//!
+//! ```text
+//! workload v1
+//! name <display name, rest of line>
+//! input <dim> [<dim> ...]          # canonical shape without the batch dim
+//! axis pipeline <stages>           # optional, default 1
+//! layer <name> <kind> <stage> <fp_flops> <bp_flops> <in_bytes> <out_bytes> <param_bytes> <tc>
+//! ...
+//! end
+//! ```
+//!
+//! Blank lines and `#` comments are accepted anywhere; the canonical
+//! serialisation ([`WorkloadSpec::to_text`]) emits neither, so a file
+//! generated from a model byte-compares stably. All per-layer numbers
+//! are batch-1 values; the lowering pass scales them (every layer kind
+//! in the zoo is exactly linear in batch). `<tc>` is `1` if the layer's
+//! kernels run on tensor cores, else `0`.
+//!
+//! The parser is hand-rolled and dependency-free in the discipline of
+//! the `persist` codec: it never panics, and every malformed input maps
+//! to a typed [`ParseError`] carrying the 1-based line and column of
+//! the offending token.
+
+use voltascope_dnn::Model;
+
+/// Layer kinds a `.workload` file may declare. The CNN kinds mirror
+/// [`voltascope_dnn::Layer::kind`]; the transformer kinds exist only as
+/// data (no Rust layer module) — the simulator consumes FLOP/byte
+/// counts, not semantics.
+pub const KNOWN_KINDS: [&str; 12] = [
+    "conv",
+    "fc",
+    "relu",
+    "maxpool",
+    "avgpool",
+    "batchnorm",
+    "concat",
+    "add",
+    "attention",
+    "mlp",
+    "layernorm",
+    "embed",
+];
+
+/// One layer row of a workload spec (all counts at batch 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerSpec {
+    /// Layer name, unique within the workload (a single token).
+    pub name: String,
+    /// Layer kind, one of [`KNOWN_KINDS`].
+    pub kind: String,
+    /// Pipeline stage this layer is placed on (`< pipeline_stages`).
+    pub stage: usize,
+    /// Forward FLOPs for one sample.
+    pub fp_flops: u64,
+    /// Backward FLOPs for one sample.
+    pub bp_flops: u64,
+    /// Input activation bytes for one sample (sum over fan-in).
+    pub in_bytes: u64,
+    /// Output activation bytes for one sample.
+    pub out_bytes: u64,
+    /// Parameter bytes (f32 weights; also the gradient bucket size).
+    pub param_bytes: u64,
+    /// Whether the layer's kernels run on tensor cores.
+    pub tensor_cores: bool,
+}
+
+/// A parsed workload description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadSpec {
+    /// Display name (may contain spaces, e.g. `Inception-v3`).
+    pub name: String,
+    /// Canonical per-sample input dims (without the batch dimension).
+    pub input_dims: Vec<usize>,
+    /// Number of pipeline-parallel stages (1 = no pipeline axis).
+    pub pipeline_stages: usize,
+    /// Layers in forward execution order.
+    pub layers: Vec<LayerSpec>,
+}
+
+/// What went wrong at one spot of a `.workload` file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// The first line is not `workload v1`.
+    BadHeader,
+    /// A line starts with an unrecognised directive.
+    UnknownDirective(String),
+    /// A `layer` row names a kind outside [`KNOWN_KINDS`].
+    UnknownLayerKind(String),
+    /// An `axis` directive names an axis other than `pipeline`.
+    UnknownAxis(String),
+    /// Two `layer` rows share a name.
+    DuplicateLayer(String),
+    /// A singleton directive (`name`, `input`, `axis`) appears twice.
+    DuplicateDirective(&'static str),
+    /// `end` was reached without a required directive.
+    MissingDirective(&'static str),
+    /// A directive is missing a required field.
+    MissingField(&'static str),
+    /// A numeric field failed to parse (or is out of its domain).
+    BadNumber(String),
+    /// A layer's pipeline stage is `>=` the declared stage count.
+    StageOutOfRange {
+        /// The out-of-range stage the layer asked for.
+        stage: usize,
+        /// The declared stage count it must stay below.
+        stages: usize,
+    },
+    /// The input ended before the `end` directive.
+    Truncated,
+    /// Non-comment content after the `end` directive.
+    TrailingInput,
+}
+
+/// A parse failure with its position: 1-based line and column of the
+/// offending token (column 1 for whole-line conditions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based byte column of the offending token.
+    pub column: usize,
+    /// What went wrong there.
+    pub kind: ParseErrorKind,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}, column {}: ", self.line, self.column)?;
+        match &self.kind {
+            ParseErrorKind::BadHeader => write!(f, "expected header `workload v1`"),
+            ParseErrorKind::UnknownDirective(d) => write!(f, "unknown directive `{d}`"),
+            ParseErrorKind::UnknownLayerKind(k) => write!(f, "unknown layer kind `{k}`"),
+            ParseErrorKind::UnknownAxis(a) => write!(f, "unknown parallelism axis `{a}`"),
+            ParseErrorKind::DuplicateLayer(n) => write!(f, "duplicate layer name `{n}`"),
+            ParseErrorKind::DuplicateDirective(d) => write!(f, "duplicate `{d}` directive"),
+            ParseErrorKind::MissingDirective(d) => write!(f, "missing `{d}` directive"),
+            ParseErrorKind::MissingField(field) => write!(f, "missing field `{field}`"),
+            ParseErrorKind::BadNumber(t) => write!(f, "bad number `{t}`"),
+            ParseErrorKind::StageOutOfRange { stage, stages } => write!(
+                f,
+                "pipeline stage {stage} out of range (workload declares {stages} stage(s))"
+            ),
+            ParseErrorKind::Truncated => write!(f, "file ends before `end` directive"),
+            ParseErrorKind::TrailingInput => write!(f, "content after `end` directive"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Splits a line into `(1-based column, token)` pairs on ASCII
+/// whitespace.
+fn tokens(line: &str) -> Vec<(usize, &str)> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < bytes.len() && !bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        out.push((start + 1, &line[start..i]));
+    }
+    out
+}
+
+fn err(line: usize, column: usize, kind: ParseErrorKind) -> ParseError {
+    ParseError { line, column, kind }
+}
+
+fn parse_u64(line: usize, col: usize, tok: &str) -> Result<u64, ParseError> {
+    tok.parse::<u64>()
+        .map_err(|_| err(line, col, ParseErrorKind::BadNumber(tok.to_string())))
+}
+
+fn parse_dim(line: usize, col: usize, tok: &str) -> Result<usize, ParseError> {
+    match tok.parse::<usize>() {
+        Ok(v) if v >= 1 => Ok(v),
+        _ => Err(err(line, col, ParseErrorKind::BadNumber(tok.to_string()))),
+    }
+}
+
+impl WorkloadSpec {
+    /// Parses the v1 text format. Never panics; every malformed input
+    /// yields a [`ParseError`] naming the offending line and column.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use voltascope_workload::WorkloadSpec;
+    ///
+    /// let text = "workload v1\nname Tiny\ninput 1 8 8\naxis pipeline 1\n\
+    ///             layer fc1 fc 0 1280 2560 256 40 2600 1\nend\n";
+    /// let spec = WorkloadSpec::parse(text).unwrap();
+    /// assert_eq!(spec.name, "Tiny");
+    /// assert_eq!(spec.layers.len(), 1);
+    /// assert_eq!(spec.to_text(), text.replace("            ", ""));
+    /// ```
+    pub fn parse(text: &str) -> Result<WorkloadSpec, ParseError> {
+        let mut name: Option<String> = None;
+        let mut input_dims: Option<Vec<usize>> = None;
+        let mut stages: Option<usize> = None;
+        // (line number, spec) per layer: stage range is validated once
+        // the axis count is known, pointing back at the layer's line.
+        let mut layers: Vec<(usize, LayerSpec)> = Vec::new();
+        let mut seen_header = false;
+        let mut seen_end: Option<usize> = None;
+        let mut line_count = 0;
+
+        for (li, raw) in text.lines().enumerate() {
+            let lineno = li + 1;
+            line_count = lineno;
+            let toks = tokens(raw);
+            let Some(&(col0, directive)) = toks.first() else {
+                continue; // blank line
+            };
+            if directive.starts_with('#') {
+                continue; // comment
+            }
+            if let Some(end_line) = seen_end {
+                let _ = end_line;
+                return Err(err(lineno, col0, ParseErrorKind::TrailingInput));
+            }
+            if !seen_header {
+                if directive == "workload" && toks.get(1).map(|&(_, t)| t) == Some("v1") {
+                    seen_header = true;
+                    continue;
+                }
+                return Err(err(lineno, col0, ParseErrorKind::BadHeader));
+            }
+            match directive {
+                "name" => {
+                    if name.is_some() {
+                        return Err(err(
+                            lineno,
+                            col0,
+                            ParseErrorKind::DuplicateDirective("name"),
+                        ));
+                    }
+                    let Some(&(col1, _)) = toks.get(1) else {
+                        return Err(err(lineno, col0, ParseErrorKind::MissingField("name")));
+                    };
+                    name = Some(raw[col1 - 1..].trim_end().to_string());
+                }
+                "input" => {
+                    if input_dims.is_some() {
+                        return Err(err(
+                            lineno,
+                            col0,
+                            ParseErrorKind::DuplicateDirective("input"),
+                        ));
+                    }
+                    if toks.len() < 2 {
+                        return Err(err(
+                            lineno,
+                            col0,
+                            ParseErrorKind::MissingField("input dims"),
+                        ));
+                    }
+                    let mut dims = Vec::with_capacity(toks.len() - 1);
+                    for &(col, tok) in &toks[1..] {
+                        dims.push(parse_dim(lineno, col, tok)?);
+                    }
+                    input_dims = Some(dims);
+                }
+                "axis" => {
+                    let Some(&(acol, axis)) = toks.get(1) else {
+                        return Err(err(lineno, col0, ParseErrorKind::MissingField("axis name")));
+                    };
+                    if axis != "pipeline" {
+                        return Err(err(
+                            lineno,
+                            acol,
+                            ParseErrorKind::UnknownAxis(axis.to_string()),
+                        ));
+                    }
+                    if stages.is_some() {
+                        return Err(err(
+                            lineno,
+                            col0,
+                            ParseErrorKind::DuplicateDirective("axis"),
+                        ));
+                    }
+                    let Some(&(ncol, ntok)) = toks.get(2) else {
+                        return Err(err(
+                            lineno,
+                            col0,
+                            ParseErrorKind::MissingField("stage count"),
+                        ));
+                    };
+                    stages = Some(parse_dim(lineno, ncol, ntok)?);
+                }
+                "layer" => {
+                    const FIELDS: [&str; 9] = [
+                        "layer name",
+                        "layer kind",
+                        "pipeline stage",
+                        "fp_flops",
+                        "bp_flops",
+                        "in_bytes",
+                        "out_bytes",
+                        "param_bytes",
+                        "tensor_cores",
+                    ];
+                    if toks.len() < 1 + FIELDS.len() {
+                        return Err(err(
+                            lineno,
+                            col0,
+                            ParseErrorKind::MissingField(FIELDS[toks.len() - 1]),
+                        ));
+                    }
+                    let (ncol, lname) = toks[1];
+                    let _ = ncol;
+                    if layers.iter().any(|(_, l)| l.name == lname) {
+                        return Err(err(
+                            lineno,
+                            toks[1].0,
+                            ParseErrorKind::DuplicateLayer(lname.to_string()),
+                        ));
+                    }
+                    let (kcol, kind) = toks[2];
+                    if !KNOWN_KINDS.contains(&kind) {
+                        return Err(err(
+                            lineno,
+                            kcol,
+                            ParseErrorKind::UnknownLayerKind(kind.to_string()),
+                        ));
+                    }
+                    let stage = parse_u64(lineno, toks[3].0, toks[3].1)? as usize;
+                    let fp_flops = parse_u64(lineno, toks[4].0, toks[4].1)?;
+                    let bp_flops = parse_u64(lineno, toks[5].0, toks[5].1)?;
+                    let in_bytes = parse_u64(lineno, toks[6].0, toks[6].1)?;
+                    let out_bytes = parse_u64(lineno, toks[7].0, toks[7].1)?;
+                    let param_bytes = parse_u64(lineno, toks[8].0, toks[8].1)?;
+                    let tensor_cores = match toks[9].1 {
+                        "0" => false,
+                        "1" => true,
+                        other => {
+                            return Err(err(
+                                lineno,
+                                toks[9].0,
+                                ParseErrorKind::BadNumber(other.to_string()),
+                            ))
+                        }
+                    };
+                    layers.push((
+                        lineno,
+                        LayerSpec {
+                            name: lname.to_string(),
+                            kind: kind.to_string(),
+                            stage,
+                            fp_flops,
+                            bp_flops,
+                            in_bytes,
+                            out_bytes,
+                            param_bytes,
+                            tensor_cores,
+                        },
+                    ));
+                }
+                "end" => {
+                    if name.is_none() {
+                        return Err(err(lineno, col0, ParseErrorKind::MissingDirective("name")));
+                    }
+                    if input_dims.is_none() {
+                        return Err(err(lineno, col0, ParseErrorKind::MissingDirective("input")));
+                    }
+                    seen_end = Some(lineno);
+                }
+                other => {
+                    return Err(err(
+                        lineno,
+                        col0,
+                        ParseErrorKind::UnknownDirective(other.to_string()),
+                    ));
+                }
+            }
+        }
+
+        if seen_end.is_none() {
+            return Err(err(line_count + 1, 1, ParseErrorKind::Truncated));
+        }
+        let pipeline_stages = stages.unwrap_or(1);
+        for (lineno, l) in &layers {
+            if l.stage >= pipeline_stages {
+                return Err(err(
+                    *lineno,
+                    1,
+                    ParseErrorKind::StageOutOfRange {
+                        stage: l.stage,
+                        stages: pipeline_stages,
+                    },
+                ));
+            }
+        }
+        Ok(WorkloadSpec {
+            name: name.expect("checked at end"),
+            input_dims: input_dims.expect("checked at end"),
+            pipeline_stages,
+            layers: layers.into_iter().map(|(_, l)| l).collect(),
+        })
+    }
+
+    /// Serialises to the canonical v1 text: no comments, no blank
+    /// lines, one space between fields, the `axis pipeline` line always
+    /// present. `parse(to_text(s)) == s` for every valid spec.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("workload v1\n");
+        writeln!(out, "name {}", self.name).unwrap();
+        out.push_str("input");
+        for d in &self.input_dims {
+            write!(out, " {d}").unwrap();
+        }
+        out.push('\n');
+        writeln!(out, "axis pipeline {}", self.pipeline_stages).unwrap();
+        for l in &self.layers {
+            writeln!(
+                out,
+                "layer {} {} {} {} {} {} {} {} {}",
+                l.name,
+                l.kind,
+                l.stage,
+                l.fp_flops,
+                l.bp_flops,
+                l.in_bytes,
+                l.out_bytes,
+                l.param_bytes,
+                u8::from(l.tensor_cores),
+            )
+            .unwrap();
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Extracts the declarative spec of a built [`Model`]: batch-1
+    /// FLOP/byte counts per layer, no pipeline axis. This is how the
+    /// checked-in zoo `.workload` files are generated, and the anchor
+    /// of the builder-vs-data byte-identity tests.
+    pub fn from_model(model: &Model) -> WorkloadSpec {
+        let layers = model
+            .layer_info()
+            .into_iter()
+            .map(|li| LayerSpec {
+                name: li.name,
+                kind: li.kind.to_string(),
+                stage: 0,
+                fp_flops: li.fp_flops,
+                bp_flops: li.bp_flops,
+                in_bytes: li.in_bytes,
+                out_bytes: li.out_bytes,
+                param_bytes: li.param_bytes,
+                tensor_cores: li.tensor_cores,
+            })
+            .collect();
+        WorkloadSpec {
+            name: model.name().to_string(),
+            input_dims: model.input_shape().dims()[1..].to_vec(),
+            pipeline_stages: 1,
+            layers,
+        }
+    }
+
+    /// Total parameter bytes across all layers.
+    pub fn param_bytes(&self) -> u64 {
+        self.layers.iter().map(|l| l.param_bytes).sum()
+    }
+
+    /// The layers placed on pipeline stage `s`, in forward order.
+    pub fn stage_layers(&self, s: usize) -> impl Iterator<Item = &LayerSpec> {
+        self.layers.iter().filter(move |l| l.stage == s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TINY: &str = "workload v1\n\
+                        name Tiny Net\n\
+                        input 3 8 8\n\
+                        axis pipeline 2\n\
+                        layer conv1 conv 0 1000 2000 768 1024 432 1\n\
+                        layer fc1 fc 1 500 1000 1024 40 41000 1\n\
+                        end\n";
+
+    #[test]
+    fn parses_and_round_trips() {
+        let spec = WorkloadSpec::parse(TINY).unwrap();
+        assert_eq!(spec.name, "Tiny Net");
+        assert_eq!(spec.input_dims, vec![3, 8, 8]);
+        assert_eq!(spec.pipeline_stages, 2);
+        assert_eq!(spec.layers.len(), 2);
+        assert_eq!(spec.layers[1].stage, 1);
+        assert!(spec.layers[0].tensor_cores);
+        let text = spec.to_text();
+        assert_eq!(WorkloadSpec::parse(&text).unwrap(), spec);
+        assert_eq!(text, TINY);
+    }
+
+    #[test]
+    fn accepts_comments_and_blank_lines() {
+        let noisy = "# generated\n\nworkload v1\nname N\n# dims\ninput 4\n\n\
+                     layer a fc 0 1 2 4 4 8 0\nend\n\n# tail comment\n";
+        let spec = WorkloadSpec::parse(noisy).unwrap();
+        assert_eq!(spec.name, "N");
+        assert_eq!(spec.pipeline_stages, 1);
+    }
+
+    #[test]
+    fn header_must_come_first() {
+        let e = WorkloadSpec::parse("name X\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert_eq!(e.kind, ParseErrorKind::BadHeader);
+    }
+
+    #[test]
+    fn truncated_file_is_typed() {
+        let e = WorkloadSpec::parse("workload v1\nname X\ninput 4\n").unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::Truncated);
+        assert_eq!(e.line, 4);
+        assert!(e.to_string().contains("line 4"));
+    }
+
+    #[test]
+    fn unknown_layer_kind_names_the_line() {
+        let bad = "workload v1\nname X\ninput 4\nlayer a warp 0 1 2 4 4 8 0\nend\n";
+        let e = WorkloadSpec::parse(bad).unwrap_err();
+        assert_eq!(e.line, 4);
+        assert_eq!(e.kind, ParseErrorKind::UnknownLayerKind("warp".into()));
+        assert_eq!(e.column, 9);
+    }
+
+    #[test]
+    fn duplicate_layer_name_is_rejected() {
+        let bad =
+            "workload v1\nname X\ninput 4\nlayer a fc 0 1 2 4 4 8 0\nlayer a fc 0 1 2 4 4 8 0\nend\n";
+        let e = WorkloadSpec::parse(bad).unwrap_err();
+        assert_eq!(e.line, 5);
+        assert_eq!(e.kind, ParseErrorKind::DuplicateLayer("a".into()));
+    }
+
+    #[test]
+    fn stage_out_of_range_points_at_the_layer() {
+        let bad = "workload v1\nname X\ninput 4\naxis pipeline 2\nlayer a fc 2 1 2 4 4 8 0\nend\n";
+        let e = WorkloadSpec::parse(bad).unwrap_err();
+        assert_eq!(e.line, 5);
+        assert_eq!(
+            e.kind,
+            ParseErrorKind::StageOutOfRange {
+                stage: 2,
+                stages: 2
+            }
+        );
+        // Without an axis directive the default single stage applies.
+        let bad1 = "workload v1\nname X\ninput 4\nlayer a fc 1 1 2 4 4 8 0\nend\n";
+        let e1 = WorkloadSpec::parse(bad1).unwrap_err();
+        assert_eq!(
+            e1.kind,
+            ParseErrorKind::StageOutOfRange {
+                stage: 1,
+                stages: 1
+            }
+        );
+    }
+
+    #[test]
+    fn bad_numbers_and_missing_fields() {
+        let bad = "workload v1\nname X\ninput 4\nlayer a fc 0 1 2 4 4 8\nend\n";
+        let e = WorkloadSpec::parse(bad).unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::MissingField("tensor_cores"));
+        let bad2 = "workload v1\nname X\ninput 4\nlayer a fc 0 one 2 4 4 8 0\nend\n";
+        let e2 = WorkloadSpec::parse(bad2).unwrap_err();
+        assert_eq!(e2.kind, ParseErrorKind::BadNumber("one".into()));
+        let bad3 = "workload v1\nname X\ninput 0\nend\n";
+        let e3 = WorkloadSpec::parse(bad3).unwrap_err();
+        assert_eq!(e3.kind, ParseErrorKind::BadNumber("0".into()));
+    }
+
+    #[test]
+    fn unknown_directive_and_axis() {
+        let e = WorkloadSpec::parse("workload v1\nshape 4\nend\n").unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::UnknownDirective("shape".into()));
+        let e2 = WorkloadSpec::parse("workload v1\naxis tensor 4\nend\n").unwrap_err();
+        assert_eq!(e2.kind, ParseErrorKind::UnknownAxis("tensor".into()));
+    }
+
+    #[test]
+    fn end_requires_name_and_input() {
+        let e = WorkloadSpec::parse("workload v1\ninput 4\nend\n").unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::MissingDirective("name"));
+        let e2 = WorkloadSpec::parse("workload v1\nname X\nend\n").unwrap_err();
+        assert_eq!(e2.kind, ParseErrorKind::MissingDirective("input"));
+    }
+
+    #[test]
+    fn trailing_content_is_rejected() {
+        let e = WorkloadSpec::parse("workload v1\nname X\ninput 4\nend\nname Y\n").unwrap_err();
+        assert_eq!(e.line, 5);
+        assert_eq!(e.kind, ParseErrorKind::TrailingInput);
+    }
+
+    #[test]
+    fn duplicate_directives_are_rejected() {
+        let e = WorkloadSpec::parse("workload v1\nname X\nname Y\nend\n").unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::DuplicateDirective("name"));
+    }
+}

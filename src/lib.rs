@@ -26,6 +26,7 @@ pub use voltascope_profile as profile;
 pub use voltascope_sim as sim;
 pub use voltascope_topo as topo;
 pub use voltascope_train as train;
+pub use voltascope_workload as workload;
 
 /// The most commonly used items, for examples and tests.
 pub mod prelude {
@@ -35,13 +36,18 @@ pub mod prelude {
         TicketStatus,
     };
     pub use voltascope::service::{persist, GridService, ServiceStats, SnapshotStatus};
+    pub use voltascope::workloads::{DataWorkload, WorkloadSel};
     pub use voltascope::{experiments, Harness, Measurement};
     pub use voltascope_comm::CommMethod;
     pub use voltascope_dnn::zoo::{self, Workload};
     pub use voltascope_dnn::{Model, NetworkStats, Shape, Tensor};
     pub use voltascope_profile::{render_timeline, ProfileSummary, TextTable};
     pub use voltascope_train::{
-        simulate_epoch, AsyncParameterServer, DataParallel, DatasetSpec, EpochReport, GpuRole,
-        MemoryModel, ScalingMode, Sgd, SyntheticDataset, SystemModel, TrainConfig,
+        simulate_epoch, simulate_epoch_lowered, simulate_pipeline_epoch, AsyncParameterServer,
+        DataParallel, DatasetSpec, EpochReport, GpuRole, MemoryModel, PipelineConfig,
+        PipelineReport, ScalingMode, Sgd, SyntheticDataset, SystemModel, TrainConfig,
+    };
+    pub use voltascope_workload::{
+        lower, lower_model, Definition, LowerError, LoweredWorkload, ParseError, WorkloadSpec,
     };
 }

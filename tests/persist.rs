@@ -34,7 +34,7 @@ fn arb_cell(seed: u64) -> Cell {
         FaultScenario::TwoStragglers,
     ];
     Cell {
-        workload: WORKLOADS[(seed % 5) as usize],
+        workload: WORKLOADS[(seed % 5) as usize].into(),
         comm: if seed.is_multiple_of(2) {
             CommMethod::P2p
         } else {

@@ -13,7 +13,7 @@ use proptest::prelude::*;
 
 fn lenet_cell(batch: usize, gpus: usize) -> Cell {
     Cell {
-        workload: Workload::LeNet,
+        workload: Workload::LeNet.into(),
         comm: CommMethod::P2p,
         batch,
         gpus,
@@ -396,7 +396,7 @@ fn cancelling_a_queued_ticket_discards_its_work_while_in_flight_cells_finish() {
 
     // Occupy the single worker with an expensive cell...
     let blocker_cell = Cell {
-        workload: Workload::ResNet,
+        workload: Workload::ResNet.into(),
         comm: CommMethod::P2p,
         batch: 64,
         gpus: 8,

@@ -11,7 +11,7 @@ use voltascope::grid::epoch_reports;
 
 fn cell(workload: Workload, comm: CommMethod, batch: usize, gpus: usize) -> Cell {
     Cell {
-        workload,
+        workload: workload.into(),
         comm,
         batch,
         gpus,
