@@ -31,53 +31,91 @@ fn exports() -> Vec<(&'static str, WorkloadSpec)> {
     ]
 }
 
+/// The DAG exports: the two genuinely branchy zoo networks with their
+/// real graph edges (`workload v2` with `dep` lines). They live in the
+/// `dag/` subdirectory so the flat data-workload registry — and the
+/// jitter salt tags derived from its filename order — stays untouched.
+fn dag_exports() -> Vec<(&'static str, WorkloadSpec)> {
+    vec![
+        ("googlenet", WorkloadSpec::from_model_dag(&zoo::googlenet())),
+        (
+            "inception_v3",
+            WorkloadSpec::from_model_dag(&zoo::inception_v3()),
+        ),
+    ]
+}
+
+/// Regenerates (or, in check mode, byte-compares) one export.
+fn sync(path: &std::path::Path, spec: &WorkloadSpec, check: bool, drift: &mut usize) {
+    let canonical = spec.to_text();
+    if check {
+        match std::fs::read_to_string(path) {
+            Ok(on_disk) if on_disk == canonical => {
+                println!("ok      {} ({} layers)", path.display(), spec.layers.len());
+            }
+            Ok(_) => {
+                eprintln!("DRIFT   {} differs from the builder export", path.display());
+                *drift += 1;
+            }
+            Err(e) => {
+                eprintln!("MISSING {} ({e})", path.display());
+                *drift += 1;
+            }
+        }
+    } else {
+        let dir = path.parent().expect("export path has a directory");
+        std::fs::create_dir_all(dir).expect("create workload directory");
+        std::fs::write(path, &canonical).expect("write workload file");
+        println!("wrote   {} ({} layers)", path.display(), spec.layers.len());
+    }
+}
+
+/// Parses every workload under `dir` (hand-written files included), so
+/// a syntax error in any checked-in file fails the gate with its
+/// line/column.
+fn parse_all(dir: &std::path::Path, drift: &mut usize) {
+    match voltascope::workloads::load_dir(dir) {
+        Ok(all) => {
+            for (path, spec) in &all {
+                println!(
+                    "parsed  {} (name `{}`, {} stages)",
+                    path.display(),
+                    spec.name,
+                    spec.pipeline_stages
+                );
+            }
+        }
+        Err((path, e)) => {
+            eprintln!("PARSE   {}: {e}", path.display());
+            *drift += 1;
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let check = std::env::args().any(|a| a == "--check");
     let dir: PathBuf = workload_dir();
+    let dag_dir = dir.join("dag");
     let mut drift = 0usize;
     for (stem, spec) in exports() {
-        let path = dir.join(format!("{stem}.workload"));
-        let canonical = spec.to_text();
-        if check {
-            match std::fs::read_to_string(&path) {
-                Ok(on_disk) if on_disk == canonical => {
-                    println!("ok      {} ({} layers)", path.display(), spec.layers.len());
-                }
-                Ok(_) => {
-                    eprintln!("DRIFT   {} differs from the builder export", path.display());
-                    drift += 1;
-                }
-                Err(e) => {
-                    eprintln!("MISSING {} ({e})", path.display());
-                    drift += 1;
-                }
-            }
-        } else {
-            std::fs::create_dir_all(&dir).expect("create workload directory");
-            std::fs::write(&path, &canonical).expect("write workload file");
-            println!("wrote   {} ({} layers)", path.display(), spec.layers.len());
-        }
+        sync(
+            &dir.join(format!("{stem}.workload")),
+            &spec,
+            check,
+            &mut drift,
+        );
+    }
+    for (stem, spec) in dag_exports() {
+        sync(
+            &dag_dir.join(format!("{stem}.workload")),
+            &spec,
+            check,
+            &mut drift,
+        );
     }
     if check {
-        // Also parse everything in the directory (hand-written files
-        // included), so a syntax error in any checked-in workload
-        // fails the gate with its line/column.
-        match voltascope::workloads::load_dir(&dir) {
-            Ok(all) => {
-                for (path, spec) in &all {
-                    println!(
-                        "parsed  {} (name `{}`, {} stages)",
-                        path.display(),
-                        spec.name,
-                        spec.pipeline_stages
-                    );
-                }
-            }
-            Err((path, e)) => {
-                eprintln!("PARSE   {}: {e}", path.display());
-                drift += 1;
-            }
-        }
+        parse_all(&dir, &mut drift);
+        parse_all(&dag_dir, &mut drift);
     }
     if drift > 0 {
         eprintln!("{drift} workload file(s) out of sync; run export_workloads to regenerate");

@@ -80,6 +80,7 @@ pub fn dgx1_system() -> SystemModel {
         p2p_issue: SimSpan::from_micros(70),
         bp_wu_overlap: false,
         gpu_slowdown: Default::default(),
+        compute_streams: 1,
     }
 }
 

@@ -93,8 +93,9 @@ pub const MAGIC: [u8; 8] = *b"VSCPSNAP";
 ///
 /// Version history: 1 — initial format; 2 — per-entry trace-presence
 /// flag (slim snapshots); 3 — data workloads (tag 5 + spec name; zoo
-/// tags 0..=4 unchanged).
-pub const FORMAT_VERSION: u32 = 3;
+/// tags 0..=4 unchanged); 4 — per-report critical chain (count +
+/// length-prefixed labels, after the utilization field).
+pub const FORMAT_VERSION: u32 = 4;
 
 /// Environment variable that opts snapshot saves out of persisting the
 /// steady-state iteration traces (`1`/anything non-zero enables slim
@@ -490,6 +491,10 @@ fn put_report(out: &mut Vec<u8>, report: &EpochReport, slim: bool) {
     }
     put_span(out, report.sync_wall_iter);
     put_u64(out, report.compute_utilization.to_bits());
+    put_u32(out, report.critical_chain.len() as u32);
+    for label in &report.critical_chain {
+        put_str(out, label);
+    }
     if slim {
         put_u8(out, 0);
         return;
@@ -632,6 +637,11 @@ fn take_report(r: &mut Reader<'_>) -> Result<(EpochReport, bool), PersistError> 
     }
     let sync_wall_iter = r.span()?;
     let compute_utilization = f64::from_bits(r.u64()?);
+    let chain_len = r.u32()?;
+    let mut critical_chain = Vec::with_capacity(chain_len.min(1 << 16) as usize);
+    for _ in 0..chain_len {
+        critical_chain.push(r.string()?);
+    }
     let (events, slim) = match r.u8()? {
         0 => (Vec::new(), true),
         1 => {
@@ -675,6 +685,7 @@ fn take_report(r: &mut Reader<'_>) -> Result<(EpochReport, bool), PersistError> 
             sync_wall_iter,
             compute_utilization,
             iter_trace: Trace::new(events),
+            critical_chain,
         },
         slim,
     ))
@@ -717,6 +728,7 @@ mod tests {
                 start: SimTime::from_nanos(seed),
                 end: SimTime::from_nanos(seed + 40),
             }]),
+            critical_chain: vec![format!("k{seed}"), format!("sync.wu@gpu{}", seed % 8)],
         })
     }
 

@@ -356,6 +356,26 @@ impl Model {
             .collect()
     }
 
+    /// Each node's dataflow predecessors by name, in forward order.
+    /// External [`Source::Input`] feeds are omitted, so a layer with an
+    /// empty list reads only the model input. This is the edge set
+    /// [`layer_info`](Model::layer_info) flattens away, exported as v2
+    /// `dep` directives by `WorkloadSpec::from_model_dag`.
+    pub fn layer_deps(&self) -> Vec<Vec<String>> {
+        self.nodes
+            .iter()
+            .map(|n| {
+                n.inputs
+                    .iter()
+                    .filter_map(|s| match s {
+                        Source::Node(id) => Some(self.nodes[id.index()].name.clone()),
+                        Source::Input => None,
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
     /// Gradient buckets in backward-completion order (last layer
     /// first): the order in which gradients become available for
     /// communication, enabling BP/WU overlap.

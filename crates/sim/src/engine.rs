@@ -276,8 +276,16 @@ impl Engine {
                             state.queue_wait += now - ready_at[next.index()];
                             start[next.index()] = now;
                             // Queue wait dominated: the slot-freeing task
-                            // is what unblocked `next`.
-                            blocked_by[next.index()] = Some(id);
+                            // is what unblocked `next` — unless the wait
+                            // was zero (queued and granted at the same
+                            // instant), where the readiness cause (the
+                            // last-finishing dependency, or the release
+                            // time) is what actually set the start.
+                            blocked_by[next.index()] = if ready_at[next.index()] == now {
+                                ready_cause[next.index()]
+                            } else {
+                                Some(id)
+                            };
                             push(
                                 &mut events,
                                 &mut seq,
@@ -538,6 +546,53 @@ mod tests {
         let s = Engine::new().run(&g).unwrap();
         assert_eq!(s.blocked_by(b), Some(a));
         assert_eq!(s.blocked_by(a), None);
+        assert_eq!(s.critical_chain(), vec![a, b]);
+    }
+
+    #[test]
+    fn zero_wait_handoff_is_not_blocked_by_slot_freer() {
+        // x and a serialise on `r`; b's release time arrives at the
+        // exact instant a's slot frees. b is queued and granted within
+        // the same event round (zero queue wait), so its start instant
+        // was determined by its release, not by a — attributing the
+        // slot-freeing task would fabricate an x -> a -> b critical
+        // chain when b's start is independent of both.
+        let mut g = TaskGraph::new();
+        let r = g.add_resource("r", 1);
+        let x = g.task("x").on(r).lasting(span(5)).build();
+        let a = g.task("a").on(r).lasting(span(5)).build();
+        let b = g
+            .task("b")
+            .on(r)
+            .lasting(span(5))
+            .not_before(SimTime::from_nanos(10))
+            .build();
+        let s = Engine::new().run(&g).unwrap();
+        // a genuinely waited for x's slot.
+        assert_eq!(s.blocked_by(a), Some(x));
+        assert_eq!(s.start_time(b), SimTime::from_nanos(10));
+        // b's wait was zero: only a's 5 ns in-queue time is recorded.
+        assert_eq!(s.resource_stats(r).queue_wait, span(5));
+        assert_eq!(s.blocked_by(b), None);
+        assert_eq!(s.critical_chain(), vec![b]);
+    }
+
+    #[test]
+    fn positive_wait_handoff_still_blames_slot_freer() {
+        // The complementary case: b was ready strictly before the slot
+        // freed, so the slot-freeing task really did set its start.
+        let mut g = TaskGraph::new();
+        let r = g.add_resource("r", 1);
+        let a = g.task("a").on(r).lasting(span(5)).build();
+        let b = g
+            .task("b")
+            .on(r)
+            .lasting(span(5))
+            .not_before(SimTime::from_nanos(3))
+            .build();
+        let s = Engine::new().run(&g).unwrap();
+        assert_eq!(s.start_time(b), SimTime::from_nanos(5));
+        assert_eq!(s.blocked_by(b), Some(a));
         assert_eq!(s.critical_chain(), vec![a, b]);
     }
 

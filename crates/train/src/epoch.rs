@@ -65,6 +65,14 @@ pub struct SystemModel {
     /// slower. Devices not listed run at full speed. Populated by
     /// [`SystemModel::with_faults`]; empty on a healthy system.
     pub gpu_slowdown: BTreeMap<Device, f64>,
+    /// Concurrent kernels a GPU's compute resource admits. The
+    /// calibrated default is 1 — one serial compute stream per GPU,
+    /// matching the MXNet behaviour the paper profiles, under which
+    /// DAG-shaped workloads still serialise. Raising it lets
+    /// independent branches of a DAG-lowered workload (v2 `dep` edges)
+    /// overlap, modelling multi-stream execution; linear chains are
+    /// unaffected because their kernels are dependency-serialised.
+    pub compute_streams: u32,
 }
 
 impl SystemModel {
@@ -82,6 +90,7 @@ impl SystemModel {
             p2p_issue: SimSpan::from_micros(70),
             bp_wu_overlap: false,
             gpu_slowdown: BTreeMap::new(),
+            compute_streams: 1,
         }
     }
 
@@ -174,6 +183,13 @@ pub struct EpochReport {
     /// Steady-state iteration trace (times rebased to the iteration
     /// start) for profiler reports.
     pub iter_trace: Trace,
+    /// The schedule's blocking chain through the middle (steady-state)
+    /// iteration, oldest first: each task was what its successor
+    /// actually waited on last — dependency or resource contention —
+    /// so this is the simulated critical path. Labels are the
+    /// middle-iteration task labels with the iteration prefix
+    /// stripped (e.g. `fp.conv1@gpu0`).
+    pub critical_chain: Vec<String>,
 }
 
 impl EpochReport {
@@ -258,7 +274,12 @@ pub fn simulate_epoch_lowered(
     let gpus: Vec<Device> = (0..cfg.gpu_count).map(|g| Device::gpu(g as u8)).collect();
     let compute: BTreeMap<Device, ResourceId> = gpus
         .iter()
-        .map(|&d| (d, graph.add_resource(format!("{d}.compute"), 1)))
+        .map(|&d| {
+            (
+                d,
+                graph.add_resource(format!("{d}.compute"), sys.compute_streams.max(1)),
+            )
+        })
         .collect();
     let host: BTreeMap<Device, ResourceId> = gpus
         .iter()
@@ -396,7 +417,8 @@ pub fn simulate_epoch_lowered(
 
             let mut host_prev = issue;
             let mut kernel_prev: Option<TaskId> = None;
-            for kd in kernels {
+            let mut kernel_ids: Vec<TaskId> = Vec::with_capacity(kernels.len());
+            for (ki, kd) in kernels.iter().enumerate() {
                 let launch = graph
                     .task(format!("{p}/launch.{}@{g}", kd.name))
                     .on(host[&g])
@@ -417,13 +439,29 @@ pub fn simulate_epoch_lowered(
                     .lasting(duration)
                     .category(category)
                     .after(launch);
-                if let Some(prev) = kernel_prev {
-                    builder = builder.after(prev);
-                } else {
-                    builder = builder.after(h2d).after(dispatch);
+                match &workload.dag {
+                    // Linear chain: each kernel follows the previous
+                    // one in issue order, the first follows the data.
+                    None => {
+                        if let Some(prev) = kernel_prev {
+                            builder = builder.after(prev);
+                        } else {
+                            builder = builder.after(h2d).after(dispatch);
+                        }
+                    }
+                    // DAG mode: data-dependency edges are wired after
+                    // the loop (they can point forward in issue
+                    // order); only the external-input gate is known
+                    // here. Kernel index `ki < n` is FP of layer `ki`.
+                    Some(dag) => {
+                        if ki < dag.preds.len() && dag.preds[ki].is_empty() {
+                            builder = builder.after(h2d).after(dispatch);
+                        }
+                    }
                 }
                 let kernel = builder.build();
                 kernel_prev = Some(kernel);
+                kernel_ids.push(kernel);
                 if kd.stage == Stage::Backward {
                     if let Some(&bi) = kd
                         .name
@@ -434,7 +472,37 @@ pub fn simulate_epoch_lowered(
                     }
                 }
             }
-            let last_kernel = kernel_prev.expect("model has at least one layer");
+            let last_kernel = match &workload.dag {
+                None => kernel_prev.expect("model has at least one layer"),
+                Some(dag) => {
+                    // FP of layer `li` sits at kernel index `li`, its
+                    // BP at `2n - 1 - li` (BP kernels are emitted in
+                    // reverse layer order).
+                    let n = dag.preds.len();
+                    for li in 0..n {
+                        for &pr in &dag.preds[li] {
+                            graph.add_dep(kernel_ids[pr], kernel_ids[li]);
+                        }
+                        let bp = kernel_ids[2 * n - 1 - li];
+                        // BP needs the layer's own activations and the
+                        // gradients flowing back from every consumer;
+                        // output layers (no consumers) start straight
+                        // after their FP.
+                        graph.add_dep(kernel_ids[li], bp);
+                        for &sc in &dag.succs[li] {
+                            graph.add_dep(kernel_ids[2 * n - 1 - sc], bp);
+                        }
+                    }
+                    // The backward pass has no single final kernel in
+                    // DAG mode; a zero-cost marker joins all BP nodes
+                    // for end-of-compute gating.
+                    graph
+                        .task(format!("{p}/bp.done@{g}"))
+                        .category("marker")
+                        .after_all(kernel_ids[n..].iter().copied())
+                        .build()
+                }
+            };
             if !sys.bp_wu_overlap {
                 // Communication waits for the full backward pass.
                 for slot in bucket_ready[gi].iter_mut() {
@@ -547,6 +615,14 @@ pub fn simulate_epoch_lowered(
     let schedule = Engine::new()
         .run(&graph)
         .expect("training graph is acyclic by construction");
+    // The blocking chain runs earliest-first through whatever each
+    // task waited on; keep the steady-state slice (the middle
+    // iteration's tasks).
+    let critical_chain: Vec<String> = schedule
+        .critical_chain()
+        .into_iter()
+        .filter_map(|t| graph[t].label.strip_prefix("it1/").map(str::to_string))
+        .collect();
     let t0 = schedule.finish_time(markers[0]);
     let t1 = schedule.finish_time(markers[1]);
     let t2 = schedule.finish_time(markers[2]);
@@ -625,6 +701,7 @@ pub fn simulate_epoch_lowered(
         sync_wall_iter,
         compute_utilization,
         iter_trace: Trace::new(rebased),
+        critical_chain,
     }
 }
 
@@ -930,6 +1007,75 @@ mod tests {
         let healthy1 = simulate_epoch(&sys, &model, &cfg(16, 1, CommMethod::P2p));
         let degraded1 = simulate_epoch(&slow, &model, &cfg(16, 1, CommMethod::P2p));
         assert_eq!(healthy1.epoch_time, degraded1.epoch_time);
+    }
+
+    #[test]
+    fn dag_branches_overlap_with_multiple_streams() {
+        use voltascope_workload::{lower, WorkloadSpec};
+        // Two heavy parallel branches between stem and join. Linear
+        // twin: same layers, deps stripped (the v1 chain).
+        let text = "workload v2\nname Branchy\ninput 64 64\n\
+                    layer stem conv 0 800000000 1600000000 16384 1048576 4096 0\n\
+                    layer left conv 0 900000000 1800000000 1048576 1048576 8192 0\n\
+                    dep left stem\n\
+                    layer right conv 0 900000000 1800000000 1048576 1048576 8192 0\n\
+                    dep right stem\n\
+                    layer join concat 0 1000000 2000000 2097152 2097152 4096 0\n\
+                    dep join left right\n\
+                    end\n";
+        let spec = WorkloadSpec::parse(text).unwrap();
+        let mut linear = spec.clone();
+        for l in &mut linear.layers {
+            l.deps = None;
+        }
+        let dag_lw = lower(&spec, 16).unwrap();
+        let lin_lw = lower(&linear, 16).unwrap();
+        assert!(dag_lw.dag.is_some());
+        assert!(lin_lw.dag.is_none());
+
+        let mut sys = SystemModel::dgx1();
+        let c = cfg(16, 1, CommMethod::P2p);
+        // One stream: branches serialise; the DAG changes nothing
+        // observable in iteration time.
+        let one_dag = simulate_epoch_lowered(&sys, &dag_lw, &c);
+        let one_lin = simulate_epoch_lowered(&sys, &lin_lw, &c);
+        assert_eq!(one_dag.iter_time, one_lin.iter_time);
+        // Two streams: left and right overlap in FP and BP. The linear
+        // twin runs at the same capacity so the comparison isolates
+        // the branch overlap (WU kernels share the compute resource,
+        // so capacity alone shifts both runs equally).
+        sys.compute_streams = 2;
+        let two_dag = simulate_epoch_lowered(&sys, &dag_lw, &c);
+        let two_lin = simulate_epoch_lowered(&sys, &lin_lw, &c);
+        assert!(
+            two_dag.iter_time < two_lin.iter_time,
+            "branches did not overlap: {} vs {}",
+            two_dag.iter_time,
+            two_lin.iter_time
+        );
+        // In each direction the critical chain threads exactly one of
+        // the two parallel branches (the other overlaps off-path).
+        let has = |lbl: &str| two_dag.critical_chain.iter().any(|l| l.contains(lbl));
+        assert!(
+            has("fp.left@") ^ has("fp.right@"),
+            "{:?}",
+            two_dag.critical_chain
+        );
+        assert!(
+            has("bp.left@") ^ has("bp.right@"),
+            "{:?}",
+            two_dag.critical_chain
+        );
+    }
+
+    #[test]
+    fn critical_chain_is_reported_for_the_steady_iteration() {
+        let sys = SystemModel::dgx1();
+        let model = zoo::lenet();
+        let r = simulate_epoch(&sys, &model, &cfg(16, 2, CommMethod::P2p));
+        assert!(!r.critical_chain.is_empty());
+        // Labels are it1-scoped with the prefix stripped.
+        assert!(r.critical_chain.iter().all(|l| !l.starts_with("it")));
     }
 
     #[test]

@@ -50,6 +50,12 @@ pub enum PipelineError {
         /// GPUs the topology offers.
         gpus: usize,
     },
+    /// Aggregating the stage's per-layer counts (each individually
+    /// valid at the micro-batch size) does not fit in `u64`.
+    ArithmeticOverflow {
+        /// The stage whose aggregate overflows.
+        stage: usize,
+    },
 }
 
 impl std::fmt::Display for PipelineError {
@@ -60,6 +66,9 @@ impl std::fmt::Display for PipelineError {
             PipelineError::EmptyStage(s) => write!(f, "pipeline stage {s} has no layers"),
             PipelineError::TooManyStages { stages, gpus } => {
                 write!(f, "{stages} pipeline stages out of range for {gpus} GPUs")
+            }
+            PipelineError::ArithmeticOverflow { stage } => {
+                write!(f, "aggregating pipeline stage {stage} overflows u64")
             }
         }
     }
@@ -138,27 +147,65 @@ pub fn simulate_pipeline_epoch(
         bp_bytes: u64,
         param_bytes: u64,
         tensor_cores: bool,
-        /// Output bytes of the stage's last layer: the activation (and
+        /// Summed output bytes of the stage's boundary layers — those
+        /// with no successor inside the stage: the activation (and
         /// activation-gradient) volume crossing to the next stage.
+        /// With explicit v2 `dep` edges a stage can end in parallel
+        /// branches, all of which cross; for a linear chain this is
+        /// the final layer's output, as before.
         boundary_bytes: u64,
+    }
+    // Effective layer edges (explicit `dep` or linear default);
+    // `intra_succ[i]` marks layers consumed by a later layer of their
+    // own stage — everything else is stage boundary.
+    let deps = spec
+        .resolved_deps()
+        .map_err(|e| PipelineError::Lower(e.into()))?;
+    let mut intra_succ = vec![false; spec.layers.len()];
+    for (i, ps) in deps.iter().enumerate() {
+        for &p in ps {
+            if spec.layers[p].stage == spec.layers[i].stage {
+                intra_succ[p] = true;
+            }
+        }
     }
     let mut profiles = Vec::with_capacity(stages);
     for s in 0..stages {
-        let layers: Vec<_> = spec.stage_layers(s).collect();
+        let layers: Vec<(usize, &voltascope_workload::LayerSpec)> = spec
+            .layers
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.stage == s)
+            .collect();
         if layers.is_empty() {
             return Err(PipelineError::EmptyStage(s));
         }
+        // Each per-layer product is already validated by `lower` above;
+        // the stage-level sums are what can still overflow.
+        let ovf = || PipelineError::ArithmeticOverflow { stage: s };
+        let mut fp_bytes = 0u64;
+        let mut bp_bytes = 0u64;
+        let mut param_bytes = 0u64;
+        let mut boundary = 0u64;
+        for &(i, l) in &layers {
+            let act = mb * (l.in_bytes + l.out_bytes);
+            fp_bytes = fp_bytes.checked_add(act).ok_or_else(ovf)?;
+            bp_bytes = bp_bytes.checked_add(2 * act).ok_or_else(ovf)?;
+            param_bytes = param_bytes.checked_add(l.param_bytes).ok_or_else(ovf)?;
+            if !intra_succ[i] {
+                boundary = boundary
+                    .checked_add(mb.checked_mul(l.out_bytes).ok_or_else(ovf)?)
+                    .ok_or_else(ovf)?;
+            }
+        }
         profiles.push(StageProfile {
-            fp_flops: layers.iter().map(|l| (mb * l.fp_flops) as f64).sum(),
-            fp_bytes: layers.iter().map(|l| mb * (l.in_bytes + l.out_bytes)).sum(),
-            bp_flops: layers.iter().map(|l| (mb * l.bp_flops) as f64).sum(),
-            bp_bytes: layers
-                .iter()
-                .map(|l| 2 * mb * (l.in_bytes + l.out_bytes))
-                .sum(),
-            param_bytes: layers.iter().map(|l| l.param_bytes).sum(),
-            tensor_cores: layers.iter().any(|l| l.tensor_cores),
-            boundary_bytes: mb * layers.last().expect("non-empty").out_bytes,
+            fp_flops: layers.iter().map(|(_, l)| (mb * l.fp_flops) as f64).sum(),
+            fp_bytes,
+            bp_flops: layers.iter().map(|(_, l)| (mb * l.bp_flops) as f64).sum(),
+            bp_bytes,
+            param_bytes,
+            tensor_cores: layers.iter().any(|(_, l)| l.tensor_cores),
+            boundary_bytes: boundary,
         });
     }
 
@@ -389,5 +436,61 @@ mod tests {
             simulate_pipeline_epoch(&sys, &deep, &cfg(8, 4)),
             Err(PipelineError::TooManyStages { stages: 9, gpus: 8 })
         );
+    }
+
+    #[test]
+    fn stage_aggregation_overflow_is_typed() {
+        // Each layer individually survives lowering at micro-batch 1
+        // (its BP volume is 2^64 - 4), but summing the stage's BP
+        // bytes overflows. Pre-fix this panicked in debug and wrapped
+        // silently in release.
+        let q = u64::MAX / 4;
+        let spec = WorkloadSpec::parse(&format!(
+            "workload v1\nname Huge\ninput 4\naxis pipeline 1\n\
+             layer a fc 0 100 200 {q} {q} 4096 0\n\
+             layer b fc 0 100 200 {q} {q} 0 0\nend\n"
+        ))
+        .unwrap();
+        assert!(voltascope_workload::lower(&spec, 1).is_ok());
+        assert_eq!(
+            simulate_pipeline_epoch(&SystemModel::dgx1(), &spec, &cfg(1, 2)),
+            Err(PipelineError::ArithmeticOverflow { stage: 0 })
+        );
+    }
+
+    fn branchy_spec(branch_order: [&str; 2]) -> WorkloadSpec {
+        // Stage 0 ends in two parallel branches (both cross to the
+        // join on stage 1); only their file order varies.
+        let [x, y] = branch_order;
+        let mut text = String::from(
+            "workload v2\nname Branches\ninput 256\naxis pipeline 2\n\
+             layer stem fc 0 50000000 100000000 4096 1048576 1048576 1\n",
+        );
+        for name in [x, y] {
+            let out = if name == "wide" { 8 << 20 } else { 1 << 20 };
+            text.push_str(&format!(
+                "layer {name} fc 0 50000000 100000000 1048576 {out} 1048576 1\ndep {name} stem\n"
+            ));
+        }
+        text.push_str(
+            "layer join fc 1 50000000 100000000 9437184 4096 1048576 1\ndep join wide narrow\nend\n",
+        );
+        WorkloadSpec::parse(&text).unwrap()
+    }
+
+    #[test]
+    fn boundary_volume_covers_all_parallel_branches() {
+        // Both branches' activations cross the stage boundary, so the
+        // file order of the branch layers must not change the iteration
+        // time. Pre-fix, `boundary_bytes` took the file-order-last
+        // layer's out_bytes: swapping `wide` and `narrow` changed the
+        // stage-crossing volume 8x and the report with it.
+        let sys = SystemModel::dgx1();
+        let a =
+            simulate_pipeline_epoch(&sys, &branchy_spec(["wide", "narrow"]), &cfg(8, 4)).unwrap();
+        let b =
+            simulate_pipeline_epoch(&sys, &branchy_spec(["narrow", "wide"]), &cfg(8, 4)).unwrap();
+        assert_eq!(a.iter_time, b.iter_time);
+        assert_eq!(a.stage_busy, b.stage_busy);
     }
 }

@@ -30,8 +30,8 @@
 mod lower;
 mod schema;
 
-pub use lower::{lower, lower_model, LowerError, LoweredWorkload};
-pub use schema::{LayerSpec, ParseError, ParseErrorKind, WorkloadSpec, KNOWN_KINDS};
+pub use lower::{lower, lower_model, LowerError, LoweredDag, LoweredWorkload};
+pub use schema::{DepError, LayerSpec, ParseError, ParseErrorKind, WorkloadSpec, KNOWN_KINDS};
 
 use std::sync::Arc;
 

@@ -1,0 +1,145 @@
+//! Property suite for the v2 task-DAG path: random DAG-shaped specs
+//! must never run slower than their dep-erased linear twins once the
+//! stream capacity stops binding, edge-free v2 files must lower
+//! byte-identically to v1, and malformed `dep` webs must come back as
+//! typed errors carrying the offending line and column.
+
+use proptest::prelude::*;
+use voltascope::calibration::dgx1_system;
+use voltascope_comm::CommMethod;
+use voltascope_train::{simulate_epoch_lowered, TrainConfig};
+use voltascope_workload::{lower, LayerSpec, ParseErrorKind, WorkloadSpec};
+
+const BATCH: usize = 16;
+
+/// A random DAG-shaped v2 spec: up to seven layers, each layer's
+/// predecessor set drawn from the bits of a mask over the layers
+/// before it (an empty mask reads the external input).
+fn arb_dag_spec() -> impl Strategy<Value = WorkloadSpec> {
+    let layer = (
+        (1u64..100_000_000, 1u64..100_000_000),
+        (1_000u64..1_000_000, 1_000u64..1_000_000, 0u64..1_000_000),
+        0u8..255,
+    );
+    proptest::collection::vec(layer, 1..8).prop_map(|rows| WorkloadSpec {
+        version: 2,
+        name: "Dag".to_string(),
+        input_dims: vec![4],
+        pipeline_stages: 1,
+        layers: rows
+            .into_iter()
+            .enumerate()
+            .map(|(i, ((fp, bp), (inb, outb, pb), mask))| LayerSpec {
+                name: format!("l{i}"),
+                kind: "fc".to_string(),
+                stage: 0,
+                fp_flops: fp,
+                bp_flops: bp,
+                in_bytes: inb,
+                out_bytes: outb,
+                // Guarantee a nonzero parameter total so every
+                // generated spec lowers.
+                param_bytes: if i == 0 { pb + 1 } else { pb },
+                tensor_cores: false,
+                deps: Some(
+                    (0..i)
+                        .filter(|j| mask & (1 << j) != 0)
+                        .map(|j| format!("l{j}"))
+                        .collect(),
+                ),
+            })
+            .collect(),
+    })
+}
+
+/// The same spec with every `dep` erased: the classic linear chain.
+fn linear_twin(spec: &WorkloadSpec) -> WorkloadSpec {
+    let mut lin = spec.clone();
+    for l in &mut lin.layers {
+        l.deps = None;
+    }
+    lin
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every explicit edge `j -> i` (j < i) is implied by the linear
+    /// chain's transitive closure, so the DAG's precedence constraints
+    /// are a subset of the chain's. With enough compute streams that
+    /// capacity never binds (no Graham anomalies), relaxing
+    /// constraints can only move the makespan down.
+    #[test]
+    fn dag_iteration_never_slower_than_the_linear_chain(spec in arb_dag_spec()) {
+        let mut sys = dgx1_system();
+        sys.compute_streams = 32;
+        let cfg = TrainConfig::strong(BATCH, 1, CommMethod::P2p);
+        let dag = simulate_epoch_lowered(&sys, &lower(&spec, BATCH).unwrap(), &cfg);
+        let lin = simulate_epoch_lowered(&sys, &lower(&linear_twin(&spec), BATCH).unwrap(), &cfg);
+        prop_assert!(
+            dag.iter_time <= lin.iter_time,
+            "DAG {:?} > linear {:?}",
+            dag.iter_time,
+            lin.iter_time
+        );
+    }
+
+    /// A v2 header with zero `dep` lines is pure syntax: the parsed
+    /// spec matches its v1 twin field-for-field (bar the version) and
+    /// lowers to the identical kernel stream with no DAG attached.
+    #[test]
+    fn edge_free_v2_lowers_identically_to_v1(spec in arb_dag_spec()) {
+        let v1 = linear_twin(&spec); // deps erased; still claims v2
+        let v1_text = {
+            let mut s = v1.clone();
+            s.version = 1;
+            s.to_text()
+        };
+        prop_assert!(v1_text.starts_with("workload v1\n"));
+        let v2_text = v1_text.replacen("workload v1\n", "workload v2\n", 1);
+        let p1 = WorkloadSpec::parse(&v1_text).unwrap();
+        let p2 = WorkloadSpec::parse(&v2_text).unwrap();
+        prop_assert_eq!(&p1.layers, &p2.layers);
+        let l1 = lower(&p1, BATCH).unwrap();
+        let l2 = lower(&p2, BATCH).unwrap();
+        prop_assert!(l2.dag.is_none());
+        prop_assert_eq!(l1, l2);
+    }
+
+    /// A two-edge cycle planted between a random pair of layers is
+    /// rejected at parse time, pointing at the first `dep` line that
+    /// targets a layer on the cycle; a `dep` naming a layer that does
+    /// not exist is rejected with the bad token's column.
+    #[test]
+    fn malformed_dep_webs_are_rejected_with_position(
+        n in 2usize..7,
+        pick in 0u8..255,
+    ) {
+        let j = 1 + (pick as usize) % (n - 1); // cycle partner for l0
+        let mut body = String::new();
+        for i in 0..n {
+            body.push_str(&format!("layer l{i} fc 0 1 2 4 4 8 0\n"));
+        }
+        let header = "workload v2\nname X\ninput 4\n";
+
+        let cyclic = format!("{header}{body}dep l0 l{j}\ndep l{j} l0\nend\n");
+        let e = WorkloadSpec::parse(&cyclic).unwrap_err();
+        prop_assert_eq!(e.line, 4 + n, "first dep line");
+        prop_assert_eq!(e.column, 5, "target token");
+        prop_assert!(
+            matches!(&e.kind, ParseErrorKind::CyclicDependency(name) if name == "l0"),
+            "kind {:?}",
+            e.kind
+        );
+
+        let ghost = format!("{header}{body}dep l0 ghost{pick}\nend\n");
+        let e = WorkloadSpec::parse(&ghost).unwrap_err();
+        prop_assert_eq!(e.line, 4 + n);
+        prop_assert_eq!(e.column, 8, "pred token after `dep l0 `");
+        prop_assert!(
+            matches!(&e.kind, ParseErrorKind::UnknownLayerName(name) if *name == format!("ghost{pick}")),
+            "kind {:?}",
+            e.kind
+        );
+    }
+}

@@ -85,6 +85,9 @@ fn arb_report(seed: u64) -> Arc<EpochReport> {
         sync_wall_iter: SimSpan::from_nanos(seed / 7),
         compute_utilization: (seed % 1000) as f64 / 997.0,
         iter_trace: Trace::new(events),
+        critical_chain: (0..(seed % 4))
+            .map(|i| format!("chain{seed}.{i}"))
+            .collect(),
     })
 }
 

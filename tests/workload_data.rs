@@ -99,6 +99,7 @@ fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
         proptest::collection::vec(layer, 1..13),
     )
         .prop_map(|(name_seed, stages, input_dims, rows)| WorkloadSpec {
+            version: 1,
             name: format!("Gen-{name_seed}"),
             input_dims,
             pipeline_stages: stages,
@@ -116,6 +117,7 @@ fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
                         out_bytes: outb,
                         param_bytes: pb,
                         tensor_cores: tc,
+                        deps: None,
                     },
                 )
                 .collect(),
