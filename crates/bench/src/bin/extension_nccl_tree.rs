@@ -4,13 +4,19 @@
 //! the ring/tree crossover on the paper's fabric.
 use std::collections::BTreeMap;
 
-use voltascope_comm::{collective, LinkNetwork, Ring};
+use voltascope_comm::{collective, LinkNetwork, Ring, Selection};
 use voltascope_profile::TextTable;
 use voltascope_sim::{Engine, TaskGraph};
 use voltascope_topo::{dgx1_v100, Device};
 
 fn main() {
-    let costs = collective::NcclCosts::default();
+    // The comparison pins the paper-era per-call costs and the Simple
+    // protocol on both algorithms, so only ring-vs-tree structure
+    // differs (the protocol axis is the protocol_sweep binary's job).
+    let costs = collective::NcclCosts {
+        tuning: voltascope_comm::TuningSpace::paper(),
+        ..collective::NcclCosts::default()
+    };
     let mut table = TextTable::new(["Message", "Ring allreduce", "Tree allreduce", "Winner"]);
     for bytes in [4u64 << 10, 64 << 10, 1 << 20, 16 << 20, 256 << 20] {
         let run = |tree: bool| {
@@ -26,13 +32,33 @@ fn main() {
             }
             if tree {
                 collective::tree_all_reduce(
-                    &mut graph, &net, &topo, &devs, bytes, &ready, &compute, &costs, "t",
-                );
+                    &mut graph,
+                    &net,
+                    &topo,
+                    &devs,
+                    bytes,
+                    &ready,
+                    &compute,
+                    &costs,
+                    &Selection::PAPER,
+                    "t",
+                )
+                .unwrap();
             } else {
                 let ring = Ring::build(&topo, 8);
                 collective::all_reduce(
-                    &mut graph, &net, &topo, &ring, bytes, &ready, &compute, &costs, "r",
-                );
+                    &mut graph,
+                    &net,
+                    &topo,
+                    &ring,
+                    bytes,
+                    &ready,
+                    &compute,
+                    &costs,
+                    &Selection::PAPER,
+                    "r",
+                )
+                .unwrap();
             }
             Engine::new().run(&graph).unwrap().makespan()
         };

@@ -12,7 +12,11 @@
 //! * **NCCL-style collectives** — topology-aware [`Ring`] AllReduce and
 //!   Broadcast with chunked pipelining, paying a fixed per-call kernel
 //!   overhead (the "NCCL overhead" of Table II) but using every ring
-//!   link concurrently.
+//!   link concurrently. The [`protocol`] module models NCCL's LL /
+//!   LL128 / Simple wire protocols, ring/tree algorithms, and channel
+//!   counts; [`tuner`] picks the cheapest combination per message size
+//!   the way NCCL's internal cost model does (overridable via
+//!   `VOLTASCOPE_NCCL_PROTO`).
 //!
 //! Each collective exists at two levels:
 //!
@@ -37,11 +41,16 @@
 
 pub mod collective;
 mod network;
+pub mod protocol;
 mod ring;
 pub mod semantic;
 mod tree;
+pub mod tuner;
 
 pub use network::LinkNetwork;
+pub use protocol::{
+    Algorithm, BandwidthEfficiency, CommError, Protocol, Selection, TuningSpace, NCCL_PROTO_ENV,
+};
 pub use ring::Ring;
 pub use tree::ReductionTree;
 
@@ -80,6 +89,8 @@ const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<CommMethod>();
     assert_send_sync::<collective::NcclCosts>();
+    assert_send_sync::<Selection>();
+    assert_send_sync::<TuningSpace>();
     assert_send_sync::<ReductionTree>();
     assert_send_sync::<Ring>();
 };

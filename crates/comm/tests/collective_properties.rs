@@ -6,7 +6,7 @@
 use std::collections::BTreeMap;
 
 use proptest::prelude::*;
-use voltascope_comm::{collective, LinkNetwork, Ring};
+use voltascope_comm::{collective, BandwidthEfficiency, LinkNetwork, Ring, Selection, TuningSpace};
 use voltascope_sim::{Engine, SimSpan, TaskGraph};
 use voltascope_topo::{dgx1_v100, Device, FaultSpec, Topology};
 
@@ -29,8 +29,18 @@ fn ring_all_reduce_makespan(
     }
     let ring = Ring::build(topo, n);
     collective::all_reduce(
-        &mut graph, &net, topo, &ring, bytes, &ready, &compute, costs, "ar",
-    );
+        &mut graph,
+        &net,
+        topo,
+        &ring,
+        bytes,
+        &ready,
+        &compute,
+        costs,
+        &Selection::PAPER,
+        "ar",
+    )
+    .expect("ring AllReduce volumes must not overflow");
     Engine::new()
         .run(&graph)
         .expect("ring AllReduce must never deadlock")
@@ -57,8 +67,18 @@ fn tree_all_reduce_makespan(
         ready.insert(d, graph.task(format!("ready@{d}")).build());
     }
     collective::tree_all_reduce(
-        &mut graph, &net, topo, &devs, bytes, &ready, &compute, costs, "tar",
-    );
+        &mut graph,
+        &net,
+        topo,
+        &devs,
+        bytes,
+        &ready,
+        &compute,
+        costs,
+        &Selection::PAPER,
+        "tar",
+    )
+    .expect("tree AllReduce volumes must not overflow");
     Engine::new()
         .run(&graph)
         .expect("tree AllReduce must never deadlock")
@@ -83,8 +103,10 @@ fn arb_costs() -> impl Strategy<Value = collective::NcclCosts> {
             kernel_overhead: SimSpan::from_micros(kernel),
             epoch_setup: SimSpan::from_micros(setup),
             step_overhead: SimSpan::from_micros(step),
-            bandwidth_efficiency: f64::from(eff) / 100.0,
+            bandwidth_efficiency: BandwidthEfficiency::new(f64::from(eff) / 100.0)
+                .expect("swept efficiencies are valid"),
             group_call_overhead: SimSpan::from_micros(group),
+            tuning: TuningSpace::paper(),
         },
     )
 }

@@ -1,0 +1,152 @@
+//! Property tests of the NCCL auto-tuner: the chosen candidate is
+//! never beaten by an unchosen one at any swept size, selection is
+//! deterministic, tuned cost is monotone in payload, and tuning on a
+//! degraded topology never routes a collective through a killed link.
+
+use proptest::prelude::*;
+use voltascope_comm::{collective, tuner, Ring, Selection, TuningSpace};
+use voltascope_topo::{dgx1_v100, Device, FaultSpec, Topology};
+
+fn modern_costs() -> collective::NcclCosts {
+    collective::NcclCosts {
+        tuning: TuningSpace::modern(),
+        ..collective::NcclCosts::default()
+    }
+}
+
+/// Healthy DGX-1 plus the two canned degraded variants, with the links
+/// each fault removes (as unordered GPU pairs) for route checks.
+fn scenarios() -> Vec<(Topology, Vec<(Device, Device)>)> {
+    let base = dgx1_v100();
+    let g = Device::gpu;
+    let dead_cable = base.apply(&FaultSpec::new().kill_link(g(3), g(5)));
+    let dead_iface = base.apply(&FaultSpec::new().kill_nvlinks_of(g(3)));
+    let iface_pairs: Vec<(Device, Device)> =
+        (0..8).filter(|&o| o != 3).map(|o| (g(3), g(o))).collect();
+    vec![
+        (base, Vec::new()),
+        (dead_cable, vec![(g(3), g(5))]),
+        (dead_iface, iface_pairs),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The tuner's pick is an argmin: no candidate in the space
+    /// predicts cheaper than the chosen selection, for AllReduce and
+    /// Broadcast, on healthy and degraded topologies alike.
+    #[test]
+    fn chosen_selection_is_never_beaten(bytes in 1u64..(1 << 24)) {
+        let costs = modern_costs();
+        for (topo, _) in scenarios() {
+            let ring = Ring::build(&topo, 8);
+            let ar = tuner::choose_all_reduce(&topo, &ring, bytes, &costs).unwrap();
+            let best = tuner::predict_all_reduce(&topo, &ring, bytes, &costs, &ar).unwrap();
+            for rival in costs.tuning.candidates() {
+                let t = tuner::predict_all_reduce(&topo, &ring, bytes, &costs, &rival).unwrap();
+                prop_assert!(
+                    t >= best,
+                    "{}: {rival} predicts {t} < chosen {ar} at {best} ({bytes} bytes)",
+                    topo.name()
+                );
+            }
+            let bc = tuner::choose_broadcast(&topo, &ring, bytes, &costs).unwrap();
+            let best = tuner::predict_broadcast(&topo, &ring, bytes, &costs, &bc).unwrap();
+            for rival in costs.tuning.candidates() {
+                let rival = Selection {
+                    algorithm: voltascope_comm::Algorithm::Ring,
+                    ..rival
+                };
+                let t = tuner::predict_broadcast(&topo, &ring, bytes, &costs, &rival).unwrap();
+                prop_assert!(
+                    t >= best,
+                    "{}: broadcast {rival} predicts {t} < chosen {bc} at {best} ({bytes} bytes)",
+                    topo.name()
+                );
+            }
+        }
+    }
+
+    /// Selection is a pure function of (topology, size): re-tuning
+    /// returns the identical candidate, so emission is reproducible.
+    #[test]
+    fn selection_is_deterministic(bytes in 1u64..(1 << 26)) {
+        let costs = modern_costs();
+        for (topo, _) in scenarios() {
+            let ring = Ring::build(&topo, 8);
+            let a = tuner::choose_all_reduce(&topo, &ring, bytes, &costs).unwrap();
+            let b = tuner::choose_all_reduce(&topo, &ring, bytes, &costs).unwrap();
+            prop_assert_eq!(a, b, "{}: re-tuning flipped the choice", topo.name());
+            let a = tuner::choose_broadcast(&topo, &ring, bytes, &costs).unwrap();
+            let b = tuner::choose_broadcast(&topo, &ring, bytes, &costs).unwrap();
+            prop_assert_eq!(a, b, "{}: re-tuning flipped broadcast", topo.name());
+        }
+    }
+
+    /// More bytes can never make the *tuned* AllReduce faster: the
+    /// minimum over per-candidate monotone cost curves is monotone,
+    /// even where the winning candidate flips.
+    #[test]
+    fn tuned_cost_is_monotone_in_payload(
+        small in 1u64..(1 << 24),
+        extra in 0u64..(1 << 24),
+    ) {
+        let costs = modern_costs();
+        for (topo, _) in scenarios() {
+            let ring = Ring::build(&topo, 8);
+            let pick_lo = tuner::choose_all_reduce(&topo, &ring, small, &costs).unwrap();
+            let lo = tuner::predict_all_reduce(&topo, &ring, small, &costs, &pick_lo).unwrap();
+            let pick_hi =
+                tuner::choose_all_reduce(&topo, &ring, small + extra, &costs).unwrap();
+            let hi =
+                tuner::predict_all_reduce(&topo, &ring, small + extra, &costs, &pick_hi).unwrap();
+            prop_assert!(
+                hi >= lo,
+                "{}: {small} -> {} bytes shrank tuned cost {lo} -> {hi} ({pick_lo} -> {pick_hi})",
+                topo.name(),
+                small + extra
+            );
+        }
+    }
+
+    /// On a degraded topology, no tuned candidate can cross a killed
+    /// link: the fault removes it from the graph, so any ring hop that
+    /// coincides with a killed pair has no direct link left and must
+    /// renegotiate onto a live host route — and when an all-NVLink
+    /// cycle still exists (one dead cable), the ring avoids the dead
+    /// pair entirely. The tuner's pick still completes on the faulted
+    /// fabric (the predict simulation is the proof).
+    #[test]
+    fn degraded_tuning_avoids_killed_links(bytes in 1u64..(1 << 24)) {
+        let costs = modern_costs();
+        for (topo, dead) in scenarios() {
+            let ring = Ring::build(&topo, 8);
+            for (a, b) in ring.hops() {
+                for &(x, y) in &dead {
+                    if (a, b) == (x, y) || (a, b) == (y, x) {
+                        prop_assert!(
+                            topo.direct_link(a, b).is_none(),
+                            "{}: killed link {x}<->{y} still directly usable",
+                            topo.name()
+                        );
+                    }
+                }
+            }
+            if dead.len() == 1 {
+                // One dead cable leaves an NVLink Hamiltonian cycle;
+                // the renegotiated ring must route around the fault.
+                let (x, y) = dead[0];
+                prop_assert!(ring.all_nvlink(&topo), "{}: ring left NVLink", topo.name());
+                prop_assert!(
+                    !ring.hops().contains(&(x, y)) && !ring.hops().contains(&(y, x)),
+                    "{}: ring kept hopping the dead {x}<->{y} cable",
+                    topo.name()
+                );
+            }
+            let sel = tuner::choose_all_reduce(&topo, &ring, bytes, &costs).unwrap();
+            let t = tuner::predict_all_reduce(&topo, &ring, bytes, &costs, &sel).unwrap();
+            prop_assert!(t.as_secs_f64() > 0.0, "{}: degraded tuned AllReduce stalled", topo.name());
+        }
+    }
+}

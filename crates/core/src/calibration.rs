@@ -5,6 +5,7 @@
 //! policy (match *shapes*, not absolute seconds).
 
 use voltascope_comm::collective::NcclCosts;
+use voltascope_comm::{BandwidthEfficiency, TuningSpace};
 use voltascope_gpu::{ApiCostModel, GpuSpec, KernelCostModel};
 use voltascope_sim::SimSpan;
 use voltascope_train::{MemoryModel, SystemModel};
@@ -46,6 +47,16 @@ pub const SEED: u64 = 0x155C_2018;
 ///   85% sustained link bandwidth, calibrated against the paper's
 ///   21.8% LeNet batch-16 single-GPU overhead (§V-B), the Table II
 ///   trends, and the P2P-vs-NCCL crossovers of Fig. 3.
+/// * NCCL tuning space: the paper's NCCL 2.0/2.1 stack ran
+///   single-channel Simple-protocol rings only — LL128 and the
+///   ring/tree auto-selection arrived with NCCL 2.4, after the study —
+///   and the fitted constants above (step cost, 85% efficiency)
+///   subsume whatever per-size protocol behaviour that stack had. The
+///   default space is therefore the `{ring} x {Simple} x {1 channel}`
+///   singleton ([`TuningSpace::paper`]); `VOLTASCOPE_NCCL_PROTO`
+///   opens the modern LL / LL128 / Simple x ring/tree x channel space
+///   (DESIGN.md §5.2, and the `protocol_sweep` golden for the
+///   crossover structure on healthy and degraded fabrics).
 /// * P2P: 70 us of kvstore orchestration per per-key transfer on the
 ///   source GPU's host thread — the per-key tax that makes the deep
 ///   many-bucket networks favour NCCL at 4-8 GPUs (§V-A).
@@ -67,8 +78,10 @@ pub fn dgx1_system() -> SystemModel {
         kernel_overhead: SimSpan::from_micros(20),
         epoch_setup: SimSpan::from_millis(120),
         step_overhead: SimSpan::from_micros(4),
-        bandwidth_efficiency: 0.85,
+        bandwidth_efficiency: BandwidthEfficiency::new(0.85)
+            .unwrap_or_else(|e| panic!("calibration constant rejected: {e}")),
         group_call_overhead: SimSpan::from_micros(300),
+        tuning: TuningSpace::from_env(),
     };
     SystemModel {
         topo: voltascope_topo::dgx1_v100(),

@@ -16,7 +16,7 @@
 
 use std::collections::BTreeMap;
 
-use voltascope_comm::{collective, CommMethod, LinkNetwork, ReductionTree, Ring};
+use voltascope_comm::{collective, tuner, CommMethod, LinkNetwork, ReductionTree, Ring, Selection};
 use voltascope_dnn::{Model, Stage};
 use voltascope_gpu::{ApiCall, ApiCostModel, GpuSpec, KernelCostModel};
 use voltascope_sim::{Engine, ResourceId, SimSpan, TaskGraph, TaskId, Trace};
@@ -340,6 +340,28 @@ pub fn simulate_epoch_lowered(
     let batch_bytes = cfg.batch_per_gpu as u64 * DatasetSpec::image_bytes(&workload.input_shape);
     let ring = Ring::build(&sys.topo, cfg.gpu_count);
     let tree = ReductionTree::new(cfg.gpu_count);
+    // Tune the NCCL (algorithm, protocol, channels) per distinct
+    // bucket size once — bucket sizes are identical across the three
+    // pipelined iterations, and with the calibrated singleton space
+    // the tuner short-circuits without simulating anything. Built on
+    // the (possibly degraded) topology, so a dead NVLink renegotiates
+    // the choice along with the ring.
+    let nccl_sel: BTreeMap<u64, (Selection, Selection)> = match cfg.comm {
+        CommMethod::Nccl => buckets
+            .iter()
+            .map(|b| b.bytes)
+            .collect::<std::collections::BTreeSet<u64>>()
+            .into_iter()
+            .map(|bytes| {
+                let ar = tuner::choose_all_reduce(&sys.topo, &ring, bytes, &sys.nccl)
+                    .unwrap_or_else(|e| panic!("{e}"));
+                let bc = tuner::choose_broadcast(&sys.topo, &ring, bytes, &sys.nccl)
+                    .unwrap_or_else(|e| panic!("{e}"));
+                (bytes, (ar, bc))
+            })
+            .collect(),
+        CommMethod::P2p => BTreeMap::new(),
+    };
 
     // ---- Prologue: NCCL setup + initial model distribution. ----
     let setup = match cfg.comm {
@@ -575,7 +597,8 @@ pub fn simulate_epoch_lowered(
                     }
                 }
                 build_nccl_wu(
-                    &mut graph, &net, sys, &kmodels, &buckets, &gpus, &compute, &ring, &gated, &p,
+                    &mut graph, &net, sys, &kmodels, &buckets, &gpus, &compute, &ring, &nccl_sel,
+                    &gated, &p,
                 )
             }
         };
@@ -810,6 +833,7 @@ fn build_nccl_wu(
     gpus: &[Device],
     compute: &BTreeMap<Device, ResourceId>,
     ring: &Ring,
+    selections: &BTreeMap<u64, (Selection, Selection)>,
     bucket_ready: &[Vec<TaskId>],
     prefix: &str,
 ) -> Vec<Vec<TaskId>> {
@@ -822,6 +846,9 @@ fn build_nccl_wu(
             .enumerate()
             .map(|(g, &d)| (d, bucket_ready[g][bi]))
             .collect();
+        let (sel_ar, sel_bc) = selections.get(&bucket.bytes).unwrap_or_else(|| {
+            panic!("no tuned NCCL selection for a {}-byte bucket", bucket.bytes)
+        });
         // (bucket sizes drive both transfer and update costs below)
         let reduced = collective::all_reduce(
             graph,
@@ -832,8 +859,10 @@ fn build_nccl_wu(
             &ready,
             compute,
             &sys.nccl,
+            sel_ar,
             &format!("{prefix}/wu.ar.{}", bucket.name),
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         let upd = graph
             .task(format!("{prefix}/wu.update.{}", bucket.name))
             .on(compute[&gpus[0]])
@@ -854,8 +883,10 @@ fn build_nccl_wu(
             &ready2,
             compute,
             &sys.nccl,
+            sel_bc,
             &format!("{prefix}/wu.bc.{}", bucket.name),
-        );
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
         for (g, &d) in gpus.iter().enumerate() {
             done[g].push(bc[&d]);
         }
