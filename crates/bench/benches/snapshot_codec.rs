@@ -1,0 +1,48 @@
+//! Snapshot codec throughput: v5 encode, lazy load, and eager decode
+//! of a reduced but trace-heavy report cache. The CI warm-load perf
+//! budget times the `fig3_training_time` binary end to end; this bench
+//! isolates the codec itself so an encoding regression (a slower LZSS
+//! search, an accidental eager decode on the load path) shows up as a
+//! per-byte number rather than a wall-clock smear.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use voltascope::grid::GridSpec;
+use voltascope::service::{persist, GridService};
+use voltascope::Harness;
+use voltascope_dnn::zoo::Workload;
+
+fn bench_snapshot_codec(c: &mut Criterion) {
+    let harness = Harness::paper();
+    let fingerprint = persist::harness_fingerprint(&harness);
+    let service = GridService::new(harness);
+    // A cheap and an expensive workload: real iteration traces with
+    // the per-iteration `itN/<kernel>@GPUk` label families the v5
+    // front-coded tables and LZSS layer exist for.
+    let spec = GridSpec::paper().workloads([Workload::LeNet, Workload::AlexNet].iter().copied());
+    let out = service.sweep_traced(&spec);
+    let entries: Vec<_> = out.iter().map(|(cell, r)| (*cell, r.clone())).collect();
+    let image = persist::encode(fingerprint, &entries);
+    let shared: Arc<[u8]> = image.clone().into();
+
+    let mut group = c.benchmark_group("snapshot_codec");
+    group.sample_size(10);
+    group.throughput(criterion::Throughput::Bytes(image.len() as u64));
+    group.bench_function(BenchmarkId::new("encode_v5", "reduced_fig3"), |b| {
+        b.iter(|| persist::encode(fingerprint, &entries));
+    });
+    // The warm-start path: header/scalar parse only, traces stay as
+    // offset windows. This is what a table-only sweep pays.
+    group.bench_function(BenchmarkId::new("load_lazy", "reduced_fig3"), |b| {
+        b.iter(|| persist::decode_entries_lazy(&shared, fingerprint).unwrap());
+    });
+    // The full decode a trace consumer pays, for scale.
+    group.bench_function(BenchmarkId::new("decode_eager", "reduced_fig3"), |b| {
+        b.iter(|| persist::decode_entries(&image, fingerprint).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_snapshot_codec);
+criterion_main!(benches);

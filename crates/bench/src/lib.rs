@@ -16,7 +16,7 @@
 
 use std::sync::Arc;
 
-use voltascope::grid::{Executor, GridOut, GridSpec};
+use voltascope::grid::{Cell, Executor, GridOut, GridSpec};
 use voltascope::service::sched::{SchedConfig, Scheduler, SubmitOpts};
 use voltascope::service::{persist, GridService};
 use voltascope::Harness;
@@ -66,7 +66,11 @@ impl Front {
     /// Wraps an explicit service in the environment-selected front
     /// end. The scheduler's worker count follows `VOLTASCOPE_THREADS`
     /// (via [`SchedConfig::default`]), mirroring the blocking
-    /// executor selection.
+    /// executor selection, and its within-band dispatch order follows
+    /// `VOLTASCOPE_SCHED_ORDER` (default: longest-expected-first by
+    /// [`voltascope::service::sched::cost_rank`]; `fifo` preserves
+    /// admission order — either way
+    /// the output is byte-identical, only the schedule moves).
     pub fn over(service: GridService) -> Self {
         let service = Arc::new(service);
         if async_from_env() {
@@ -128,9 +132,11 @@ pub fn service() -> GridService {
 
 /// Re-saves the service's cache to the `VOLTASCOPE_CACHE` snapshot (a
 /// no-op when the variable is unset) and reports the request-stream
-/// hit rate on stderr. With `VOLTASCOPE_CACHE_SLIM=1` the iteration
-/// traces are omitted from the written snapshot (see
-/// [`persist::slim_from_env`]). Call once, after the last sweep.
+/// hit rate plus the lazy trace-decode count on stderr (a warm
+/// table-only run reports `trace decodes 0` — CI asserts it). With
+/// `VOLTASCOPE_CACHE_SLIM=1` the iteration traces are omitted from
+/// the written snapshot (see [`persist::slim_from_env`]). Call once,
+/// after the last sweep.
 pub fn save_service(service: &GridService) {
     let Ok(path) = std::env::var(CACHE_ENV) else {
         return;
@@ -142,11 +148,34 @@ pub fn save_service(service: &GridService) {
     let stats = service.stats();
     match service.save_with(&path, slim) {
         Ok(cells) => eprintln!(
-            "voltascope-bench: saved {cells} cells{} to {path} (request hit rate {:.1}%)",
+            "voltascope-bench: saved {cells} cells{} to {path} (request hit rate {:.1}%, trace decodes {})",
             if slim { " (slim)" } else { "" },
-            stats.hit_rate() * 100.0
+            stats.hit_rate() * 100.0,
+            service.trace_decodes()
         ),
         Err(e) => eprintln!("voltascope-bench: failed to save cache {path}: {e}"),
+    }
+}
+
+/// The statically heaviest cell of the full fig3 sweep — Inception-v3
+/// at batch 64 on all 8 GPUs over NCCL — i.e. the sweep's makespan
+/// floor. Under the default cost-ordered dispatch
+/// (`VOLTASCOPE_SCHED_ORDER` unset) the scheduler starts this cell
+/// first, so the longest chain runs while the cheap cells fill in
+/// around it.
+pub fn fig3_heaviest_cell() -> Cell {
+    use voltascope::grid::{FaultScenario, Platform};
+    use voltascope_comm::CommMethod;
+    use voltascope_dnn::zoo::Workload;
+    use voltascope_train::ScalingMode;
+    Cell {
+        workload: Workload::InceptionV3.into(),
+        comm: CommMethod::Nccl,
+        batch: 64,
+        gpus: 8,
+        scaling: ScalingMode::Strong,
+        platform: Platform::Dgx1,
+        fault: FaultScenario::Healthy,
     }
 }
 
@@ -167,5 +196,31 @@ pub fn workloads() -> Vec<voltascope_dnn::zoo::Workload> {
         vec![voltascope_dnn::zoo::Workload::LeNet]
     } else {
         voltascope_dnn::zoo::Workload::ALL.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voltascope::service::sched::cost_rank;
+
+    #[test]
+    fn fig3_heaviest_cell_maximizes_cost_rank_over_the_paper_grid() {
+        let floor = fig3_heaviest_cell();
+        let floor_rank = cost_rank(&floor);
+        for cell in GridSpec::paper().cells() {
+            assert!(
+                cost_rank(&cell) <= floor_rank,
+                "{cell:?} outranks the declared makespan floor"
+            );
+            // Strictly heavier than every cell that differs in the
+            // rank inputs (comm method doesn't enter the rank).
+            let same_rank_inputs = cell.workload == floor.workload
+                && cell.batch == floor.batch
+                && cell.gpus == floor.gpus;
+            if !same_rank_inputs {
+                assert!(cost_rank(&cell) < floor_rank, "{cell:?} ties the floor");
+            }
+        }
     }
 }

@@ -58,6 +58,21 @@
 //! stale, or corrupt). The regeneration binaries wire this to the
 //! `VOLTASCOPE_CACHE` environment variable.
 //!
+//! ### Lazy trace decode
+//!
+//! Warm starts load snapshots through
+//! [`persist::load_entries_lazy`]: cells and scalar fields are parsed
+//! eagerly, but each entry's trace block stays *encoded* — a
+//! [`persist::LazyTrace`] window into the snapshot image — until a
+//! trace-consuming request actually touches that cell. Ordinary
+//! (table-only) requests serve lazy entries as hits with empty traces
+//! and never decode a single event; the first traced request decodes
+//! the block under the state lock and upgrades the entry to a full
+//! `Done` in place (counted by [`GridService::trace_decodes`]).
+//! Re-saving an untouched lazy entry copies its encoded block
+//! verbatim, so a warm load-then-save round-trip is byte-identical
+//! without decoding anything.
+//!
 //! ### Slim snapshots
 //!
 //! [`GridService::save_with`] can omit the iteration traces (the bulk
@@ -120,11 +135,19 @@ use persist::PersistError;
 /// entries were loaded from a slim snapshot: their scalar fields are
 /// exact but the iteration trace is empty, so trace-consuming requests
 /// treat them as missing and recompute (see the module docs).
+/// `DoneLazy` entries were loaded from a full snapshot but their trace
+/// block is still encoded: scalar requests serve them as-is, and the
+/// first traced request decodes the block and upgrades the slot to
+/// `Done` in place.
 #[derive(Debug)]
 enum Slot {
     InFlight,
     Done(Arc<EpochReport>),
     DoneSlim(Arc<EpochReport>),
+    DoneLazy {
+        report: Arc<EpochReport>,
+        trace: persist::LazyTrace,
+    },
 }
 
 /// How [`GridService::cell_report`] answered one cell, for the
@@ -231,6 +254,7 @@ pub struct GridService {
     coalesced: AtomicU64,
     repeats: AtomicU64,
     computed: AtomicU64,
+    trace_decodes: AtomicU64,
 }
 
 /// Unwind guard over a request's claimed cells: on drop, any cell the
@@ -290,6 +314,7 @@ impl GridService {
             coalesced: AtomicU64::new(0),
             repeats: AtomicU64::new(0),
             computed: AtomicU64::new(0),
+            trace_decodes: AtomicU64::new(0),
         }
     }
 
@@ -306,15 +331,14 @@ impl GridService {
     ) -> (Self, SnapshotStatus) {
         let fingerprint = persist::harness_fingerprint(&base);
         let service = Self::with_executor(base, exec);
-        let status = match persist::load_entries(path.as_ref(), fingerprint) {
+        let status = match persist::load_entries_lazy(path.as_ref(), fingerprint) {
             Ok(entries) => {
                 let cells = entries.len();
                 let mut state = service.lock_state();
-                for (cell, report, slim) in entries {
-                    let slot = if slim {
-                        Slot::DoneSlim(report)
-                    } else {
-                        Slot::Done(report)
+                for (cell, report, trace) in entries {
+                    let slot = match trace {
+                        persist::EntryTrace::Slim => Slot::DoneSlim(report),
+                        persist::EntryTrace::Lazy(trace) => Slot::DoneLazy { report, trace },
                     };
                     state.cache.insert(cell, slot);
                 }
@@ -343,19 +367,39 @@ impl GridService {
     /// placeholders, and persisting them as full entries would launder
     /// a slim entry into one that trace consumers trust.
     pub fn save_with(&self, path: impl AsRef<Path>, slim: bool) -> Result<usize, PersistError> {
-        let entries: Vec<(Cell, Arc<EpochReport>, bool)> = {
+        use persist::TraceOut;
+        let entries: Vec<(Cell, Arc<EpochReport>, TraceOut)> = {
             let state = self.lock_state();
             state
                 .cache
                 .iter()
                 .filter_map(|(cell, slot)| match slot {
-                    Slot::Done(report) => Some((*cell, report.clone(), slim)),
-                    Slot::DoneSlim(report) => Some((*cell, report.clone(), true)),
+                    Slot::Done(report) => {
+                        let out = if slim {
+                            TraceOut::Slim
+                        } else {
+                            TraceOut::Events
+                        };
+                        Some((*cell, report.clone(), out))
+                    }
+                    Slot::DoneSlim(report) => Some((*cell, report.clone(), TraceOut::Slim)),
+                    // An undecoded lazy entry re-saves its encoded
+                    // block verbatim: byte-identical to a fresh encode
+                    // (the decoder only accepts canonical blocks) and
+                    // free of any decode cost.
+                    Slot::DoneLazy { report, trace } => {
+                        let out = if slim {
+                            TraceOut::Slim
+                        } else {
+                            TraceOut::Raw(trace.clone())
+                        };
+                        Some((*cell, report.clone(), out))
+                    }
                     Slot::InFlight => None,
                 })
                 .collect()
         };
-        persist::save_entries(
+        persist::save_with_traces(
             path.as_ref(),
             persist::harness_fingerprint(&self.base),
             &entries,
@@ -439,19 +483,32 @@ impl GridService {
                     self.repeats.fetch_add(1, Ordering::Relaxed);
                     continue;
                 }
+                // A traced request touching a lazy entry decodes its
+                // block right here, under the same lock hold,
+                // upgrading the slot to `Done`; a block that fails to
+                // decode falls through and is reclaimed like a
+                // missing cell.
+                if traced
+                    && matches!(state.cache.get(&cell), Some(Slot::DoneLazy { .. }))
+                    && self.upgrade_lazy(&mut state, cell).is_some()
+                {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
                 match state.cache.get(&cell) {
                     Some(Slot::Done(_)) => {
                         self.hits.fetch_add(1, Ordering::Relaxed);
                     }
-                    Some(Slot::DoneSlim(_)) if !traced => {
+                    Some(Slot::DoneSlim(_) | Slot::DoneLazy { .. }) if !traced => {
                         self.hits.fetch_add(1, Ordering::Relaxed);
                     }
                     Some(Slot::InFlight) => {
                         self.coalesced.fetch_add(1, Ordering::Relaxed);
                     }
-                    // A slim entry cannot serve a traced request:
-                    // reclaim it and recompute the full report.
-                    Some(Slot::DoneSlim(_)) | None => {
+                    // A slim (or undecodable lazy) entry cannot serve
+                    // a traced request: reclaim it and recompute the
+                    // full report.
+                    Some(Slot::DoneSlim(_) | Slot::DoneLazy { .. }) | None => {
                         state.cache.insert(cell, Slot::InFlight);
                         claimed_here.insert(cell);
                         let (def, harness) = Self::pools(&mut state, &self.base, cell);
@@ -501,9 +558,12 @@ impl GridService {
                 match state.cache.get(cell) {
                     Some(Slot::Done(report)) => break report.clone(),
                     // Only reachable when `!traced` (a traced request
-                    // reclaimed every slim entry in its claim phase,
-                    // and computations always publish full reports).
-                    Some(Slot::DoneSlim(report)) => break report.clone(),
+                    // upgraded or reclaimed every slim/lazy entry in
+                    // its claim phase, and computations always publish
+                    // full reports).
+                    Some(Slot::DoneSlim(report) | Slot::DoneLazy { report, .. }) => {
+                        break report.clone()
+                    }
                     Some(Slot::InFlight) => {
                         state = self
                             .ready
@@ -537,9 +597,20 @@ impl GridService {
         let mut waited = false;
         let mut state = self.lock_state();
         loop {
+            // Traced request on a lazy entry: decode and upgrade in
+            // place (an undecodable block falls through to reclaim).
+            if traced && matches!(state.cache.get(&cell), Some(Slot::DoneLazy { .. })) {
+                if let Some(report) = self.upgrade_lazy(&mut state, cell) {
+                    drop(state);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return (report, CellClass::Hit);
+                }
+            }
             let served = match state.cache.get(&cell) {
                 Some(Slot::Done(report)) => Some(report.clone()),
-                Some(Slot::DoneSlim(report)) if !traced => Some(report.clone()),
+                Some(Slot::DoneSlim(report) | Slot::DoneLazy { report, .. }) if !traced => {
+                    Some(report.clone())
+                }
                 Some(Slot::InFlight) => {
                     waited = true;
                     state = self
@@ -548,9 +619,10 @@ impl GridService {
                         .unwrap_or_else(PoisonError::into_inner);
                     continue;
                 }
-                // Missing (or slim under a traced request, or reverted
-                // by a panicked claimant while we waited): claim it.
-                Some(Slot::DoneSlim(_)) | None => None,
+                // Missing (or slim/undecodable-lazy under a traced
+                // request, or reverted by a panicked claimant while we
+                // waited): claim it.
+                Some(Slot::DoneSlim(_) | Slot::DoneLazy { .. }) | None => None,
             };
             if let Some(report) = served {
                 drop(state);
@@ -619,6 +691,26 @@ impl GridService {
         self.lock_state()
     }
 
+    /// Decodes a lazy entry's trace block and upgrades its slot to a
+    /// full `Done` in place, returning the complete report. `None` if
+    /// the slot is not lazy or the block fails to decode (the caller
+    /// reclaims the cell and recomputes — unreachable for snapshots
+    /// this code wrote, since the load already checksummed the image,
+    /// but cheap to stay defensive about).
+    fn upgrade_lazy(&self, state: &mut State, cell: Cell) -> Option<Arc<EpochReport>> {
+        let (report, trace) = match state.cache.get(&cell) {
+            Some(Slot::DoneLazy { report, trace }) => (report.clone(), trace.clone()),
+            _ => return None,
+        };
+        let events = trace.decode().ok()?;
+        let mut full = (*report).clone();
+        full.iter_trace = voltascope_sim::Trace::new(events);
+        let full = Arc::new(full);
+        state.cache.insert(cell, Slot::Done(full.clone()));
+        self.trace_decodes.fetch_add(1, Ordering::Relaxed);
+        Some(full)
+    }
+
     /// Fetches (building on first use) the shared workload definition
     /// and harness for `cell` from the state pools.
     fn pools(state: &mut State, base: &Harness, cell: Cell) -> (Arc<Definition>, Arc<Harness>) {
@@ -654,6 +746,16 @@ impl GridService {
             repeats: self.repeats.load(Ordering::Relaxed),
             computed: self.computed.load(Ordering::Relaxed),
         }
+    }
+
+    /// Number of lazy-loaded trace blocks decoded so far — the cost a
+    /// warm service has actually paid for traces. A warm service
+    /// answering only table-level sweeps leaves this at zero.
+    /// Deliberately *not* part of [`ServiceStats`]: the async/blocking
+    /// stat-parity contract compares how requests were answered, not
+    /// which snapshot machinery served them.
+    pub fn trace_decodes(&self) -> u64 {
+        self.trace_decodes.load(Ordering::Relaxed)
     }
 
     /// Number of distinct cells resident in the cache (completed or in
@@ -873,13 +975,64 @@ mod tests {
             assert_eq!(c.epoch_time, w.epoch_time);
             assert_eq!(c.iter_time, w.iter_time);
             assert_eq!(c.api_iter, w.api_iter);
-            assert_eq!(c.iter_trace.events(), w.iter_trace.events());
+            // Table-only requests serve lazy entries without decoding:
+            // the returned reports carry empty traces.
+            assert!(w.iter_trace.events().is_empty());
         }
         let stats = warm.stats();
         assert_eq!(stats.computed, 0, "warm run must be pure hits");
         assert_eq!(stats.hits, cells.len() as u64);
         assert_eq!(stats.hit_rate(), 1.0);
+        assert_eq!(warm.trace_decodes(), 0, "no trace consumer ran");
+
+        // A traced request decodes the lazy blocks — no recompute —
+        // and the decoded traces match the cold originals exactly.
+        let traced_reports = warm.run_cells_traced(&cells, true);
+        for (c, t) in cold_reports.iter().zip(traced_reports.iter()) {
+            assert_eq!(c.iter_trace.events(), t.iter_trace.events());
+        }
+        assert_eq!(warm.stats().computed, 0, "lazy decode, not recompute");
+        assert_eq!(warm.trace_decodes(), cells.len() as u64);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn lazy_entries_upgrade_once_and_resave_without_decoding() {
+        let path = std::env::temp_dir().join(format!(
+            "voltascope-service-lazy-{}.snap",
+            std::process::id()
+        ));
+        let cells = [lenet_cell(16, 1), lenet_cell(16, 2)];
+        let cold = GridService::with_executor(Harness::paper(), Executor::Serial);
+        cold.run_cells(&cells);
+        cold.save(&path).unwrap();
+        let cold_bytes = std::fs::read(&path).unwrap();
+
+        // Warm load + table-only traffic + re-save: byte-identical to
+        // the cold snapshot with zero trace decodes (the encoded
+        // blocks are copied verbatim).
+        let resaved = std::env::temp_dir().join(format!(
+            "voltascope-service-lazy-resave-{}.snap",
+            std::process::id()
+        ));
+        let (warm, _) = GridService::with_snapshot(Harness::paper(), Executor::Serial, &path);
+        warm.run_cells(&cells);
+        warm.save(&resaved).unwrap();
+        assert_eq!(std::fs::read(&resaved).unwrap(), cold_bytes);
+        assert_eq!(warm.trace_decodes(), 0);
+
+        // Traced traffic upgrades each entry exactly once; the
+        // re-save after decoding still reproduces the cold bytes
+        // (fresh encode of the decoded events).
+        let first = warm.run_cells_traced(&cells, true);
+        let again = warm.run_cells_traced(&cells, true);
+        assert_eq!(warm.trace_decodes(), cells.len() as u64, "decoded once");
+        assert!(Arc::ptr_eq(&first[0], &again[0]), "upgrade persisted");
+        warm.save(&resaved).unwrap();
+        assert_eq!(std::fs::read(&resaved).unwrap(), cold_bytes);
+
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&resaved).unwrap();
     }
 
     #[test]

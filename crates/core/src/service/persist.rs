@@ -24,19 +24,67 @@
 //! Each entry is the cell key (enum tags as `u8`, batch/GPU count as
 //! `u64`) followed by the [`EpochReport`] — stage timings, the
 //! per-category API totals, and (unless the entry is *slim*, below) the
-//! complete steady-state iteration trace. Entries are stored sorted by
-//! their encoded cell key, so the snapshot bytes are a canonical
-//! function of the cache *contents*, independent of insertion order:
-//! save → load → re-save is byte-identical.
+//! complete steady-state iteration trace as a *compact trace block*.
+//! Entries are stored sorted by their encoded cell key, so the snapshot
+//! bytes are a canonical function of the cache *contents*, independent
+//! of insertion order: save → load → re-save is byte-identical.
+//!
+//! ## Compact trace blocks (format v5)
+//!
+//! The iteration traces dominate snapshot size; before v5 the full
+//! fig3 grid persisted ~40 MB, almost all of it absolute nanosecond
+//! timestamps and per-iteration kernel labels repeated across
+//! thousands of events. A v5 trace block stores, behind a `u32`
+//! byte-length prefix, a varint *raw length* followed by an
+//! LZSS-compressed image (below) of this inner layout:
+//!
+//! | field | encoding |
+//! |---|---|
+//! | string table | varint count, then per string (sorted ascending): varint shared-prefix length + varint suffix length + UTF-8 suffix bytes |
+//! | event count | varint |
+//! | per event: task id | varint |
+//! | per event: label / category | varint indices into the string table |
+//! | per event: resource | varint `0` = none, else table index + 1 |
+//! | per event: start | varint delta vs the previous event's start (wrapping) |
+//! | per event: duration | varint `end - start` in nanoseconds |
+//!
+//! Varints are LEB128 (7 data bits per byte, little-endian, high bit =
+//! continuation). The string table interns every distinct
+//! label/category/resource string in ascending byte order and
+//! front-codes it: each string stores only its suffix after the
+//! longest shared prefix with its predecessor, which collapses the
+//! `itN/<kernel>@GPUk` families that dominate real traces. Start
+//! timestamps are wrapping deltas against the previous event (small
+//! for the sorted-by-start traces the simulator produces — but *any*
+//! order round-trips exactly).
+//!
+//! The inner image is then compressed with a dependency-free LZSS
+//! coder: tokens in groups of eight behind a control byte (bit = 1 →
+//! match, 0 → literal), literals as raw bytes, matches as
+//! varint distance (1-based, within the already-decoded output) +
+//! varint `length - 4`, overlapping copies allowed. The compressor is
+//! a pure function of the inner bytes (greedy longest-match over
+//! deterministic hash chains), and the inner decoder accepts only the
+//! canonical structural form — minimal-length varints, a strictly
+//! ascending maximally-shared-prefix table with no unused strings, no
+//! trailing bytes — so decode → re-encode reproduces every
+//! writer-produced block byte-identically.
+//!
+//! The length prefix is what makes **lazy decoding** possible:
+//! [`load_entries_lazy`] parses cells and scalar report fields eagerly
+//! but holds each trace block as a [`LazyTrace`] — an offset window
+//! into the loaded snapshot image — decoding events only when a trace
+//! consumer actually touches that cell. A warm service answering
+//! table-only sweeps never decodes a single event, and re-saving an
+//! untouched entry copies the encoded block verbatim
+//! ([`TraceOut::Raw`]), preserving byte-identity without a decode.
 //!
 //! ## Slim entries (`VOLTASCOPE_CACHE_SLIM=1`)
 //!
-//! The steady-state iteration traces dominate snapshot size (the full
-//! artefact set persists ~100 MB, almost all of it trace events). Each
-//! entry therefore carries a one-byte trace flag: `1` means the full
-//! event list follows, `0` means the trace was deliberately omitted at
-//! save time. [`slim_from_env`] reads the `VOLTASCOPE_CACHE_SLIM`
-//! opt-out the sweep binaries honour via
+//! Each entry carries a one-byte trace flag: `1` means a compact trace
+//! block follows, `0` means the trace was deliberately omitted at save
+//! time. [`slim_from_env`] reads the `VOLTASCOPE_CACHE_SLIM` opt-out
+//! the sweep binaries honour via
 //! [`GridService::save_with`](super::GridService::save_with).
 //!
 //! A slim entry still round-trips every *scalar* field exactly — epoch
@@ -94,24 +142,32 @@ pub const MAGIC: [u8; 8] = *b"VSCPSNAP";
 /// Version history: 1 — initial format; 2 — per-entry trace-presence
 /// flag (slim snapshots); 3 — data workloads (tag 5 + spec name; zoo
 /// tags 0..=4 unchanged); 4 — per-report critical chain (count +
-/// length-prefixed labels, after the utilization field).
-pub const FORMAT_VERSION: u32 = 4;
+/// length-prefixed labels, after the utilization field); 5 — compact
+/// trace blocks (length-prefixed, varint-encoded, front-coded interned
+/// strings, delta timestamps, LZSS-compressed) enabling lazy per-entry
+/// decode.
+pub const FORMAT_VERSION: u32 = 5;
 
 /// Environment variable that opts snapshot saves out of persisting the
-/// steady-state iteration traces (`1`/anything non-zero enables slim
-/// mode). Read by the sweep binaries, not by the library: explicit
-/// callers pass the flag to [`encode_entries`]/[`save_entries`] or
+/// steady-state iteration traces. Read by the sweep binaries, not by
+/// the library: explicit callers pass the flag to
+/// [`encode_entries`]/[`save_entries`] or
 /// [`GridService::save_with`](super::GridService::save_with).
 pub const SLIM_ENV: &str = "VOLTASCOPE_CACHE_SLIM";
 
-/// Reads the [`SLIM_ENV`] opt-out: unset, empty, or `0` means full
-/// snapshots; anything else enables slim mode.
+/// Reads the [`SLIM_ENV`] opt-out: unset, empty, or a conventional
+/// falsy token (`0`, `false`, `off`, `no` — case-insensitive) means
+/// full snapshots; anything else enables slim mode.
 pub fn slim_from_env() -> bool {
     match std::env::var(SLIM_ENV) {
         Err(_) => false,
         Ok(v) => {
             let v = v.trim();
-            !v.is_empty() && v != "0"
+            !(v.is_empty()
+                || v.eq_ignore_ascii_case("0")
+                || v.eq_ignore_ascii_case("false")
+                || v.eq_ignore_ascii_case("off")
+                || v.eq_ignore_ascii_case("no"))
         }
     }
 }
@@ -223,18 +279,53 @@ pub fn encode(fingerprint: u64, entries: &[(Cell, Arc<EpochReport>)]) -> Vec<u8>
 /// Encodes `entries` with a per-entry slim flag: `true` omits that
 /// entry's iteration trace from the payload (see the module docs'
 /// slim-entries section).
+pub fn encode_entries(fingerprint: u64, entries: &[(Cell, Arc<EpochReport>, bool)]) -> Vec<u8> {
+    let with_traces: Vec<(Cell, Arc<EpochReport>, TraceOut)> = entries
+        .iter()
+        .map(|(c, r, slim)| {
+            let out = if *slim {
+                TraceOut::Slim
+            } else {
+                TraceOut::Events
+            };
+            (*c, r.clone(), out)
+        })
+        .collect();
+    encode_with_traces(fingerprint, &with_traces)
+}
+
+/// How one entry's iteration trace reaches a snapshot being written.
+#[derive(Debug, Clone)]
+pub enum TraceOut {
+    /// Omit the trace (a slim entry).
+    Slim,
+    /// Encode the report's in-memory events as a compact trace block.
+    Events,
+    /// Copy an already-encoded block verbatim from a loaded snapshot,
+    /// never decoding it — the warm re-save path for entries no trace
+    /// consumer touched. Byte-identical to re-encoding, because the
+    /// decoder only accepts canonical blocks.
+    Raw(LazyTrace),
+}
+
+/// Encodes `entries` with an explicit per-entry trace source — the
+/// most general encode front end ([`encode`] and [`encode_entries`]
+/// are shorthands onto it).
 ///
 /// Entries are canonicalised (sorted by encoded cell key) before
 /// writing, so any permutation of the same cache encodes to identical
 /// bytes.
-pub fn encode_entries(fingerprint: u64, entries: &[(Cell, Arc<EpochReport>, bool)]) -> Vec<u8> {
+pub fn encode_with_traces(
+    fingerprint: u64,
+    entries: &[(Cell, Arc<EpochReport>, TraceOut)],
+) -> Vec<u8> {
     let mut encoded: Vec<(Vec<u8>, Vec<u8>)> = entries
         .iter()
-        .map(|(cell, report, slim)| {
+        .map(|(cell, report, trace)| {
             let mut key = Vec::with_capacity(21);
             put_cell(&mut key, cell);
             let mut body = Vec::new();
-            put_report(&mut body, report, *slim);
+            put_report(&mut body, report, trace);
             (key, body)
         })
         .collect();
@@ -275,10 +366,82 @@ pub fn decode(
 /// The third tuple element is the entry's slim flag: `true` means the
 /// iteration trace was omitted at save time (the decoded report
 /// carries an empty trace).
+///
+/// This is the *eager* front end: every trace block is decoded into
+/// events up front, so the whole payload is structurally validated.
+/// The warm-start service uses [`load_entries_lazy`] instead.
 pub fn decode_entries(
     bytes: &[u8],
     expected_fingerprint: u64,
 ) -> Result<Vec<(Cell, Arc<EpochReport>, bool)>, PersistError> {
+    let image: Arc<[u8]> = bytes.to_vec().into();
+    decode_entries_lazy(&image, expected_fingerprint)?
+        .into_iter()
+        .map(|(cell, report, trace)| match trace {
+            EntryTrace::Slim => Ok((cell, report, true)),
+            EntryTrace::Lazy(block) => {
+                let events = block.decode()?;
+                let mut full = (*report).clone();
+                full.iter_trace = Trace::new(events);
+                Ok((cell, Arc::new(full), false))
+            }
+        })
+        .collect()
+}
+
+/// A still-encoded compact trace block: a window into a loaded
+/// snapshot image that can be decoded on demand ([`LazyTrace::decode`])
+/// or copied verbatim into a re-saved snapshot ([`TraceOut::Raw`]).
+/// Cloning is cheap — the snapshot image is shared behind an `Arc`.
+#[derive(Clone)]
+pub struct LazyTrace {
+    image: Arc<[u8]>,
+    offset: usize,
+    len: usize,
+}
+
+impl LazyTrace {
+    /// The encoded block bytes (without the `u32` length prefix).
+    pub fn raw(&self) -> &[u8] {
+        &self.image[self.offset..self.offset + self.len]
+    }
+
+    /// Decodes the block into trace events. Deterministic: decoding
+    /// twice yields equal events, and re-encoding them reproduces
+    /// [`LazyTrace::raw`] exactly.
+    pub fn decode(&self) -> Result<Vec<TraceEvent>, PersistError> {
+        decode_trace_block(self.raw())
+    }
+
+    /// Size of the encoded block in bytes.
+    pub fn encoded_len(&self) -> usize {
+        self.len
+    }
+}
+
+impl fmt::Debug for LazyTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The image is the whole snapshot; print the window, not MBs
+        // of shared bytes.
+        f.debug_struct("LazyTrace")
+            .field("offset", &self.offset)
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+/// How a lazily-loaded entry holds its iteration trace.
+#[derive(Debug, Clone)]
+pub enum EntryTrace {
+    /// The trace was omitted when the snapshot was saved.
+    Slim,
+    /// The trace is present but still encoded, awaiting first use.
+    Lazy(LazyTrace),
+}
+
+/// Validates the fixed header and returns the entry count; the caller
+/// slices the payload at [`HEADER_LEN`].
+fn validate_header(bytes: &[u8], expected_fingerprint: u64) -> Result<u64, PersistError> {
     if bytes.len() < HEADER_LEN {
         return Err(PersistError::Truncated);
     }
@@ -314,7 +477,21 @@ pub fn decode_entries(
             found: found_sum,
         });
     }
+    Ok(count)
+}
 
+/// Decodes a snapshot image lazily: cells and scalar report fields are
+/// parsed eagerly (and the payload is checksum-validated as a whole),
+/// but each trace block stays encoded as a [`LazyTrace`] window into
+/// `image`. The returned reports carry *empty* `iter_trace`s — trace
+/// consumers decode through the [`EntryTrace`] when (and only when)
+/// they touch a cell.
+pub fn decode_entries_lazy(
+    image: &Arc<[u8]>,
+    expected_fingerprint: u64,
+) -> Result<Vec<(Cell, Arc<EpochReport>, EntryTrace)>, PersistError> {
+    let count = validate_header(image, expected_fingerprint)?;
+    let payload = &image[HEADER_LEN..];
     let mut r = Reader {
         bytes: payload,
         pos: 0,
@@ -326,13 +503,36 @@ pub fn decode_entries(
         if !seen.insert(cell) {
             return Err(PersistError::Corrupted("duplicate cell entry"));
         }
-        let (report, slim) = take_report(&mut r)?;
-        entries.push((cell, Arc::new(report), slim));
+        let report = take_report_scalars(&mut r)?;
+        let trace = match r.u8()? {
+            0 => EntryTrace::Slim,
+            1 => {
+                let len = r.u32()? as usize;
+                r.take(len)?;
+                EntryTrace::Lazy(LazyTrace {
+                    image: image.clone(),
+                    offset: HEADER_LEN + r.pos - len,
+                    len,
+                })
+            }
+            _ => return Err(PersistError::Corrupted("unknown trace tag")),
+        };
+        entries.push((cell, Arc::new(report), trace));
     }
     if r.pos != payload.len() {
         return Err(PersistError::Corrupted("payload longer than its entries"));
     }
     Ok(entries)
+}
+
+/// Reads and lazily decodes the snapshot at `path` (see
+/// [`decode_entries_lazy`]).
+pub fn load_entries_lazy(
+    path: &Path,
+    expected_fingerprint: u64,
+) -> Result<Vec<(Cell, Arc<EpochReport>, EntryTrace)>, PersistError> {
+    let image: Arc<[u8]> = fs::read(path)?.into();
+    decode_entries_lazy(&image, expected_fingerprint)
 }
 
 /// Writes a full-fat snapshot atomically (see [`save_entries`]).
@@ -355,6 +555,16 @@ pub fn save_entries(
     entries: &[(Cell, Arc<EpochReport>, bool)],
 ) -> Result<(), PersistError> {
     write_atomic(path, &encode_entries(fingerprint, entries))
+}
+
+/// Writes a snapshot with explicit per-entry trace sources atomically
+/// (see [`encode_with_traces`] and [`save_entries`]).
+pub fn save_with_traces(
+    path: &Path,
+    fingerprint: u64,
+    entries: &[(Cell, Arc<EpochReport>, TraceOut)],
+) -> Result<(), PersistError> {
+    write_atomic(path, &encode_with_traces(fingerprint, entries))
 }
 
 fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
@@ -421,6 +631,211 @@ fn put_span(out: &mut Vec<u8>, s: SimSpan) {
     put_u64(out, s.as_nanos());
 }
 
+/// LEB128: 7 data bits per byte, little-endian, high bit set on every
+/// byte but the last. Always emits the minimal-length (canonical)
+/// encoding, which the reader enforces on the way back in.
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8 & 0x7f) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+/// Encodes `events` as a compact v5 trace block (see the module docs'
+/// layout table): a front-coded sorted string table plus varint event
+/// tuples, LZSS-compressed behind a varint raw length. Deterministic:
+/// equal event lists encode to equal bytes, so [`TraceOut::Raw`]
+/// copies and fresh encodes agree.
+fn encode_trace_block(events: &[TraceEvent]) -> Vec<u8> {
+    let mut strings: Vec<&str> = Vec::new();
+    for e in events {
+        strings.push(&e.label);
+        strings.push(&e.category);
+        if let Some(r) = &e.resource {
+            strings.push(r);
+        }
+    }
+    strings.sort_unstable();
+    strings.dedup();
+    let index: std::collections::HashMap<&str, u64> = strings
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (*s, i as u64))
+        .collect();
+
+    let mut inner = Vec::new();
+    put_varint(&mut inner, strings.len() as u64);
+    // Front coding: ascending order makes neighbours share the long
+    // `itN/<kernel>@GPUk` prefixes real traces are full of, so each
+    // string costs only its distinct suffix.
+    let mut prev: &[u8] = b"";
+    for s in &strings {
+        let bytes = s.as_bytes();
+        let shared = prev.iter().zip(bytes).take_while(|(a, b)| a == b).count();
+        put_varint(&mut inner, shared as u64);
+        put_varint(&mut inner, (bytes.len() - shared) as u64);
+        inner.extend_from_slice(&bytes[shared..]);
+        prev = bytes;
+    }
+    put_varint(&mut inner, events.len() as u64);
+    let mut prev_start = 0u64;
+    for e in events {
+        put_varint(&mut inner, e.task.index() as u64);
+        put_varint(&mut inner, index[e.label.as_str()]);
+        put_varint(&mut inner, index[e.category.as_str()]);
+        match &e.resource {
+            None => put_varint(&mut inner, 0),
+            Some(r) => put_varint(&mut inner, index[r.as_str()] + 1),
+        }
+        let start = e.start.as_nanos();
+        // Wrapping delta: exact for any start order, tiny for the
+        // sorted-by-start traces the simulator produces.
+        put_varint(&mut inner, start.wrapping_sub(prev_start));
+        prev_start = start;
+        let dur = e
+            .end
+            .as_nanos()
+            .checked_sub(start)
+            .expect("trace event ends before it starts");
+        put_varint(&mut inner, dur);
+    }
+
+    let mut out = Vec::new();
+    put_varint(&mut out, inner.len() as u64);
+    lzss_compress(&inner, &mut out);
+    out
+}
+
+/// Minimum LZSS match length: shorter copies cost more than literals.
+const LZSS_MIN_MATCH: usize = 4;
+/// Farthest back the compressor looks for matches. The decompressor
+/// accepts any in-bounds distance; this only bounds the search.
+const LZSS_MAX_DIST: usize = 1 << 16;
+/// How many hash-chain candidates the compressor tries per position —
+/// a fixed cap keeps compression deterministic *and* linear-ish.
+const LZSS_CHAIN_CAP: usize = 64;
+
+/// Compresses `input` with the dependency-free LZSS coder described in
+/// the module docs: control bytes over groups of eight tokens,
+/// literal bytes, and varint `(distance, length - 4)` matches found by
+/// greedy longest-match over hash chains. A pure function of `input`,
+/// so re-encoding a decoded block reproduces the original bytes.
+fn lzss_compress(input: &[u8], out: &mut Vec<u8>) {
+    // Token staging: flush eight at a time behind their control byte.
+    let mut control = 0u8;
+    let mut ntok = 0usize;
+    let mut staged = Vec::with_capacity(64);
+    fn flush(out: &mut Vec<u8>, control: &mut u8, ntok: &mut usize, staged: &mut Vec<u8>) {
+        if *ntok > 0 {
+            out.push(*control);
+            out.extend_from_slice(staged);
+            *control = 0;
+            *ntok = 0;
+            staged.clear();
+        }
+    }
+
+    let hash = |p: usize| -> usize {
+        let w = u32::from_le_bytes(input[p..p + 4].try_into().expect("4 bytes"));
+        (w.wrapping_mul(0x9E37_79B1) >> 16) as usize
+    };
+    const NIL: u32 = u32::MAX;
+    let mut head = vec![NIL; 1 << 16];
+    let mut chain = vec![NIL; input.len()];
+    let insert = |head: &mut [u32], chain: &mut [u32], hash: &dyn Fn(usize) -> usize, p: usize| {
+        if p + LZSS_MIN_MATCH <= input.len() {
+            let h = hash(p);
+            chain[p] = head[h];
+            head[h] = p as u32;
+        }
+    };
+
+    let mut pos = 0usize;
+    while pos < input.len() {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if pos + LZSS_MIN_MATCH <= input.len() {
+            let mut cand = head[hash(pos)];
+            let mut tries = LZSS_CHAIN_CAP;
+            while cand != NIL && tries > 0 {
+                let c = cand as usize;
+                if pos - c > LZSS_MAX_DIST {
+                    break;
+                }
+                let limit = input.len() - pos;
+                let mut len = 0usize;
+                while len < limit && input[c + len] == input[pos + len] {
+                    len += 1;
+                }
+                if len > best_len {
+                    best_len = len;
+                    best_dist = pos - c;
+                }
+                cand = chain[c];
+                tries -= 1;
+            }
+        }
+        if best_len >= LZSS_MIN_MATCH {
+            control |= 1 << ntok;
+            put_varint(&mut staged, best_dist as u64);
+            put_varint(&mut staged, (best_len - LZSS_MIN_MATCH) as u64);
+            for p in pos..pos + best_len {
+                insert(&mut head, &mut chain, &hash, p);
+            }
+            pos += best_len;
+        } else {
+            staged.push(input[pos]);
+            insert(&mut head, &mut chain, &hash, pos);
+            pos += 1;
+        }
+        ntok += 1;
+        if ntok == 8 {
+            flush(out, &mut control, &mut ntok, &mut staged);
+        }
+    }
+    flush(out, &mut control, &mut ntok, &mut staged);
+}
+
+/// Decompresses an LZSS stream into exactly `expected_len` bytes,
+/// rejecting malformed streams (zero or out-of-range distances,
+/// output overruns, truncation, trailing bytes) as [`PersistError`]s.
+fn lzss_decompress(r: &mut Reader<'_>, expected_len: usize) -> Result<Vec<u8>, PersistError> {
+    // Cap the upfront allocation: `expected_len` is untrusted until
+    // the stream actually produces it (growth past the cap is
+    // geometric, so still linear overall).
+    let mut out = Vec::with_capacity(expected_len.min(1 << 20));
+    while out.len() < expected_len {
+        let control = r.u8()?;
+        let mut bit = 0;
+        while bit < 8 && out.len() < expected_len {
+            if control & (1 << bit) != 0 {
+                let dist = r.varint()? as usize;
+                if dist == 0 || dist > out.len() {
+                    return Err(PersistError::Corrupted("LZSS distance out of range"));
+                }
+                let len = (r.varint()? as usize)
+                    .checked_add(LZSS_MIN_MATCH)
+                    .ok_or(PersistError::Corrupted("LZSS length overflow"))?;
+                if out.len() + len > expected_len {
+                    return Err(PersistError::Corrupted("LZSS output overrun"));
+                }
+                // Byte-by-byte: overlapping copies (dist < len) repeat
+                // the just-written bytes, as in every LZ family.
+                let from = out.len() - dist;
+                for i in 0..len {
+                    let b = out[from + i];
+                    out.push(b);
+                }
+            } else {
+                out.push(r.u8()?);
+            }
+            bit += 1;
+        }
+    }
+    Ok(out)
+}
+
 fn put_cell(out: &mut Vec<u8>, cell: &Cell) {
     // Zoo workloads keep the frozen tags 0..=4; a data workload writes
     // tag 5 followed by its spec name, so snapshots survive registry
@@ -478,7 +893,7 @@ fn put_cell(out: &mut Vec<u8>, cell: &Cell) {
     );
 }
 
-fn put_report(out: &mut Vec<u8>, report: &EpochReport, slim: bool) {
+fn put_report(out: &mut Vec<u8>, report: &EpochReport, trace: &TraceOut) {
     put_u64(out, report.iterations);
     put_span(out, report.iter_time);
     put_span(out, report.epoch_time);
@@ -495,27 +910,17 @@ fn put_report(out: &mut Vec<u8>, report: &EpochReport, slim: bool) {
     for label in &report.critical_chain {
         put_str(out, label);
     }
-    if slim {
-        put_u8(out, 0);
-        return;
-    }
-    put_u8(out, 1);
-    let events = report.iter_trace.events();
-    put_u32(out, events.len() as u32);
-    for e in events {
-        put_u32(out, e.task.index() as u32);
-        put_str(out, &e.label);
-        put_str(out, &e.category);
-        match &e.resource {
-            None => put_u8(out, 0),
-            Some(r) => {
-                put_u8(out, 1);
-                put_str(out, r);
-            }
+    let block = match trace {
+        TraceOut::Slim => {
+            put_u8(out, 0);
+            return;
         }
-        put_u64(out, e.start.as_nanos());
-        put_u64(out, e.end.as_nanos());
-    }
+        TraceOut::Events => encode_trace_block(report.iter_trace.events()),
+        TraceOut::Raw(lazy) => lazy.raw().to_vec(),
+    };
+    put_u8(out, 1);
+    put_u32(out, block.len() as u32);
+    out.extend_from_slice(&block);
 }
 
 // ---- Field-level decoding ----
@@ -561,6 +966,131 @@ impl<'a> Reader<'a> {
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| PersistError::Corrupted("non-UTF-8 string"))
     }
+
+    /// Reads a LEB128 varint, rejecting non-minimal encodings and
+    /// values past `u64::MAX` — only the canonical form the writer
+    /// produces is accepted, which keeps re-encoding byte-identical.
+    fn varint(&mut self) -> Result<u64, PersistError> {
+        let mut v: u64 = 0;
+        for i in 0..10 {
+            let b = self.u8()?;
+            let payload = (b & 0x7f) as u64;
+            if i == 9 && payload > 1 {
+                return Err(PersistError::Corrupted("varint overflows u64"));
+            }
+            v |= payload << (7 * i);
+            if b & 0x80 == 0 {
+                if i > 0 && b == 0 {
+                    return Err(PersistError::Corrupted("non-canonical varint"));
+                }
+                return Ok(v);
+            }
+        }
+        Err(PersistError::Corrupted("varint longer than 10 bytes"))
+    }
+}
+
+/// Hard cap on a single decompressed trace block — far above any real
+/// trace, low enough that a corrupt raw-length varint cannot drive an
+/// absurd allocation before the stream is validated.
+const MAX_RAW_BLOCK: usize = 1 << 30;
+
+/// Decodes a compact v5 trace block (the bytes after the `u32` length
+/// prefix): LZSS-decompress, then parse the inner layout. The inner
+/// decoder accepts only the canonical form [`encode_trace_block`]
+/// emits — minimal varints, a strictly ascending front-coded string
+/// table with maximal shared prefixes and no unused strings, no
+/// trailing bytes — so decode → re-encode reproduces every
+/// writer-produced block byte-identically.
+fn decode_trace_block(block: &[u8]) -> Result<Vec<TraceEvent>, PersistError> {
+    let mut outer = Reader {
+        bytes: block,
+        pos: 0,
+    };
+    let raw_len = outer.varint()? as usize;
+    if raw_len > MAX_RAW_BLOCK {
+        return Err(PersistError::Corrupted("trace block too large"));
+    }
+    let inner = lzss_decompress(&mut outer, raw_len)?;
+    if outer.pos != block.len() {
+        return Err(PersistError::Corrupted("trailing bytes in trace block"));
+    }
+    let mut r = Reader {
+        bytes: &inner,
+        pos: 0,
+    };
+    let table_len = r.varint()? as usize;
+    let mut table: Vec<String> = Vec::with_capacity(table_len.min(1 << 16));
+    for i in 0..table_len {
+        let shared = r.varint()? as usize;
+        let suffix_len = r.varint()? as usize;
+        let suffix = r.take(suffix_len)?;
+        let prev = table.last().map(String::as_bytes).unwrap_or(b"");
+        if shared > prev.len() || (i == 0 && shared != 0) {
+            return Err(PersistError::Corrupted("front-coded prefix out of range"));
+        }
+        // Canonical front coding: the stated prefix must be *maximal*
+        // and the table strictly ascending — so after a shared prefix
+        // the suffix must continue with a strictly greater byte, and
+        // only a proper prefix extension may have `shared == prev.len()`.
+        if i > 0 {
+            match suffix.first() {
+                None => return Err(PersistError::Corrupted("string table out of order")),
+                Some(&b) => {
+                    if shared < prev.len() && b <= prev[shared] {
+                        return Err(PersistError::Corrupted("string table out of order"));
+                    }
+                }
+            }
+        }
+        let mut s = Vec::with_capacity(shared + suffix_len);
+        s.extend_from_slice(&prev[..shared]);
+        s.extend_from_slice(suffix);
+        let s = String::from_utf8(s).map_err(|_| PersistError::Corrupted("non-UTF-8 string"))?;
+        table.push(s);
+    }
+    let count = r.varint()? as usize;
+    let mut events = Vec::with_capacity(count.min(1 << 16));
+    let mut used = vec![false; table.len()];
+    let lookup = |idx: usize, used: &mut [bool]| -> Result<String, PersistError> {
+        match table.get(idx) {
+            None => Err(PersistError::Corrupted("string index out of range")),
+            Some(s) => {
+                used[idx] = true;
+                Ok(s.clone())
+            }
+        }
+    };
+    let mut prev_start = 0u64;
+    for _ in 0..count {
+        let task = TaskId::from_index(r.varint()? as usize);
+        let label = lookup(r.varint()? as usize, &mut used)?;
+        let category = lookup(r.varint()? as usize, &mut used)?;
+        let resource = match r.varint()? {
+            0 => None,
+            i => Some(lookup((i - 1) as usize, &mut used)?),
+        };
+        let start = prev_start.wrapping_add(r.varint()?);
+        prev_start = start;
+        let end = start
+            .checked_add(r.varint()?)
+            .ok_or(PersistError::Corrupted("trace event overflows the clock"))?;
+        events.push(TraceEvent {
+            task,
+            label,
+            category,
+            resource,
+            start: SimTime::from_nanos(start),
+            end: SimTime::from_nanos(end),
+        });
+    }
+    if used.iter().any(|u| !u) {
+        return Err(PersistError::Corrupted("unused interned string"));
+    }
+    if r.pos != inner.len() {
+        return Err(PersistError::Corrupted("trailing bytes in trace block"));
+    }
+    Ok(events)
 }
 
 fn take_cell(r: &mut Reader<'_>) -> Result<Cell, PersistError> {
@@ -620,7 +1150,10 @@ fn take_cell(r: &mut Reader<'_>) -> Result<Cell, PersistError> {
     })
 }
 
-fn take_report(r: &mut Reader<'_>) -> Result<(EpochReport, bool), PersistError> {
+/// Reads every scalar report field, stopping *before* the trace flag;
+/// the returned report carries an empty `iter_trace` (the caller
+/// attaches the trace eagerly or lazily).
+fn take_report_scalars(r: &mut Reader<'_>) -> Result<EpochReport, PersistError> {
     let iterations = r.u64()?;
     let iter_time = r.span()?;
     let epoch_time = r.span()?;
@@ -642,53 +1175,18 @@ fn take_report(r: &mut Reader<'_>) -> Result<(EpochReport, bool), PersistError> 
     for _ in 0..chain_len {
         critical_chain.push(r.string()?);
     }
-    let (events, slim) = match r.u8()? {
-        0 => (Vec::new(), true),
-        1 => {
-            let event_len = r.u32()?;
-            let mut events = Vec::with_capacity(event_len.min(1 << 16) as usize);
-            for _ in 0..event_len {
-                let task = TaskId::from_index(r.u32()? as usize);
-                let label = r.string()?;
-                let category = r.string()?;
-                let resource = match r.u8()? {
-                    0 => None,
-                    1 => Some(r.string()?),
-                    _ => return Err(PersistError::Corrupted("unknown resource tag")),
-                };
-                let start = SimTime::from_nanos(r.u64()?);
-                let end = SimTime::from_nanos(r.u64()?);
-                if end < start {
-                    return Err(PersistError::Corrupted("trace event ends before it starts"));
-                }
-                events.push(TraceEvent {
-                    task,
-                    label,
-                    category,
-                    resource,
-                    start,
-                    end,
-                });
-            }
-            (events, false)
-        }
-        _ => return Err(PersistError::Corrupted("unknown trace tag")),
-    };
-    Ok((
-        EpochReport {
-            iterations,
-            iter_time,
-            epoch_time,
-            fp_bp_iter,
-            wu_iter,
-            api_iter,
-            sync_wall_iter,
-            compute_utilization,
-            iter_trace: Trace::new(events),
-            critical_chain,
-        },
-        slim,
-    ))
+    Ok(EpochReport {
+        iterations,
+        iter_time,
+        epoch_time,
+        fp_bp_iter,
+        wu_iter,
+        api_iter,
+        sync_wall_iter,
+        compute_utilization,
+        iter_trace: Trace::new(Vec::new()),
+        critical_chain,
+    })
 }
 
 #[cfg(test)]
@@ -951,10 +1449,25 @@ mod tests {
             (Some("1"), true),
             (Some("true"), true),
             (Some(" 1 "), true),
+            (Some("yes"), true),
+            (Some("on"), true),
             (Some("0"), false),
             (Some(""), false),
             (Some("  "), false),
             (None, false),
+            // Conventional falsy tokens disable slim mode; the old
+            // parser treated anything non-empty and non-"0"/"false"
+            // as enabled, so VOLTASCOPE_CACHE_SLIM=off turned it ON.
+            (Some("false"), false),
+            (Some("False"), false),
+            (Some("FALSE"), false),
+            (Some("off"), false),
+            (Some("Off"), false),
+            (Some("OFF"), false),
+            (Some("no"), false),
+            (Some("No"), false),
+            (Some("NO"), false),
+            (Some(" off "), false),
         ] {
             match val {
                 Some(v) => std::env::set_var(SLIM_ENV, v),
@@ -975,5 +1488,98 @@ mod tests {
             harness_fingerprint(&Harness::paper())
         );
         assert_ne!(harness_fingerprint(&base), harness_fingerprint(&tweaked));
+    }
+
+    #[test]
+    fn lzss_roundtrips_adversarial_patterns() {
+        let cases: Vec<Vec<u8>> = vec![
+            Vec::new(),
+            vec![7],
+            vec![0; 100_000], // one long self-overlapping match
+            (0..=255u8).cycle().take(70_000).collect(), // periodic
+            (0..70_000u32)
+                .map(|i| (i.wrapping_mul(0x9E37_79B1) >> 13) as u8)
+                .collect(), // incompressible-ish
+        ];
+        for input in cases {
+            let mut stream = Vec::new();
+            lzss_compress(&input, &mut stream);
+            let mut r = Reader {
+                bytes: &stream,
+                pos: 0,
+            };
+            let back = lzss_decompress(&mut r, input.len()).unwrap();
+            assert_eq!(back, input);
+            assert_eq!(r.pos, stream.len(), "whole stream must be consumed");
+            // Determinism: a second compression of the same bytes is
+            // identical (the re-save byte-identity contract rests on
+            // this).
+            let mut again = Vec::new();
+            lzss_compress(&input, &mut again);
+            assert_eq!(stream, again);
+        }
+    }
+
+    #[test]
+    fn malformed_lzss_streams_are_typed_errors() {
+        // A match whose distance reaches before the start of the
+        // output: raw_len 1, control byte marking token 0 a match,
+        // distance 1 into an empty output.
+        let block = [0x01, 0x01, 0x01, 0x00];
+        assert!(matches!(
+            decode_trace_block(&block),
+            Err(PersistError::Corrupted(_))
+        ));
+        // Truncated stream: raw_len 5 but only one literal present.
+        let block = [0x05, 0x00, b'a'];
+        assert!(matches!(
+            decode_trace_block(&block),
+            Err(PersistError::Truncated)
+        ));
+        // Output overrun: four literals then a length-4 match would
+        // produce 8 bytes against a stated raw length of 5.
+        let block = [0x05, 0x10, b'a', b'b', b'c', b'd', 0x01, 0x00];
+        assert!(matches!(
+            decode_trace_block(&block),
+            Err(PersistError::Corrupted(_))
+        ));
+    }
+
+    #[test]
+    fn non_canonical_string_tables_are_rejected() {
+        // Build inner images by hand, wrap them in the real outer
+        // framing, and check the strict table rules fire.
+        let wrap = |inner: &[u8]| {
+            let mut block = Vec::new();
+            put_varint(&mut block, inner.len() as u64);
+            lzss_compress(inner, &mut block);
+            block
+        };
+        // Descending order: "b" then "a".
+        let inner = [0x02, 0x00, 0x01, b'b', 0x00, 0x01, b'a'];
+        assert!(matches!(
+            decode_trace_block(&wrap(&inner)),
+            Err(PersistError::Corrupted("string table out of order"))
+        ));
+        // Non-maximal shared prefix: "ab" then "ac" encoded with
+        // shared = 0 instead of 1 ("a" < "ab" would re-encode
+        // differently, so the canonical form requires shared = 1).
+        let inner = [0x02, 0x00, 0x02, b'a', b'b', 0x00, 0x02, b'a', b'c'];
+        assert!(matches!(
+            decode_trace_block(&wrap(&inner)),
+            Err(PersistError::Corrupted("string table out of order"))
+        ));
+        // Duplicate string: "a" twice (shared = 1, empty suffix).
+        let inner = [0x02, 0x00, 0x01, b'a', 0x01, 0x00];
+        assert!(matches!(
+            decode_trace_block(&wrap(&inner)),
+            Err(PersistError::Corrupted("string table out of order"))
+        ));
+        // Shared prefix longer than the previous string.
+        let inner = [0x02, 0x00, 0x01, b'a', 0x02, 0x01, b'b'];
+        assert!(matches!(
+            decode_trace_block(&wrap(&inner)),
+            Err(PersistError::Corrupted("front-coded prefix out of range"))
+        ));
     }
 }

@@ -25,6 +25,27 @@
 //! band split the workers fairly instead of first-come-first-served
 //! letting one starve the other.
 //!
+//! ## Critical-path-aware dispatch
+//!
+//! Within one client's queue, items are kept longest-expected-first by
+//! a static cost rank ([`cost_rank`]: workload weight × batch × GPU
+//! count), so the heaviest cell of a sweep — the makespan floor, e.g.
+//! Inception-v3 at batch 64 on 8 GPUs — starts computing immediately
+//! instead of landing behind dozens of LeNet cells. Set
+//! [`ORDER_ENV`] (`VOLTASCOPE_SCHED_ORDER=fifo`) or
+//! [`SchedConfig::cost_order`] to restore pure admission order.
+//! Results are unaffected either way — reports are keyed by cell and
+//! the cache is single-flight — only the completion *schedule* moves.
+//!
+//! Workers drain the banded queue through per-worker *slices*: a
+//! worker with nothing claimed refills its slice with up to one
+//! quantum of items from the highest band, and an idle worker whose
+//! slice and the banded queue are both empty *steals* from the back of
+//! the fullest sibling slice (counted in [`SchedStats::steals`]) —
+//! so one worker's long-running cell cannot strand queued work it
+//! claimed. A higher-band arrival still preempts: workers check the
+//! banded queue's head against their slice head on every dispatch.
+//!
 //! ## Backpressure, cancellation, deadlines
 //!
 //! The queue is bounded by [`SchedConfig::max_depth`] *cells*; a submit
@@ -121,6 +142,49 @@ impl Priority {
     }
 }
 
+/// Environment variable selecting the within-band dispatch order.
+/// `fifo` (case-insensitive) preserves pure admission order; unset or
+/// any other value keeps the default longest-expected-first cost
+/// order (see [`cost_rank`]).
+pub const ORDER_ENV: &str = "VOLTASCOPE_SCHED_ORDER";
+
+/// Reads [`ORDER_ENV`]: `true` (cost order) unless the variable is
+/// set to `fifo`.
+pub fn cost_order_from_env() -> bool {
+    cost_order_token(std::env::var(ORDER_ENV).ok().as_deref())
+}
+
+fn cost_order_token(value: Option<&str>) -> bool {
+    match value {
+        Some(v) => !v.trim().eq_ignore_ascii_case("fifo"),
+        None => true,
+    }
+}
+
+/// Static cost rank of a cell: a relative-workload weight (calibrated
+/// against the simulated epoch times of the zoo CNNs — LeNet lightest,
+/// VGG-16 heaviest) scaled by batch size and GPU count. Used by the
+/// scheduler to serve a client's queued cells longest-expected-first,
+/// so the sweep's makespan-floor cell (Inception-v3, batch 64, 8
+/// GPUs on the fig3 grid) starts before the dozens of cheap cells
+/// admitted ahead of it. Monotone per workload in batch and GPU
+/// count; unknown data workloads rank mid-pack.
+pub fn cost_rank(cell: &Cell) -> u64 {
+    let weight: u64 = match cell.workload.name() {
+        "LeNet" => 1,
+        "AlexNet" => 6,
+        "GoogLeNet" => 18,
+        "ResNet" => 24,
+        "GPT2-Small" => 28,
+        "Inception-v3" => 32,
+        "VGG-16" => 40,
+        _ => 16,
+    };
+    weight
+        .saturating_mul(cell.batch as u64)
+        .saturating_mul(cell.gpus as u64)
+}
+
 /// Scheduler sizing knobs. The defaults match the blocking path's
 /// executor selection (`VOLTASCOPE_THREADS`) so the two front ends are
 /// interchangeable under the same environment.
@@ -133,8 +197,14 @@ pub struct SchedConfig {
     /// [`SubmitError::QueueFull`].
     pub max_depth: usize,
     /// Deficit-round-robin quantum: how many items one client may
-    /// dequeue from a band before the next client is served.
+    /// dequeue from a band before the next client is served. Also the
+    /// refill size of a worker's slice.
     pub quantum: usize,
+    /// When true (the default unless [`ORDER_ENV`] says `fifo`), each
+    /// client's queue within a band is kept longest-expected-first by
+    /// [`cost_rank`]; when false, admission order is preserved.
+    /// Results are identical either way — only the schedule moves.
+    pub cost_order: bool,
 }
 
 impl Default for SchedConfig {
@@ -143,6 +213,7 @@ impl Default for SchedConfig {
             workers: Executor::from_env().threads(),
             max_depth: 4096,
             quantum: 8,
+            cost_order: cost_order_from_env(),
         }
     }
 }
@@ -163,6 +234,13 @@ impl SchedConfig {
     /// Sets the deficit-round-robin quantum.
     pub fn quantum(mut self, quantum: usize) -> Self {
         self.quantum = quantum.max(1);
+        self
+    }
+
+    /// Enables or disables longest-expected-first ordering within a
+    /// client's band queue.
+    pub fn cost_order(mut self, cost_order: bool) -> Self {
+        self.cost_order = cost_order;
         self
     }
 }
@@ -486,6 +564,8 @@ struct Item {
     dups: u64,
     /// Global admission sequence number, for preemption accounting.
     seq: u64,
+    /// Static dispatch rank ([`cost_rank`]), fixed at admission.
+    rank: u64,
     enqueued: Instant,
 }
 
@@ -502,13 +582,32 @@ struct Band {
 }
 
 impl Band {
-    fn push(&mut self, item: Item) {
+    /// Admits an item. With `cost_order`, the client's queue is kept
+    /// sorted by descending [`cost_rank`] (admission order breaks
+    /// ties, so equal-rank items stay FIFO); otherwise the item is
+    /// appended.
+    fn push(&mut self, item: Item, cost_order: bool) {
         let client = item.ticket.client;
         let queue = self.queues.entry(client).or_default();
         if queue.is_empty() {
             self.active.push_back(client);
         }
-        queue.push_back(item);
+        if cost_order {
+            // Binary search for the first strictly-lower rank; equal
+            // ranks insert after, preserving admission order.
+            let (mut lo, mut hi) = (0, queue.len());
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                if queue[mid].rank >= item.rank {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            queue.insert(lo, item);
+        } else {
+            queue.push_back(item);
+        }
     }
 
     /// Dequeues the next item under deficit round-robin: the head
@@ -540,11 +639,12 @@ impl Band {
     }
 
     /// Earliest admission sequence number queued in this band, for the
-    /// preemption counter.
+    /// preemption counter. Scans whole queues because cost ordering
+    /// can move the earliest-admitted item off the front.
     fn head_seq(&self) -> Option<u64> {
         self.queues
             .values()
-            .filter_map(|q| q.front().map(|i| i.seq))
+            .flat_map(|q| q.iter().map(|i| i.seq))
             .min()
     }
 
@@ -558,33 +658,56 @@ impl Band {
     }
 }
 
-/// The bounded, banded work queue. All access is under one mutex; the
-/// scheduling policy itself ([`WorkQueue::pop_next`]) is pure state
-/// manipulation, unit-testable without threads.
+/// The bounded, banded work queue plus the per-worker slices claimed
+/// out of it. All access is under one mutex; the scheduling policy
+/// itself ([`WorkQueue::pop_next`], the slice refill/steal paths) is
+/// pure state manipulation, unit-testable without threads.
 #[derive(Debug)]
 struct WorkQueue {
     bands: [Band; 3],
-    /// Total queued items across all bands.
+    /// Total queued items across all bands (items claimed into worker
+    /// slices are no longer counted).
     depth: usize,
     shutdown: bool,
     /// Admission counter feeding [`Item::seq`].
     seq: u64,
+    /// Within-band dispatch order (see [`SchedConfig::cost_order`]).
+    cost_order: bool,
+    /// Per-worker claimed runs of items: a worker refills its slice
+    /// with up to one quantum from the banded queue and drains it
+    /// front-to-back; idle siblings steal from the back.
+    slices: Vec<VecDeque<Item>>,
 }
 
 impl WorkQueue {
-    fn new() -> Self {
+    fn new(cfg: &SchedConfig) -> Self {
         WorkQueue {
             bands: std::array::from_fn(|_| Band::default()),
             depth: 0,
             shutdown: false,
             seq: 0,
+            cost_order: cfg.cost_order,
+            slices: (0..cfg.workers.max(1)).map(|_| VecDeque::new()).collect(),
         }
     }
 
     fn push(&mut self, item: Item) {
         let band = item.ticket.priority.band();
-        self.bands[band].push(item);
+        self.bands[band].push(item, self.cost_order);
         self.depth += 1;
+    }
+
+    /// The highest non-empty band index, if any.
+    fn highest_band(&self) -> Option<usize> {
+        (0..self.bands.len()).find(|&b| !self.bands[b].is_empty())
+    }
+
+    /// The priority band of `worker`'s slice head, if the slice is
+    /// non-empty.
+    fn slice_band(&self, worker: usize) -> Option<usize> {
+        self.slices[worker]
+            .front()
+            .map(|i| i.ticket.priority.band())
     }
 
     /// Pops by strict priority, deficit round-robin within the band.
@@ -610,10 +733,49 @@ impl WorkQueue {
         None
     }
 
-    fn drain(&mut self) -> Vec<Item> {
-        let items: Vec<Item> = self.bands.iter_mut().flat_map(Band::drain).collect();
+    /// Refills `worker`'s empty slice with up to `quantum` items from
+    /// the highest non-empty band (never mixing bands, so the slice
+    /// head's band is the slice's band). Returns how many items were
+    /// claimed; dequeue/preemption accounting lands on `shared`.
+    fn refill(&mut self, worker: usize, quantum: usize, shared: &Shared) -> usize {
+        let Some(band) = self.highest_band() else {
+            return 0;
+        };
+        let mut claimed = 0;
+        while claimed < quantum && self.highest_band() == Some(band) {
+            let (item, preempted) = self
+                .pop_next(quantum)
+                .expect("highest band checked non-empty");
+            shared.dequeued.fetch_add(1, Ordering::Relaxed);
+            if preempted {
+                shared.preemptions.fetch_add(1, Ordering::Relaxed);
+            }
+            self.slices[worker].push_back(item);
+            claimed += 1;
+        }
+        claimed
+    }
+
+    /// Steals one item from the back of the fullest sibling slice, for
+    /// a worker whose own slice and the banded queue are both empty.
+    fn steal_into(&mut self, thief: usize) -> Option<Item> {
+        let victim = (0..self.slices.len())
+            .filter(|&w| w != thief && !self.slices[w].is_empty())
+            .max_by_key(|&w| self.slices[w].len())?;
+        self.slices[victim].pop_back()
+    }
+
+    /// Drains everything — banded queue and worker slices — for
+    /// shutdown. The second value is how many items came out of the
+    /// *bands* (sliced items were already counted dequeued at refill).
+    fn drain(&mut self) -> (Vec<Item>, usize) {
+        let mut items: Vec<Item> = self.bands.iter_mut().flat_map(Band::drain).collect();
+        let from_bands = items.len();
+        for slice in &mut self.slices {
+            items.extend(slice.drain(..));
+        }
         self.depth = 0;
-        items
+        (items, from_bands)
     }
 }
 
@@ -632,6 +794,7 @@ struct Shared {
     failed: AtomicU64,
     expired: AtomicU64,
     preemptions: AtomicU64,
+    steals: AtomicU64,
     enqueued: AtomicU64,
     dequeued: AtomicU64,
     peak_depth: AtomicU64,
@@ -643,7 +806,7 @@ impl Shared {
         Shared {
             service,
             cfg,
-            queue: Mutex::new(WorkQueue::new()),
+            queue: Mutex::new(WorkQueue::new(&cfg)),
             work: Condvar::new(),
             ticket_ids: AtomicU64::new(0),
             submitted: AtomicU64::new(0),
@@ -653,6 +816,7 @@ impl Shared {
             failed: AtomicU64::new(0),
             expired: AtomicU64::new(0),
             preemptions: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
             enqueued: AtomicU64::new(0),
             dequeued: AtomicU64::new(0),
             peak_depth: AtomicU64::new(0),
@@ -690,12 +854,17 @@ pub struct SchedStats {
     /// Dequeues that overtook an earlier-admitted item in a lower
     /// priority band.
     pub preemptions: u64,
+    /// Items an idle worker stole from the back of a sibling's claimed
+    /// slice.
+    pub steals: u64,
     /// Cells admitted to the queue.
     pub enqueued_cells: u64,
     /// Cells taken off the queue (executed, discarded as cancelled,
     /// expired, or drained at shutdown).
     pub dequeued_cells: u64,
-    /// Current queue depth, in cells.
+    /// Current banded queue depth, in cells. Items already claimed
+    /// into a worker's slice (at most workers × quantum) are not
+    /// counted.
     pub queue_depth: u64,
     /// High-water queue depth, in cells.
     pub peak_queue_depth: u64,
@@ -740,7 +909,7 @@ impl Scheduler {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("voltascope-sched-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i))
                     .expect("spawn scheduler worker")
             })
             .collect();
@@ -831,6 +1000,7 @@ impl Scheduler {
                     cell,
                     dups: counts[&cell] - 1,
                     seq,
+                    rank: cost_rank(&cell),
                     enqueued: now,
                 });
             }
@@ -894,6 +1064,7 @@ impl Scheduler {
             failed: self.shared.failed.load(Ordering::Relaxed),
             expired: self.shared.expired.load(Ordering::Relaxed),
             preemptions: self.shared.preemptions.load(Ordering::Relaxed),
+            steals: self.shared.steals.load(Ordering::Relaxed),
             enqueued_cells: self.shared.enqueued.load(Ordering::Relaxed),
             dequeued_cells: self.shared.dequeued.load(Ordering::Relaxed),
             queue_depth,
@@ -911,10 +1082,10 @@ impl Scheduler {
     }
 
     fn shutdown_impl(&mut self) {
-        let drained = {
+        let (drained, from_bands) = {
             let mut queue = self.shared.lock_queue();
             if queue.shutdown {
-                Vec::new()
+                (Vec::new(), 0)
             } else {
                 queue.shutdown = true;
                 queue.drain()
@@ -923,7 +1094,7 @@ impl Scheduler {
         self.shared.work.notify_all();
         self.shared
             .dequeued
-            .fetch_add(drained.len() as u64, Ordering::Relaxed);
+            .fetch_add(from_bands as u64, Ordering::Relaxed);
         for item in drained {
             item.ticket.resolve(Err(TicketError::Shutdown), || {
                 self.shared.cancelled.fetch_add(1, Ordering::Relaxed);
@@ -953,48 +1124,108 @@ impl GridService {
 
 /// Worker body: dequeue, execute, repeat until shutdown drains the
 /// queue.
-fn worker_loop(shared: &Shared) {
-    while let Some(item) = next_item(shared) {
+fn worker_loop(shared: &Shared, worker: usize) {
+    while let Some(item) = next_item(shared, worker) {
         execute(shared, item);
+    }
+}
+
+/// What [`pop_runnable`] found for a worker.
+enum PopOutcome {
+    /// A live item, ready to execute.
+    Item(Item),
+    /// An item whose ticket's deadline has passed; the caller must
+    /// resolve the ticket outside the queue lock.
+    Expired(Item),
+    /// Nothing runnable anywhere: bands, own slice, and sibling
+    /// slices are all empty.
+    Idle,
+}
+
+/// One dispatch decision for `worker`, under the queue lock. In order:
+/// take from the banded queue when its head band strictly outranks the
+/// worker's slice head (refilling the slice when it is empty), else
+/// drain the own slice, else steal from the fullest sibling slice.
+/// Dead (terminal-ticket) items are discarded along the way.
+fn pop_runnable(shared: &Shared, queue: &mut WorkQueue, worker: usize) -> PopOutcome {
+    loop {
+        let slice_band = queue.slice_band(worker);
+        let take_global = match (queue.highest_band(), slice_band) {
+            (Some(global), Some(own)) => global < own,
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        let item = if take_global {
+            if slice_band.is_none() {
+                let claimed = queue.refill(worker, shared.cfg.quantum, shared);
+                if claimed > 1 {
+                    // The slice now holds stealable surplus; wake any
+                    // parked sibling to come take it.
+                    shared.work.notify_all();
+                }
+                queue.slices[worker].pop_front()
+            } else {
+                // Execution-time preemption: a higher band arrived
+                // after this slice was claimed — serve it first.
+                let (item, preempted) = queue
+                    .pop_next(shared.cfg.quantum)
+                    .expect("highest band checked non-empty");
+                shared.dequeued.fetch_add(1, Ordering::Relaxed);
+                if preempted {
+                    shared.preemptions.fetch_add(1, Ordering::Relaxed);
+                }
+                Some(item)
+            }
+        } else if slice_band.is_some() {
+            queue.slices[worker].pop_front()
+        } else {
+            let stolen = queue.steal_into(worker);
+            if stolen.is_some() {
+                shared.steals.fetch_add(1, Ordering::Relaxed);
+            }
+            stolen
+        };
+        let Some(item) = item else {
+            return PopOutcome::Idle;
+        };
+        if item.ticket.terminal.load(Ordering::Acquire) {
+            // Cancelled, expired, or failed while queued: discard
+            // without executing.
+            continue;
+        }
+        if let Some(deadline) = item.ticket.deadline {
+            if Instant::now() >= deadline {
+                return PopOutcome::Expired(item);
+            }
+        }
+        return PopOutcome::Item(item);
     }
 }
 
 /// Blocks for the next live item. Discards items of already-resolved
 /// tickets and expires deadline-passed tickets along the way; returns
-/// `None` only at shutdown with an empty queue.
-fn next_item(shared: &Shared) -> Option<Item> {
+/// `None` only at shutdown with nothing left runnable.
+fn next_item(shared: &Shared, worker: usize) -> Option<Item> {
     let mut queue = shared.lock_queue();
     loop {
-        match queue.pop_next(shared.cfg.quantum) {
-            Some((item, preempted)) => {
-                shared.dequeued.fetch_add(1, Ordering::Relaxed);
-                if item.ticket.terminal.load(Ordering::Acquire) {
-                    // Cancelled, expired, or failed while queued:
-                    // discard without executing.
-                    continue;
-                }
-                if let Some(deadline) = item.ticket.deadline {
-                    if Instant::now() >= deadline {
-                        // Resolve outside the queue lock; other
-                        // workers keep draining meanwhile.
-                        drop(queue);
-                        item.ticket.resolve(Err(TicketError::DeadlineExceeded), || {
-                            shared.cancelled.fetch_add(1, Ordering::Relaxed);
-                            shared.expired.fetch_add(1, Ordering::Relaxed);
-                        });
-                        queue = shared.lock_queue();
-                        continue;
-                    }
-                }
+        match pop_runnable(shared, &mut queue, worker) {
+            PopOutcome::Item(item) => {
                 shared
                     .wait_nanos
                     .fetch_add(item.enqueued.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                if preempted {
-                    shared.preemptions.fetch_add(1, Ordering::Relaxed);
-                }
                 return Some(item);
             }
-            None => {
+            PopOutcome::Expired(item) => {
+                // Resolve outside the queue lock; other workers keep
+                // draining meanwhile.
+                drop(queue);
+                item.ticket.resolve(Err(TicketError::DeadlineExceeded), || {
+                    shared.cancelled.fetch_add(1, Ordering::Relaxed);
+                    shared.expired.fetch_add(1, Ordering::Relaxed);
+                });
+                queue = shared.lock_queue();
+            }
+            PopOutcome::Idle => {
                 if queue.shutdown {
                     return None;
                 }
@@ -1097,19 +1328,28 @@ mod tests {
         })
     }
 
-    fn item(ticket: &Arc<TicketInner>, seq: u64) -> Item {
+    fn item_for(ticket: &Arc<TicketInner>, seq: u64, cell: Cell) -> Item {
         Item {
             ticket: Arc::clone(ticket),
-            cell: lenet_cell(seq as usize + 1, 1),
+            cell,
             dups: 0,
             seq,
+            rank: cost_rank(&cell),
             enqueued: Instant::now(),
         }
     }
 
+    fn item(ticket: &Arc<TicketInner>, seq: u64) -> Item {
+        item_for(ticket, seq, lenet_cell(seq as usize + 1, 1))
+    }
+
+    fn queue_with(cost_order: bool) -> WorkQueue {
+        WorkQueue::new(&SchedConfig::default().workers(2).cost_order(cost_order))
+    }
+
     #[test]
     fn drr_alternates_between_clients_in_quantum_bursts() {
-        let mut queue = WorkQueue::new();
+        let mut queue = queue_with(false);
         let a = bare_ticket(1, Priority::Normal);
         let b = bare_ticket(2, Priority::Normal);
         // Interleave admission; DRR must still serve quantum-sized
@@ -1126,7 +1366,7 @@ mod tests {
 
     #[test]
     fn drr_drops_deficit_when_a_client_empties() {
-        let mut queue = WorkQueue::new();
+        let mut queue = queue_with(false);
         let a = bare_ticket(1, Priority::Normal);
         let b = bare_ticket(2, Priority::Normal);
         queue.push(item(&a, 0)); // one item only
@@ -1143,7 +1383,7 @@ mod tests {
 
     #[test]
     fn strict_priority_overtakes_and_flags_preemption() {
-        let mut queue = WorkQueue::new();
+        let mut queue = queue_with(true);
         let low = bare_ticket(1, Priority::Low);
         let high = bare_ticket(2, Priority::High);
         let normal = bare_ticket(3, Priority::Normal);
@@ -1160,6 +1400,86 @@ mod tests {
         assert_eq!(third.ticket.client, 1);
         assert!(!preempted, "nothing left to overtake");
         assert!(queue.pop_next(8).is_none());
+    }
+
+    fn cell_of(workload: Workload, batch: usize, gpus: usize) -> Cell {
+        Cell {
+            workload: workload.into(),
+            comm: CommMethod::Nccl,
+            batch,
+            gpus,
+            scaling: ScalingMode::Strong,
+            platform: Platform::Dgx1,
+            fault: FaultScenario::Healthy,
+        }
+    }
+
+    #[test]
+    fn cost_rank_scales_with_workload_batch_and_gpus() {
+        let base = cost_rank(&cell_of(Workload::LeNet, 16, 1));
+        assert_eq!(base, 16);
+        // Heavier workload, bigger batch, more GPUs all rank higher.
+        assert!(cost_rank(&cell_of(Workload::ResNet, 16, 1)) > base);
+        assert!(cost_rank(&cell_of(Workload::LeNet, 64, 1)) > base);
+        assert!(cost_rank(&cell_of(Workload::LeNet, 16, 8)) > base);
+        // The fig3 makespan floor outranks every other zoo cell.
+        let floor = cost_rank(&cell_of(Workload::InceptionV3, 64, 8));
+        for w in Workload::ALL {
+            for batch in [16, 32, 64] {
+                for gpus in 1..=8 {
+                    let cell = cell_of(w, batch, gpus);
+                    if cell != cell_of(Workload::InceptionV3, 64, 8) {
+                        assert!(cost_rank(&cell) < floor, "{w:?} b{batch} g{gpus}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sched_order_env_tokens() {
+        assert!(cost_order_token(None), "unset means cost order");
+        assert!(!cost_order_token(Some("fifo")));
+        assert!(!cost_order_token(Some("FIFO")));
+        assert!(!cost_order_token(Some(" fifo ")));
+        assert!(cost_order_token(Some("cost")));
+        assert!(cost_order_token(Some("")));
+    }
+
+    #[test]
+    fn cost_order_serves_heaviest_first_within_a_client() {
+        let mut queue = queue_with(true);
+        let t = bare_ticket(1, Priority::Normal);
+        // Admit cheap → heaviest → middling; service order is by rank.
+        queue.push(item_for(&t, 1, cell_of(Workload::LeNet, 16, 1)));
+        queue.push(item_for(&t, 2, cell_of(Workload::InceptionV3, 64, 8)));
+        queue.push(item_for(&t, 3, cell_of(Workload::ResNet, 32, 2)));
+        let order: Vec<Workload> = std::iter::from_fn(|| queue.pop_next(8))
+            .map(|(i, _)| i.cell.workload.zoo().unwrap())
+            .collect();
+        assert_eq!(
+            order,
+            vec![Workload::InceptionV3, Workload::ResNet, Workload::LeNet]
+        );
+    }
+
+    #[test]
+    fn fifo_mode_preserves_admission_and_equal_ranks_stay_fifo() {
+        // fifo mode: admission order wins even against a heavy cell.
+        let mut queue = queue_with(false);
+        let t = bare_ticket(1, Priority::Normal);
+        queue.push(item_for(&t, 1, cell_of(Workload::LeNet, 16, 1)));
+        queue.push(item_for(&t, 2, cell_of(Workload::InceptionV3, 64, 8)));
+        let (first, _) = queue.pop_next(8).unwrap();
+        assert_eq!(first.seq, 1);
+
+        // cost mode: equal ranks tie-break by admission order.
+        let mut queue = queue_with(true);
+        queue.push(item_for(&t, 10, cell_of(Workload::AlexNet, 32, 4)));
+        queue.push(item_for(&t, 11, cell_of(Workload::AlexNet, 32, 4)));
+        let (first, _) = queue.pop_next(8).unwrap();
+        let (second, _) = queue.pop_next(8).unwrap();
+        assert_eq!((first.seq, second.seq), (10, 11));
     }
 
     #[test]
@@ -1236,8 +1556,12 @@ mod tests {
     /// A scheduler with no worker threads: submitted items stay
     /// queued, making queue-state transitions fully deterministic.
     fn workerless(service: Arc<GridService>) -> Scheduler {
+        workerless_with(service, SchedConfig::default())
+    }
+
+    fn workerless_with(service: Arc<GridService>, cfg: SchedConfig) -> Scheduler {
         Scheduler {
-            shared: Arc::new(Shared::new(service, SchedConfig::default())),
+            shared: Arc::new(Shared::new(service, cfg)),
             workers: Vec::new(),
         }
     }
@@ -1278,7 +1602,7 @@ mod tests {
         assert_eq!(ticket.wait().unwrap_err(), TicketError::Cancelled);
         // A worker dequeuing the dead items discards them unexecuted.
         let shared = Arc::clone(&sched.shared);
-        let first = next_item_nonblocking(&shared);
+        let first = next_item_nonblocking(&shared, 0);
         assert!(first.is_none(), "terminal ticket items are discarded");
         let stats = sched.stats();
         assert_eq!(stats.cancelled, 1);
@@ -1287,18 +1611,58 @@ mod tests {
         assert_eq!(service.stats().computed, 0);
     }
 
-    /// Drains the queue like a worker would, but returns `None`
-    /// instead of parking when the queue is empty.
-    fn next_item_nonblocking(shared: &Shared) -> Option<Item> {
+    /// Drains the queue like `worker` would — same dispatch policy,
+    /// including slice refill and stealing — but returns `None`
+    /// instead of parking when nothing is runnable.
+    fn next_item_nonblocking(shared: &Shared, worker: usize) -> Option<Item> {
         let mut queue = shared.lock_queue();
-        while let Some((item, _)) = queue.pop_next(shared.cfg.quantum) {
-            shared.dequeued.fetch_add(1, Ordering::Relaxed);
-            if item.ticket.terminal.load(Ordering::Acquire) {
-                continue;
+        loop {
+            match pop_runnable(shared, &mut queue, worker) {
+                PopOutcome::Item(item) => return Some(item),
+                PopOutcome::Expired(item) => {
+                    drop(queue);
+                    item.ticket.resolve(Err(TicketError::DeadlineExceeded), || {
+                        shared.cancelled.fetch_add(1, Ordering::Relaxed);
+                        shared.expired.fetch_add(1, Ordering::Relaxed);
+                    });
+                    queue = shared.lock_queue();
+                }
+                PopOutcome::Idle => return None,
             }
-            return Some(item);
         }
-        None
+    }
+
+    #[test]
+    fn idle_worker_steals_from_a_sibling_slice() {
+        let service = Arc::new(GridService::with_executor(
+            Harness::paper(),
+            Executor::Serial,
+        ));
+        let sched = workerless_with(
+            Arc::clone(&service),
+            SchedConfig::default()
+                .workers(2)
+                .quantum(8)
+                .cost_order(true),
+        );
+        let cells: Vec<Cell> = (1..=4).map(|b| lenet_cell(16 * b, 1)).collect();
+        sched.submit(&cells, SubmitOpts::default()).unwrap();
+        let shared = Arc::clone(&sched.shared);
+        // Worker 0's first dispatch claims the whole submit into its
+        // slice; cost order puts the heaviest cell first.
+        let first = next_item_nonblocking(&shared, 0).expect("worker 0 dispatches");
+        assert_eq!(first.cell.batch, 64);
+        // Worker 1 finds the bands empty and steals the cheapest item
+        // from the back of worker 0's slice.
+        let stolen = next_item_nonblocking(&shared, 1).expect("worker 1 steals");
+        assert_eq!(stolen.cell.batch, 16);
+        let stats = sched.stats();
+        assert_eq!(stats.steals, 1);
+        assert_eq!(stats.queue_depth, 0, "everything claimed out of the bands");
+        assert_eq!(stats.dequeued_cells, 4, "refill counted all four");
+        // Worker 0 keeps draining its own slice in rank order.
+        let next = next_item_nonblocking(&shared, 0).expect("worker 0 continues");
+        assert_eq!(next.cell.batch, 48);
     }
 
     #[test]

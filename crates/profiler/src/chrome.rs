@@ -7,7 +7,9 @@ use voltascope_sim::Trace;
 
 /// Serialises a trace as Chrome trace-event JSON (array format): one
 /// complete event (`"ph":"X"`) per task, grouped into tracks by
-/// resource name. Timestamps are microseconds, as the format requires.
+/// resource name. Timestamps are microseconds, as the format requires,
+/// with fractional digits preserved so sub-µs kernels keep their true
+/// position and length (the format accepts decimal `ts`/`dur`).
 ///
 /// The output is hand-rolled JSON (the workspace deliberately avoids a
 /// JSON dependency); labels are escaped.
@@ -102,8 +104,8 @@ pub fn chrome_trace_with_tracks(trace: &Trace, tracks: &[&str]) -> String {
             escape(&e.label),
             escape(&e.category),
             track,
-            e.start.as_micros(),
-            e.duration().as_micros().max(1)
+            micros(e.start.as_nanos()),
+            micros(e.duration().as_nanos())
         )
         .unwrap();
     }
@@ -111,15 +113,45 @@ pub fn chrome_trace_with_tracks(trace: &Trace, tracks: &[&str]) -> String {
     out
 }
 
+/// Formats a nanosecond count as microseconds with up to three
+/// fractional digits, trailing zeros trimmed: `3000` → `"3"`,
+/// `300` → `"0.3"`, `1250` → `"1.25"`. Keeps sub-µs events at their
+/// true position instead of truncating to whole microseconds.
+fn micros(ns: u64) -> String {
+    let whole = ns / 1000;
+    let frac = ns % 1000;
+    if frac == 0 {
+        return whole.to_string();
+    }
+    let mut s = format!("{whole}.{frac:03}");
+    while s.ends_with('0') {
+        s.pop();
+    }
+    s
+}
+
+/// JSON string escaping per RFC 8259: the two mandatory characters,
+/// short escapes for the common control characters, and `\uXXXX` for
+/// the rest — labels with tabs or newlines round-trip instead of
+/// being flattened to spaces.
 fn escape(s: &str) -> String {
-    s.chars()
-        .flat_map(|c| match c {
-            '"' => vec!['\\', '"'],
-            '\\' => vec!['\\', '\\'],
-            c if c.is_control() => vec![' '],
-            c => vec![c],
-        })
-        .collect()
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if c.is_control() => {
+                write!(out, "\\u{:04x}", c as u32).unwrap();
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -220,5 +252,187 @@ mod tests {
         }]);
         let json = chrome_trace(&trace);
         assert!(json.contains("evil\\\"label\\\\"));
+    }
+
+    fn event(i: usize, label: &str, start_ns: u64, end_ns: u64) -> voltascope_sim::TraceEvent {
+        use voltascope_sim::{SimTime, TaskId, TraceEvent};
+        TraceEvent {
+            task: TaskId::from_index(i),
+            label: label.into(),
+            category: "fp".into(),
+            resource: Some("gpu0".into()),
+            start: SimTime::from_nanos(start_ns),
+            end: SimTime::from_nanos(end_ns),
+        }
+    }
+
+    #[test]
+    fn sub_microsecond_kernels_keep_fractional_timing() {
+        // Two adjacent 300 ns kernels. The old exporter truncated ts
+        // with as_micros() and fabricated dur.max(1), rendering both
+        // at ts 0 with 1 µs durations — overlapping events that never
+        // overlapped.
+        let json = chrome_trace(&Trace::new(vec![
+            event(0, "k0", 0, 300),
+            event(1, "k1", 300, 600),
+        ]));
+        assert!(json.contains("\"ts\":0,\"dur\":0.3"), "{json}");
+        assert!(json.contains("\"ts\":0.3,\"dur\":0.3"), "{json}");
+        assert!(!json.contains("\"dur\":1}"), "no fabricated 1 µs: {json}");
+        assert_json(&json);
+    }
+
+    #[test]
+    fn fractional_microseconds_trim_trailing_zeros() {
+        assert_eq!(micros(3_000), "3");
+        assert_eq!(micros(300), "0.3");
+        assert_eq!(micros(1_250), "1.25");
+        assert_eq!(micros(1_234), "1.234");
+        assert_eq!(micros(0), "0");
+        assert_eq!(micros(1_000_001), "1000.001");
+    }
+
+    #[test]
+    fn control_characters_escape_to_strict_json() {
+        // The old escape() replaced control characters with a space,
+        // silently corrupting the label; now they become proper JSON
+        // escapes and the document stays strictly parseable.
+        let json = chrome_trace(&Trace::new(vec![event(0, "a\tb\nc\u{1}d", 0, 5_000)]));
+        assert!(json.contains("a\\tb\\nc\\u0001d"), "{json}");
+        assert_json(&json);
+    }
+
+    #[test]
+    fn exported_documents_parse_as_strict_json() {
+        assert_json(&chrome_trace(&demo()));
+        assert_json(&chrome_trace_with_tracks(&demo(), &["gpu0.compute"]));
+    }
+
+    /// Minimal strict JSON validator (RFC 8259): panics with a
+    /// position on the first violation. Kept test-local because the
+    /// workspace deliberately has no JSON dependency.
+    fn assert_json(s: &str) {
+        let b = s.as_bytes();
+        let mut i = 0;
+        skip_ws(b, &mut i);
+        value(b, &mut i);
+        skip_ws(b, &mut i);
+        assert_eq!(i, b.len(), "trailing bytes after JSON value");
+    }
+
+    fn skip_ws(b: &[u8], i: &mut usize) {
+        while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+            *i += 1;
+        }
+    }
+
+    fn value(b: &[u8], i: &mut usize) {
+        match b.get(*i) {
+            Some(b'{') => {
+                *i += 1;
+                skip_ws(b, i);
+                if b.get(*i) == Some(&b'}') {
+                    *i += 1;
+                    return;
+                }
+                loop {
+                    skip_ws(b, i);
+                    string(b, i);
+                    skip_ws(b, i);
+                    assert_eq!(b.get(*i), Some(&b':'), "expected ':' at {i}");
+                    *i += 1;
+                    skip_ws(b, i);
+                    value(b, i);
+                    skip_ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b'}') => {
+                            *i += 1;
+                            return;
+                        }
+                        other => panic!("expected ',' or '}}' at {i}, got {other:?}"),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *i += 1;
+                skip_ws(b, i);
+                if b.get(*i) == Some(&b']') {
+                    *i += 1;
+                    return;
+                }
+                loop {
+                    skip_ws(b, i);
+                    value(b, i);
+                    skip_ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b']') => {
+                            *i += 1;
+                            return;
+                        }
+                        other => panic!("expected ',' or ']' at {i}, got {other:?}"),
+                    }
+                }
+            }
+            Some(b'"') => string(b, i),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, i),
+            other => panic!("unexpected JSON byte at {i}: {other:?}"),
+        }
+    }
+
+    fn string(b: &[u8], i: &mut usize) {
+        assert_eq!(b.get(*i), Some(&b'"'), "expected '\"' at {i}");
+        *i += 1;
+        loop {
+            match b.get(*i) {
+                Some(b'"') => {
+                    *i += 1;
+                    return;
+                }
+                Some(b'\\') => {
+                    *i += 1;
+                    match b.get(*i) {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *i += 1,
+                        Some(b'u') => {
+                            for k in 1..=4 {
+                                assert!(
+                                    b.get(*i + k).is_some_and(u8::is_ascii_hexdigit),
+                                    "bad \\u escape at {i}"
+                                );
+                            }
+                            *i += 5;
+                        }
+                        other => panic!("bad escape at {i}: {other:?}"),
+                    }
+                }
+                Some(c) if *c < 0x20 => panic!("raw control character 0x{c:02x} at {i}"),
+                Some(_) => *i += 1,
+                None => panic!("unterminated string"),
+            }
+        }
+    }
+
+    fn number(b: &[u8], i: &mut usize) {
+        if b.get(*i) == Some(&b'-') {
+            *i += 1;
+        }
+        assert!(
+            b.get(*i).is_some_and(u8::is_ascii_digit),
+            "expected digit at {i}"
+        );
+        while b.get(*i).is_some_and(u8::is_ascii_digit) {
+            *i += 1;
+        }
+        if b.get(*i) == Some(&b'.') {
+            *i += 1;
+            assert!(
+                b.get(*i).is_some_and(u8::is_ascii_digit),
+                "digit must follow '.' at {i}"
+            );
+            while b.get(*i).is_some_and(u8::is_ascii_digit) {
+                *i += 1;
+            }
+        }
     }
 }

@@ -224,6 +224,113 @@ proptest! {
     }
 }
 
+/// Start values sitting on every LEB128 varint width boundary, plus
+/// the top of the clock (deltas near `u64::MAX` wrap).
+const START_BOUNDARIES: [u64; 9] = [
+    0,
+    1,
+    127,
+    128,
+    16_383,
+    16_384,
+    2_097_151,
+    2_097_152,
+    u64::MAX - 5_000,
+];
+
+/// Durations covering zero-length markers, sub-µs kernels, and varint
+/// width boundaries.
+const DURATIONS: [u64; 6] = [0, 1, 127, 128, 300, 16_384];
+
+/// Builds a report whose scalars come from `arb_report` but whose
+/// trace is exactly `events`.
+fn report_with_trace(seed: u64, events: Vec<TraceEvent>) -> Arc<EpochReport> {
+    let mut report = (*arb_report(seed)).clone();
+    report.iter_trace = Trace::new(events);
+    Arc::new(report)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// v5 compact trace blocks round-trip through every encoding edge:
+    /// empty traces, single events, duplicate labels (interning),
+    /// `u64::MAX`-adjacent spans, zero-duration markers, and start
+    /// deltas straddling every varint width boundary — and the lazy
+    /// decode path yields exactly what the eager one does, with
+    /// re-save byte-identity throughout.
+    #[test]
+    fn v5_trace_blocks_roundtrip_through_edge_cases(
+        seed in 0u64..10_000,
+        specs in proptest::collection::vec(
+            (0usize..9, 0u64..5_000, 0usize..6, 0usize..3, proptest::bool::ANY),
+            0..12
+        ),
+    ) {
+        let events: Vec<TraceEvent> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(b, off, d, lab, res))| {
+                let start = START_BOUNDARIES[b].saturating_add(off);
+                TraceEvent {
+                    task: TaskId::from_index(i),
+                    // Small label space forces duplicate interning.
+                    label: format!("kernel{lab}"),
+                    category: ["fp", "wu", "comm"][lab].to_string(),
+                    resource: res.then(|| format!("GPU{lab}.compute")),
+                    start: SimTime::from_nanos(start),
+                    end: SimTime::from_nanos(start.saturating_add(DURATIONS[d])),
+                }
+            })
+            .collect();
+        let fp = seed ^ 0xabcd;
+        let entries = vec![(arb_cell(seed), report_with_trace(seed, events.clone()))];
+        let bytes = encode(fp, &entries);
+
+        // Eager decode reproduces the events and re-saves identically.
+        let decoded = decode(&bytes, fp).expect("edge-case snapshot must decode");
+        prop_assert_eq!(decoded[0].1.iter_trace.events(), &events[..]);
+        prop_assert_eq!(encode(fp, &decoded), bytes.clone(), "re-save drifted");
+
+        // Lazy decode agrees with eager, event for event.
+        let image: Arc<[u8]> = bytes.clone().into();
+        let lazy = persist::decode_entries_lazy(&image, fp).expect("lazy decode");
+        prop_assert_eq!(lazy.len(), 1);
+        prop_assert!(
+            lazy[0].1.iter_trace.events().is_empty(),
+            "lazy report must not carry decoded events"
+        );
+        match &lazy[0].2 {
+            persist::EntryTrace::Lazy(block) => {
+                prop_assert_eq!(&block.decode().expect("block decodes")[..], &events[..]);
+                // Decoding is deterministic.
+                prop_assert_eq!(block.decode().unwrap(), block.decode().unwrap());
+            }
+            persist::EntryTrace::Slim => {
+                prop_assert!(false, "full entries must load as lazy blocks");
+            }
+        }
+
+        // Copying the still-encoded block through a re-save
+        // (TraceOut::Raw) is byte-identical to re-encoding.
+        let raw_entries: Vec<(Cell, Arc<EpochReport>, persist::TraceOut)> = lazy
+            .iter()
+            .map(|(c, r, t)| {
+                let out = match t {
+                    persist::EntryTrace::Lazy(b) => persist::TraceOut::Raw(b.clone()),
+                    persist::EntryTrace::Slim => persist::TraceOut::Slim,
+                };
+                (*c, r.clone(), out)
+            })
+            .collect();
+        prop_assert_eq!(
+            persist::encode_with_traces(fp, &raw_entries),
+            bytes,
+            "raw copy-through drifted from the original image"
+        );
+    }
+}
+
 #[test]
 fn stale_files_fail_with_the_right_typed_error() {
     let entries = arb_entries(42, 2);
@@ -290,7 +397,9 @@ fn warm_service_is_equivalent_to_cold_over_a_mixed_stream() {
     assert!(matches!(status, SnapshotStatus::Loaded { .. }), "{status}");
     let warm_outs: Vec<_> = stream.iter().map(|s| warm.sweep(s)).collect();
 
-    // Same cells, field-identical reports, zero recomputation.
+    // Same cells, field-identical scalars, zero recomputation. The
+    // table-only (non-traced) sweeps serve lazy entries without
+    // decoding a single trace event.
     for (c_out, w_out) in cold_outs.iter().zip(warm_outs.iter()) {
         assert_eq!(c_out.cells(), w_out.cells());
         for ((cell, c), (_, w)) in c_out.iter().zip(w_out.iter()) {
@@ -306,7 +415,10 @@ fn warm_service_is_equivalent_to_cold_over_a_mixed_stream() {
                 w.compute_utilization.to_bits(),
                 "{cell:?}"
             );
-            assert_eq!(c.iter_trace.events(), w.iter_trace.events(), "{cell:?}");
+            assert!(
+                w.iter_trace.events().is_empty(),
+                "{cell:?}: non-traced warm serve must stay lazy"
+            );
         }
     }
     let warm_stats = warm.stats();
@@ -316,8 +428,14 @@ fn warm_service_is_equivalent_to_cold_over_a_mixed_stream() {
         "warm hit rate {:.3} below the acceptance bar",
         warm_stats.hit_rate()
     );
+    assert_eq!(
+        warm.trace_decodes(),
+        0,
+        "table-only sweeps must not decode any trace block"
+    );
 
-    // Re-saving the untouched warm cache reproduces the same bytes.
+    // Re-saving the untouched warm cache reproduces the same bytes:
+    // undecoded lazy blocks are copied through verbatim.
     let resaved = path.with_extension("snap2");
     warm.save(&resaved).unwrap();
     assert_eq!(
@@ -325,8 +443,35 @@ fn warm_service_is_equivalent_to_cold_over_a_mixed_stream() {
         std::fs::read(&resaved).unwrap(),
         "warm re-save must be byte-identical"
     );
+
+    // Trace consumers get the full cold traces back via lazy decode —
+    // still without recomputing anything.
+    for c_out in &cold_outs {
+        let cells: Vec<Cell> = c_out.cells().to_vec();
+        let traced = warm.run_cells_traced(&cells, true);
+        for ((cell, c), w) in c_out.iter().zip(traced.iter()) {
+            assert_eq!(c.iter_trace.events(), w.iter_trace.events(), "{cell:?}");
+        }
+    }
+    assert_eq!(
+        warm.stats().computed,
+        0,
+        "traced requests decode lazily, never recompute"
+    );
+    assert!(warm.trace_decodes() > 0, "traced requests decode");
+
+    // Re-saving after decoding is byte-identical too: a decoded entry
+    // re-encodes to exactly its original canonical block.
+    let resaved_decoded = path.with_extension("snap3");
+    warm.save(&resaved_decoded).unwrap();
+    assert_eq!(
+        std::fs::read(&path).unwrap(),
+        std::fs::read(&resaved_decoded).unwrap(),
+        "post-decode re-save must be byte-identical"
+    );
     std::fs::remove_file(&path).unwrap();
     std::fs::remove_file(&resaved).unwrap();
+    std::fs::remove_file(&resaved_decoded).unwrap();
 }
 
 #[test]
@@ -345,9 +490,12 @@ fn slim_warm_service_serves_equivalent_scalars_and_recomputes_for_traces() {
     cold.save(&full_path).unwrap();
     let slim_len = std::fs::metadata(&slim_path).unwrap().len();
     let full_len = std::fs::metadata(&full_path).unwrap().len();
+    // v5's compressed trace blocks narrowed the gap (the old full
+    // format was ~10x slim), but dropping traces must still win
+    // clearly.
     assert!(
-        slim_len < full_len / 10,
-        "slim snapshot ({slim_len} B) should be far smaller than full ({full_len} B)"
+        slim_len * 2 < full_len,
+        "slim snapshot ({slim_len} B) should be well under half of full ({full_len} B)"
     );
 
     // A slim-warm service answers the whole stream from cache with
