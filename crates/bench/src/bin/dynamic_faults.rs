@@ -1,0 +1,243 @@
+//! Dynamic-topology events: mid-epoch faults and chunk-level
+//! collective contention.
+//!
+//! Two tables:
+//!
+//! 1. **Mid-epoch faults** — AlexNet over NCCL (batch 16, 8 GPUs) with
+//!    GPU3's NVLink interface dying (and, separately, GPU3 starting to
+//!    throttle) at 50% of the epoch, bracketed by the healthy epoch and
+//!    the same fault existing from t=0. The mid-epoch rows must land
+//!    strictly between their brackets: the pre-fault half ran at the
+//!    healthy pace, the in-flight iteration re-routed through the
+//!    engine's dynamic-event machinery, and the tail renegotiated.
+//!    The sweep is issued through the caching `GridService`; set
+//!    `VOLTASCOPE_CACHE` to warm-start from (and re-save) a snapshot.
+//! 2. **Chunk-level contention** — two concurrent ring AllReduces
+//!    (64 MiB and 1 MiB) over the 8-GPU DGX-1 ring, whole-transfer
+//!    versus NCCL-style chunked link arbitration (Simple protocol,
+//!    512 KiB chunks). Chunking lets the small collective interleave
+//!    with the big one's chunks instead of waiting out its whole
+//!    transfer, while the combined makespan (total link work) is
+//!    conserved. Analytic single-collective floors (`2(N-1)/N x B` over
+//!    the 25 GB/s ring bottleneck) cross-check both modes.
+//!
+//! Both tables' orderings are asserted before printing, so a semantics
+//! regression fails the run itself, not just the golden diff.
+
+use std::collections::BTreeMap;
+
+use voltascope::grid::{FaultScenario, GridSpec};
+use voltascope_comm::collective::{all_reduce, NcclCosts, PerGpuDone};
+use voltascope_comm::{BandwidthEfficiency, CommMethod, LinkNetwork, Ring, Selection, TuningSpace};
+use voltascope_dnn::zoo::Workload;
+use voltascope_profile::TextTable;
+use voltascope_sim::{Engine, SimSpan, TaskGraph};
+use voltascope_topo::dgx1_v100;
+
+/// The mid-epoch sweep: each dynamic scenario sandwiched between the
+/// healthy baseline and its static (from-t=0) twin.
+const SCENARIOS: [FaultScenario; 5] = [
+    FaultScenario::Healthy,
+    FaultScenario::MidEpochDeadNvLink,
+    FaultScenario::DeadNvLink,
+    FaultScenario::MidEpochStraggler,
+    FaultScenario::StragglerGpu,
+];
+
+fn main() {
+    let service = voltascope_bench::service();
+    let spec = GridSpec::paper()
+        .workloads([Workload::AlexNet])
+        .comms([CommMethod::Nccl])
+        .batches([16])
+        .gpu_counts([8])
+        .faults(SCENARIOS);
+    let out = service.sweep(&spec);
+    let epoch_of = |f: FaultScenario| -> f64 {
+        out.iter()
+            .find(|(c, _)| c.fault == f)
+            .expect("swept scenario")
+            .1
+            .epoch_time
+            .as_secs_f64()
+    };
+    let healthy = epoch_of(FaultScenario::Healthy);
+    for (mid, from_start) in [
+        (FaultScenario::MidEpochDeadNvLink, FaultScenario::DeadNvLink),
+        (
+            FaultScenario::MidEpochStraggler,
+            FaultScenario::StragglerGpu,
+        ),
+    ] {
+        let (m, s) = (epoch_of(mid), epoch_of(from_start));
+        assert!(
+            healthy < m && m < s,
+            "{} must land strictly between healthy ({healthy:.3}s) and {} ({s:.3}s), got {m:.3}s",
+            mid.name(),
+            from_start.name(),
+        );
+    }
+    let mut faults = TextTable::new(["Scenario", "Epoch (s)", "d vs healthy (%)"]);
+    for f in SCENARIOS {
+        let e = epoch_of(f);
+        faults.row([
+            f.name().to_string(),
+            format!("{e:.2}"),
+            format!("{:+.2}", 100.0 * (e - healthy) / healthy),
+        ]);
+    }
+    voltascope_bench::emit(
+        "Mid-epoch faults: AlexNet / NCCL (batch 16, 8 GPUs), fault at 50% vs from t=0",
+        &faults,
+    );
+    voltascope_bench::emit(
+        "Chunk-level contention: concurrent 64 MiB + 1 MiB ring AllReduce (8 GPUs)",
+        &contention(),
+    );
+    voltascope_bench::save_service(&service);
+}
+
+/// Bare-link NCCL costs: zero fixed overheads and unit efficiency so
+/// the engine times are directly comparable to the analytic
+/// `2(N-1)/N x B / bw` floors.
+fn bare_costs(chunking: bool) -> NcclCosts {
+    NcclCosts {
+        kernel_overhead: SimSpan::ZERO,
+        epoch_setup: SimSpan::ZERO,
+        step_overhead: SimSpan::ZERO,
+        bandwidth_efficiency: BandwidthEfficiency::new(1.0).expect("unit efficiency"),
+        group_call_overhead: SimSpan::ZERO,
+        tuning: TuningSpace::paper(),
+        chunking,
+    }
+}
+
+const GPUS: usize = 8;
+const BIG_BYTES: u64 = 64 << 20;
+const SMALL_BYTES: u64 = 1 << 20;
+/// The 8-GPU DGX-1 NVLink ring bottleneck: a single 25 GB/s lane.
+const BOTTLENECK_BYTES_PER_SEC: f64 = 25.0e9;
+
+/// Analytic solo floor of a ring AllReduce of `bytes` per rank: every
+/// link carries `2(N-1)/N x bytes`, gated by the bottleneck lane.
+fn solo_floor_s(bytes: u64) -> f64 {
+    2.0 * (GPUS as f64 - 1.0) / GPUS as f64 * bytes as f64 / BOTTLENECK_BYTES_PER_SEC
+}
+
+/// Emits both collectives (big first, so FIFO link arbitration makes
+/// the small one the victim), runs the engine, and returns `(big
+/// finish, small finish, makespan)` in seconds.
+fn run_contention(chunking: bool) -> (f64, f64, f64) {
+    let topo = dgx1_v100();
+    let mut graph = TaskGraph::new();
+    let net = LinkNetwork::register(&mut graph, &topo);
+    let mut compute = BTreeMap::new();
+    let mut ready: PerGpuDone = BTreeMap::new();
+    for g in 0..GPUS {
+        let d = voltascope_topo::Device::gpu(g as u8);
+        let r = graph.add_resource(format!("{d}.compute"), 1);
+        compute.insert(d, r);
+        ready.insert(d, graph.task(format!("bp@{d}")).category("bp").build());
+    }
+    let ring = Ring::build(&topo, GPUS);
+    let costs = bare_costs(chunking);
+    let big = all_reduce(
+        &mut graph,
+        &net,
+        &topo,
+        &ring,
+        BIG_BYTES,
+        &ready,
+        &compute,
+        &costs,
+        &Selection::PAPER,
+        "big",
+    )
+    .expect("big all-reduce emits");
+    let small = all_reduce(
+        &mut graph,
+        &net,
+        &topo,
+        &ring,
+        SMALL_BYTES,
+        &ready,
+        &compute,
+        &costs,
+        &Selection::PAPER,
+        "small",
+    )
+    .expect("small all-reduce emits");
+    let s = Engine::new().run(&graph).expect("contention graph runs");
+    let finish = |done: &PerGpuDone| {
+        done.values()
+            .map(|&t| s.finish_time(t))
+            .max()
+            .expect("non-empty collective")
+            .as_secs_f64()
+    };
+    (finish(&big), finish(&small), s.makespan().as_secs_f64())
+}
+
+fn contention() -> TextTable {
+    let (big_whole, small_whole, mk_whole) = run_contention(false);
+    let (big_chunked, small_chunked, mk_chunked) = run_contention(true);
+    let (big_floor, small_floor) = (solo_floor_s(BIG_BYTES), solo_floor_s(SMALL_BYTES));
+    let combined_floor = big_floor + small_floor;
+
+    // Whole-transfer arbitration serialises the victim behind the
+    // aggressor's entire transfer on the shared bottleneck hop.
+    assert!(
+        small_whole >= 0.99 * combined_floor,
+        "whole-transfer small finished at {small_whole}s, below the serialised floor {combined_floor}s"
+    );
+    // Chunked arbitration must beat serialisation strictly (>25%).
+    assert!(
+        small_chunked < 0.75 * small_whole,
+        "chunked small {small_chunked}s not strictly faster than serialised {small_whole}s"
+    );
+    // ...but never its own physics.
+    assert!(
+        small_chunked >= 0.99 * small_floor,
+        "chunked small {small_chunked}s beat its analytic floor {small_floor}s"
+    );
+    // Link work is conserved: chunking reorders, it does not shrink.
+    for mk in [mk_whole, mk_chunked] {
+        assert!(
+            mk >= 0.99 * combined_floor,
+            "makespan {mk}s below the combined analytic floor {combined_floor}s"
+        );
+    }
+    // (sub-microsecond slack: integer chunk splits round each chunk's
+    // transfer to whole nanoseconds)
+    assert!(
+        (mk_chunked - mk_whole).abs() <= 1e-6 * mk_whole + 1e-6,
+        "chunking moved the combined makespan: {mk_chunked}s vs {mk_whole}s"
+    );
+
+    let ms = |s: f64| format!("{:.3}", 1e3 * s);
+    let mut table = TextTable::new([
+        "Arbitration",
+        "Big done (ms)",
+        "Small done (ms)",
+        "Makespan (ms)",
+    ]);
+    table.row([
+        "whole-transfer".to_string(),
+        ms(big_whole),
+        ms(small_whole),
+        ms(mk_whole),
+    ]);
+    table.row([
+        "chunked (Simple, 512 KiB)".to_string(),
+        ms(big_chunked),
+        ms(small_chunked),
+        ms(mk_chunked),
+    ]);
+    table.row([
+        "analytic solo floor".to_string(),
+        ms(big_floor),
+        ms(small_floor),
+        ms(combined_floor),
+    ]);
+    table
+}

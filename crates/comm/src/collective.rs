@@ -20,7 +20,7 @@
 use std::collections::BTreeMap;
 
 use voltascope_sim::{ResourceId, SimSpan, TaskGraph, TaskId};
-use voltascope_topo::{Device, Topology};
+use voltascope_topo::{Bandwidth, Device, Topology};
 
 use crate::network::LinkNetwork;
 use crate::protocol::{
@@ -65,6 +65,19 @@ pub struct NcclCosts {
     /// [`TuningSpace::from_env`]: the calibrated paper singleton
     /// unless `VOLTASCOPE_NCCL_PROTO` overrides it.
     pub tuning: TuningSpace,
+    /// Emit link occupancy as *chained chunk tasks* at the protocol's
+    /// step granularity ([`Protocol::chunk_bytes`]) instead of one
+    /// whole-transfer task. Each chunk releases the per-direction link
+    /// resource when it completes, so two collectives sharing a link
+    /// interleave chunk-by-chunk under FIFO arbitration — the way
+    /// NCCL's slot-recycled pipeline actually shares a link — instead
+    /// of serialising whole transfers. Off by default: the calibrated
+    /// golden scenarios are priced on whole-transfer occupancy, and
+    /// chunking multiplies the task count by up to 32 per hop.
+    /// Host-bounced fallback routes stay unchunked either way (their
+    /// store-and-forward legs already occupy each PCIe/QPI resource
+    /// separately).
+    pub chunking: bool,
 }
 
 impl Default for NcclCosts {
@@ -76,6 +89,7 @@ impl Default for NcclCosts {
             bandwidth_efficiency: BandwidthEfficiency::default(),
             group_call_overhead: SimSpan::from_micros(300),
             tuning: TuningSpace::from_env(),
+            chunking: false,
         }
     }
 }
@@ -131,6 +145,67 @@ pub fn effective_wire_bytes(
         context: "effective wire bytes",
         bytes: data_bytes,
     })
+}
+
+/// Upper bound on chunk tasks per hop when [`NcclCosts::chunking`] is
+/// on: beyond this the split stops refining arbitration granularity
+/// and only inflates the task graph.
+const MAX_CHUNKS_PER_HOP: u64 = 32;
+
+/// Exact byte split of a `wire_bytes` transfer into chunk tasks at the
+/// protocol's step granularity: `ceil(wire / chunk_bytes)` chunks,
+/// capped at [`MAX_CHUNKS_PER_HOP`], sizes differing by at most one
+/// byte and summing to exactly `wire_bytes` (no rounding loss — the
+/// byte-conservation property the metamorphic suite checks).
+pub fn chunk_split(wire_bytes: u64, protocol: Protocol) -> Vec<u64> {
+    let k = wire_bytes
+        .div_ceil(protocol.chunk_bytes())
+        .clamp(1, MAX_CHUNKS_PER_HOP);
+    let (base, rem) = (wire_bytes / k, wire_bytes % k);
+    (0..k).map(|i| base + u64::from(i < rem)).collect()
+}
+
+/// Emits the occupancy of one direct-link hop as a chain of chunk
+/// tasks on `res`: chunk `j+1` starts only after chunk `j` completes,
+/// so the link resource is *released between chunks* and a competing
+/// collective's queued chunk can slot in (FIFO per-direction
+/// arbitration). `first_extra` is charged on the first chunk (the
+/// direct-transfer latency term of the tree edges; zero for ring hops,
+/// whose latency is a parallel delay task).
+#[allow(clippy::too_many_arguments)]
+fn emit_chunked_hop(
+    graph: &mut TaskGraph,
+    res: Option<ResourceId>,
+    bandwidth: Bandwidth,
+    first_extra: SimSpan,
+    wire_bytes: u64,
+    protocol: Protocol,
+    start: TaskId,
+    category: &str,
+    label: &str,
+) -> TaskId {
+    let chunks = chunk_split(wire_bytes, protocol);
+    let mut prev: Option<TaskId> = None;
+    for (j, &cb) in chunks.iter().enumerate() {
+        let lasting = if j == 0 {
+            first_extra + bandwidth.transfer_time(cb)
+        } else {
+            bandwidth.transfer_time(cb)
+        };
+        let mut builder = graph
+            .task(format!("{label}.c{j}"))
+            .lasting(lasting)
+            .category(category);
+        if let Some(r) = res {
+            builder = builder.on(r);
+        }
+        builder = match prev {
+            Some(p) => builder.after(p),
+            None => builder.after(start),
+        };
+        prev = Some(builder.build());
+    }
+    prev.expect("chunk_split returns at least one chunk")
 }
 
 /// Emits an NCCL-style AllReduce of `bytes` per rank, running the
@@ -347,6 +422,17 @@ fn ring_collective(
             // without accumulating per-call latency on the links (this is
             // the pipelining the paper credits NCCL with, §V-A/§V-B).
             let occupy = match topo.direct_link(from, to) {
+                Some(l) if costs.chunking => emit_chunked_hop(
+                    graph,
+                    net.direct_resource(topo, from, to),
+                    l.bandwidth,
+                    SimSpan::ZERO,
+                    wire_bytes,
+                    sel.protocol,
+                    start,
+                    "wu.nccl.ring",
+                    &format!("{label}.ring{chp}.hop{i}"),
+                ),
                 Some(l) => {
                     let mut builder = graph
                         .task(format!("{label}.ring{chp}.hop{i}"))
@@ -536,16 +622,33 @@ pub fn tree_all_reduce(
                 } else {
                     (gpus[parent], gpus[child])
                 };
-                let t = net.transfer(
-                    graph,
-                    topo,
-                    from,
-                    to,
-                    wire_bytes,
-                    &[start],
-                    "wu.nccl.tree",
-                    &format!("{label}.tree{chp}.{from}>{to}"),
-                );
+                // Direct tree edges chunk like ring hops when chunking
+                // is on; relayed/host-bounced edges keep the staged
+                // transfer emission (their legs already occupy each
+                // intermediate resource separately).
+                let t = match topo.direct_link(from, to) {
+                    Some(l) if costs.chunking => emit_chunked_hop(
+                        graph,
+                        net.direct_resource(topo, from, to),
+                        l.bandwidth,
+                        l.latency,
+                        wire_bytes,
+                        sel.protocol,
+                        start,
+                        "wu.nccl.tree",
+                        &format!("{label}.tree{chp}.{from}>{to}"),
+                    ),
+                    _ => net.transfer(
+                        graph,
+                        topo,
+                        from,
+                        to,
+                        wire_bytes,
+                        &[start],
+                        "wu.nccl.tree",
+                        &format!("{label}.tree{chp}.{from}>{to}"),
+                    ),
+                };
                 edge_tasks.push(t);
             }
         }
@@ -618,6 +721,7 @@ mod tests {
             bandwidth_efficiency: BandwidthEfficiency::new(efficiency).unwrap(),
             group_call_overhead: SimSpan::ZERO,
             tuning: TuningSpace::paper(),
+            chunking: false,
         }
     }
 
@@ -676,6 +780,110 @@ mod tests {
         .unwrap();
         assert_eq!(done.len(), gpus);
         Engine::new().run(&f.graph).unwrap().makespan()
+    }
+
+    #[test]
+    fn chunk_split_conserves_bytes_exactly() {
+        for wire in [
+            0u64,
+            1,
+            (512 << 10) - 1,
+            512 << 10,
+            (512 << 10) + 1,
+            100_000_000,
+            u64::MAX / 2,
+        ] {
+            for p in Protocol::ALL {
+                let chunks = chunk_split(wire, p);
+                assert!(!chunks.is_empty() && chunks.len() <= 32);
+                assert_eq!(chunks.iter().sum::<u64>(), wire, "split of {wire} for {p}");
+                let min = *chunks.iter().min().unwrap();
+                let max = *chunks.iter().max().unwrap();
+                assert!(max - min <= 1, "uneven split of {wire} for {p}");
+            }
+        }
+        // Sub-granularity transfers stay a single task.
+        assert_eq!(chunk_split(4 << 10, Protocol::Simple).len(), 1);
+    }
+
+    #[test]
+    fn a_solo_chunked_ring_matches_the_whole_transfer_emission() {
+        // With the link to itself, chunking changes arbitration
+        // granularity but not the serialisation total: the makespans
+        // agree up to per-chunk nanosecond rounding.
+        let whole = run_all_reduce(4, 80_000_000, &zero_costs(1.0));
+        let mut costs = zero_costs(1.0);
+        costs.chunking = true;
+        let chunked = run_all_reduce(4, 80_000_000, &costs);
+        let diff = (chunked.as_secs_f64() - whole.as_secs_f64()).abs();
+        assert!(diff < 1e-6, "chunked {chunked} vs whole {whole}");
+    }
+
+    /// Two collectives contending for the same ring links: with
+    /// whole-transfer occupancy the big one (emitted first) holds every
+    /// link for its full serialisation and the small one waits; with
+    /// chunking the small one's chunks interleave and it finishes
+    /// strictly earlier, while the total (makespan) stays conserved.
+    #[test]
+    fn chunk_interleaving_lets_a_small_collective_slip_past_a_big_one() {
+        let run = |chunking: bool| {
+            let mut costs = zero_costs(1.0);
+            costs.chunking = chunking;
+            let mut f = fixture(2);
+            let ring = Ring::build(&f.topo, 2);
+            let big = all_reduce(
+                &mut f.graph,
+                &f.net,
+                &f.topo,
+                &ring,
+                64 << 20,
+                &f.ready,
+                &f.compute,
+                &costs,
+                &Selection::PAPER,
+                "big",
+            )
+            .unwrap();
+            let small = all_reduce(
+                &mut f.graph,
+                &f.net,
+                &f.topo,
+                &ring,
+                8 << 20,
+                &f.ready,
+                &f.compute,
+                &costs,
+                &Selection::PAPER,
+                "small",
+            )
+            .unwrap();
+            let s = Engine::new().run(&f.graph).unwrap();
+            let finish = |done: &PerGpuDone| {
+                done.values()
+                    .map(|&t| s.finish_time(t))
+                    .max()
+                    .unwrap()
+                    .as_secs_f64()
+            };
+            (finish(&big), finish(&small), s.makespan().as_secs_f64())
+        };
+        let (big_serial, small_serial, mk_serial) = run(false);
+        let (big_chunked, small_chunked, mk_chunked) = run(true);
+        // Serialised: the small collective waits out the big one's
+        // whole transfer, finishing at ~T_big + T_small.
+        assert!(small_serial > big_serial);
+        // Chunked: the small collective slips between the big one's
+        // chunks and finishes strictly (>25%) earlier.
+        assert!(
+            small_chunked < 0.75 * small_serial,
+            "chunked small {small_chunked} vs serialised {small_serial}"
+        );
+        // Link work is conserved: the combined makespan stays put.
+        assert!(
+            (mk_chunked - mk_serial).abs() < 1e-6 * mk_serial.max(1e-9) + 1e-6,
+            "makespan drifted: {mk_chunked} vs {mk_serial}"
+        );
+        let _ = big_chunked;
     }
 
     #[test]
@@ -1146,6 +1354,33 @@ mod tree_tests {
             let s = Engine::new().run(&graph).unwrap();
             assert!(!s.makespan().is_zero());
         }
+    }
+
+    #[test]
+    fn a_solo_chunked_tree_matches_the_whole_transfer_emission() {
+        let run = |chunking: bool| {
+            let mut costs = paper_costs();
+            costs.chunking = chunking;
+            let (topo, mut graph, net, compute, ready, devs) = fixture(8);
+            let _ = tree_all_reduce(
+                &mut graph,
+                &net,
+                &topo,
+                &devs,
+                16 << 20,
+                &ready,
+                &compute,
+                &costs,
+                &Selection::PAPER,
+                "tar",
+            )
+            .unwrap();
+            Engine::new().run(&graph).unwrap().makespan()
+        };
+        let whole = run(false);
+        let chunked = run(true);
+        let diff = (chunked.as_secs_f64() - whole.as_secs_f64()).abs();
+        assert!(diff < 1e-6, "chunked {chunked} vs whole {whole}");
     }
 
     #[test]

@@ -185,6 +185,23 @@ impl Protocol {
         }
     }
 
+    /// Chunk-step granularity in wire bytes: how much of a transfer
+    /// one pipeline step moves before the slot is recycled. NCCL
+    /// slices its per-channel buffer (4 MiB for Simple) into
+    /// `NCCL_STEPS = 8` slots, so a Simple step carries 512 KiB;
+    /// LL128's 120/128 line efficiency trims the data per slot, and
+    /// LL's 8-byte flagged lines halve it again. The chunked emission
+    /// ([`crate::collective::NcclCosts::chunking`]) occupies a link
+    /// one step at a time at this granularity, which is what lets two
+    /// collectives sharing the link interleave.
+    pub const fn chunk_bytes(self) -> u64 {
+        match self {
+            Protocol::Ll => 256 << 10,
+            Protocol::Ll128 => 480 << 10,
+            Protocol::Simple => 512 << 10,
+        }
+    }
+
     /// Per-channel protocol processing throughput cap in bytes/sec, if
     /// any. LL and LL128 burn SM cycles packing lines and spinning on
     /// flags, so a single channel cannot saturate an NVLink lane —
@@ -495,5 +512,17 @@ mod tests {
         assert_eq!(Protocol::Ll.wire_fraction(), (1, 2));
         assert_eq!(Protocol::Ll128.wire_fraction(), (15, 16));
         assert_eq!(Protocol::Simple.wire_fraction(), (1, 1));
+    }
+
+    #[test]
+    fn chunk_granularity_orders_with_line_efficiency() {
+        // Simple moves a full 512 KiB buffer slot per step; the
+        // flagged-line protocols carry less data per slot.
+        assert_eq!(Protocol::Simple.chunk_bytes(), 512 << 10);
+        assert!(Protocol::Ll128.chunk_bytes() < Protocol::Simple.chunk_bytes());
+        assert!(Protocol::Ll.chunk_bytes() < Protocol::Ll128.chunk_bytes());
+        for p in Protocol::ALL {
+            assert!(p.chunk_bytes() > 0);
+        }
     }
 }

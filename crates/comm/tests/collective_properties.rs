@@ -1,12 +1,16 @@
 //! Property tests of the collective timing models: makespans are
-//! monotone in payload size, and no configuration — including degraded
-//! topologies with dead links or a dead NVLink interface — can
-//! deadlock the engine.
+//! monotone in payload size, chunked emission is metamorphic (the byte
+//! split conserves the wire total and a solo collective's makespan),
+//! and no configuration — including degraded topologies with dead
+//! links or a dead NVLink interface — can deadlock the engine.
 
 use std::collections::BTreeMap;
 
 use proptest::prelude::*;
-use voltascope_comm::{collective, BandwidthEfficiency, LinkNetwork, Ring, Selection, TuningSpace};
+use voltascope_comm::{
+    collective, BandwidthEfficiency, LinkNetwork, Protocol, Ring, Selection, TuningSpace,
+};
+use voltascope_sim::check::assert_schedule_invariants;
 use voltascope_sim::{Engine, SimSpan, TaskGraph};
 use voltascope_topo::{dgx1_v100, Device, FaultSpec, Topology};
 
@@ -41,11 +45,11 @@ fn ring_all_reduce_makespan(
         "ar",
     )
     .expect("ring AllReduce volumes must not overflow");
-    Engine::new()
+    let s = Engine::new()
         .run(&graph)
-        .expect("ring AllReduce must never deadlock")
-        .makespan()
-        .as_secs_f64()
+        .expect("ring AllReduce must never deadlock");
+    assert_schedule_invariants(&graph, &s);
+    s.makespan().as_secs_f64()
 }
 
 /// Same for the flat tree AllReduce.
@@ -79,11 +83,11 @@ fn tree_all_reduce_makespan(
         "tar",
     )
     .expect("tree AllReduce volumes must not overflow");
-    Engine::new()
+    let s = Engine::new()
         .run(&graph)
-        .expect("tree AllReduce must never deadlock")
-        .makespan()
-        .as_secs_f64()
+        .expect("tree AllReduce must never deadlock");
+    assert_schedule_invariants(&graph, &s);
+    s.makespan().as_secs_f64()
 }
 
 /// Healthy DGX-1 plus the two canned degraded variants: one dead
@@ -107,6 +111,7 @@ fn arb_costs() -> impl Strategy<Value = collective::NcclCosts> {
                 .expect("swept efficiencies are valid"),
             group_call_overhead: SimSpan::from_micros(group),
             tuning: TuningSpace::paper(),
+            chunking: false,
         },
     )
 }
@@ -153,6 +158,62 @@ proptest! {
                 small + extra
             );
         }
+    }
+
+    /// Metamorphic: chunking a wire transfer conserves bytes exactly —
+    /// the split sums back to the whole for any payload and protocol,
+    /// chunk sizes differ by at most one byte, and the chunk count
+    /// follows `ceil(wire / step)` clamped to the per-hop cap.
+    #[test]
+    fn chunk_split_conserves_bytes_for_any_payload(
+        wire in 0u64..(1u64 << 40),
+        proto_sel in 0usize..3,
+    ) {
+        let p = Protocol::ALL[proto_sel % Protocol::ALL.len()];
+        let chunks = collective::chunk_split(wire, p);
+        prop_assert_eq!(
+            chunks.iter().sum::<u64>(),
+            wire,
+            "split of {} for {:?} lost bytes",
+            wire,
+            p
+        );
+        prop_assert_eq!(
+            chunks.len() as u64,
+            wire.div_ceil(p.chunk_bytes()).clamp(1, 32),
+            "chunk count law broken for {} bytes under {:?}",
+            wire,
+            p
+        );
+        let min = *chunks.iter().min().unwrap();
+        let max = *chunks.iter().max().unwrap();
+        prop_assert!(max - min <= 1, "uneven split of {} for {:?}", wire, p);
+    }
+
+    /// Metamorphic: with no contending collective, chunked emission
+    /// re-times the same link work at a finer granularity — the solo
+    /// ring makespan is conserved up to per-chunk integer-nanosecond
+    /// rounding.
+    #[test]
+    fn chunking_preserves_the_solo_ring_makespan(
+        bytes in 1u64..(1 << 26),
+        n in 2usize..9,
+    ) {
+        let topo = dgx1_v100();
+        let mut costs = collective::NcclCosts::default();
+        let whole = ring_all_reduce_makespan(&topo, n, bytes, &costs);
+        costs.chunking = true;
+        let chunked = ring_all_reduce_makespan(&topo, n, bytes, &costs);
+        // Each of <= 32 chunks per hop rounds its transfer to whole
+        // nanoseconds, so allow sub-microsecond absolute drift.
+        prop_assert!(
+            (chunked - whole).abs() <= 1e-6 * whole + 1e-6,
+            "chunking moved a solo ring makespan: {} -> {} ({} bytes, {} GPUs)",
+            whole,
+            chunked,
+            bytes,
+            n
+        );
     }
 
     /// No GPU count, payload, or cost parameterisation deadlocks either

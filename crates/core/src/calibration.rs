@@ -82,6 +82,7 @@ pub fn dgx1_system() -> SystemModel {
             .unwrap_or_else(|e| panic!("calibration constant rejected: {e}")),
         group_call_overhead: SimSpan::from_micros(300),
         tuning: TuningSpace::from_env(),
+        chunking: false,
     };
     SystemModel {
         topo: voltascope_topo::dgx1_v100(),

@@ -295,6 +295,46 @@ mod tests {
     }
 
     #[test]
+    fn mid_epoch_dead_interface_brackets_healthy_and_always_dead() {
+        // The dynamic scenario's epoch must land strictly between the
+        // healthy epoch (the fault costs something) and its static
+        // twin's (half the epoch ran at the healthy pace).
+        let h = Harness::paper();
+        let spec = spec()
+            .workloads([Workload::AlexNet])
+            .comms([CommMethod::Nccl])
+            .faults([
+                FaultScenario::Healthy,
+                FaultScenario::DeadNvLink,
+                FaultScenario::MidEpochDeadNvLink,
+            ]);
+        let rows: Vec<DegradedRow> = grid_rows(&h, &spec, Executor::Serial)
+            .into_pairs()
+            .map(|(_, r)| r)
+            .collect();
+        let healthy = epoch_of(
+            &rows,
+            Workload::AlexNet,
+            CommMethod::Nccl,
+            FaultScenario::Healthy,
+        );
+        let dead = epoch_of(
+            &rows,
+            Workload::AlexNet,
+            CommMethod::Nccl,
+            FaultScenario::DeadNvLink,
+        );
+        let mid = epoch_of(
+            &rows,
+            Workload::AlexNet,
+            CommMethod::Nccl,
+            FaultScenario::MidEpochDeadNvLink,
+        );
+        assert!(mid > healthy * 1.001, "mid {mid} vs healthy {healthy}");
+        assert!(mid < dead * 0.999, "mid {mid} vs always-dead {dead}");
+    }
+
+    #[test]
     fn second_straggler_at_same_factor_barely_moves_the_epoch() {
         // Synchronous data parallelism waits for the slowest rank each
         // iteration: a second GPU throttled at the *same* 1.5x factor

@@ -87,6 +87,16 @@ pub enum FaultScenario {
     /// barely moves the epoch beyond the single-straggler case; this
     /// scenario exists to demonstrate that max-of-ranks behaviour.
     TwoStragglers,
+    /// The [`FaultScenario::DeadNvLink`] interface failure striking at
+    /// 50% of the epoch instead of existing from the start: pre-fault
+    /// iterations run healthy, the in-flight iteration re-routes its
+    /// dead-link traffic through the engine's dynamic-event machinery,
+    /// and the tail runs at the renegotiated host-bounced pace.
+    MidEpochDeadNvLink,
+    /// The [`FaultScenario::StragglerGpu`] throttling starting at 50%
+    /// of the epoch: GPU3's in-flight kernels stretch mid-iteration,
+    /// then the tail runs at the statically throttled pace.
+    MidEpochStraggler,
 }
 
 impl FaultScenario {
@@ -102,11 +112,13 @@ impl FaultScenario {
 
     /// Every canned scenario, including those outside the canonical
     /// golden sweep.
-    pub const EXTENDED: [FaultScenario; 4] = [
+    pub const EXTENDED: [FaultScenario; 6] = [
         FaultScenario::Healthy,
         FaultScenario::DeadNvLink,
         FaultScenario::StragglerGpu,
         FaultScenario::TwoStragglers,
+        FaultScenario::MidEpochDeadNvLink,
+        FaultScenario::MidEpochStraggler,
     ];
 
     /// Display name.
@@ -116,18 +128,39 @@ impl FaultScenario {
             FaultScenario::DeadNvLink => "dead NVLink (GPU3)",
             FaultScenario::StragglerGpu => "straggler GPU3 (1.5x)",
             FaultScenario::TwoStragglers => "stragglers GPU3+GPU6 (1.5x)",
+            FaultScenario::MidEpochDeadNvLink => "dead NVLink (GPU3) at 50%",
+            FaultScenario::MidEpochStraggler => "straggler GPU3 (1.5x) at 50%",
         }
     }
 
-    /// The fault specification this scenario injects.
+    /// The fault specification this scenario injects. For mid-epoch
+    /// scenarios this is the fault that eventually strikes; pair it
+    /// with [`FaultScenario::mid_epoch_fraction`] to decide *when* it
+    /// applies (the grid harness stays healthy and the fault is lowered
+    /// to dynamic engine events instead of rewiring the topology).
     pub fn spec(self) -> FaultSpec {
         match self {
             FaultScenario::Healthy => FaultSpec::new(),
-            FaultScenario::DeadNvLink => FaultSpec::new().kill_nvlinks_of(Device::gpu(3)),
-            FaultScenario::StragglerGpu => FaultSpec::new().slow_gpu(Device::gpu(3), 1.5),
+            FaultScenario::DeadNvLink | FaultScenario::MidEpochDeadNvLink => {
+                FaultSpec::new().kill_nvlinks_of(Device::gpu(3))
+            }
+            FaultScenario::StragglerGpu | FaultScenario::MidEpochStraggler => {
+                FaultSpec::new().slow_gpu(Device::gpu(3), 1.5)
+            }
             FaultScenario::TwoStragglers => {
                 FaultSpec::new().two_stragglers(Device::gpu(3), Device::gpu(6), 1.5)
             }
+        }
+    }
+
+    /// For dynamic scenarios, the epoch fraction at which
+    /// [`FaultScenario::spec`] strikes; `None` for scenarios whose
+    /// fault exists for the whole epoch (the topology is rewired before
+    /// lowering and every iteration pays the degraded price).
+    pub fn mid_epoch_fraction(self) -> Option<f64> {
+        match self {
+            FaultScenario::MidEpochDeadNvLink | FaultScenario::MidEpochStraggler => Some(0.5),
+            _ => None,
         }
     }
 }
@@ -243,10 +276,35 @@ mod tests {
 
     #[test]
     fn healthy_scenario_is_the_empty_spec() {
-        assert!(FaultScenario::Healthy.spec().is_healthy());
-        assert!(!FaultScenario::DeadNvLink.spec().is_healthy());
-        assert!(!FaultScenario::StragglerGpu.spec().is_healthy());
-        assert!(!FaultScenario::TwoStragglers.spec().is_healthy());
+        for f in FaultScenario::EXTENDED {
+            assert_eq!(f.spec().is_healthy(), f == FaultScenario::Healthy, "{f:?}");
+        }
+    }
+
+    #[test]
+    fn mid_epoch_scenarios_strike_halfway_with_their_static_twin_spec() {
+        assert_eq!(
+            FaultScenario::MidEpochDeadNvLink.mid_epoch_fraction(),
+            Some(0.5)
+        );
+        assert_eq!(
+            FaultScenario::MidEpochStraggler.mid_epoch_fraction(),
+            Some(0.5)
+        );
+        for f in FaultScenario::ALL {
+            assert_eq!(f.mid_epoch_fraction(), None, "{f:?}");
+        }
+        assert_eq!(FaultScenario::TwoStragglers.mid_epoch_fraction(), None);
+        // Each dynamic scenario strikes with exactly its static twin's
+        // fault, so the two rows bracket the same damage.
+        assert_eq!(
+            format!("{:?}", FaultScenario::MidEpochDeadNvLink.spec()),
+            format!("{:?}", FaultScenario::DeadNvLink.spec())
+        );
+        assert_eq!(
+            format!("{:?}", FaultScenario::MidEpochStraggler.spec()),
+            format!("{:?}", FaultScenario::StragglerGpu.spec())
+        );
     }
 
     #[test]
@@ -258,6 +316,12 @@ mod tests {
             assert!(FaultScenario::EXTENDED.contains(&f));
         }
         assert!(FaultScenario::EXTENDED.contains(&FaultScenario::TwoStragglers));
+        assert!(FaultScenario::EXTENDED.contains(&FaultScenario::MidEpochDeadNvLink));
+        assert!(FaultScenario::EXTENDED.contains(&FaultScenario::MidEpochStraggler));
+        // Dynamic scenarios must stay out of the frozen canonical sweep.
+        assert!(FaultScenario::ALL
+            .iter()
+            .all(|f| f.mid_epoch_fraction().is_none()));
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::hash::Hash;
 use std::sync::Arc;
 
 use voltascope_dnn::Model;
-use voltascope_train::EpochReport;
+use voltascope_train::{EpochReport, MidEpochFault};
 use voltascope_workload::Definition;
 
 use super::cell::{Cell, FaultScenario, Platform};
@@ -115,20 +115,47 @@ impl GridRunner {
 /// measurement-protocol fields (reps, jitter, seed) are always
 /// inherited unchanged, so post-processing a variant's raw epoch with
 /// the *base* harness is byte-identical to using the variant harness.
+///
+/// Mid-epoch scenarios ([`FaultScenario::mid_epoch_fraction`]) keep
+/// the platform topology *healthy*: their fault strikes at simulation
+/// time via the engine's dynamic-event machinery ([`cell_report`]),
+/// not by rewiring the topology before lowering.
 pub fn harness_for(base: &Harness, platform: Platform, fault: FaultScenario) -> Harness {
-    if platform == Platform::Dgx1 && fault == FaultScenario::Healthy {
+    let static_fault = fault != FaultScenario::Healthy && fault.mid_epoch_fraction().is_none();
+    if platform == Platform::Dgx1 && !static_fault {
         return base.clone();
     }
     let mut sys = base.sys.clone();
     if platform != Platform::Dgx1 {
         sys.topo = platform.topology();
     }
-    if fault != FaultScenario::Healthy {
+    if static_fault {
         sys = sys.with_faults(&fault.spec());
     }
     Harness {
         sys,
         ..base.clone()
+    }
+}
+
+/// Simulates one cell's [`EpochReport`], dispatching on the fault
+/// scenario: static scenarios run the ordinary epoch against the
+/// (already degraded) harness; mid-epoch scenarios run the dynamic
+/// piecewise epoch against the healthy harness, with the fault lowered
+/// to engine events at [`FaultScenario::mid_epoch_fraction`]. Both the
+/// direct grid path ([`epoch_reports`]) and the caching service route
+/// every cell through here, so the two stay interchangeable.
+pub fn cell_report(harness: &Harness, def: &Definition, cell: &Cell) -> EpochReport {
+    match cell.fault.mid_epoch_fraction() {
+        Some(fraction) => harness.epoch_def_dynamic(
+            def,
+            cell.batch,
+            cell.gpus,
+            cell.comm,
+            cell.scaling,
+            &MidEpochFault::new(cell.fault.spec(), fraction),
+        ),
+        None => harness.epoch_def(def, cell.batch, cell.gpus, cell.comm, cell.scaling),
     }
 }
 
@@ -148,11 +175,7 @@ where
 /// row derivations are agnostic about which path computed their cells.
 pub fn epoch_reports(base: &Harness, spec: &GridSpec, exec: Executor) -> GridOut<Arc<EpochReport>> {
     run_grid(base, spec, exec, |ctx| {
-        let c = ctx.cell;
-        Arc::new(
-            ctx.harness
-                .epoch_def(ctx.def, c.batch, c.gpus, c.comm, c.scaling),
-        )
+        Arc::new(cell_report(ctx.harness, ctx.def, &ctx.cell))
     })
 }
 
@@ -306,6 +329,22 @@ mod tests {
         let names: Vec<&str> = out.values().iter().map(String::as_str).collect();
         assert_eq!(names.len(), 2);
         assert_ne!(names[0], names[1]);
+    }
+
+    #[test]
+    fn mid_epoch_scenarios_keep_the_harness_healthy() {
+        // Dynamic scenarios inject their fault at simulation time, so
+        // the harness topology must stay the healthy platform — the
+        // pre-fault iterations and the communicator are built against
+        // it.
+        let h = Harness::paper();
+        let healthy = harness_for(&h, Platform::Dgx1, FaultScenario::Healthy);
+        let dynamic = harness_for(&h, Platform::Dgx1, FaultScenario::MidEpochDeadNvLink);
+        let dead = harness_for(&h, Platform::Dgx1, FaultScenario::DeadNvLink);
+        assert_eq!(dynamic.sys.topo.name(), healthy.sys.topo.name());
+        assert_ne!(dead.sys.topo.name(), healthy.sys.topo.name());
+        let straggling = harness_for(&h, Platform::Dgx1, FaultScenario::MidEpochStraggler);
+        assert!(straggling.sys.gpu_slowdown.is_empty());
     }
 
     #[test]

@@ -4,8 +4,8 @@ use voltascope_comm::CommMethod;
 use voltascope_dnn::{zoo::Workload, Model};
 use voltascope_sim::{mean_stddev, Jitter};
 use voltascope_train::{
-    simulate_epoch, simulate_epoch_lowered, DatasetSpec, EpochReport, MemoryModel, ScalingMode,
-    SystemModel, TrainConfig,
+    simulate_epoch, simulate_epoch_dynamic_lowered, simulate_epoch_lowered, DatasetSpec,
+    EpochReport, MemoryModel, MidEpochFault, ScalingMode, SystemModel, TrainConfig,
 };
 use voltascope_workload::Definition;
 
@@ -111,6 +111,48 @@ impl Harness {
         };
         let lowered = def.lowered(batch).unwrap_or_else(|e| panic!("{e}"));
         simulate_epoch_lowered(&self.sys, &lowered, &cfg)
+    }
+
+    /// Like [`Harness::epoch_def`] but with `fault` striking partway
+    /// through the epoch
+    /// ([`voltascope_train::simulate_epoch_dynamic_lowered`]). The
+    /// harness's system must be the *healthy* platform: the fault is
+    /// lowered to dynamic engine events mid-epoch rather than rewiring
+    /// the topology before lowering.
+    ///
+    /// The steady-state columns of the returned report (`iter_time`,
+    /// `iter_trace`, utilisation, ...) describe the **post-fault**
+    /// regime — the pace the epoch settles into once NCCL has
+    /// renegotiated — while `epoch_time` is the piecewise composition
+    /// (healthy head + transition iteration + degraded tail).
+    ///
+    /// # Panics
+    ///
+    /// As [`Harness::epoch_def`], plus the fault-spec validation of
+    /// `Topology::apply`.
+    pub fn epoch_def_dynamic(
+        &self,
+        def: &Definition,
+        batch: usize,
+        gpus: usize,
+        comm: CommMethod,
+        scaling: ScalingMode,
+        fault: &MidEpochFault,
+    ) -> EpochReport {
+        let cfg = TrainConfig {
+            batch_per_gpu: batch,
+            gpu_count: gpus,
+            comm,
+            scaling,
+            dataset: DatasetSpec::imagenet_256k(),
+            bucket_fusion_bytes: 0,
+        };
+        let lowered = def.lowered(batch).unwrap_or_else(|e| panic!("{e}"));
+        let dynamic = simulate_epoch_dynamic_lowered(&self.sys, &lowered, &cfg, fault);
+        EpochReport {
+            epoch_time: dynamic.epoch_time,
+            ..dynamic.degraded
+        }
     }
 
     /// Simulates one epoch with full control over the configuration

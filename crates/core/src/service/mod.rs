@@ -123,7 +123,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use voltascope_train::EpochReport;
 use voltascope_workload::Definition;
 
-use crate::grid::{harness_for, Cell, Executor, FaultScenario, GridOut, GridSpec, Platform};
+use crate::grid::{self, harness_for, Cell, Executor, FaultScenario, GridOut, GridSpec, Platform};
 use crate::workloads::WorkloadSel;
 use crate::Harness;
 
@@ -533,8 +533,7 @@ impl GridService {
         // overlapping requests stream results out of this one.
         self.exec.run(mine.len(), |i| {
             let (cell, def, harness) = &mine[i];
-            let report =
-                Arc::new(harness.epoch_def(def, cell.batch, cell.gpus, cell.comm, cell.scaling));
+            let report = Arc::new(grid::cell_report(harness, def, cell));
             self.computed.fetch_add(1, Ordering::Relaxed);
             let mut state = self.lock_state();
             state.cache.insert(*cell, Slot::Done(report.clone()));
@@ -647,8 +646,7 @@ impl GridService {
             };
             // May panic; the guard reverts the claim and wakes waiters
             // before the unwind reaches the scheduler's catch.
-            let report =
-                Arc::new(harness.epoch_def(&def, cell.batch, cell.gpus, cell.comm, cell.scaling));
+            let report = Arc::new(grid::cell_report(&harness, &def, &cell));
             self.computed.fetch_add(1, Ordering::Relaxed);
             {
                 let mut state = self.lock_state();
@@ -679,8 +677,7 @@ impl GridService {
         // May panic for a genuinely poisonous cell, in which case the
         // guard reverts this adoption too and the panic propagates to
         // this request's caller.
-        let report =
-            Arc::new(harness.epoch_def(&def, cell.batch, cell.gpus, cell.comm, cell.scaling));
+        let report = Arc::new(grid::cell_report(&harness, &def, &cell));
         self.computed.fetch_add(1, Ordering::Relaxed);
         {
             let mut state = self.lock_state();

@@ -146,6 +146,12 @@ pub const MAGIC: [u8; 8] = *b"VSCPSNAP";
 /// trace blocks (length-prefixed, varint-encoded, front-coded interned
 /// strings, delta timestamps, LZSS-compressed) enabling lazy per-entry
 /// decode.
+///
+/// Strictly additive tag values (new fault scenarios, platforms or
+/// workloads appended past the existing range) do **not** bump the
+/// version: old files decode unchanged, and an old reader facing a new
+/// tag fails loudly as `Corrupted`, which the load path treats as a
+/// cold cache.
 pub const FORMAT_VERSION: u32 = 5;
 
 /// Environment variable that opts snapshot saves out of persisting the
@@ -889,6 +895,8 @@ fn put_cell(out: &mut Vec<u8>, cell: &Cell) {
             FaultScenario::DeadNvLink => 1,
             FaultScenario::StragglerGpu => 2,
             FaultScenario::TwoStragglers => 3,
+            FaultScenario::MidEpochDeadNvLink => 4,
+            FaultScenario::MidEpochStraggler => 5,
         },
     );
 }
@@ -1137,6 +1145,8 @@ fn take_cell(r: &mut Reader<'_>) -> Result<Cell, PersistError> {
         1 => FaultScenario::DeadNvLink,
         2 => FaultScenario::StragglerGpu,
         3 => FaultScenario::TwoStragglers,
+        4 => FaultScenario::MidEpochDeadNvLink,
+        5 => FaultScenario::MidEpochStraggler,
         _ => return Err(PersistError::Corrupted("unknown fault tag")),
     };
     Ok(Cell {

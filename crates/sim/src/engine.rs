@@ -151,6 +151,57 @@ impl Schedule {
     }
 }
 
+/// A scheduled mutation of the executing system, applied at a simulated
+/// instant while a run is in flight: the dynamic-topology analogue of a
+/// link dying or a GPU throttling *mid-epoch* rather than at topology
+/// construction time.
+///
+/// Events are inert unless passed to [`Engine::run_with_events`]; the
+/// plain [`Engine::run`] path never constructs one, so schedules of
+/// event-free runs are bit-identical to the pre-event engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynamicEvent {
+    /// Simulated instant at which the event applies. At equal instants,
+    /// dynamic events apply *before* any task activity: a fault at `t`
+    /// affects every task that has not finished by `t` (a task
+    /// finishing exactly at `t` still completes normally).
+    pub at: SimTime,
+    /// What changes.
+    pub kind: DynamicEventKind,
+}
+
+/// The kinds of mid-run mutation [`Engine::run_with_events`] applies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DynamicEventKind {
+    /// The resource dies. In-flight tasks are preempted (the dead
+    /// resource keeps the service time already rendered) and their
+    /// *remaining* work, re-priced by `duration_factor`, re-queues on
+    /// `fallback` ahead of the dead resource's queued tasks, which
+    /// follow in FIFO order; tasks bound to the resource that have not
+    /// yet become ready re-bind to `fallback` with their full duration
+    /// re-priced. With `fallback: None` the affected tasks become
+    /// permanently unservable and the run reports
+    /// [`SimError::Deadlock`].
+    Fail {
+        /// The resource that stops serving.
+        resource: ResourceId,
+        /// Where displaced work goes, if anywhere.
+        fallback: Option<ResourceId>,
+        /// Multiplier applied to displaced tasks' (remaining)
+        /// durations — the relative slowdown of the fallback route.
+        duration_factor: f64,
+    },
+    /// The resource slows (or speeds up): in-flight tasks' *remaining*
+    /// durations and queued/unstarted bound tasks' full durations are
+    /// multiplied by `factor`.
+    Scale {
+        /// The resource whose tasks re-price.
+        resource: ResourceId,
+        /// Multiplier on remaining durations (`> 1` slows).
+        factor: f64,
+    },
+}
+
 /// Internal event kinds, ordered by (time, seq) for determinism.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum Event {
@@ -158,7 +209,13 @@ enum Event {
     Ready(TaskId),
     /// A task finished service.
     Finish(TaskId),
+    /// A [`DynamicEvent`] (index into the caller's slice) applies.
+    Dynamic(u32),
 }
+
+/// Marker for an invalidated pending finish: a preempted task's old
+/// `Finish` event must not complete it when popped.
+const STALE: SimTime = SimTime::from_nanos(u64::MAX);
 
 impl Engine {
     /// Creates an engine with the default (FIFO, deterministic) policy.
@@ -168,11 +225,80 @@ impl Engine {
 
     /// Executes `graph` and returns the resulting [`Schedule`].
     ///
+    /// Equivalent to [`Engine::run_with_events`] with no events — the
+    /// two produce bit-identical schedules.
+    ///
     /// # Errors
     ///
     /// Returns [`SimError::Deadlock`] if the graph contains a dependency
     /// cycle (some tasks never become ready).
     pub fn run(&self, graph: &TaskGraph) -> Result<Schedule, SimError> {
+        self.run_with_events(graph, &[])
+    }
+
+    /// Executes `graph` under scheduled [`DynamicEvent`]s that mutate
+    /// resource bindings and remaining durations mid-run (see
+    /// [`DynamicEventKind`] for the per-kind semantics).
+    ///
+    /// Events apply in `(at, index)` order. At equal instants a dynamic
+    /// event applies before any task activity at that instant, so a
+    /// fault at `t = 0` is indistinguishable from building the graph
+    /// with the re-bound resources and re-priced durations, and a fault
+    /// at `t >=` the healthy makespan leaves the schedule untouched. A
+    /// preempted task keeps its original start instant; its single
+    /// trace event spans the preemption gap and reports the *final*
+    /// resource it ran on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Deadlock`] if the graph contains a dependency
+    /// cycle, or if a [`DynamicEventKind::Fail`] without a fallback
+    /// leaves tasks permanently unservable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event names a resource `graph` does not define, a
+    /// `Fail` names its own resource as fallback, or a duration factor
+    /// is non-finite or not positive.
+    pub fn run_with_events(
+        &self,
+        graph: &TaskGraph,
+        dynamic: &[DynamicEvent],
+    ) -> Result<Schedule, SimError> {
+        for ev in dynamic {
+            let (resource, factor) = match ev.kind {
+                DynamicEventKind::Fail {
+                    resource,
+                    fallback,
+                    duration_factor,
+                } => {
+                    if let Some(fb) = fallback {
+                        assert!(
+                            fb.index() < graph.resources.len(),
+                            "unknown fallback resource {fb:?}"
+                        );
+                        assert!(
+                            fb != resource,
+                            "fallback must differ from the failing resource {resource:?}"
+                        );
+                    }
+                    (resource, duration_factor)
+                }
+                DynamicEventKind::Scale { resource, factor } => (resource, factor),
+            };
+            assert!(
+                resource.index() < graph.resources.len(),
+                "unknown resource {resource:?}"
+            );
+            assert!(
+                factor.is_finite() && factor > 0.0,
+                "duration factor {factor} must be finite and positive"
+            );
+        }
+        // Stable (at, index) application order.
+        let mut order: Vec<usize> = (0..dynamic.len()).collect();
+        order.sort_by_key(|&i| (dynamic[i].at, i));
+
         let n = graph.tasks.len();
         let mut indegree = vec![0u32; n];
         let mut dependents: Vec<Vec<TaskId>> = vec![Vec::new(); n];
@@ -191,6 +317,23 @@ impl Engine {
         let mut ready_at: Vec<SimTime> = vec![SimTime::ZERO; n];
         let mut completed = vec![false; n];
         let mut completed_count = 0usize;
+        // Mutable per-task execution state: dynamic events re-price
+        // pending durations and re-bind resources, so both live outside
+        // the immutable graph. With no events they never diverge from
+        // the graph's values.
+        let mut dur: Vec<SimSpan> = graph.tasks.iter().map(|t| t.duration).collect();
+        let mut bound: Vec<Option<ResourceId>> = graph.tasks.iter().map(|t| t.resource).collect();
+        let mut started = vec![false; n];
+        let mut in_service_task = vec![false; n];
+        // Authoritative finish instant; a popped `Finish` is stale (and
+        // ignored) unless it matches. Preemption and rescaling update
+        // this and push a fresh `Finish` instead of surgery on the heap.
+        let mut finish_at = vec![SimTime::ZERO; n];
+        // When the current service segment began (= start, unless the
+        // task was preempted and re-granted); busy time accrues per
+        // segment so a preempting resource keeps what it served.
+        let mut segment_start = vec![SimTime::ZERO; n];
+        let mut alive = vec![true; graph.resources.len()];
 
         struct ResState {
             in_service: u32,
@@ -218,6 +361,17 @@ impl Engine {
             *seq += 1;
         };
 
+        // Dynamic events enter the heap first: their sequence numbers
+        // are the smallest, so at equal instants they pop before every
+        // Ready/Finish — the "fault applies before task activity" rule.
+        for &i in &order {
+            push(
+                &mut events,
+                &mut seq,
+                dynamic[i].at,
+                Event::Dynamic(i as u32),
+            );
+        }
         for (id, task) in graph.tasks() {
             if task.deps.is_empty() {
                 push(&mut events, &mut seq, task.release, Event::Ready(id));
@@ -230,28 +384,36 @@ impl Engine {
             match event {
                 Event::Ready(id) => {
                     ready_at[id.index()] = now;
-                    let task = &graph.tasks[id.index()];
-                    match task.resource {
+                    match bound[id.index()] {
                         None => {
+                            started[id.index()] = true;
                             start[id.index()] = now;
+                            segment_start[id.index()] = now;
                             blocked_by[id.index()] = ready_cause[id.index()];
+                            finish_at[id.index()] = now + dur[id.index()];
                             push(
                                 &mut events,
                                 &mut seq,
-                                now + task.duration,
+                                finish_at[id.index()],
                                 Event::Finish(id),
                             );
                         }
                         Some(rid) => {
                             let state = &mut res[rid.index()];
-                            if state.in_service < graph.resources[rid.index()].capacity {
+                            if alive[rid.index()]
+                                && state.in_service < graph.resources[rid.index()].capacity
+                            {
                                 state.in_service += 1;
+                                started[id.index()] = true;
+                                in_service_task[id.index()] = true;
                                 start[id.index()] = now;
+                                segment_start[id.index()] = now;
                                 blocked_by[id.index()] = ready_cause[id.index()];
+                                finish_at[id.index()] = now + dur[id.index()];
                                 push(
                                     &mut events,
                                     &mut seq,
-                                    now + task.duration,
+                                    finish_at[id.index()],
                                     Event::Finish(id),
                                 );
                             } else {
@@ -261,37 +423,49 @@ impl Engine {
                     }
                 }
                 Event::Finish(id) => {
+                    // Superseded by a preemption or rescale event.
+                    if completed[id.index()] || finish_at[id.index()] != now {
+                        continue;
+                    }
                     finish[id.index()] = now;
                     completed[id.index()] = true;
                     completed_count += 1;
                     makespan = makespan.max(now);
-                    let task = &graph.tasks[id.index()];
-                    if let Some(rid) = task.resource {
+                    if let Some(rid) = bound[id.index()] {
                         let state = &mut res[rid.index()];
-                        state.busy += task.duration;
+                        state.busy += now - segment_start[id.index()];
                         state.served += 1;
                         state.in_service -= 1;
-                        if let Some(next) = state.queue.pop_front() {
-                            state.in_service += 1;
-                            state.queue_wait += now - ready_at[next.index()];
-                            start[next.index()] = now;
-                            // Queue wait dominated: the slot-freeing task
-                            // is what unblocked `next` — unless the wait
-                            // was zero (queued and granted at the same
-                            // instant), where the readiness cause (the
-                            // last-finishing dependency, or the release
-                            // time) is what actually set the start.
-                            blocked_by[next.index()] = if ready_at[next.index()] == now {
-                                ready_cause[next.index()]
-                            } else {
-                                Some(id)
-                            };
-                            push(
-                                &mut events,
-                                &mut seq,
-                                now + graph.tasks[next.index()].duration,
-                                Event::Finish(next),
-                            );
+                        in_service_task[id.index()] = false;
+                        if alive[rid.index()] {
+                            if let Some(next) = state.queue.pop_front() {
+                                state.in_service += 1;
+                                state.queue_wait += now - ready_at[next.index()];
+                                if !started[next.index()] {
+                                    started[next.index()] = true;
+                                    start[next.index()] = now;
+                                    // Queue wait dominated: the slot-freeing task
+                                    // is what unblocked `next` — unless the wait
+                                    // was zero (queued and granted at the same
+                                    // instant), where the readiness cause (the
+                                    // last-finishing dependency, or the release
+                                    // time) is what actually set the start.
+                                    blocked_by[next.index()] = if ready_at[next.index()] == now {
+                                        ready_cause[next.index()]
+                                    } else {
+                                        Some(id)
+                                    };
+                                }
+                                in_service_task[next.index()] = true;
+                                segment_start[next.index()] = now;
+                                finish_at[next.index()] = now + dur[next.index()];
+                                push(
+                                    &mut events,
+                                    &mut seq,
+                                    finish_at[next.index()],
+                                    Event::Finish(next),
+                                );
+                            }
                         }
                     }
                     for &dep_id in &dependents[id.index()] {
@@ -310,6 +484,119 @@ impl Engine {
                         }
                     }
                 }
+                Event::Dynamic(i) => match dynamic[i as usize].kind {
+                    DynamicEventKind::Scale { resource, factor } => {
+                        for t in 0..n {
+                            if completed[t] || bound[t] != Some(resource) {
+                                continue;
+                            }
+                            if in_service_task[t] {
+                                // Rescale the *remaining* service only;
+                                // a task finishing this instant is left
+                                // to complete normally.
+                                if finish_at[t] > now {
+                                    let remaining = finish_at[t] - now;
+                                    finish_at[t] = now + remaining.mul_f64(factor);
+                                    push(
+                                        &mut events,
+                                        &mut seq,
+                                        finish_at[t],
+                                        Event::Finish(TaskId(t as u32)),
+                                    );
+                                }
+                            } else {
+                                dur[t] = dur[t].mul_f64(factor);
+                            }
+                        }
+                    }
+                    DynamicEventKind::Fail {
+                        resource,
+                        fallback,
+                        duration_factor,
+                    } => {
+                        let rix = resource.index();
+                        alive[rix] = false;
+                        let waiting: Vec<TaskId> = res[rix].queue.drain(..).collect();
+                        let mut queued = vec![false; n];
+                        for &t in &waiting {
+                            queued[t.index()] = true;
+                        }
+                        // Preempted continuations first (ascending task
+                        // id), then the dead queue in FIFO order.
+                        let mut displaced: Vec<TaskId> = Vec::new();
+                        for t in 0..n {
+                            if completed[t] || bound[t] != Some(resource) {
+                                continue;
+                            }
+                            if in_service_task[t] {
+                                if finish_at[t] == now {
+                                    continue; // finishing this instant
+                                }
+                                res[rix].busy += now - segment_start[t];
+                                res[rix].in_service -= 1;
+                                in_service_task[t] = false;
+                                dur[t] = (finish_at[t] - now).mul_f64(duration_factor);
+                                finish_at[t] = STALE;
+                                ready_at[t] = now;
+                                displaced.push(TaskId(t as u32));
+                            } else if !queued[t] {
+                                // Not yet ready: re-bind in place; the
+                                // normal Ready path grants it later.
+                                dur[t] = dur[t].mul_f64(duration_factor);
+                                if fallback.is_some() {
+                                    bound[t] = fallback;
+                                }
+                            }
+                        }
+                        for &t in &waiting {
+                            res[rix].queue_wait += now - ready_at[t.index()];
+                            ready_at[t.index()] = now;
+                            dur[t.index()] = dur[t.index()].mul_f64(duration_factor);
+                            displaced.push(t);
+                        }
+                        match fallback {
+                            Some(fb) => {
+                                for &t in &displaced {
+                                    bound[t.index()] = Some(fb);
+                                    let state = &mut res[fb.index()];
+                                    if alive[fb.index()]
+                                        && state.in_service < graph.resources[fb.index()].capacity
+                                    {
+                                        state.in_service += 1;
+                                        if !started[t.index()] {
+                                            started[t.index()] = true;
+                                            start[t.index()] = now;
+                                            blocked_by[t.index()] = if ready_at[t.index()] == now {
+                                                ready_cause[t.index()]
+                                            } else {
+                                                None
+                                            };
+                                        }
+                                        in_service_task[t.index()] = true;
+                                        segment_start[t.index()] = now;
+                                        finish_at[t.index()] = now + dur[t.index()];
+                                        push(
+                                            &mut events,
+                                            &mut seq,
+                                            finish_at[t.index()],
+                                            Event::Finish(t),
+                                        );
+                                    } else {
+                                        state.queue.push_back(t);
+                                    }
+                                }
+                            }
+                            None => {
+                                // Nowhere to go: park on the dead queue,
+                                // which never grants — reported as
+                                // deadlocked at the end of the run.
+                                for &t in &displaced {
+                                    res[rix].queue.push_back(t);
+                                }
+                            }
+                        }
+                    }
+                },
             }
         }
 
@@ -340,7 +627,9 @@ impl Engine {
                 task: id,
                 label: task.label.clone(),
                 category: task.category.clone(),
-                resource: task.resource.map(|r| graph[r].name.clone()),
+                // The *final* binding: identical to the graph's unless a
+                // dynamic event re-bound the task mid-run.
+                resource: bound[id.index()].map(|r| graph[r].name.clone()),
                 start: start[id.index()],
                 end: finish[id.index()],
             })
@@ -612,6 +901,279 @@ mod tests {
         sorted.sort();
         assert_eq!(starts, sorted);
         assert_eq!(s.trace().events()[0].label, "early");
+    }
+
+    // ---- Dynamic events. ----
+
+    fn fail(at: u64, resource: ResourceId, fallback: ResourceId, f: f64) -> DynamicEvent {
+        DynamicEvent {
+            at: SimTime::from_nanos(at),
+            kind: DynamicEventKind::Fail {
+                resource,
+                fallback: Some(fallback),
+                duration_factor: f,
+            },
+        }
+    }
+
+    fn scale(at: u64, resource: ResourceId, factor: f64) -> DynamicEvent {
+        DynamicEvent {
+            at: SimTime::from_nanos(at),
+            kind: DynamicEventKind::Scale { resource, factor },
+        }
+    }
+
+    #[test]
+    fn no_events_matches_run_event_for_event() {
+        let mut g = TaskGraph::new();
+        let r = g.add_resource("r", 2);
+        let mut prev = None;
+        for i in 0..20 {
+            let mut b = g.task(format!("t{i}")).on(r).lasting(span(1 + i % 5));
+            if let Some(p) = prev {
+                b = b.after(p);
+            }
+            prev = Some(b.build());
+        }
+        let a = Engine::new().run(&g).unwrap();
+        let b = Engine::new().run_with_events(&g, &[]).unwrap();
+        assert_eq!(a.makespan(), b.makespan());
+        assert_eq!(a.trace().events(), b.trace().events());
+    }
+
+    #[test]
+    fn scale_rescales_only_the_remaining_duration() {
+        let mut g = TaskGraph::new();
+        let r = g.add_resource("r", 1);
+        let a = g.task("a").on(r).lasting(span(10)).build();
+        let s = Engine::new()
+            .run_with_events(&g, &[scale(4, r, 2.0)])
+            .unwrap();
+        // 4 ns done, remaining 6 ns doubles to 12: finish at 16.
+        assert_eq!(s.finish_time(a).as_nanos(), 16);
+        assert_eq!(s.resource_stats(r).busy, span(16));
+    }
+
+    #[test]
+    fn scale_reprices_queued_and_unstarted_tasks_in_full() {
+        let mut g = TaskGraph::new();
+        let r = g.add_resource("r", 1);
+        let a = g.task("a").on(r).lasting(span(10)).build();
+        let b = g.task("b").on(r).lasting(span(10)).build();
+        let s = Engine::new()
+            .run_with_events(&g, &[scale(4, r, 2.0)])
+            .unwrap();
+        assert_eq!(s.finish_time(a).as_nanos(), 16);
+        // b was queued: its whole 10 ns doubles.
+        assert_eq!(s.start_time(b).as_nanos(), 16);
+        assert_eq!(s.finish_time(b).as_nanos(), 36);
+    }
+
+    #[test]
+    fn scale_below_one_speeds_the_remainder_up() {
+        let mut g = TaskGraph::new();
+        let r = g.add_resource("r", 1);
+        let a = g.task("a").on(r).lasting(span(100)).build();
+        let s = Engine::new()
+            .run_with_events(&g, &[scale(20, r, 0.5)])
+            .unwrap();
+        assert_eq!(s.finish_time(a).as_nanos(), 60);
+    }
+
+    #[test]
+    fn fail_preempts_in_flight_and_displaces_the_queue() {
+        let mut g = TaskGraph::new();
+        let r = g.add_resource("r", 1);
+        let fb = g.add_resource("fb", 1);
+        let a = g.task("a").on(r).lasting(span(10)).build();
+        let b = g.task("b").on(r).lasting(span(10)).build();
+        let s = Engine::new()
+            .run_with_events(&g, &[fail(5, r, fb, 1.5)])
+            .unwrap();
+        // a ran 5 ns on r; its remaining 5 ns re-prices to 8 (7.5
+        // rounded) and resumes on fb immediately.
+        assert_eq!(s.start_time(a).as_nanos(), 0, "original start survives");
+        assert_eq!(s.finish_time(a).as_nanos(), 13);
+        // b's full 10 ns re-prices to 15, behind a on fb.
+        assert_eq!(s.start_time(b).as_nanos(), 13);
+        assert_eq!(s.finish_time(b).as_nanos(), 28);
+        // The dead resource keeps the 5 ns it actually served; fb
+        // accrues the rest. Completions count on the final resource.
+        assert_eq!(s.resource_stats(r).busy, span(5));
+        assert_eq!(s.resource_stats(r).served, 0);
+        assert_eq!(s.resource_stats(fb).busy, span(8 + 15));
+        assert_eq!(s.resource_stats(fb).served, 2);
+        // Trace reports the final binding.
+        for e in s.trace().events() {
+            assert_eq!(e.resource.as_deref(), Some("fb"));
+        }
+    }
+
+    #[test]
+    fn preempted_work_requeues_ahead_of_displaced_queue_and_behind_fb_work() {
+        let mut g = TaskGraph::new();
+        let r = g.add_resource("r", 1);
+        let fb = g.add_resource("fb", 1);
+        let a = g.task("a").on(r).lasting(span(10)).build();
+        let b = g.task("b").on(r).lasting(span(10)).build();
+        let c = g.task("c").on(fb).lasting(span(20)).build();
+        let s = Engine::new()
+            .run_with_events(&g, &[fail(5, r, fb, 1.0)])
+            .unwrap();
+        assert_eq!(s.finish_time(c).as_nanos(), 20);
+        // a's 5 ns remainder waits behind c, then b's full 10 ns.
+        assert_eq!(s.finish_time(a).as_nanos(), 25);
+        assert_eq!(s.start_time(b).as_nanos(), 25);
+        assert_eq!(s.finish_time(b).as_nanos(), 35);
+    }
+
+    #[test]
+    fn fail_rebinds_tasks_that_are_not_yet_ready() {
+        let mut g = TaskGraph::new();
+        let r = g.add_resource("r", 1);
+        let fb = g.add_resource("fb", 1);
+        let a = g.task("a").lasting(span(10)).build();
+        let b = g.task("b").on(r).lasting(span(10)).after(a).build();
+        let s = Engine::new()
+            .run_with_events(&g, &[fail(5, r, fb, 2.0)])
+            .unwrap();
+        assert_eq!(s.start_time(b).as_nanos(), 10);
+        assert_eq!(s.finish_time(b).as_nanos(), 30);
+        assert_eq!(
+            s.trace()
+                .events()
+                .iter()
+                .find(|e| e.label == "b")
+                .unwrap()
+                .resource
+                .as_deref(),
+            Some("fb")
+        );
+    }
+
+    #[test]
+    fn fail_at_zero_equals_a_prebound_graph() {
+        let build = |res_name: &str, factor: f64| {
+            let mut g = TaskGraph::new();
+            let r = g.add_resource("r", 1);
+            let fb = g.add_resource("fb", 1);
+            let pick = if res_name == "r" { r } else { fb };
+            for i in 0..6 {
+                g.task(format!("t{i}"))
+                    .on(pick)
+                    .lasting(span(7 + i).mul_f64(factor))
+                    .build();
+            }
+            (g, r, fb)
+        };
+        let (g_dyn, r, fb) = build("r", 1.0);
+        let dynamic = Engine::new()
+            .run_with_events(&g_dyn, &[fail(0, r, fb, 2.0)])
+            .unwrap();
+        let (g_pre, _, _) = build("fb", 2.0);
+        let prebound = Engine::new().run(&g_pre).unwrap();
+        assert_eq!(dynamic.makespan(), prebound.makespan());
+        assert_eq!(dynamic.trace().events(), prebound.trace().events());
+    }
+
+    #[test]
+    fn events_at_or_after_the_makespan_change_nothing() {
+        let mut g = TaskGraph::new();
+        let r = g.add_resource("r", 1);
+        let fb = g.add_resource("fb", 1);
+        let a = g.task("a").on(r).lasting(span(10)).build();
+        let b = g.task("b").on(r).lasting(span(10)).after(a).build();
+        let healthy = Engine::new().run(&g).unwrap();
+        for at in [20, 21, 1000] {
+            let faulted = Engine::new()
+                .run_with_events(&g, &[fail(at, r, fb, 3.0), scale(at, r, 5.0)])
+                .unwrap();
+            assert_eq!(healthy.makespan(), faulted.makespan(), "event at {at}");
+            assert_eq!(healthy.trace().events(), faulted.trace().events());
+            assert_eq!(
+                healthy.resource_stats(r).busy,
+                faulted.resource_stats(r).busy
+            );
+        }
+        let _ = b;
+    }
+
+    #[test]
+    fn task_finishing_at_the_fault_instant_completes_on_the_dying_resource() {
+        let mut g = TaskGraph::new();
+        let r = g.add_resource("r", 1);
+        let fb = g.add_resource("fb", 1);
+        let a = g.task("a").on(r).lasting(span(10)).build();
+        let b = g.task("b").on(r).lasting(span(4)).after(a).build();
+        let s = Engine::new()
+            .run_with_events(&g, &[fail(10, r, fb, 1.0)])
+            .unwrap();
+        // a finished exactly as the link died: it stays on r.
+        assert_eq!(s.finish_time(a).as_nanos(), 10);
+        let ev_a = s.trace().events().iter().find(|e| e.label == "a").unwrap();
+        assert_eq!(ev_a.resource.as_deref(), Some("r"));
+        // b had not started: it runs on the fallback.
+        assert_eq!(s.finish_time(b).as_nanos(), 14);
+        let ev_b = s.trace().events().iter().find(|e| e.label == "b").unwrap();
+        assert_eq!(ev_b.resource.as_deref(), Some("fb"));
+    }
+
+    #[test]
+    fn fail_without_fallback_reports_deadlock() {
+        let mut g = TaskGraph::new();
+        let r = g.add_resource("r", 1);
+        g.task("doomed").on(r).lasting(span(10)).build();
+        let err = Engine::new()
+            .run_with_events(
+                &g,
+                &[DynamicEvent {
+                    at: SimTime::from_nanos(5),
+                    kind: DynamicEventKind::Fail {
+                        resource: r,
+                        fallback: None,
+                        duration_factor: 1.0,
+                    },
+                }],
+            )
+            .unwrap_err();
+        match err {
+            SimError::Deadlock { stuck } => assert_eq!(stuck, vec!["doomed".to_string()]),
+        }
+    }
+
+    #[test]
+    fn chained_failures_follow_the_current_binding() {
+        let mut g = TaskGraph::new();
+        let r1 = g.add_resource("r1", 1);
+        let r2 = g.add_resource("r2", 1);
+        let r3 = g.add_resource("r3", 1);
+        let a = g.task("a").on(r1).lasting(span(100)).build();
+        let s = Engine::new()
+            .run_with_events(&g, &[fail(10, r1, r2, 1.0), fail(20, r2, r3, 1.0)])
+            .unwrap();
+        // 10 ns on r1, 10 on r2, the last 80 on r3.
+        assert_eq!(s.finish_time(a).as_nanos(), 100);
+        assert_eq!(s.resource_stats(r1).busy, span(10));
+        assert_eq!(s.resource_stats(r2).busy, span(10));
+        assert_eq!(s.resource_stats(r3).busy, span(80));
+        let ev = s.trace().events().iter().find(|e| e.label == "a").unwrap();
+        assert_eq!(ev.resource.as_deref(), Some("r3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite and positive")]
+    fn non_positive_factor_panics() {
+        let mut g = TaskGraph::new();
+        let r = g.add_resource("r", 1);
+        g.task("a").on(r).lasting(span(10)).build();
+        let _ = Engine::new().run_with_events(&g, &[scale(0, r, 0.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown resource")]
+    fn event_on_unknown_resource_panics() {
+        let g = TaskGraph::new();
+        let _ = Engine::new().run_with_events(&g, &[scale(0, ResourceId(7), 2.0)]);
     }
 
     #[test]

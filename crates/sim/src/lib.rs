@@ -60,6 +60,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check;
 mod engine;
 mod error;
 mod graph;
@@ -67,7 +68,7 @@ mod jitter;
 mod time;
 mod trace;
 
-pub use engine::{Engine, ResourceStats, Schedule};
+pub use engine::{DynamicEvent, DynamicEventKind, Engine, ResourceStats, Schedule};
 pub use error::SimError;
 pub use graph::{Resource, ResourceId, Task, TaskBuilder, TaskGraph, TaskId};
 pub use jitter::{mean_stddev, Jitter};

@@ -3,6 +3,7 @@
 //! schedule must satisfy, regardless of graph shape.
 
 use proptest::prelude::*;
+use voltascope_sim::check::assert_schedule_invariants;
 use voltascope_sim::{Engine, SimSpan, SimTime, TaskGraph, TaskId};
 
 /// A random DAG recipe: per task, (duration_ns, resource_choice,
@@ -142,11 +143,13 @@ proptest! {
     }
 
     /// The trace holds exactly one event per task, sorted by start, and
-    /// category totals equal the per-task sums.
+    /// category totals equal the per-task sums — plus the full shared
+    /// structural invariants from `voltascope_sim::check`.
     #[test]
     fn trace_is_complete_and_consistent((resources, spec) in arb_graph()) {
         let g = build(resources, &spec);
         let s = Engine::new().run(&g).unwrap();
+        assert_schedule_invariants(&g, &s);
         let trace = s.trace();
         prop_assert_eq!(trace.len(), g.task_count());
         let mut prev = SimTime::ZERO;

@@ -25,6 +25,7 @@
 //! ```
 
 use std::collections::BTreeMap;
+use std::fmt;
 
 use voltascope_sim::SimSpan;
 
@@ -86,16 +87,11 @@ impl FaultSpec {
     }
 
     /// Multiplies the bandwidth of every direct link between `a` and
-    /// `b` by `factor` (a link trained down to fewer lanes).
-    ///
-    /// # Panics
-    ///
-    /// Panics unless `0 < factor <= 1`.
+    /// `b` by `factor` (a link trained down to fewer lanes). The factor
+    /// must lie in `(0, 1]`; validation happens when the spec is
+    /// applied, where [`Topology::try_apply`] reports
+    /// [`FaultError::BadDegradeFactor`].
     pub fn degrade_link(mut self, a: Device, b: Device, factor: f64) -> Self {
-        assert!(
-            factor > 0.0 && factor <= 1.0,
-            "degrade factor {factor} must be in (0, 1]"
-        );
         self.degraded_links.push((a, b, factor));
         self
     }
@@ -108,13 +104,10 @@ impl FaultSpec {
     }
 
     /// Marks `gpu` as a straggler: all its kernels take `factor` times
-    /// longer.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `factor < 1`.
+    /// longer. The factor must be `>= 1`; validation happens when the
+    /// spec is applied, where [`Topology::try_apply`] reports
+    /// [`FaultError::BadSlowdownFactor`].
     pub fn slow_gpu(mut self, gpu: Device, factor: f64) -> Self {
-        assert!(factor >= 1.0, "slowdown factor {factor} must be >= 1");
         self.gpu_slowdown.insert(gpu, factor);
         self
     }
@@ -128,7 +121,8 @@ impl FaultSpec {
     ///
     /// # Panics
     ///
-    /// Panics if `factor < 1` or `a == b`.
+    /// Panics if `a == b`; factors below 1 are reported by
+    /// [`Topology::try_apply`] like any [`FaultSpec::slow_gpu`].
     pub fn two_stragglers(self, a: Device, b: Device, factor: f64) -> Self {
         assert_ne!(a, b, "two stragglers need two distinct GPUs");
         self.slow_gpu(a, factor).slow_gpu(b, factor)
@@ -151,6 +145,24 @@ impl FaultSpec {
     /// All per-GPU slowdown factors.
     pub fn gpu_slowdowns(&self) -> &BTreeMap<Device, f64> {
         &self.gpu_slowdown
+    }
+
+    /// Device pairs whose direct links the spec kills, in insertion
+    /// order (the mid-epoch event lowering in `voltascope-train` maps
+    /// each pair to per-direction link failures).
+    pub fn dead_link_pairs(&self) -> &[(Device, Device)] {
+        &self.dead_links
+    }
+
+    /// GPUs whose entire NVLink interface the spec kills.
+    pub fn dead_nvlink_devices(&self) -> &[Device] {
+        &self.dead_nvlink_gpus
+    }
+
+    /// Per-pair bandwidth multipliers of degraded links, in insertion
+    /// order.
+    pub fn degraded_link_factors(&self) -> &[(Device, Device, f64)] {
+        &self.degraded_links
     }
 
     /// Whether the spec kills or downgrades any link touching `link`.
@@ -188,6 +200,93 @@ enum LinkFate {
     Dead,
 }
 
+/// A structurally invalid [`FaultSpec`] for a given [`Topology`]:
+/// typos and impossible parameters are reported deterministically
+/// rather than silently injecting nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultError {
+    /// The spec names a device the topology does not have.
+    UnknownDevice {
+        /// The missing device.
+        device: Device,
+        /// The topology's name.
+        topology: String,
+    },
+    /// A dead or degraded pair has no direct link in the topology.
+    MissingLink {
+        /// One endpoint.
+        a: Device,
+        /// The other endpoint.
+        b: Device,
+        /// `true` when the spec degrades (rather than kills) the pair.
+        degrades: bool,
+        /// The topology's name.
+        topology: String,
+    },
+    /// The same link pair is killed more than once.
+    DuplicateKill {
+        /// One endpoint.
+        a: Device,
+        /// The other endpoint.
+        b: Device,
+    },
+    /// A [`FaultSpec::degrade_link`] factor outside `(0, 1]`.
+    BadDegradeFactor {
+        /// One endpoint.
+        a: Device,
+        /// The other endpoint.
+        b: Device,
+        /// The offending factor.
+        factor: f64,
+    },
+    /// A [`FaultSpec::slow_gpu`] factor below 1 (or non-finite).
+    BadSlowdownFactor {
+        /// The straggler device.
+        device: Device,
+        /// The offending factor.
+        factor: f64,
+    },
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::UnknownDevice { device, topology } => {
+                write!(
+                    f,
+                    "fault names unknown device {device} in topology '{topology}'"
+                )
+            }
+            FaultError::MissingLink {
+                a,
+                b,
+                degrades,
+                topology,
+            } => {
+                let verb = if *degrades { "degrades" } else { "kills" };
+                write!(
+                    f,
+                    "fault {verb} non-existent link {a}-{b} in topology '{topology}'"
+                )
+            }
+            FaultError::DuplicateKill { a, b } => {
+                write!(f, "fault kills link {a}-{b} more than once")
+            }
+            FaultError::BadDegradeFactor { a, b, factor } => {
+                write!(
+                    f,
+                    "degrade factor {factor} for link {a}-{b} must be in (0, 1]"
+                )
+            }
+            FaultError::BadSlowdownFactor { device, factor } => {
+                write!(f, "slowdown factor {factor} for {device} must be >= 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
 impl Topology {
     /// Builds the degraded topology described by `faults`: dead links
     /// are removed, downgraded links get their bandwidth scaled, and
@@ -199,38 +298,76 @@ impl Topology {
     /// Compute slowdowns do not change the graph — consumers read them
     /// from [`FaultSpec::slowdown_of`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the spec names a device this topology does not have,
-    /// or a dead/degraded pair with no direct link (catching typos
-    /// deterministically rather than silently injecting nothing).
-    pub fn apply(&self, faults: &FaultSpec) -> Topology {
-        for &(a, b) in &faults.dead_links {
-            assert!(
-                self.direct_link(a, b).is_some(),
-                "fault kills non-existent link {a}-{b} in topology '{}'",
-                self.name()
-            );
+    /// Returns a [`FaultError`] when the spec names a device this
+    /// topology does not have, kills or degrades a pair with no direct
+    /// link, kills the same pair twice, or carries a degrade/slowdown
+    /// factor outside its valid range.
+    pub fn try_apply(&self, faults: &FaultSpec) -> Result<Topology, FaultError> {
+        let pair_eq = |(a1, b1): (Device, Device), (a2, b2): (Device, Device)| {
+            (a1 == a2 && b1 == b2) || (a1 == b2 && b1 == a2)
+        };
+        for (i, &(a, b)) in faults.dead_links.iter().enumerate() {
+            if self.direct_link(a, b).is_none() {
+                return Err(FaultError::MissingLink {
+                    a,
+                    b,
+                    degrades: false,
+                    topology: self.name().to_string(),
+                });
+            }
+            if faults.dead_links[..i].iter().any(|&p| pair_eq(p, (a, b))) {
+                return Err(FaultError::DuplicateKill { a, b });
+            }
         }
-        for &(a, b, _) in &faults.degraded_links {
-            assert!(
-                self.direct_link(a, b).is_some(),
-                "fault degrades non-existent link {a}-{b} in topology '{}'",
-                self.name()
-            );
+        for &(a, b, factor) in &faults.degraded_links {
+            if self.direct_link(a, b).is_none() {
+                return Err(FaultError::MissingLink {
+                    a,
+                    b,
+                    degrades: true,
+                    topology: self.name().to_string(),
+                });
+            }
+            if !(factor > 0.0 && factor <= 1.0) {
+                return Err(FaultError::BadDegradeFactor { a, b, factor });
+            }
         }
         for &g in faults
             .dead_nvlink_gpus
             .iter()
             .chain(faults.gpu_slowdown.keys())
         {
-            assert!(
-                self.devices().contains(&g),
-                "fault names unknown device {g} in topology '{}'",
-                self.name()
-            );
+            if !self.devices().contains(&g) {
+                return Err(FaultError::UnknownDevice {
+                    device: g,
+                    topology: self.name().to_string(),
+                });
+            }
         }
+        for (&device, &factor) in &faults.gpu_slowdown {
+            if !(factor >= 1.0 && factor.is_finite()) {
+                return Err(FaultError::BadSlowdownFactor { device, factor });
+            }
+        }
+        Ok(self.apply_unchecked(faults))
+    }
 
+    /// Infallible wrapper over [`Topology::try_apply`].
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`FaultError`]'s message when the spec is
+    /// invalid for this topology.
+    pub fn apply(&self, faults: &FaultSpec) -> Topology {
+        match self.try_apply(faults) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    fn apply_unchecked(&self, faults: &FaultSpec) -> Topology {
         let name = if faults.is_healthy() {
             self.name().to_string()
         } else {
@@ -378,13 +515,104 @@ mod tests {
     #[test]
     #[should_panic(expected = "must be in (0, 1]")]
     fn degrade_factor_above_one_panics() {
-        let _ = FaultSpec::new().degrade_link(Device::gpu(0), Device::gpu(1), 1.5);
+        let topo = dgx1_v100();
+        let _ = topo.apply(&FaultSpec::new().degrade_link(Device::gpu(0), Device::gpu(1), 1.5));
     }
 
     #[test]
     #[should_panic(expected = "must be >= 1")]
     fn speedup_straggler_panics() {
-        let _ = FaultSpec::new().slow_gpu(Device::gpu(0), 0.5);
+        let topo = dgx1_v100();
+        let _ = topo.apply(&FaultSpec::new().slow_gpu(Device::gpu(0), 0.5));
+    }
+
+    // ---- Typed error paths (try_apply). ----
+
+    #[test]
+    fn try_apply_of_a_healthy_spec_succeeds() {
+        let topo = dgx1_v100();
+        let out = topo.try_apply(&FaultSpec::new()).unwrap();
+        assert_eq!(out.links().len(), topo.links().len());
+    }
+
+    #[test]
+    fn unknown_gpu_index_is_a_typed_error() {
+        let topo = dgx1_v100();
+        let err = topo
+            .try_apply(&FaultSpec::new().kill_nvlinks_of(Device::gpu(12)))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            FaultError::UnknownDevice {
+                device: Device::gpu(12),
+                topology: topo.name().to_string(),
+            }
+        );
+        assert!(err.to_string().contains("unknown device GPU12"));
+        // Straggler specs validate the device too.
+        let err = topo
+            .try_apply(&FaultSpec::new().slow_gpu(Device::gpu(9), 1.5))
+            .unwrap_err();
+        assert!(matches!(err, FaultError::UnknownDevice { .. }));
+    }
+
+    #[test]
+    fn duplicate_kill_is_a_typed_error() {
+        let topo = dgx1_v100();
+        let g = Device::gpu;
+        // Same pair twice, second time with the endpoints swapped.
+        let spec = FaultSpec::new().kill_link(g(3), g(5)).kill_link(g(5), g(3));
+        let err = topo.try_apply(&spec).unwrap_err();
+        assert_eq!(err, FaultError::DuplicateKill { a: g(5), b: g(3) });
+        assert!(err.to_string().contains("more than once"));
+    }
+
+    #[test]
+    fn non_positive_degrade_factor_is_a_typed_error() {
+        let topo = dgx1_v100();
+        let g = Device::gpu;
+        for bad in [0.0, -0.5, 1.5, f64::NAN] {
+            let err = topo
+                .try_apply(&FaultSpec::new().degrade_link(g(0), g(1), bad))
+                .unwrap_err();
+            match err {
+                FaultError::BadDegradeFactor { a, b, factor } => {
+                    assert_eq!((a, b), (g(0), g(1)));
+                    assert!(factor.is_nan() || factor == bad);
+                }
+                other => panic!("expected BadDegradeFactor, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sub_unity_slowdown_is_a_typed_error() {
+        let topo = dgx1_v100();
+        let err = topo
+            .try_apply(&FaultSpec::new().slow_gpu(Device::gpu(0), 0.5))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            FaultError::BadSlowdownFactor {
+                device: Device::gpu(0),
+                factor: 0.5,
+            }
+        );
+        assert!(err.to_string().contains("must be >= 1"));
+    }
+
+    #[test]
+    fn missing_link_errors_distinguish_kill_from_degrade() {
+        let topo = dgx1_v100();
+        let g = Device::gpu;
+        let kill = topo
+            .try_apply(&FaultSpec::new().kill_link(g(3), g(4)))
+            .unwrap_err();
+        assert!(kill.to_string().contains("kills non-existent link"));
+        let degrade = topo
+            .try_apply(&FaultSpec::new().degrade_link(g(3), g(4), 0.5))
+            .unwrap_err();
+        assert!(degrade.to_string().contains("degrades non-existent link"));
     }
 
     #[test]

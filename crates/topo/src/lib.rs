@@ -49,7 +49,7 @@ mod topology;
 
 pub use bandwidth::Bandwidth;
 pub use device::{Device, DeviceKind};
-pub use faults::FaultSpec;
+pub use faults::{FaultError, FaultSpec};
 pub use link::{Link, LinkId, LinkKind};
 pub use presets::{dgx1_p100, dgx1_v100, full_nvlink_switch, pcie_only, single_lane_dgx1};
 pub use route::Route;

@@ -19,7 +19,7 @@ use std::collections::BTreeMap;
 use voltascope_comm::{collective, tuner, CommMethod, LinkNetwork, ReductionTree, Ring, Selection};
 use voltascope_dnn::{Model, Stage};
 use voltascope_gpu::{ApiCall, ApiCostModel, GpuSpec, KernelCostModel};
-use voltascope_sim::{Engine, ResourceId, SimSpan, TaskGraph, TaskId, Trace};
+use voltascope_sim::{DynamicEvent, Engine, ResourceId, SimSpan, TaskGraph, TaskId, Trace};
 use voltascope_topo::{dgx1_v100, Device, FaultSpec, Topology};
 use voltascope_workload::{lower_model, LoweredWorkload};
 
@@ -257,6 +257,24 @@ pub fn simulate_epoch_lowered(
     workload: &LoweredWorkload,
     cfg: &TrainConfig,
 ) -> EpochReport {
+    simulate_epoch_lowered_with_events(sys, workload, cfg, |_| Vec::new()).0
+}
+
+/// The full lowering with a mid-run dynamic-event hook: `events` sees
+/// the assembled task graph (to resolve resources by name) and returns
+/// the [`DynamicEvent`]s to inject; the engine then runs via
+/// [`Engine::run_with_events`]. With no events this is bit-identical
+/// to [`Engine::run`] — `simulate_epoch_lowered` is exactly this call
+/// with an empty hook, so the healthy path cannot drift. Also returns
+/// the three iteration-marker finish instants (pipeline fill `t0`,
+/// then the steady-state window ends `t1`, `t2`) that the mid-epoch
+/// fault model in [`crate::dynamic`] needs.
+pub(crate) fn simulate_epoch_lowered_with_events(
+    sys: &SystemModel,
+    workload: &LoweredWorkload,
+    cfg: &TrainConfig,
+    events: impl FnOnce(&TaskGraph) -> Vec<DynamicEvent>,
+) -> (EpochReport, [voltascope_sim::SimTime; 3]) {
     assert!(cfg.batch_per_gpu > 0, "batch size must be positive");
     assert_eq!(
         workload.batch, cfg.batch_per_gpu,
@@ -635,8 +653,9 @@ pub fn simulate_epoch_lowered(
     }
 
     // ---- Execute and extract. ----
+    let dynamic = events(&graph);
     let schedule = Engine::new()
-        .run(&graph)
+        .run_with_events(&graph, &dynamic)
         .expect("training graph is acyclic by construction");
     // The blocking chain runs earliest-first through whatever each
     // task waited on; keep the steady-state slice (the middle
@@ -714,18 +733,21 @@ pub fn simulate_epoch_lowered(
         })
         .collect();
 
-    EpochReport {
-        iterations,
-        iter_time,
-        epoch_time,
-        fp_bp_iter,
-        wu_iter,
-        api_iter,
-        sync_wall_iter,
-        compute_utilization,
-        iter_trace: Trace::new(rebased),
-        critical_chain,
-    }
+    (
+        EpochReport {
+            iterations,
+            iter_time,
+            epoch_time,
+            fp_bp_iter,
+            wu_iter,
+            api_iter,
+            sync_wall_iter,
+            compute_utilization,
+            iter_trace: Trace::new(rebased),
+            critical_chain,
+        },
+        [t0, t1, t2],
+    )
 }
 
 /// MXNet `device` kvstore: tree-reduce every gradient bucket onto GPU0,

@@ -39,6 +39,7 @@
 
 mod async_sgd;
 mod dataset;
+pub mod dynamic;
 mod epoch;
 mod memory;
 mod optimizer;
@@ -48,6 +49,9 @@ mod schedule;
 
 pub use async_sgd::AsyncParameterServer;
 pub use dataset::{DatasetSpec, ScalingMode, ShuffledSampler, SyntheticDataset};
+pub use dynamic::{
+    simulate_epoch_dynamic, simulate_epoch_dynamic_lowered, DynamicEpochReport, MidEpochFault,
+};
 pub use epoch::{simulate_epoch, simulate_epoch_lowered, EpochReport, SystemModel, TrainConfig};
 pub use memory::{GpuRole, MemoryModel, MemoryUsage};
 pub use optimizer::{Sgd, SgdState};

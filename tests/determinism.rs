@@ -16,6 +16,7 @@ fn epoch_simulation_is_bit_deterministic() {
     assert_eq!(a.wu_iter, b.wu_iter);
     assert_eq!(a.sync_wall_iter, b.sync_wall_iter);
     assert_eq!(a.iter_trace.len(), b.iter_trace.len());
+    dgx1_repro::sim::check::assert_trace_invariants(&a.iter_trace);
 }
 
 #[test]

@@ -91,10 +91,12 @@ fn weak_scaling_never_changes_the_iteration() {
 #[test]
 fn trace_category_inventory_is_complete() {
     // Every task category the simulator emits is one the profiler
-    // understands (fp/bp/wu*/h2d/api*/marker/setup).
+    // understands (fp/bp/wu*/h2d/api*/marker/setup), and every emitted
+    // trace is structurally well-formed.
     let h = Harness::paper();
     for comm in CommMethod::ALL {
         let r = report(&h, 16, 4, comm);
+        dgx1_repro::sim::check::assert_trace_invariants(&r.iter_trace);
         for e in r.iter_trace.events() {
             let c = e.category.as_str();
             let known = c == "fp"

@@ -14,7 +14,7 @@
 #![forbid(unsafe_code)]
 
 use std::fmt;
-use std::ops::Range;
+use std::ops::{Range, RangeInclusive};
 
 /// Deterministic SplitMix64 generator driving all strategy sampling.
 #[derive(Debug, Clone)]
@@ -199,6 +199,27 @@ macro_rules! int_range_strategy {
 
 int_range_strategy!(u8, u16, u32, u64, usize);
 
+macro_rules! int_range_inclusive_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty inclusive range strategy");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    // Full 64-bit domain: span + 1 would overflow, and
+                    // every u64 is in range anyway.
+                    return rng.next_u64() as $ty;
+                }
+                start + (rng.next_u64() % (span + 1)) as $ty
+            }
+        }
+    )*};
+}
+
+int_range_inclusive_strategy!(u8, u16, u32, u64, usize);
+
 macro_rules! signed_range_strategy {
     ($($ty:ty),*) => {$(
         impl Strategy for Range<$ty> {
@@ -214,6 +235,29 @@ macro_rules! signed_range_strategy {
 
 signed_range_strategy!(i8, i16, i32, i64, isize);
 
+macro_rules! signed_range_inclusive_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty inclusive range strategy");
+                // Wrapping width: exact even for i64::MIN..=i64::MAX,
+                // where the span (u64::MAX) + 1 would overflow.
+                let span = (end as i64).wrapping_sub(start as i64) as u64;
+                let offset = if span == u64::MAX {
+                    rng.next_u64()
+                } else {
+                    rng.next_u64() % (span + 1)
+                };
+                (start as i64).wrapping_add(offset as i64) as $ty
+            }
+        }
+    )*};
+}
+
+signed_range_inclusive_strategy!(i8, i16, i32, i64, isize);
+
 macro_rules! float_range_strategy {
     ($($ty:ty),*) => {$(
         impl Strategy for Range<$ty> {
@@ -227,6 +271,24 @@ macro_rules! float_range_strategy {
 }
 
 float_range_strategy!(f32, f64);
+
+macro_rules! float_range_inclusive_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty inclusive range strategy");
+                // A degenerate a..=a range is a constant; otherwise the
+                // closed upper bound is reachable only up to rounding,
+                // matching float semantics elsewhere.
+                start + (rng.next_f64() as $ty) * (end - start)
+            }
+        }
+    )*};
+}
+
+float_range_inclusive_strategy!(f32, f64);
 
 macro_rules! tuple_strategy {
     ($(($($name:ident),+);)*) => {$(
@@ -476,6 +538,48 @@ mod tests {
             let f = (-1.0f32..1.0).sample(&mut rng);
             assert!((-1.0..1.0).contains(&f));
         }
+    }
+
+    #[test]
+    fn inclusive_ranges_respect_bounds_and_reach_both_endpoints() {
+        let mut rng = TestRng::new(11);
+        let (mut lo, mut hi) = (false, false);
+        for _ in 0..400 {
+            let v = (5u64..=8).sample(&mut rng);
+            assert!((5..=8).contains(&v));
+            lo |= v == 5;
+            hi |= v == 8;
+            let s = (-3i32..=3).sample(&mut rng);
+            assert!((-3..=3).contains(&s));
+            let f = (-1.0f64..=1.0).sample(&mut rng);
+            assert!((-1.0..=1.0).contains(&f));
+        }
+        assert!(lo && hi, "closed bounds must both be reachable");
+    }
+
+    #[test]
+    fn inclusive_singleton_is_a_constant() {
+        let mut rng = TestRng::new(13);
+        for _ in 0..32 {
+            assert_eq!((42u32..=42).sample(&mut rng), 42);
+            assert_eq!((-7i8..=-7).sample(&mut rng), -7);
+            assert_eq!((2.5f32..=2.5).sample(&mut rng), 2.5);
+        }
+    }
+
+    #[test]
+    fn inclusive_full_domains_do_not_overflow() {
+        let mut rng = TestRng::new(17);
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..64 {
+            // The u64/i64 full-width spans are the overflow hazard
+            // (span + 1 wraps); u8 exercises the narrow-type cast path.
+            distinct.insert((0u64..=u64::MAX).sample(&mut rng));
+            let _ = (i64::MIN..=i64::MAX).sample(&mut rng);
+            let _ = (u8::MIN..=u8::MAX).sample(&mut rng);
+            let _ = (isize::MIN..=isize::MAX).sample(&mut rng);
+        }
+        assert!(distinct.len() > 32, "full-range u64 sampling collapsed");
     }
 
     #[test]
